@@ -1,0 +1,13 @@
+"""Shared benchmark fixtures: build the corpus once per session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dataset import HolistixDataset
+
+
+@pytest.fixture(scope="session")
+def dataset() -> HolistixDataset:
+    """The full calibrated 1,420-post Holistix build."""
+    return HolistixDataset.build()

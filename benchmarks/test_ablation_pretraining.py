@@ -1,0 +1,28 @@
+"""E8 — ablations: domain pretraining and the lexical-overlap mechanism."""
+
+from repro.experiments.ablation import (
+    format_hardness_ablation,
+    format_pretraining_ablation,
+    run_hardness_ablation,
+    run_pretraining_ablation,
+)
+
+
+def test_pretraining_ablation(benchmark, dataset):
+    result = benchmark.pedantic(
+        lambda: run_pretraining_ablation(dataset), rounds=1, iterations=1
+    )
+    print("\n" + format_pretraining_ablation(result))
+    # Domain pretraining must not lose to random initialisation (the
+    # MentalBERT mechanism), modulo small-sample noise.
+    assert result.domain_mlm >= result.no_pretrain - 0.03
+
+
+def test_hardness_ablation(benchmark):
+    result = benchmark.pedantic(run_hardness_ablation, rounds=1, iterations=1)
+    print("\n" + format_hardness_ablation(result))
+    # Removing the overlap machinery makes EA dramatically easier —
+    # the §IV claim inverted.
+    assert result.overlap_explains_ea()
+    assert result.ea_f1_all_clear > result.ea_f1_full_corpus + 0.2
+    assert result.accuracy_all_clear > result.accuracy_full_corpus

@@ -1,0 +1,18 @@
+"""E6 — Fig. 1: classify a narrative and surface its wellness dimensions."""
+
+from repro.core.pipeline import WellnessClassifier
+from repro.experiments.figure1 import format_figure1, run_figure1
+
+
+def test_figure1_overview(benchmark, dataset):
+    split = dataset.fixed_split()
+    classifier = WellnessClassifier("LR").fit(split.train)
+    result = benchmark.pedantic(
+        lambda: run_figure1(dataset, classifier=classifier),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + format_figure1(result))
+    assert result.gold_span in result.text
+    assert result.candidate_dimensions
+    assert result.explanation_keywords

@@ -1,0 +1,23 @@
+"""E7 — Fig. 2: the annotation framework, executed end to end.
+
+Scrape the simulated Beyond Blue forum, run the 2,000 -> 1,420 cleaning
+funnel, annotate with two simulated annotators, adjudicate.
+"""
+
+from repro.experiments.figure2 import format_figure2, run_figure2
+
+
+def test_figure2_annotation_framework(benchmark, dataset):
+    result = benchmark.pedantic(
+        lambda: run_figure2(dataset), rounds=1, iterations=1
+    )
+    print("\n" + format_figure2(result))
+    stages = dict(result.funnel.stages())
+    assert stages["raw posts"] == 2000
+    assert stages["after empty removal"] == 1880
+    assert stages["after deduplication"] == 1700
+    assert stages["after length filter"] == 1570
+    assert stages["after topic filter"] == 1420
+    assert result.clean_matches_gold
+    assert result.n_guidelines == 7
+    assert result.n_perplexity_rules == 6

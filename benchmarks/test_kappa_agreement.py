@@ -1,0 +1,17 @@
+"""E5 — Fleiss' kappa = 75.92%: the two-annotator agreement study."""
+
+from repro.experiments.kappa import format_kappa, run_kappa
+from repro.experiments.paper_reference import PAPER_KAPPA_PERCENT
+
+
+def test_kappa_agreement(benchmark, dataset):
+    result = benchmark.pedantic(
+        lambda: run_kappa(dataset), rounds=3, iterations=1
+    )
+    print("\n" + format_kappa(result))
+    # Within three kappa points of the published 75.92.
+    assert abs(result.report.kappa_percent - PAPER_KAPPA_PERCENT) < 3.0
+    # The paper's qualitative claim (§IV): confusions concentrate on the
+    # Emotional boundary.
+    top_pairs = [pair for pair, _ in result.report.top_confusions(3)]
+    assert any("EA" in pair for pair in top_pairs)

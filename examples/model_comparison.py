@@ -1,0 +1,60 @@
+"""Compare the paper's nine baselines on the fixed split.
+
+Run with::
+
+    python examples/model_comparison.py [--fast]
+
+Trains all three traditional ML baselines and (without ``--fast``) all six
+transformer baselines on the paper's 990-post training split, then prints
+a Table IV-style comparison on the 213-post test split.  ``--fast`` uses
+tiny transformer configs so the whole script finishes in well under a
+minute.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.core import HolistixDataset, WellnessClassifier
+from repro.core.labels import DIMENSIONS
+from repro.core.pipeline import TRADITIONAL_BASELINES, TRANSFORMER_BASELINES
+from repro.experiments.paper_reference import PAPER_TABLE4_ACCURACY
+from repro.ml import classification_report
+
+
+def main(fast: bool = False) -> None:
+    dataset = HolistixDataset.build()
+    split = dataset.fixed_split()
+    print(
+        f"Train {len(split.train)} / test {len(split.test)} posts; "
+        f"{'fast' if fast else 'paper'} transformer configs\n"
+    )
+
+    header = f"{'Baseline':12s} {'acc':>5s} {'paper':>6s}  per-class F1"
+    print(header)
+    print("-" * len(header))
+    for name in TRADITIONAL_BASELINES + TRANSFORMER_BASELINES:
+        started = time.time()
+        classifier = WellnessClassifier(name, fast=fast).fit(split.train)
+        predictions = classifier.predict(split.test.texts)
+        report = classification_report(
+            split.test.labels, predictions, list(DIMENSIONS)
+        )
+        f1_cells = " ".join(
+            f"{dim.code}={report.per_class[dim].f1:.2f}" for dim in DIMENSIONS
+        )
+        print(
+            f"{name:12s} {report.accuracy:5.2f} "
+            f"{PAPER_TABLE4_ACCURACY[name]:6.2f}  {f1_cells} "
+            f"[{time.time() - started:.0f}s]"
+        )
+
+    print(
+        "\nExpected shape: transformers above traditional ML, Gaussian NB "
+        "at the bottom, EA/SpiA/IA the hard classes."
+    )
+
+
+if __name__ == "__main__":
+    main(fast="--fast" in sys.argv[1:])

@@ -1,0 +1,66 @@
+"""Per-user wellness profiling and early-intervention triage.
+
+Run with::
+
+    python examples/wellness_profiles.py
+
+The paper's introduction motivates the dataset with "personalized
+well-being evaluations and early intervention strategies".  This example
+simulates users with different posting histories, classifies each post,
+aggregates per-user wellness profiles, and applies the triage rule.
+"""
+
+from __future__ import annotations
+
+from repro.core import HolistixDataset, WellnessClassifier
+from repro.core.profiles import build_profile, triage
+
+# Simulated posting histories.
+USERS: dict[str, list[str]] = {
+    "steady-worker": [
+        "My job keeps piling on deadlines and the money is tight this month.",
+        "Another rough week at work but I am coping with the workload.",
+        "The career progression talk went nowhere again and work drains me.",
+        "My boss added more shifts and the financial pressure is back.",
+    ],
+    "struggling-student": [
+        "I feel like I will never be smart enough to pass my exams.",
+        "I cannot concentrate on my study and my thoughts just spiral.",
+        "I keep struggling with assignments and it is hard to open a book.",
+        "Even easy revision feels impossible and my focus is gone lately.",
+    ],
+    "acute-risk": [
+        "I do not know what my purpose is anymore and life feels meaningless.",
+        "I feel like i am drowning in this sad feeling and cannot stop crying.",
+        "Some days thoughts of suicide creep in because life feels so empty.",
+        "Everything feels too hard and I am so sad that nothing helps anymore.",
+        "I feel hopeless about life and my thoughts turn dark at night.",
+    ],
+}
+
+
+def main() -> None:
+    dataset = HolistixDataset.build()
+    split = dataset.fixed_split()
+    print("Training classifier for profiling...")
+    classifier = WellnessClassifier("LR").fit(split.train)
+
+    for user_id, posts in USERS.items():
+        predictions = classifier.predict(posts)
+        profile = build_profile(user_id, predictions)
+        decision = triage(profile)
+        shares = ", ".join(
+            f"{dim.code}={share:.0f}%"
+            for dim, share in profile.as_percentages().items()
+            if share > 0
+        )
+        flag = "FLAGGED" if decision.flagged else "ok"
+        print(f"\n{user_id} ({profile.n_posts} posts) -> {flag}")
+        print(f"  profile : {shares}")
+        print(f"  dominant: {profile.dominant.code if profile.dominant else '-'}")
+        for reason in decision.reasons:
+            print(f"  reason  : {reason}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""Holistix reproduction: wellness-dimension analysis of mental-health narratives.
+
+Reproduces "Holistix: A Dataset for Holistic Wellness Dimensions Analysis
+in Mental Health Narratives" (ICDE 2025): the dataset (synthesised to the
+published statistics), the annotation framework, nine classification
+baselines, and the LIME explainability study.
+
+Quickstart::
+
+    from repro import HolistixDataset, WellnessClassifier
+
+    dataset = HolistixDataset.build()
+    split = dataset.fixed_split()
+    clf = WellnessClassifier("LR").fit(split.train)
+    print(clf.predict(["I feel exhausted and cannot sleep properly."]))
+"""
+
+from repro.core import (
+    DIMENSIONS,
+    AnnotatedInstance,
+    HolistixDataset,
+    Post,
+    Span,
+    WellnessClassifier,
+    WellnessDimension,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnnotatedInstance",
+    "DIMENSIONS",
+    "HolistixDataset",
+    "Post",
+    "Span",
+    "WellnessClassifier",
+    "WellnessDimension",
+    "__version__",
+]

@@ -1,0 +1,46 @@
+"""Annotation framework substrate: guidelines, simulated annotators, agreement."""
+
+from repro.annotation.agreement import (
+    cohen_kappa,
+    fleiss_kappa,
+    percent_agreement,
+    rating_matrix,
+)
+from repro.annotation.annotator import Annotation, SimulatedAnnotator
+from repro.annotation.guidelines import (
+    ANNOTATION_GUIDELINES,
+    PERPLEXITY_RULES,
+    Guideline,
+    PerplexityRule,
+)
+from repro.annotation.perplexity import (
+    DimensionEvidence,
+    PerplexityDecision,
+    detect_dimensions,
+    resolve_dominant,
+)
+from repro.annotation.task import (
+    AgreementReport,
+    AnnotationTask,
+    run_annotation_study,
+)
+
+__all__ = [
+    "ANNOTATION_GUIDELINES",
+    "AgreementReport",
+    "Annotation",
+    "AnnotationTask",
+    "DimensionEvidence",
+    "Guideline",
+    "PERPLEXITY_RULES",
+    "PerplexityDecision",
+    "PerplexityRule",
+    "SimulatedAnnotator",
+    "cohen_kappa",
+    "detect_dimensions",
+    "fleiss_kappa",
+    "percent_agreement",
+    "rating_matrix",
+    "resolve_dominant",
+    "run_annotation_study",
+]

@@ -1,0 +1,167 @@
+"""Simulated student annotators.
+
+The paper trained two student annotators who labelled every post
+independently, reaching Fleiss' kappa = 75.92% (§II-E).  Humans being
+unavailable offline, this module simulates them: each annotator follows
+the perplexity engine on clear posts and wavers on genuinely ambiguous
+ones (posts whose text carries secondary-dimension vocabulary), with a
+per-annotator reliability and bias profile.
+
+Confusions therefore concentrate exactly where §IV says they did — the
+Social/Emotional and Spiritual/Emotional boundaries — rather than being
+uniform label noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.annotation.perplexity import resolve_dominant
+from repro.core.instance import AnnotatedInstance, Span
+from repro.core.labels import WellnessDimension, dimension_from_code
+from repro.corpus.lexicon import SECONDARY_BLEED
+from repro.text.tokenize import sent_tokenize
+
+__all__ = ["Annotation", "SimulatedAnnotator"]
+
+
+@dataclass(frozen=True)
+class Annotation:
+    """One annotator's labelling of one post."""
+
+    post_id: str
+    label: WellnessDimension
+    span_text: str
+    confident: bool
+
+
+@dataclass
+class SimulatedAnnotator:
+    """A rule-following annotator with human-like wavering.
+
+    Parameters
+    ----------
+    name:
+        Annotator identifier (appears in agreement reports).
+    seed:
+        Personal randomness; two annotators must use different seeds.
+    clear_accuracy:
+        Probability of following the gold label on a post with no
+        secondary-dimension content.
+    ambiguous_accuracy:
+        Probability of resolving a multi-dimension post to the gold
+        dominant dimension; otherwise the annotator picks a plausible
+        secondary dimension (the §IV confusion mechanism).
+    """
+
+    name: str
+    seed: int
+    clear_accuracy: float = 0.97
+    ambiguous_accuracy: float = 0.76
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.clear_accuracy <= 1.0:
+            raise ValueError("clear_accuracy must be in [0, 1]")
+        if not 0.0 <= self.ambiguous_accuracy <= 1.0:
+            raise ValueError("ambiguous_accuracy must be in [0, 1]")
+        self._rng = np.random.default_rng(self.seed)
+
+    # ------------------------------------------------------------------
+    def annotate(self, instance: AnnotatedInstance) -> Annotation:
+        """Label one post and select its explanation span."""
+        secondary = self._secondary_dimensions(instance)
+        if secondary:
+            correct = self._rng.random() < self.ambiguous_accuracy
+            label = instance.label if correct else self._confused_label(
+                instance, secondary
+            )
+        else:
+            correct = self._rng.random() < self.clear_accuracy
+            label = instance.label if correct else self._confused_label(
+                instance, secondary
+            )
+        span_text = (
+            instance.span_text if label == instance.label else self._fallback_span(
+                instance
+            )
+        )
+        return Annotation(
+            post_id=instance.post.post_id,
+            label=label,
+            span_text=span_text,
+            confident=correct and not secondary,
+        )
+
+    def annotate_all(self, instances: list[AnnotatedInstance]) -> list[Annotation]:
+        """Label every post independently, in order."""
+        return [self.annotate(inst) for inst in instances]
+
+    # ------------------------------------------------------------------
+    def _secondary_dimensions(
+        self, instance: AnnotatedInstance
+    ) -> list[WellnessDimension]:
+        codes = instance.metadata.get("secondary_dims", [])
+        return [dimension_from_code(c) for c in codes]
+
+    def _confused_label(
+        self,
+        instance: AnnotatedInstance,
+        secondary: list[WellnessDimension],
+    ) -> WellnessDimension:
+        """A plausible wrong label.
+
+        Prefers a secondary dimension actually present in the text; falls
+        back to the bleed matrix, then to the perplexity engine's second
+        candidate.
+        """
+        if secondary:
+            return secondary[int(self._rng.integers(len(secondary)))]
+        bleed = SECONDARY_BLEED[instance.label]
+        dims = list(bleed)
+        probs = np.asarray([bleed[d] for d in dims], dtype=float)
+        choice = int(self._rng.choice(len(dims), p=probs / probs.sum()))
+        candidate = dims[choice]
+        if candidate != instance.label:
+            return candidate
+        decision = resolve_dominant(instance.text)  # pragma: no cover - fallback
+        for evidence in decision.candidates:  # pragma: no cover
+            if evidence.dimension != instance.label:
+                return evidence.dimension
+        return instance.label  # pragma: no cover
+
+    def _fallback_span(self, instance: AnnotatedInstance) -> str:
+        """Span selected when the annotator mislabels: a non-gold sentence.
+
+        A confused annotator highlights the sentence that misled them —
+        the one carrying secondary-dimension vocabulary — or, failing
+        that, the gold span (they at least found the salient text).
+        """
+        gold_span = instance.span_text
+        for sentence in sent_tokenize(instance.text):
+            if gold_span not in sentence:
+                return sentence.rstrip(".!?")
+        return gold_span
+
+
+def make_annotation_instance(
+    instance: AnnotatedInstance, annotation: Annotation
+) -> AnnotatedInstance:
+    """Materialise an annotator's view of a post as an instance.
+
+    Useful for building alternative gold standards (e.g. adjudication
+    studies).  The span is located inside the post text; if the annotator
+    span drifted, it falls back to the gold span.
+    """
+    try:
+        span = Span.locate(instance.post.text, annotation.span_text)
+    except ValueError:
+        span = instance.span
+    return AnnotatedInstance(
+        post=instance.post,
+        span=span,
+        label=annotation.label,
+        metadata={**instance.metadata, "annotator": annotation.post_id},
+    )

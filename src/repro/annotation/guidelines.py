@@ -1,0 +1,145 @@
+"""Machine-readable annotation and perplexity guidelines (§II-D).
+
+The paper publishes seven data-annotation guidelines and six perplexity
+guidelines.  Encoding them as data (rather than prose buried in a README)
+lets the annotation simulator reference the exact rule it applied, the
+Fig. 2 experiment print the framework, and tests assert the guideline set
+is complete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Guideline",
+    "PerplexityRule",
+    "ANNOTATION_GUIDELINES",
+    "PERPLEXITY_RULES",
+]
+
+
+@dataclass(frozen=True)
+class Guideline:
+    """One §II-D.1 annotation guideline."""
+
+    number: int
+    title: str
+    text: str
+
+
+@dataclass(frozen=True)
+class PerplexityRule:
+    """One §II-D.2 perplexity rule with the paper's worked example."""
+
+    number: int
+    title: str
+    text: str
+    example_text: str
+    example_resolution: str
+
+
+ANNOTATION_GUIDELINES: tuple[Guideline, ...] = (
+    Guideline(
+        1,
+        "Identify relevant text spans",
+        "Identify relevant text spans in the posts: words or phrases that "
+        "describe thoughts, actions or feelings linked to a wellness "
+        "dimension.",
+    ),
+    Guideline(
+        2,
+        "Handle overlaps",
+        "Initially label all the relevant dimensions if a text span fits "
+        "multiple dimensions; later, based on perplexity guidelines, the "
+        "key dimension will be determined and assigned.",
+    ),
+    Guideline(
+        3,
+        "Be specific",
+        "Annotations should be specific: the exact words or phrases that "
+        "indicate a wellness dimension should be highlighted.",
+    ),
+    Guideline(
+        4,
+        "Focus long posts",
+        "If the post is very lengthy, focus on text that shows how the "
+        "dimension impacts mental well-being.",
+    ),
+    Guideline(
+        5,
+        "Avoid assumptions",
+        "Only annotate what is explicitly stated or strongly implied; "
+        "avoid assumptions.",
+    ),
+    Guideline(
+        6,
+        "Record complete entries",
+        "Each annotated text entry should include the text (user's social "
+        "media post), the text span (key phrases in the text), and the "
+        "wellness dimension (one of the six labels).",
+    ),
+    Guideline(
+        7,
+        "Check annotation quality",
+        "Determine annotation quality by having a second annotator review "
+        "20% of the entries and discussing ambiguous cases to refine the "
+        "guidelines.",
+    ),
+)
+
+
+PERPLEXITY_RULES: tuple[PerplexityRule, ...] = (
+    PerplexityRule(
+        1,
+        "Prioritize Dominant Dimensions",
+        "If a text spans multiple wellness dimensions, label all relevant "
+        "ones but highlight the most dominant, based on context or "
+        "emphasis.",
+        "My volunteer work (Vocational) helps me connect with others "
+        "(Social), but I'm exhausted (Physical).",
+        "Labels: Vocational (dominant), Social, Physical.",
+    ),
+    PerplexityRule(
+        2,
+        "Resolve Ambiguity with Context Clues",
+        "If the meaning is unclear, use surrounding sentences to infer the "
+        "dimension.",
+        "I feel overwhelmed. (Previous sentence: my boss gave me three "
+        "deadlines.)",
+        "Label: Vocational.",
+    ),
+    PerplexityRule(
+        3,
+        "Break Down Compound Sentences",
+        "Split sentences with multiple independent clauses into separate "
+        "annotations.",
+        "I journal to manage stress (Emotional), but my poor diet "
+        "(Physical) isn't helping.",
+        "Split into two entries.",
+    ),
+    PerplexityRule(
+        4,
+        "Avoid Overinterpreting Metaphors/Sarcasm",
+        "Label metaphors or sarcasm literally unless the tone is obvious.",
+        "Oh yeah, my 'healthy' routine of 2 hours of sleep is working "
+        "great!",
+        "Label: Physical (negatively impacted).",
+    ),
+    PerplexityRule(
+        5,
+        "Label Implicit Meanings Sparingly",
+        "Only label implied wellness aspects if strongly supported by "
+        "context; avoid guessing.",
+        "I haven't left my room in days.",
+        "Implicit labels: Social (isolation), Physical (inactivity).",
+    ),
+    PerplexityRule(
+        6,
+        "Validate Annotations with Team Consensus",
+        "Discuss 10% of ambiguous cases as a team to align "
+        "interpretations; update guidelines based on recurring dilemmas.",
+        "(recurring ambiguous cases)",
+        "Team discussion; guideline update.",
+    ),
+)

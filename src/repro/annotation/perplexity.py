@@ -1,0 +1,152 @@
+"""Perplexity-rule engine: resolving multi-dimension posts.
+
+Implements the operational half of §II-D.2.  Given a post whose text
+touches several wellness dimensions, the engine detects the candidate
+dimensions from lexicon evidence and resolves the *dominant* one using the
+paper's rules: emphasis markers (rule 1), context clues from the span
+sentence (rule 2), and lexical weight as the fallback.
+
+The simulated annotators consult this engine, so their confusions arise
+from genuinely ambiguous text, not from arbitrary label noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.labels import DIMENSIONS, WellnessDimension
+from repro.corpus.lexicon import CORE_LEXICON, SUPPORT_LEXICON
+from repro.corpus.templates import EMPHASIS_MARKERS
+from repro.text.tokenize import sent_tokenize, word_tokenize
+
+__all__ = [
+    "DimensionEvidence",
+    "PerplexityDecision",
+    "detect_dimensions",
+    "resolve_dominant",
+]
+
+# Words that identify each dimension, weighted: core lexicon words count
+# double because they are the vocabulary annotators were trained on
+# (Table I indicators ↔ Table III frequent words).
+_CORE_WEIGHT = 2.0
+_SUPPORT_WEIGHT = 1.0
+
+# Vocabulary owned by several dimensions gets fractional weight so shared
+# words ("feel", "anxiety") pull weakly toward each owner.
+_WORD_WEIGHTS: dict[str, dict[WellnessDimension, float]] = {}
+for _dim in DIMENSIONS:
+    for _word in CORE_LEXICON[_dim]:
+        _WORD_WEIGHTS.setdefault(_word, {})[_dim] = _CORE_WEIGHT
+    for _word in SUPPORT_LEXICON[_dim]:
+        _WORD_WEIGHTS.setdefault(_word, {}).setdefault(_dim, _SUPPORT_WEIGHT)
+for _word, _owners in _WORD_WEIGHTS.items():
+    if len(_owners) > 1:
+        for _dim in _owners:
+            _owners[_dim] /= len(_owners)
+
+
+@dataclass(frozen=True)
+class DimensionEvidence:
+    """Lexical evidence for one dimension inside a post."""
+
+    dimension: WellnessDimension
+    score: float
+    matched_words: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class PerplexityDecision:
+    """Outcome of dominant-dimension resolution."""
+
+    dominant: WellnessDimension
+    candidates: tuple[DimensionEvidence, ...]
+    rule_applied: int  # PERPLEXITY_RULES number that settled the call
+    emphasized_sentence: str | None = None
+
+
+def detect_dimensions(text: str) -> list[DimensionEvidence]:
+    """Score every dimension's lexical evidence in ``text``.
+
+    Returns evidence sorted by descending score; dimensions with zero
+    evidence are omitted.
+    """
+    scores: dict[WellnessDimension, float] = {d: 0.0 for d in DIMENSIONS}
+    matches: dict[WellnessDimension, list[str]] = {d: [] for d in DIMENSIONS}
+    for token in word_tokenize(text):
+        owners = _WORD_WEIGHTS.get(token)
+        if not owners:
+            continue
+        for dim, weight in owners.items():
+            scores[dim] += weight
+            matches[dim].append(token)
+    evidence = [
+        DimensionEvidence(dim, scores[dim], tuple(matches[dim]))
+        for dim in DIMENSIONS
+        if scores[dim] > 0.0
+    ]
+    evidence.sort(key=lambda e: (-e.score, e.dimension.code))
+    return evidence
+
+
+def _emphasized_sentence(text: str) -> str | None:
+    """The sentence introduced by an emphasis marker, if any (rule 1)."""
+    lowered_markers = tuple(m.lower() for m in EMPHASIS_MARKERS)
+    for sentence in sent_tokenize(text):
+        lower = sentence.lower()
+        if any(marker in lower for marker in lowered_markers):
+            return sentence
+    return None
+
+
+def resolve_dominant(text: str) -> PerplexityDecision:
+    """Apply the perplexity rules to find the post's dominant dimension.
+
+    Resolution order mirrors §II-D.2:
+
+    1. If an emphasis marker highlights a sentence, the strongest
+       dimension *within that sentence* wins (rule 1).
+    2. Otherwise, if the lexical scores have a clear leader over the whole
+       post, it wins (rule 2 — context decides).
+    3. Ties fall back to the first-mentioned dimension (narratives lead
+       with what matters most), still under rule 2.
+    """
+    candidates = detect_dimensions(text)
+    if not candidates:
+        raise ValueError("no wellness-dimension evidence found in text")
+
+    emphasized = _emphasized_sentence(text)
+    if emphasized is not None:
+        local = detect_dimensions(emphasized)
+        if local:
+            return PerplexityDecision(
+                dominant=local[0].dimension,
+                candidates=tuple(candidates),
+                rule_applied=1,
+                emphasized_sentence=emphasized,
+            )
+
+    best = candidates[0]
+    if len(candidates) == 1 or best.score > candidates[1].score:
+        return PerplexityDecision(
+            dominant=best.dimension,
+            candidates=tuple(candidates),
+            rule_applied=2,
+        )
+
+    # Tie: first mention in the running text wins.
+    tied = {c.dimension for c in candidates if c.score == best.score}
+    for token in word_tokenize(text):
+        owners = _WORD_WEIGHTS.get(token, {})
+        for dim in owners:
+            if dim in tied:
+                return PerplexityDecision(
+                    dominant=dim,
+                    candidates=tuple(candidates),
+                    rule_applied=2,
+                )
+    return PerplexityDecision(  # pragma: no cover - tie always has a mention
+        dominant=best.dimension,
+        candidates=tuple(candidates),
+        rule_applied=2,
+    )

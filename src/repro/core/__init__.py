@@ -1,0 +1,50 @@
+"""Core public API: labels, instances, dataset, classifier, profiling."""
+
+from repro.core.dataset import DatasetStatistics, FixedSplit, HolistixDataset
+from repro.core.instance import AnnotatedInstance, Post, Span
+from repro.core.labels import (
+    DIMENSIONS,
+    INDICATORS,
+    DimensionIndicator,
+    WellnessDimension,
+    dimension_from_code,
+)
+from repro.core.interactions import (
+    InteractionReport,
+    analyze_interactions,
+    build_interaction_graph,
+)
+from repro.core.pipeline import (
+    TRADITIONAL_BASELINES,
+    TRANSFORMER_BASELINES,
+    WellnessClassifier,
+)
+from repro.core.profiles import (
+    TriageDecision,
+    WellnessProfile,
+    build_profile,
+    triage,
+)
+
+__all__ = [
+    "AnnotatedInstance",
+    "DIMENSIONS",
+    "DatasetStatistics",
+    "DimensionIndicator",
+    "FixedSplit",
+    "HolistixDataset",
+    "INDICATORS",
+    "InteractionReport",
+    "Post",
+    "Span",
+    "TRADITIONAL_BASELINES",
+    "TRANSFORMER_BASELINES",
+    "TriageDecision",
+    "WellnessClassifier",
+    "WellnessProfile",
+    "analyze_interactions",
+    "build_interaction_graph",
+    "build_profile",
+    "dimension_from_code",
+    "triage",
+]

@@ -1,0 +1,260 @@
+"""The Holistix dataset container.
+
+Wraps the 1,420 annotated instances with everything the paper's
+experiments need: Table II statistics, Table III frequent-word profiles,
+the fixed 990/212/213 train/validation/test split, stratified K folds for
+the 10-fold evaluation, and jsonl persistence.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from collections.abc import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.core.instance import AnnotatedInstance
+from repro.core.labels import DIMENSIONS, WellnessDimension
+from repro.text.stopwords import FUNCTION_WORDS
+from repro.text.tokenize import count_sentences, count_words, word_tokenize
+
+__all__ = ["DatasetStatistics", "FixedSplit", "HolistixDataset"]
+
+
+@dataclass(frozen=True)
+class DatasetStatistics:
+    """Table II: corpus-level measures and per-dimension counts."""
+
+    total_posts: int
+    total_words: int
+    max_words_per_post: int
+    total_sentences: int
+    max_sentences_per_post: int
+    dimension_counts: dict[WellnessDimension, int]
+
+    def dimension_percentages(self) -> dict[WellnessDimension, float]:
+        """Class shares in percent (the §II-C distribution)."""
+        total = sum(self.dimension_counts.values())
+        if total == 0:
+            return {dim: 0.0 for dim in DIMENSIONS}
+        return {
+            dim: 100.0 * self.dimension_counts.get(dim, 0) / total
+            for dim in DIMENSIONS
+        }
+
+
+@dataclass(frozen=True)
+class FixedSplit:
+    """The paper's fixed 990/212/213 train/validation/test split."""
+
+    train: "HolistixDataset"
+    validation: "HolistixDataset"
+    test: "HolistixDataset"
+
+
+class HolistixDataset:
+    """An ordered, immutable collection of annotated instances."""
+
+    def __init__(self, instances: Sequence[AnnotatedInstance]) -> None:
+        self._instances: tuple[AnnotatedInstance, ...] = tuple(instances)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, config: "GeneratorConfig | None" = None) -> "HolistixDataset":
+        """Build the synthetic Holistix corpus (defaults reproduce Table II).
+
+        Generation, calibration and assembly are deterministic in the
+        config's seed.
+        """
+        from repro.corpus.calibrate import calibrate
+        from repro.corpus.generator import (
+            GeneratorConfig,
+            assemble,
+            generate_drafts,
+        )
+
+        config = config or GeneratorConfig()
+        drafts = calibrate(generate_drafts(config), config)
+        instances = [assemble(d, f"post-{i:04d}") for i, d in enumerate(drafts)]
+        return cls(instances)
+
+    # ------------------------------------------------------------------
+    # Collection API
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._instances)
+
+    def __iter__(self) -> Iterator[AnnotatedInstance]:
+        return iter(self._instances)
+
+    def __getitem__(self, index: int) -> AnnotatedInstance:
+        return self._instances[index]
+
+    @property
+    def instances(self) -> tuple[AnnotatedInstance, ...]:
+        return self._instances
+
+    @property
+    def texts(self) -> list[str]:
+        """Post texts in dataset order (classifier inputs)."""
+        return [inst.text for inst in self._instances]
+
+    @property
+    def labels(self) -> list[WellnessDimension]:
+        """Gold dimensions in dataset order."""
+        return [inst.label for inst in self._instances]
+
+    @property
+    def spans(self) -> list[str]:
+        """Gold explanation spans in dataset order."""
+        return [inst.span_text for inst in self._instances]
+
+    def multi_label_sets(self) -> list[set[WellnessDimension]]:
+        """Gold label *sets*: dominant dimension plus secondary dimensions.
+
+        Perplexity guideline 1 has annotators "label all relevant
+        [dimensions] but highlight the most dominant"; the single-label
+        task uses only the dominant one, while the multi-label future-work
+        task (§V) uses the full set recorded in instance metadata.
+        """
+        from repro.core.labels import dimension_from_code
+
+        sets: list[set[WellnessDimension]] = []
+        for inst in self._instances:
+            labels = {inst.label}
+            for code in inst.metadata.get("secondary_dims", []):
+                labels.add(dimension_from_code(code))
+            sets.append(labels)
+        return sets
+
+    def subset(self, indices: Iterable[int]) -> "HolistixDataset":
+        """New dataset containing the instances at ``indices``, in order."""
+        return HolistixDataset([self._instances[i] for i in indices])
+
+    def filter_label(self, label: WellnessDimension) -> "HolistixDataset":
+        """Instances annotated with ``label`` only."""
+        return HolistixDataset([i for i in self._instances if i.label == label])
+
+    # ------------------------------------------------------------------
+    # Statistics (Tables II and III)
+    # ------------------------------------------------------------------
+    def statistics(self) -> DatasetStatistics:
+        """Compute the Table II measures over this dataset."""
+        word_counts = [count_words(i.text) for i in self._instances]
+        sentence_counts = [count_sentences(i.text) for i in self._instances]
+        label_counts = Counter(i.label for i in self._instances)
+        return DatasetStatistics(
+            total_posts=len(self._instances),
+            total_words=sum(word_counts),
+            max_words_per_post=max(word_counts, default=0),
+            total_sentences=sum(sentence_counts),
+            max_sentences_per_post=max(sentence_counts, default=0),
+            dimension_counts={dim: label_counts.get(dim, 0) for dim in DIMENSIONS},
+        )
+
+    def frequent_span_words(
+        self, *, top_k: int = 7, min_count: int = 1
+    ) -> dict[WellnessDimension, list[tuple[str, int]]]:
+        """Table III: most frequent words in explanation spans per dimension.
+
+        Grammatical function words are removed, but content-bearing
+        pronouns such as "me" are kept, matching the published profiles.
+        """
+        profiles: dict[WellnessDimension, list[tuple[str, int]]] = {}
+        for dim in DIMENSIONS:
+            counts: Counter[str] = Counter()
+            for inst in self._instances:
+                if inst.label != dim:
+                    continue
+                counts.update(
+                    t
+                    for t in word_tokenize(inst.span_text)
+                    if t not in FUNCTION_WORDS
+                )
+            ranked = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+            profiles[dim] = [(w, c) for w, c in ranked[:top_k] if c >= min_count]
+        return profiles
+
+    # ------------------------------------------------------------------
+    # Splits
+    # ------------------------------------------------------------------
+    def fixed_split(
+        self, *, train: int = 990, validation: int = 212, test: int = 213
+    ) -> FixedSplit:
+        """The paper's fixed split (990/212/213 by default).
+
+        Note the published sizes sum to 1,415, five short of the 1,420
+        posts — the paper leaves that remainder unstated, so the final
+        five instances simply go unused, and we document the same quirk.
+        Instances are already label-shuffled at generation time, so the
+        contiguous split keeps every class present in every part.
+        """
+        if train + validation + test > len(self._instances):
+            raise ValueError(
+                f"split sizes {train}+{validation}+{test} exceed "
+                f"{len(self._instances)} instances"
+            )
+        return FixedSplit(
+            train=self.subset(range(train)),
+            validation=self.subset(range(train, train + validation)),
+            test=self.subset(range(train + validation, train + validation + test)),
+        )
+
+    def stratified_folds(
+        self, n_folds: int = 10, *, seed: int = 7
+    ) -> list[tuple[list[int], list[int]]]:
+        """Stratified K-fold index pairs ``(train_idx, eval_idx)``.
+
+        Each fold's evaluation part preserves class proportions to within
+        one instance per class, like scikit-learn's ``StratifiedKFold``.
+        """
+        if n_folds < 2:
+            raise ValueError("n_folds must be >= 2")
+        rng = np.random.default_rng(seed)
+        per_label: dict[WellnessDimension, list[int]] = {d: [] for d in DIMENSIONS}
+        for idx, inst in enumerate(self._instances):
+            per_label[inst.label].append(idx)
+        fold_members: list[list[int]] = [[] for _ in range(n_folds)]
+        for dim in DIMENSIONS:
+            indices = per_label[dim]
+            if indices and len(indices) < n_folds:
+                raise ValueError(
+                    f"class {dim.code} has fewer instances ({len(indices)}) "
+                    f"than folds ({n_folds})"
+                )
+            shuffled = [indices[i] for i in rng.permutation(len(indices))]
+            for pos, idx in enumerate(shuffled):
+                fold_members[pos % n_folds].append(idx)
+        folds: list[tuple[list[int], list[int]]] = []
+        for k in range(n_folds):
+            eval_idx = sorted(fold_members[k])
+            train_idx = sorted(
+                i for j, members in enumerate(fold_members) if j != k for i in members
+            )
+            folds.append((train_idx, eval_idx))
+        return folds
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Write the dataset as jsonl (one instance per line)."""
+        with open(path, "w", encoding="utf-8") as handle:
+            for inst in self._instances:
+                handle.write(json.dumps(inst.to_dict()) + "\n")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "HolistixDataset":
+        """Read a dataset previously written by :meth:`save`."""
+        instances = []
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    instances.append(AnnotatedInstance.from_dict(json.loads(line)))
+        return cls(instances)

@@ -1,0 +1,133 @@
+"""Data model: posts, explanation spans and annotated instances.
+
+The paper's annotation guideline 6 says each annotated entry records the
+post text, the key text span, and one of the six wellness dimensions; this
+module is the typed version of that record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.labels import WellnessDimension, dimension_from_code
+from repro.text.tokenize import count_sentences, count_words
+
+__all__ = ["Post", "Span", "AnnotatedInstance"]
+
+
+@dataclass(frozen=True)
+class Post:
+    """A raw forum post before annotation.
+
+    ``category`` is the forum discussion board the post came from (e.g.
+    "Anxiety"); only text and category are retained, mirroring the paper's
+    privacy-preserving collection step.
+    """
+
+    post_id: str
+    text: str
+    category: str
+
+    def __post_init__(self) -> None:
+        if not self.post_id:
+            raise ValueError("post_id must be non-empty")
+
+    @property
+    def word_count(self) -> int:
+        return count_words(self.text)
+
+    @property
+    def sentence_count(self) -> int:
+        return count_sentences(self.text)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.text.strip()
+
+
+@dataclass(frozen=True)
+class Span:
+    """An explanatory text span inside a post.
+
+    ``start``/``end`` are character offsets into the owning post's text,
+    with ``text == post.text[start:end]`` as the class invariant.
+    """
+
+    start: int
+    end: int
+    text: str
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end < self.start:
+            raise ValueError(f"invalid span offsets [{self.start}, {self.end})")
+        if len(self.text) != self.end - self.start:
+            raise ValueError(
+                "span text length does not match offsets: "
+                f"len={len(self.text)} vs [{self.start}, {self.end})"
+            )
+
+    @classmethod
+    def locate(cls, post_text: str, span_text: str) -> "Span":
+        """Build a span by finding ``span_text`` inside ``post_text``."""
+        start = post_text.find(span_text)
+        if start < 0:
+            raise ValueError(f"span text {span_text!r} not found in post")
+        return cls(start, start + len(span_text), span_text)
+
+    def overlaps(self, other: "Span") -> bool:
+        """True when two spans share at least one character."""
+        return self.start < other.end and other.start < self.end
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class AnnotatedInstance:
+    """A gold dataset entry: post + explanation span + dimension label."""
+
+    post: Post
+    span: Span
+    label: WellnessDimension
+    metadata: dict[str, Any] = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.post.text[self.span.start : self.span.end] != self.span.text:
+            raise ValueError("span offsets do not match the post text")
+
+    @property
+    def text(self) -> str:
+        """The full post text (classification input)."""
+        return self.post.text
+
+    @property
+    def span_text(self) -> str:
+        """The gold explanation span (explainability target)."""
+        return self.span.text
+
+    # ------------------------------------------------------------------
+    # Serialisation (jsonl-friendly)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "post_id": self.post.post_id,
+            "text": self.post.text,
+            "category": self.post.category,
+            "span_start": self.span.start,
+            "span_end": self.span.end,
+            "span_text": self.span.text,
+            "label": self.label.code,
+            "metadata": self.metadata,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "AnnotatedInstance":
+        post = Post(payload["post_id"], payload["text"], payload["category"])
+        span = Span(payload["span_start"], payload["span_end"], payload["span_text"])
+        return cls(
+            post=post,
+            span=span,
+            label=dimension_from_code(payload["label"]),
+            metadata=dict(payload.get("metadata", {})),
+        )

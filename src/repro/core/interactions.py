@@ -1,0 +1,114 @@
+"""Dimension-interaction analysis (the paper's §V "impact analysis").
+
+The conclusion proposes analysing "how different aspects interact".  The
+corpus records exactly that: balanced posts carry a dominant and a
+secondary dimension, so the co-occurrence structure of wellness
+dimensions is an observable, weighted, directed graph.  This module
+builds it with networkx and reports the interaction statistics the
+paper's future-work paragraph asks about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable
+
+import networkx as nx
+
+from repro.core.instance import AnnotatedInstance
+from repro.core.labels import DIMENSIONS, WellnessDimension, dimension_from_code
+
+__all__ = [
+    "InteractionReport",
+    "build_interaction_graph",
+    "analyze_interactions",
+]
+
+
+def build_interaction_graph(
+    instances: Iterable[AnnotatedInstance],
+) -> nx.DiGraph:
+    """Directed co-occurrence graph: dominant → secondary, edge weight = count.
+
+    Every node is present (including isolated dimensions) so downstream
+    statistics have the full label space.
+    """
+    graph = nx.DiGraph()
+    for dim in DIMENSIONS:
+        graph.add_node(dim.code)
+    for instance in instances:
+        for code in instance.metadata.get("secondary_dims", []):
+            secondary = dimension_from_code(code)
+            edge = (instance.label.code, secondary.code)
+            if graph.has_edge(*edge):
+                graph[edge[0]][edge[1]]["weight"] += 1
+            else:
+                graph.add_edge(*edge, weight=1)
+    return graph
+
+
+@dataclass(frozen=True)
+class InteractionReport:
+    """Summary statistics of the dimension-interaction graph."""
+
+    n_cooccurring_posts: int
+    strongest_pairs: tuple[tuple[str, str, int], ...]
+    most_central: str
+    centrality: dict[str, float]
+    reciprocity: float
+
+    def pair_weight(self, a: WellnessDimension, b: WellnessDimension) -> int:
+        """Total co-occurrence count of an unordered dimension pair."""
+        total = 0
+        for src, dst, count in self.strongest_pairs:
+            if {src, dst} == {a.code, b.code}:
+                total += count
+        return total
+
+
+def analyze_interactions(
+    instances: Iterable[AnnotatedInstance], *, top_k: int = 6
+) -> InteractionReport:
+    """Build the graph and compute the §V impact-analysis measures.
+
+    * strongest pairs: which dimensions co-occur most inside single posts;
+    * centrality (weighted degree): which dimension sits at the centre of
+      the interaction structure — the paper's §IV expects Emotional;
+    * reciprocity: how symmetric the dominant/secondary relationship is.
+    """
+    graph = build_interaction_graph(instances)
+    n_posts = sum(data["weight"] for _, _, data in graph.edges(data=True))
+
+    pairs = sorted(
+        ((u, v, int(d["weight"])) for u, v, d in graph.edges(data=True)),
+        key=lambda t: -t[2],
+    )
+
+    undirected = graph.to_undirected()
+    for u, v in undirected.edges():
+        forward = graph[u][v]["weight"] if graph.has_edge(u, v) else 0
+        backward = graph[v][u]["weight"] if graph.has_edge(v, u) else 0
+        undirected[u][v]["weight"] = forward + backward
+    centrality = {
+        node: float(value)
+        for node, value in nx.degree_centrality(undirected).items()
+    }
+    weighted_degree = {
+        node: sum(d["weight"] for _, _, d in undirected.edges(node, data=True))
+        for node in undirected.nodes()
+    }
+    total_weight = sum(weighted_degree.values()) or 1
+    centrality = {
+        node: weighted_degree[node] / total_weight for node in weighted_degree
+    }
+    most_central = max(centrality, key=centrality.get)
+
+    reciprocity = float(nx.reciprocity(graph) or 0.0) if graph.edges else 0.0
+
+    return InteractionReport(
+        n_cooccurring_posts=n_posts,
+        strongest_pairs=tuple(pairs[:top_k]),
+        most_central=most_central,
+        centrality=centrality,
+        reciprocity=reciprocity,
+    )

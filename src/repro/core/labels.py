@@ -1,0 +1,155 @@
+"""The six wellness dimensions and their annotation indicators.
+
+This is the paper's label space (§II-B.1, Dunn/Hettler six-dimension model)
+together with the machine-readable version of Table I — the class indicators
+annotators use to recognise each dimension in a post.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = [
+    "WellnessDimension",
+    "DimensionIndicator",
+    "INDICATORS",
+    "DIMENSIONS",
+    "dimension_from_code",
+]
+
+
+class WellnessDimension(enum.Enum):
+    """One of Hettler's six wellness dimensions.
+
+    The enum values are the paper's abbreviations (IA, VA, SpiA, PA, SA,
+    EA) and double as the canonical serialisation codes.
+    """
+
+    INTELLECTUAL = "IA"
+    VOCATIONAL = "VA"
+    SPIRITUAL = "SpiA"
+    PHYSICAL = "PA"
+    SOCIAL = "SA"
+    EMOTIONAL = "EA"
+
+    @property
+    def code(self) -> str:
+        """Paper abbreviation, e.g. ``"SpiA"``."""
+        return self.value
+
+    @property
+    def description(self) -> str:
+        """One-line definition from §II-B.1."""
+        return _DESCRIPTIONS[self]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+# Canonical ordering used throughout tables (matches Table IV column order).
+DIMENSIONS: tuple[WellnessDimension, ...] = (
+    WellnessDimension.INTELLECTUAL,
+    WellnessDimension.VOCATIONAL,
+    WellnessDimension.SPIRITUAL,
+    WellnessDimension.PHYSICAL,
+    WellnessDimension.SOCIAL,
+    WellnessDimension.EMOTIONAL,
+)
+
+_DESCRIPTIONS: dict[WellnessDimension, str] = {
+    WellnessDimension.INTELLECTUAL: (
+        "Engaging in creative and stimulating activities to expand "
+        "knowledge and skills."
+    ),
+    WellnessDimension.VOCATIONAL: (
+        "Personal satisfaction and enrichment derived from one's work, "
+        "contributing meaningfully to society."
+    ),
+    WellnessDimension.SPIRITUAL: (
+        "Seeking purpose and meaning in human existence, leading to a "
+        "harmonious life."
+    ),
+    WellnessDimension.PHYSICAL: (
+        "Regular physical activity, healthy dietary choices, and "
+        "preventive health measures."
+    ),
+    WellnessDimension.SOCIAL: (
+        "Developing a sense of connection and belonging through positive "
+        "interpersonal relationships."
+    ),
+    WellnessDimension.EMOTIONAL: (
+        "Awareness and acceptance of one's feelings, coping effectively "
+        "with stress, and maintaining satisfying relationships."
+    ),
+}
+
+
+@dataclass(frozen=True)
+class DimensionIndicator:
+    """Table I row: what annotators look for and an example phrasing."""
+
+    dimension: WellnessDimension
+    indicators: str
+    examples: tuple[str, ...]
+
+
+INDICATORS: dict[WellnessDimension, DimensionIndicator] = {
+    WellnessDimension.PHYSICAL: DimensionIndicator(
+        WellnessDimension.PHYSICAL,
+        "Mentions of fatigue, sleep issues, body image concerns, diet "
+        "struggles, illness, or medication. Phrases related to body shaming, "
+        "physical deterioration, weight concerns, or health anxiety.",
+        (
+            "I feel exhausted all the time and can't even sleep properly.",
+            "I hate my body and feel disgusting when I look in the mirror.",
+        ),
+    ),
+    WellnessDimension.INTELLECTUAL: DimensionIndicator(
+        WellnessDimension.INTELLECTUAL,
+        "Discussions about academic stress, feelings of intellectual "
+        "inadequacy, frustration with learning.",
+        ("I feel like I'll never be smart enough to pass my exams.",),
+    ),
+    WellnessDimension.VOCATIONAL: DimensionIndicator(
+        WellnessDimension.VOCATIONAL,
+        "Workplace dissatisfaction, career struggles, financial burdens "
+        "related to work or dissatisfaction with career progression.",
+        ("My 9-5 job drains me, and I don't see the point in trying anymore.",),
+    ),
+    WellnessDimension.SOCIAL: DimensionIndicator(
+        WellnessDimension.SOCIAL,
+        "Mentions of loneliness, strained relationships, loss of social "
+        "support, feeling excluded or isolated. Discussions about family, "
+        "friends, breakups, bullying, or lack of belonging.",
+        (
+            "I have no real friends, and I feel invisible at school.",
+            "Ever since my breakup, I feel like I've lost my entire social circle.",
+        ),
+    ),
+    WellnessDimension.SPIRITUAL: DimensionIndicator(
+        WellnessDimension.SPIRITUAL,
+        "Expressions of hopelessness, self-doubt, existential crises, or "
+        "struggling with purpose in life.",
+        ("I don't know what my purpose is anymore, and everything feels meaningless.",),
+    ),
+    WellnessDimension.EMOTIONAL: DimensionIndicator(
+        WellnessDimension.EMOTIONAL,
+        "Emotional instability, feelings of emotional exhaustion, inability "
+        "to cope, or extreme sadness.",
+        ("I hate myself and don't think I belong in this world.",),
+    ),
+}
+
+
+def dimension_from_code(code: str) -> WellnessDimension:
+    """Parse a paper abbreviation (case-sensitive) into a dimension.
+
+    >>> dimension_from_code("SpiA")
+    <WellnessDimension.SPIRITUAL: 'SpiA'>
+    """
+    try:
+        return WellnessDimension(code)
+    except ValueError:
+        valid = ", ".join(d.code for d in DIMENSIONS)
+        raise ValueError(f"unknown dimension code {code!r}; expected one of {valid}")

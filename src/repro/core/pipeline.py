@@ -1,0 +1,182 @@
+"""High-level classification API: one object over every baseline.
+
+``WellnessClassifier`` is the library's front door: pick any of the nine
+Table IV baselines by name, ``fit`` on a dataset, ``predict`` dimensions
+for new posts, and ``explain`` predictions with LIME — without touching
+the TF-IDF/encoder plumbing underneath.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.dataset import HolistixDataset
+from repro.core.labels import DIMENSIONS, WellnessDimension
+from repro.explain.lime import Explanation, LimeTextExplainer
+from repro.ml.logistic import LogisticRegression
+from repro.ml.naive_bayes import GaussianNaiveBayes
+from repro.ml.svm import LinearSVM
+from repro.text.tfidf import TfidfVectorizer
+from repro.text.vocab import Vocabulary
+
+__all__ = ["WellnessClassifier", "TRADITIONAL_BASELINES", "TRANSFORMER_BASELINES"]
+
+TRADITIONAL_BASELINES: tuple[str, ...] = ("LR", "Linear SVM", "Gaussian NB")
+TRANSFORMER_BASELINES: tuple[str, ...] = (
+    "BERT",
+    "DistilBERT",
+    "MentalBERT",
+    "Flan-T5",
+    "XLNet",
+    "GPT-2.0",
+)
+
+
+class WellnessClassifier:
+    """Classify posts into the six wellness dimensions.
+
+    Parameters
+    ----------
+    baseline:
+        One of the paper's nine baselines (Table IV row names):
+        ``LR``, ``Linear SVM``, ``Gaussian NB``, ``BERT``, ``DistilBERT``,
+        ``MentalBERT``, ``Flan-T5``, ``XLNet``, ``GPT-2.0``.
+    max_features:
+        TF-IDF vocabulary size for the traditional baselines.
+    fast:
+        Shrink the transformer (fewer epochs, no pretraining) — for tests
+        and quick exploration, not for reproducing Table IV.
+    """
+
+    def __init__(
+        self,
+        baseline: str = "MentalBERT",
+        *,
+        max_features: int = 3000,
+        fast: bool = False,
+        seed: int = 7,
+    ) -> None:
+        known = TRADITIONAL_BASELINES + TRANSFORMER_BASELINES
+        if baseline not in known:
+            raise ValueError(
+                f"unknown baseline {baseline!r}; expected one of {known}"
+            )
+        self.baseline = baseline
+        self.max_features = max_features
+        self.fast = fast
+        self.seed = seed
+        self._vectorizer: TfidfVectorizer | None = None
+        self._model = None
+        self._trainer = None
+
+    @property
+    def is_transformer(self) -> bool:
+        return self.baseline in TRANSFORMER_BASELINES
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        train: "HolistixDataset | Sequence",
+        *,
+        validation: "HolistixDataset | None" = None,
+    ) -> "WellnessClassifier":
+        """Train the selected baseline on annotated instances."""
+        instances = list(train)
+        if not instances:
+            raise ValueError("cannot fit on an empty dataset")
+        texts = [inst.text for inst in instances]
+        labels = [inst.label for inst in instances]
+        if self.is_transformer:
+            self._fit_transformer(texts, labels, validation)
+        else:
+            self._fit_traditional(texts, labels)
+        return self
+
+    def _fit_traditional(
+        self, texts: list[str], labels: list[WellnessDimension]
+    ) -> None:
+        self._vectorizer = TfidfVectorizer(max_features=self.max_features)
+        features = self._vectorizer.fit_transform(texts)
+        targets = np.asarray([DIMENSIONS.index(label) for label in labels])
+        if self.baseline == "LR":
+            self._model = LogisticRegression(max_iter=300)
+        elif self.baseline == "Linear SVM":
+            self._model = LinearSVM(epochs=10, seed=self.seed)
+        else:
+            self._model = GaussianNaiveBayes()
+        self._model.fit(features, targets)
+
+    def _fit_transformer(
+        self,
+        texts: list[str],
+        labels: list[WellnessDimension],
+        validation: "HolistixDataset | None",
+    ) -> None:
+        from repro.models.config import MODEL_CONFIGS, scaled_for_tests
+        from repro.models.pretrain import build_pretraining_corpus
+        from repro.models.trainer import Trainer
+
+        config = MODEL_CONFIGS[self.baseline]
+        if self.fast:
+            config = scaled_for_tests(config)
+        if config.pretrain_objective is not None:
+            corpus = build_pretraining_corpus(config.pretrain_domain, seed=101)
+        else:
+            corpus = []
+        vocab = Vocabulary.build(corpus + texts, max_size=2500)
+        self._trainer = Trainer(config, vocab)
+        kwargs = {}
+        if validation is not None:
+            kwargs = {
+                "val_texts": validation.texts,
+                "val_labels": validation.labels,
+            }
+        self._trainer.fit(texts, labels, **kwargs)
+
+    # ------------------------------------------------------------------
+    def predict(self, texts: Sequence[str]) -> list[WellnessDimension]:
+        """Predicted dimensions for raw post texts."""
+        texts = list(texts)
+        if self._trainer is not None:
+            return self._trainer.predict(texts)
+        if self._model is None or self._vectorizer is None:
+            raise RuntimeError("classifier must be fitted before predict")
+        features = self._vectorizer.transform(texts)
+        ids = self._model.predict(features)
+        return [DIMENSIONS[int(i)] for i in ids]
+
+    def predict_proba(self, texts: Sequence[str]) -> np.ndarray:
+        """Probability matrix ``(n, 6)`` in DIMENSIONS order."""
+        texts = list(texts)
+        if self._trainer is not None:
+            return self._trainer.model.predict_proba(texts)
+        if self._model is None or self._vectorizer is None:
+            raise RuntimeError("classifier must be fitted before predict_proba")
+        features = self._vectorizer.transform(texts)
+        if hasattr(self._model, "predict_proba"):
+            return self._model.predict_proba(features)
+        # SVM: softmax over margins as a probability surrogate.
+        margins = self._model.decision_function(features)
+        exp = np.exp(margins - margins.max(axis=1, keepdims=True))
+        return exp / exp.sum(axis=1, keepdims=True)
+
+    def accuracy(self, dataset: HolistixDataset) -> float:
+        """Accuracy over an annotated dataset."""
+        predictions = self.predict(dataset.texts)
+        gold = dataset.labels
+        return sum(p == g for p, g in zip(predictions, gold)) / len(gold)
+
+    # ------------------------------------------------------------------
+    def explain(
+        self, text: str, *, n_samples: int = 300, seed: int | None = None
+    ) -> Explanation:
+        """LIME explanation of this classifier's prediction on ``text``."""
+        explainer = LimeTextExplainer(
+            self.predict_proba,
+            n_samples=n_samples,
+            seed=self.seed if seed is None else seed,
+        )
+        return explainer.explain(text)

@@ -1,0 +1,100 @@
+"""Wellness profiling: the intro's personalised-assessment use case.
+
+The paper motivates the dataset with "personalized well-being evaluations
+and early intervention strategies" (§I, Fig. 1).  This module turns
+per-post dimension predictions into a user-level wellness profile and a
+simple triage rule: which dimensions dominate a user's narrative, and
+does the profile warrant attention.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.core.labels import DIMENSIONS, WellnessDimension
+
+__all__ = ["WellnessProfile", "TriageDecision", "build_profile", "triage"]
+
+# Dimensions whose dominance most strongly signals acute risk in the
+# paper's framing (existential distress and emotional instability).
+_ACUTE_DIMENSIONS = (WellnessDimension.SPIRITUAL, WellnessDimension.EMOTIONAL)
+
+
+@dataclass(frozen=True)
+class WellnessProfile:
+    """Distribution of wellness dimensions across one user's posts."""
+
+    user_id: str
+    n_posts: int
+    counts: dict[WellnessDimension, int]
+
+    def share(self, dimension: WellnessDimension) -> float:
+        """Fraction of the user's posts in ``dimension``."""
+        if self.n_posts == 0:
+            return 0.0
+        return self.counts.get(dimension, 0) / self.n_posts
+
+    @property
+    def dominant(self) -> WellnessDimension | None:
+        """Most frequent dimension (ties break by DIMENSIONS order)."""
+        if self.n_posts == 0:
+            return None
+        return max(DIMENSIONS, key=lambda d: (self.counts.get(d, 0), -DIMENSIONS.index(d)))
+
+    def as_percentages(self) -> dict[WellnessDimension, float]:
+        return {d: 100.0 * self.share(d) for d in DIMENSIONS}
+
+
+@dataclass(frozen=True)
+class TriageDecision:
+    """Early-intervention screening outcome for one profile."""
+
+    profile: WellnessProfile
+    flagged: bool
+    reasons: tuple[str, ...]
+
+
+def build_profile(
+    user_id: str, predictions: Sequence[WellnessDimension]
+) -> WellnessProfile:
+    """Aggregate per-post predictions into a user profile."""
+    counts = Counter(predictions)
+    return WellnessProfile(
+        user_id=user_id,
+        n_posts=len(predictions),
+        counts={d: counts.get(d, 0) for d in DIMENSIONS if counts.get(d, 0)},
+    )
+
+
+def triage(
+    profile: WellnessProfile,
+    *,
+    acute_share_threshold: float = 0.5,
+    breadth_threshold: int = 4,
+    min_posts: int = 3,
+) -> TriageDecision:
+    """Screen a profile for early-intervention follow-up.
+
+    Flags a user when (a) acute dimensions (Spiritual/Emotional) dominate
+    their narrative, or (b) distress spans many dimensions at once —
+    both patterns the wellness literature treats as escalation signs.
+    Users with fewer than ``min_posts`` posts are never flagged (too
+    little signal).
+    """
+    reasons: list[str] = []
+    if profile.n_posts >= min_posts:
+        acute_share = sum(profile.share(d) for d in _ACUTE_DIMENSIONS)
+        if acute_share >= acute_share_threshold:
+            reasons.append(
+                f"acute dimensions (SpiA+EA) cover {acute_share:.0%} of posts"
+            )
+        breadth = sum(1 for d in DIMENSIONS if profile.counts.get(d, 0) > 0)
+        if breadth >= breadth_threshold:
+            reasons.append(
+                f"distress spans {breadth} of {len(DIMENSIONS)} dimensions"
+            )
+    return TriageDecision(
+        profile=profile, flagged=bool(reasons), reasons=tuple(reasons)
+    )

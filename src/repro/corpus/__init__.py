@@ -1,0 +1,55 @@
+"""Synthetic Beyond Blue corpus substrate.
+
+Stands in for the paper's scraped forum data: lexicons seeded from Table
+III, a post generator calibrated to Table II, a simulated forum with the
+2,000-post raw pool, an HTML scraper, and the preprocessing funnel.
+"""
+
+from repro.corpus.calibrate import CalibrationError, calibrate
+from repro.corpus.forum import JunkProfile, RawForumPost, SimulatedForum
+from repro.corpus.generator import (
+    FORUM_CATEGORIES,
+    PAPER_CLASS_COUNTS,
+    DraftPost,
+    GeneratorConfig,
+    assemble,
+    draft_post,
+    generate_drafts,
+)
+from repro.corpus.lexicon import (
+    CORE_LEXICON,
+    SECONDARY_BLEED,
+    SHARED_DISTRESS_WORDS,
+    SUPPORT_LEXICON,
+    TABLE3_EXPECTED_WORDS,
+    all_dimension_words,
+)
+from repro.corpus.preprocess import FunnelReport, is_on_topic, preprocess
+from repro.corpus.scraper import ForumPageParser, scrape_board, scrape_forum
+
+__all__ = [
+    "CORE_LEXICON",
+    "CalibrationError",
+    "DraftPost",
+    "FORUM_CATEGORIES",
+    "ForumPageParser",
+    "FunnelReport",
+    "GeneratorConfig",
+    "JunkProfile",
+    "PAPER_CLASS_COUNTS",
+    "RawForumPost",
+    "SECONDARY_BLEED",
+    "SHARED_DISTRESS_WORDS",
+    "SUPPORT_LEXICON",
+    "SimulatedForum",
+    "TABLE3_EXPECTED_WORDS",
+    "all_dimension_words",
+    "assemble",
+    "calibrate",
+    "draft_post",
+    "generate_drafts",
+    "is_on_topic",
+    "preprocess",
+    "scrape_board",
+    "scrape_forum",
+]

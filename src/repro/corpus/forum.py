@@ -1,0 +1,178 @@
+"""Simulated Beyond Blue forum.
+
+Stands in for the live https://www.beyondblue.org.au discussion boards the
+paper scraped.  The forum holds 2,000 raw posts across the paper's seven
+categories: the 1,420 gold posts plus 580 junk posts (duplicates, empty
+posts, excessively long posts, off-topic posts) that the preprocessing
+funnel (§II-A) filters out, reproducing the paper's 2,000 → 1,420 path.
+
+The forum can render its boards as minimal HTML pages so the scraping step
+(:mod:`repro.corpus.scraper`) exercises an extract-from-markup pipeline
+like the paper's BeautifulSoup collection.
+"""
+
+from __future__ import annotations
+
+import html
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.instance import AnnotatedInstance
+from repro.corpus.generator import FORUM_CATEGORIES
+from repro.corpus.templates import FILLER_SENTENCES, OFFTOPIC_SENTENCES
+
+__all__ = ["RawForumPost", "JunkProfile", "SimulatedForum"]
+
+
+@dataclass(frozen=True)
+class RawForumPost:
+    """A post as it appears on the forum: text + category only (§II-A)."""
+
+    post_id: str
+    text: str
+    category: str
+
+
+@dataclass(frozen=True)
+class JunkProfile:
+    """How many junk posts of each kind the forum mixes in.
+
+    Defaults sum to 580 so the raw forum holds exactly 2,000 posts and the
+    published funnel (2,000 → 1,420) reproduces.
+    """
+
+    duplicates: int = 180
+    empty: int = 120
+    overlong: int = 130
+    offtopic: int = 150
+
+    @property
+    def total(self) -> int:
+        return self.duplicates + self.empty + self.overlong + self.offtopic
+
+
+@dataclass
+class SimulatedForum:
+    """The raw forum: gold posts plus junk, shuffled, browsable by board."""
+
+    posts: list[RawForumPost]
+    categories: tuple[str, ...] = FORUM_CATEGORIES
+    _by_category: dict[str, list[RawForumPost]] = field(
+        default_factory=dict, repr=False
+    )
+
+    @classmethod
+    def populate(
+        cls,
+        gold: list[AnnotatedInstance],
+        *,
+        junk: JunkProfile | None = None,
+        seed: int = 7,
+        max_clean_words: int = 115,
+    ) -> "SimulatedForum":
+        """Fill the forum with gold posts and injected junk.
+
+        Junk duplicates copy a gold post verbatim (text and category), so
+        deduplication keeps exactly one of each text.  Overlong junk is
+        on-topic but exceeds ``max_clean_words``; off-topic junk contains
+        no mental-distress vocabulary; empty junk is whitespace.
+        """
+        junk = junk or JunkProfile()
+        rng = np.random.default_rng(seed + 2)
+        posts: list[RawForumPost] = [
+            RawForumPost(inst.post.post_id, inst.post.text, inst.post.category)
+            for inst in gold
+        ]
+
+        for k in range(junk.duplicates):
+            source = gold[int(rng.integers(len(gold)))]
+            posts.append(
+                RawForumPost(f"junk-dup-{k:04d}", source.post.text, source.post.category)
+            )
+
+        whitespace = ("", " ", "\n", "\t", "  ", " \n ")
+        for k in range(junk.empty):
+            text = str(whitespace[int(rng.integers(len(whitespace)))])
+            category = str(FORUM_CATEGORIES[int(rng.integers(len(FORUM_CATEGORIES)))])
+            posts.append(RawForumPost(f"junk-empty-{k:04d}", text, category))
+
+        seen = {p.text for p in posts}
+        for k in range(junk.overlong):
+            text = _overlong_text(gold, rng, max_clean_words, seen)
+            seen.add(text)
+            category = str(FORUM_CATEGORIES[int(rng.integers(len(FORUM_CATEGORIES)))])
+            posts.append(RawForumPost(f"junk-long-{k:04d}", text, category))
+
+        for k in range(junk.offtopic):
+            text = _offtopic_text(rng, seen)
+            seen.add(text)
+            category = str(FORUM_CATEGORIES[int(rng.integers(len(FORUM_CATEGORIES)))])
+            posts.append(RawForumPost(f"junk-offtopic-{k:04d}", text, category))
+
+        order = rng.permutation(len(posts))
+        return cls(posts=[posts[i] for i in order])
+
+    # ------------------------------------------------------------------
+    def board(self, category: str) -> list[RawForumPost]:
+        """All posts on one discussion board, in forum order."""
+        if not self._by_category:
+            for post in self.posts:
+                self._by_category.setdefault(post.category, []).append(post)
+        return list(self._by_category.get(category, []))
+
+    def render_board_html(self, category: str) -> str:
+        """Render one board as the minimal HTML page the scraper parses."""
+        rows = []
+        for post in self.board(category):
+            rows.append(
+                f'    <article class="forum-post" data-post-id="{html.escape(post.post_id)}">\n'
+                f'      <div class="post-body">{html.escape(post.text)}</div>\n'
+                f"    </article>"
+            )
+        body = "\n".join(rows)
+        return (
+            "<!DOCTYPE html>\n<html>\n<head>"
+            f"<title>{html.escape(category)} | Beyond Blue Forums (simulated)</title>"
+            "</head>\n<body>\n"
+            f'  <section class="board" data-category="{html.escape(category)}">\n'
+            f"{body}\n"
+            "  </section>\n</body>\n</html>\n"
+        )
+
+    def render_site(self) -> dict[str, str]:
+        """HTML for every board, keyed by category."""
+        return {c: self.render_board_html(c) for c in self.categories}
+
+    def __len__(self) -> int:
+        return len(self.posts)
+
+
+def _overlong_text(
+    gold: list[AnnotatedInstance],
+    rng: np.random.Generator,
+    max_clean_words: int,
+    seen: set[str],
+) -> str:
+    """An on-topic post that exceeds the clean-word limit."""
+    from repro.text.tokenize import count_words
+
+    for _ in range(100):
+        pieces = [gold[int(rng.integers(len(gold)))].post.text for _ in range(3)]
+        while count_words(" ".join(pieces)) <= max_clean_words:
+            pieces.append(str(FILLER_SENTENCES[int(rng.integers(len(FILLER_SENTENCES)))]))
+        text = " ".join(pieces)
+        if text not in seen:
+            return text
+    raise RuntimeError("could not build a unique overlong post")  # pragma: no cover
+
+
+def _offtopic_text(rng: np.random.Generator, seen: set[str]) -> str:
+    """A post with no mental-distress vocabulary at all."""
+    for _ in range(200):
+        n = int(rng.integers(1, 4))
+        picks = rng.choice(len(OFFTOPIC_SENTENCES), size=n, replace=False)
+        text = " ".join(str(OFFTOPIC_SENTENCES[int(i)]) for i in picks)
+        if text not in seen:
+            return text
+    raise RuntimeError("could not build a unique off-topic post")  # pragma: no cover

@@ -1,0 +1,488 @@
+"""Synthetic Holistix post generator.
+
+Builds the 1,420 annotated posts whose marginal statistics match the
+paper's Table II and whose span vocabulary reproduces Table III.  The
+generator works in drafts — a post is a list of tagged sentences plus the
+location of the explanation span — so the calibration pass
+(:mod:`repro.corpus.calibrate`) can add or remove filler material to hit
+the published word and sentence totals exactly before final assembly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.core.instance import AnnotatedInstance, Post, Span
+from repro.core.labels import DIMENSIONS, WellnessDimension
+from repro.corpus.hardness import (
+    GENERIC_FRAMES,
+    GENERIC_QUALIFIERS,
+    HARDNESS,
+    WEAK_PHRASES,
+    TypeMixture,
+)
+from repro.corpus.lexicon import SECONDARY_BLEED
+from repro.corpus.templates import (
+    EMPHASIS_MARKERS,
+    FILLER_SENTENCES,
+    SPAN_TEMPLATES,
+    render_span_template,
+)
+from repro.text.tokenize import count_words
+
+__all__ = [
+    "PAPER_CLASS_COUNTS",
+    "FORUM_CATEGORIES",
+    "GeneratorConfig",
+    "DraftPost",
+    "draft_post",
+    "assemble",
+    "generate_drafts",
+]
+
+# Table II class marginals.
+PAPER_CLASS_COUNTS: dict[WellnessDimension, int] = {
+    WellnessDimension.INTELLECTUAL: 155,
+    WellnessDimension.VOCATIONAL: 150,
+    WellnessDimension.SPIRITUAL: 190,
+    WellnessDimension.PHYSICAL: 296,
+    WellnessDimension.SOCIAL: 406,
+    WellnessDimension.EMOTIONAL: 223,
+}
+
+# §II-A: the seven Beyond Blue discussion categories the paper scraped.
+FORUM_CATEGORIES: tuple[str, ...] = (
+    "Anxiety",
+    "Depression",
+    "PTSD and Trauma",
+    "Suicidal Thoughts and Self-Harm",
+    "Relationship and Family Issues",
+    "Supporting Friends and Family",
+    "Grief and Loss",
+)
+
+# Which boards a post of each dimension plausibly appears on.
+_CATEGORY_AFFINITY: dict[WellnessDimension, tuple[tuple[str, float], ...]] = {
+    WellnessDimension.PHYSICAL: (
+        ("Anxiety", 0.50),
+        ("Depression", 0.30),
+        ("PTSD and Trauma", 0.20),
+    ),
+    WellnessDimension.EMOTIONAL: (
+        ("Depression", 0.40),
+        ("Anxiety", 0.30),
+        ("PTSD and Trauma", 0.15),
+        ("Grief and Loss", 0.15),
+    ),
+    WellnessDimension.SOCIAL: (
+        ("Relationship and Family Issues", 0.50),
+        ("Supporting Friends and Family", 0.20),
+        ("Grief and Loss", 0.15),
+        ("Depression", 0.15),
+    ),
+    WellnessDimension.SPIRITUAL: (
+        ("Suicidal Thoughts and Self-Harm", 0.45),
+        ("Depression", 0.35),
+        ("Grief and Loss", 0.20),
+    ),
+    WellnessDimension.INTELLECTUAL: (
+        ("Anxiety", 0.40),
+        ("Depression", 0.40),
+        ("PTSD and Trauma", 0.20),
+    ),
+    WellnessDimension.VOCATIONAL: (
+        ("Depression", 0.40),
+        ("Anxiety", 0.40),
+        ("Supporting Friends and Family", 0.20),
+    ),
+}
+
+# Probability of extra filler sentences beyond the span sentence; tuned so
+# the pre-calibration sentence total lands just under Table II's 2,271 (the
+# calibration pass only needs to top up, never carve deeply).
+_EXTRA_SENTENCE_PMF: tuple[float, ...] = (0.88, 0.08, 0.025, 0.008, 0.004, 0.003)
+
+# Short lead-ins prepended to the span sentence (outside the span).  They
+# multiply surface variety so single-sentence posts stay unique without the
+# retry loop biasing the corpus toward long posts.
+_LEAD_INS: tuple[str, ...] = (
+    "These days",
+    "Right now",
+    "For months now",
+    "To be honest",
+    "Truthfully",
+    "Most mornings",
+    "Most nights",
+    "Every single day",
+    "Week after week",
+    "Since last year",
+    "More and more",
+    "At the moment",
+    "Some weeks",
+    "Most of the time",
+    "Deep down",
+    "If i am honest",
+    "Looking back",
+    "Day after day",
+    "Out of nowhere",
+    "Bit by bit",
+    "For a long time now",
+    "Even on good days",
+    "No matter what i try",
+    "Somewhere along the way",
+)
+
+
+@dataclass
+class GeneratorConfig:
+    """Knobs for the synthetic corpus.
+
+    Defaults reproduce the paper's Table II exactly; tests and ablations
+    shrink ``class_counts`` for speed.
+    """
+
+    class_counts: Mapping[WellnessDimension, int] = field(
+        default_factory=lambda: dict(PAPER_CLASS_COUNTS)
+    )
+    seed: int = 7
+    max_words: int = 115
+    max_sentences: int = 9
+    target_total_words: int | None = 37082
+    target_total_sentences: int | None = 2271
+    hardness: Mapping[WellnessDimension, TypeMixture] | None = None
+    # Annotation subjectivity (§IV): fraction of posts whose gold label
+    # reflects the adjudicators' holistic reading rather than the surface
+    # content — the post is written from a confusable dimension's
+    # vocabulary but carries this dimension's label.  This is irreducible
+    # error for every model and is what caps even MentalBERT at ~0.74.
+    label_noise: float = 0.12
+
+    def __post_init__(self) -> None:
+        for dim, count in self.class_counts.items():
+            if count < 0:
+                raise ValueError(f"negative class count for {dim}")
+        if self.max_words < 20:
+            raise ValueError("max_words must be at least 20")
+        if self.max_sentences < 1:
+            raise ValueError("max_sentences must be at least 1")
+        if not 0.0 <= self.label_noise < 1.0:
+            raise ValueError("label_noise must be in [0, 1)")
+
+    @property
+    def total_posts(self) -> int:
+        return sum(self.class_counts.values())
+
+
+@dataclass
+class DraftPost:
+    """A post under construction: tagged sentences + span location.
+
+    ``sentences`` holds ``(text, kind)`` pairs with ``kind`` one of
+    ``"span"``, ``"secondary"``, ``"filler"``.  ``span_local`` is the span's
+    character range *within* the span sentence; global offsets are computed
+    at assembly time.
+    """
+
+    label: WellnessDimension
+    category: str
+    sentences: list[tuple[str, str]]
+    span_sentence_idx: int
+    span_local: tuple[int, int]
+    secondary_dims: tuple[WellnessDimension, ...] = ()
+    post_type: str = "clear"  # clear | balanced | generic
+    label_first: bool = True
+    marked: bool = False
+    noisy: bool = False  # label reflects adjudication, not surface content
+
+    # ------------------------------------------------------------------
+    def word_count(self) -> int:
+        return sum(count_words(s) for s, _ in self.sentences)
+
+    def sentence_count(self) -> int:
+        return len(self.sentences)
+
+    def text(self) -> str:
+        return " ".join(s for s, _ in self.sentences)
+
+    # ------------------------------------------------------------------
+    # Calibration hooks
+    # ------------------------------------------------------------------
+    def can_drop_filler(self) -> bool:
+        return any(kind == "filler" for _, kind in self.sentences)
+
+    def drop_last_filler(self) -> int:
+        """Remove the last filler sentence; returns its word count."""
+        for i in range(len(self.sentences) - 1, -1, -1):
+            text, kind = self.sentences[i]
+            if kind == "filler":
+                del self.sentences[i]
+                if i < self.span_sentence_idx:
+                    self.span_sentence_idx -= 1
+                return count_words(text)
+        raise ValueError("no filler sentence to drop")
+
+    def drop_longest_filler(self) -> int:
+        """Remove the longest filler sentence; returns its word count."""
+        best_idx, best_words = -1, -1
+        for i, (text, kind) in enumerate(self.sentences):
+            if kind == "filler" and count_words(text) > best_words:
+                best_idx, best_words = i, count_words(text)
+        if best_idx < 0:
+            raise ValueError("no filler sentence to drop")
+        del self.sentences[best_idx]
+        if best_idx < self.span_sentence_idx:
+            self.span_sentence_idx -= 1
+        return best_words
+
+    def longest_filler_words(self) -> int:
+        """Word count of the filler :meth:`drop_longest_filler` removes."""
+        counts = [count_words(t) for t, k in self.sentences if k == "filler"]
+        if not counts:
+            raise ValueError("draft has no filler sentence")
+        return max(counts)
+
+    def append_filler(self, sentence: str) -> int:
+        """Append a filler sentence; returns its word count."""
+        self.sentences.append((sentence, "filler"))
+        return count_words(sentence)
+
+    def insert_pad_word(self, word: str, sentence_idx: int | None = None) -> None:
+        """Insert ``word`` before the final period of a sentence.
+
+        Defaults to the last sentence.  When targeting the span sentence the
+        insertion point (just before the terminal period) is always at or
+        after ``span_local[1]``, so the gold span is never disturbed.
+        """
+        idx = len(self.sentences) - 1 if sentence_idx is None else sentence_idx
+        text, kind = self.sentences[idx]
+        if not text.endswith("."):
+            raise ValueError(f"sentence does not end with a period: {text!r}")
+        if kind == "span" and self.span_local[1] > len(text) - 1:
+            raise ValueError("span extends to the final period; cannot pad")
+        self.sentences[idx] = (f"{text[:-1]} {word}.", kind)
+
+
+# ---------------------------------------------------------------------------
+# Draft construction
+# ---------------------------------------------------------------------------
+def _pick_category(dim: WellnessDimension, rng: np.random.Generator) -> str:
+    names, weights = zip(*_CATEGORY_AFFINITY[dim])
+    probs = np.asarray(weights, dtype=float)
+    return str(names[rng.choice(len(names), p=probs / probs.sum())])
+
+
+def _pick_secondary(
+    dim: WellnessDimension, rng: np.random.Generator
+) -> WellnessDimension:
+    bleed = SECONDARY_BLEED[dim]
+    dims = list(bleed)
+    probs = np.asarray([bleed[d] for d in dims], dtype=float)
+    return dims[rng.choice(len(dims), p=probs / probs.sum())]
+
+
+def _lead_in(
+    sentence: str, rng: np.random.Generator, probability: float = 0.25
+) -> str:
+    """Optionally prepend a short lead-in (never part of the span).
+
+    Lead-ins multiply surface variety; clear posts use a higher
+    probability because their template space is the smallest and the
+    uniqueness retry loop must not bias the corpus toward long posts.
+    """
+    if rng.random() < probability:
+        lead = str(_LEAD_INS[rng.integers(len(_LEAD_INS))])
+        return f"{lead} {sentence[0].lower()}{sentence[1:]}"
+    return sentence
+
+
+def _with_marker(sentence: str, span_text: str, rng: np.random.Generator) -> str:
+    """Prepend an emphasis marker to the sentence prefix (rule 1 cue)."""
+    marker = EMPHASIS_MARKERS[rng.integers(len(EMPHASIS_MARKERS))]
+    body_start = sentence.index(span_text)
+    prefix = sentence[:body_start]
+    suffix = sentence[body_start + len(span_text) :]
+    lead = marker.capitalize() if not prefix else f"{prefix.rstrip()} {marker}"
+    return f"{lead} {span_text}{suffix}"
+
+
+def _generic_sentence(
+    label: WellnessDimension, rng: np.random.Generator
+) -> tuple[str, str]:
+    """Render a generic (shared-vocabulary) span sentence."""
+    frame = str(GENERIC_FRAMES[rng.integers(len(GENERIC_FRAMES))])
+    qualifier = str(GENERIC_QUALIFIERS[rng.integers(len(GENERIC_QUALIFIERS))])
+    phrases = WEAK_PHRASES[label]
+    phrase = str(phrases[rng.integers(len(phrases))])
+    span = frame.format(a=qualifier, b=phrase)
+    return f"{span}.", span
+
+
+def draft_post(
+    label: WellnessDimension,
+    rng: np.random.Generator,
+    *,
+    max_words: int = 115,
+    max_sentences: int = 9,
+    hardness: Mapping[WellnessDimension, TypeMixture] | None = None,
+) -> DraftPost:
+    """Draft one post for ``label``.
+
+    The post type (clear / balanced / generic) is drawn from the
+    dimension's hardness mixture; see :mod:`repro.corpus.hardness` for why
+    each type exists.  Fillers and an optional leading sentence are added
+    around the content.
+    """
+    mixture = (hardness or HARDNESS)[label]
+    roll = rng.random()
+    if roll < mixture.clear:
+        post_type = "clear"
+    elif roll < mixture.clear + mixture.balanced:
+        post_type = "balanced"
+    else:
+        post_type = "generic"
+
+    secondary_dims: list[WellnessDimension] = []
+    partner_sentence: str | None = None
+    label_first = True
+    marked = False
+
+    if post_type == "generic":
+        sentence, span_text = _generic_sentence(label, rng)
+        sentence = _lead_in(sentence, rng)
+    else:
+        templates = SPAN_TEMPLATES[label]
+        template = templates[rng.integers(len(templates))]
+        sentence, span_text = render_span_template(template, rng)
+        sentence = _lead_in(
+            sentence, rng, probability=0.6 if post_type == "clear" else 0.25
+        )
+
+    if post_type == "balanced":
+        partner = _pick_secondary(label, rng)
+        secondary_dims.append(partner)
+        marked = rng.random() < 0.35
+        if marked:
+            sentence = _with_marker(sentence, span_text, rng)
+        # Partner content is a full-strength span template of the partner
+        # dimension — the SAME vocabulary pool it uses when it is the
+        # label.  A bag-of-words model therefore sees an identical bag for
+        # "A dominant + B secondary" and "B dominant + A secondary"; only
+        # order and the emphasis marker break the tie.
+        partner_templates = SPAN_TEMPLATES[partner]
+        partner_template = partner_templates[rng.integers(len(partner_templates))]
+        _, partner_body = render_span_template(partner_template, rng)
+        if rng.random() < 0.30:
+            # Compound form: one sentence, label clause first.
+            if not sentence.endswith("."):  # pragma: no cover - templates end with .
+                raise RuntimeError("span sentence must end with a period")
+            sentence = f"{sentence[:-1]}, and {partner_body}."
+        else:
+            # Sentence form: the dominant (label) sentence leads 85% of
+            # the time — the perplexity rules' "context or emphasis"
+            # dominance cue is primarily positional (narratives lead with
+            # what matters most), which is exactly the signal an
+            # attention model can learn and a bag-of-words model cannot.
+            partner_sentence = f"{partner_body[0].upper()}{partner_body[1:]}."
+            label_first = rng.random() < 0.85
+
+    local_start = sentence.index(span_text)
+    span_local = (local_start, local_start + len(span_text))
+
+    if partner_sentence is None:
+        sentences: list[tuple[str, str]] = [(sentence, "span")]
+    elif label_first:
+        sentences = [(sentence, "span"), (partner_sentence, "secondary")]
+    else:
+        sentences = [(partner_sentence, "secondary"), (sentence, "span")]
+
+    n_extra = int(rng.choice(len(_EXTRA_SENTENCE_PMF), p=_EXTRA_SENTENCE_PMF))
+    for _ in range(n_extra):
+        if len(sentences) >= max_sentences:
+            break
+        filler = FILLER_SENTENCES[rng.integers(len(FILLER_SENTENCES))]
+        sentences.append((str(filler), "filler"))
+
+    # Leading filler occasionally, so spans are not always sentence 0.
+    if len(sentences) < max_sentences and rng.random() < 0.04:
+        filler = FILLER_SENTENCES[rng.integers(len(FILLER_SENTENCES))]
+        sentences.insert(0, (str(filler), "filler"))
+
+    span_idx = next(i for i, (_, kind) in enumerate(sentences) if kind == "span")
+    draft = DraftPost(
+        label=label,
+        category=_pick_category(label, rng),
+        sentences=sentences,
+        span_sentence_idx=span_idx,
+        span_local=span_local,
+        secondary_dims=tuple(secondary_dims),
+        post_type=post_type,
+        label_first=label_first,
+        marked=marked,
+    )
+    while draft.word_count() > max_words and draft.can_drop_filler():
+        draft.drop_last_filler()
+    return draft
+
+
+# ---------------------------------------------------------------------------
+# Assembly
+# ---------------------------------------------------------------------------
+def assemble(draft: DraftPost, post_id: str) -> AnnotatedInstance:
+    """Turn a draft into a frozen :class:`AnnotatedInstance`."""
+    parts = [s for s, _ in draft.sentences]
+    text = " ".join(parts)
+    offset = sum(len(p) + 1 for p in parts[: draft.span_sentence_idx])
+    start = offset + draft.span_local[0]
+    end = offset + draft.span_local[1]
+    span = Span(start, end, text[start:end])
+    post = Post(post_id=post_id, text=text, category=draft.category)
+    metadata = {
+        "secondary_dims": [d.code for d in draft.secondary_dims],
+        "n_sentences": draft.sentence_count(),
+        "post_type": draft.post_type,
+        "label_first": draft.label_first,
+        "marked": draft.marked,
+        "noisy": draft.noisy,
+    }
+    return AnnotatedInstance(post=post, span=span, label=draft.label, metadata=metadata)
+
+
+def generate_drafts(config: GeneratorConfig) -> list[DraftPost]:
+    """Generate all drafts with unique texts, interleaved across classes.
+
+    Posts are shuffled so class labels are not grouped by position — the
+    fixed 990/212/213 split downstream then has all classes in every part.
+    """
+    rng = np.random.default_rng(config.seed)
+    drafts: list[DraftPost] = []
+    seen_texts: set[str] = set()
+    for dim in DIMENSIONS:
+        for _ in range(int(config.class_counts.get(dim, 0))):
+            # Annotation subjectivity: the post is *written* from a
+            # confusable dimension's content but *labelled* with this
+            # dimension (the adjudicated gold).  Class counts stay exact
+            # because the quota is counted against the final label.
+            noisy = rng.random() < config.label_noise
+            content_dim = _pick_secondary(dim, rng) if noisy else dim
+            for _attempt in range(60):
+                draft = draft_post(
+                    content_dim,
+                    rng,
+                    max_words=config.max_words,
+                    max_sentences=config.max_sentences,
+                    hardness=config.hardness,
+                )
+                if draft.text() not in seen_texts:
+                    break
+            else:  # pragma: no cover - astronomically unlikely
+                raise RuntimeError(f"could not draft a unique post for {dim}")
+            seen_texts.add(draft.text())
+            if noisy:
+                draft.label = dim
+                draft.noisy = True
+            drafts.append(draft)
+    order = rng.permutation(len(drafts))
+    return [drafts[i] for i in order]

@@ -1,0 +1,137 @@
+"""Hardness model: why Table IV's numbers look the way they do.
+
+The paper's classifiers separate cleanly into tiers — traditional ML
+around 0.32-0.52 accuracy, transformers 0.63-0.74 — with Emotional and
+Spiritual posts hard for everyone.  That structure requires the corpus to
+contain three kinds of posts:
+
+* **clear** — the span sentence uses the dimension's distinctive
+  vocabulary (job/work, sleep/anxiety, friends/alone).  Every model gets
+  these right; they dominate VA/PA/SA.
+* **balanced** — the post carries *full-strength* content from two
+  dimensions; the gold label is the dominant one, signalled only by
+  discourse cues (the dominant clause comes first and/or follows an
+  emphasis marker).  A bag-of-words model sees the same bag either way
+  and sits near chance between the pair; a position/context-aware model
+  can learn the cue.  This is the gap between the ML tier and the
+  transformer tier.
+* **generic** — the span uses only vocabulary shared across dimensions
+  (feel, hard, thoughts, life).  The text genuinely underdetermines the
+  label; every model is capped.  These concentrate in EA/SpiA/IA, which
+  is why those classes anchor the bottom of every column in Table IV.
+
+This module holds the per-dimension type mixture and the shared generic
+frames + per-dimension weak phrases the generator samples from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.labels import WellnessDimension
+
+__all__ = [
+    "TypeMixture",
+    "HARDNESS",
+    "GENERIC_FRAMES",
+    "GENERIC_QUALIFIERS",
+    "WEAK_PHRASES",
+]
+
+_IA = WellnessDimension.INTELLECTUAL
+_VA = WellnessDimension.VOCATIONAL
+_SpiA = WellnessDimension.SPIRITUAL
+_PA = WellnessDimension.PHYSICAL
+_SA = WellnessDimension.SOCIAL
+_EA = WellnessDimension.EMOTIONAL
+
+
+@dataclass(frozen=True)
+class TypeMixture:
+    """Probabilities of the three post types for one dimension."""
+
+    clear: float
+    balanced: float
+    generic: float
+
+    def __post_init__(self) -> None:
+        total = self.clear + self.balanced + self.generic
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"type mixture must sum to 1, got {total}")
+        if min(self.clear, self.balanced, self.generic) < 0:
+            raise ValueError("type probabilities must be non-negative")
+
+
+# Tuned so the Table IV tiers reproduce: VA/PA/SA mostly clear, EA/SpiA/IA
+# mostly balanced or generic.
+HARDNESS: dict[WellnessDimension, TypeMixture] = {
+    _IA: TypeMixture(clear=0.10, balanced=0.48, generic=0.42),
+    _VA: TypeMixture(clear=0.52, balanced=0.28, generic=0.20),
+    _SpiA: TypeMixture(clear=0.12, balanced=0.56, generic=0.32),
+    _PA: TypeMixture(clear=0.50, balanced=0.32, generic=0.18),
+    _SA: TypeMixture(clear=0.26, balanced=0.44, generic=0.30),
+    _EA: TypeMixture(clear=0.06, balanced=0.62, generic=0.32),
+}
+
+# Sentence frames for generic posts.  The frames themselves are shared by
+# every dimension, so they carry no class signal; ``{a}`` takes a shared
+# qualifier and ``{b}`` a dimension weak phrase.
+GENERIC_FRAMES: tuple[str, ...] = (
+    "i feel like everything is {a} and {b} just makes it worse",
+    "lately it all feels {a} and i cannot seem to handle {b}",
+    "i do not know how to explain it but {b} has been {a} for weeks",
+    "some days {b} feels {a} and i just shut down",
+    "it is hard to put into words but {b} keeps getting {a}",
+    "i feel {a} most of the time and {b} does not help",
+    "everything tied to {b} feels {a} and i am done pretending",
+    "nothing feels right anymore and {b} is the heaviest part",
+)
+
+# Class-agnostic qualifiers for the {a} slot.
+GENERIC_QUALIFIERS: tuple[str, ...] = (
+    "too much",
+    "out of control",
+    "heavier than it should be",
+    "impossible to manage",
+    "wrong",
+    "like a blur",
+    "harder every week",
+    "out of reach",
+)
+
+# Weak phrases for the {b} slot, with explicit multi-dimension ownership.
+# Every phrase is shared by at least two dimensions (overlap mirroring
+# SECONDARY_BLEED), so a generic post's vocabulary genuinely
+# underdetermines its label: the best any bag-of-words model can do on a
+# generic post is guess the highest-prior owner of its weak phrase.
+_PHRASE_OWNERS: tuple[tuple[str, tuple[WellnessDimension, ...]], ...] = (
+    ("my thoughts", (_IA, _SpiA, _EA)),
+    ("the thoughts i carry", (_IA, _SpiA)),
+    ("the future", (_IA, _VA, _SpiA)),
+    ("struggling with all of it", (_IA, _VA, _EA)),
+    ("thinking straight", (_IA, _SpiA, _EA)),
+    ("my life", (_SpiA, _SA, _EA)),
+    ("life itself", (_SpiA, _EA)),
+    ("the point of it", (_SpiA, _VA)),
+    ("this feeling", (_SpiA, _EA)),
+    ("the anxiety", (_PA, _EA)),
+    ("this anxiety", (_PA, _EA)),
+    ("my sleep", (_PA, _EA)),
+    ("sleep", (_PA, _EA)),
+    ("my body", (_PA, _EA)),
+    ("me", (_SA, _EA)),
+    ("me and everyone else", (_SA, _EA)),
+    ("being around people", (_SA, _EA)),
+    ("talking to people", (_SA, _EA)),
+    ("work", (_VA, _IA)),
+    ("the money side of things", (_VA, _IA)),
+    ("feeling sad", (_EA, _SpiA)),
+    ("everything i feel", (_EA, _SpiA)),
+)
+
+WEAK_PHRASES: dict[WellnessDimension, tuple[str, ...]] = {
+    dim: tuple(
+        phrase for phrase, owners in _PHRASE_OWNERS if dim in owners
+    )
+    for dim in (_IA, _VA, _SpiA, _PA, _SA, _EA)
+}

@@ -1,0 +1,94 @@
+"""Scraper for the simulated forum's HTML.
+
+The paper extracted 2,000 raw posts from Beyond Blue with BeautifulSoup,
+retaining only the text and its discussion category (§II-A).  This module
+plays that role offline: a small ``html.parser`` subclass walks the pages
+rendered by :class:`repro.corpus.forum.SimulatedForum` and recovers
+``RawForumPost`` records — text and category only, exactly the paper's
+privacy-preserving retention policy.
+"""
+
+from __future__ import annotations
+
+import html
+from html.parser import HTMLParser
+
+from repro.corpus.forum import RawForumPost, SimulatedForum
+
+__all__ = ["ForumPageParser", "scrape_board", "scrape_forum"]
+
+
+class ForumPageParser(HTMLParser):
+    """Extract ``(post_id, text, category)`` triples from a board page.
+
+    Recognises the structure the simulated forum renders:
+
+    .. code-block:: html
+
+        <section class="board" data-category="...">
+          <article class="forum-post" data-post-id="...">
+            <div class="post-body">...</div>
+          </article>
+        </section>
+    """
+
+    def __init__(self) -> None:
+        super().__init__(convert_charrefs=False)
+        self.posts: list[RawForumPost] = []
+        self._category: str | None = None
+        self._post_id: str | None = None
+        self._in_body = False
+        self._chunks: list[str] = []
+
+    # ------------------------------------------------------------------
+    def handle_starttag(self, tag: str, attrs: list[tuple[str, str | None]]) -> None:
+        attributes = dict(attrs)
+        classes = (attributes.get("class") or "").split()
+        if tag == "section" and "board" in classes:
+            self._category = attributes.get("data-category") or ""
+        elif tag == "article" and "forum-post" in classes:
+            self._post_id = attributes.get("data-post-id") or ""
+        elif tag == "div" and "post-body" in classes:
+            self._in_body = True
+            self._chunks = []
+
+    def handle_endtag(self, tag: str) -> None:
+        if tag == "div" and self._in_body:
+            self._in_body = False
+            if self._category is None or self._post_id is None:
+                raise ValueError("post body found outside a board/article context")
+            text = "".join(self._chunks)
+            self.posts.append(RawForumPost(self._post_id, text, self._category))
+            self._post_id = None
+
+    def handle_data(self, data: str) -> None:
+        if self._in_body:
+            self._chunks.append(data)
+
+    def handle_entityref(self, name: str) -> None:
+        if self._in_body:
+            self._chunks.append(html.unescape(f"&{name};"))
+
+    def handle_charref(self, name: str) -> None:
+        if self._in_body:
+            self._chunks.append(html.unescape(f"&#{name};"))
+
+
+def scrape_board(page_html: str) -> list[RawForumPost]:
+    """Parse one board page into raw posts."""
+    parser = ForumPageParser()
+    parser.feed(page_html)
+    parser.close()
+    return parser.posts
+
+
+def scrape_forum(forum: SimulatedForum) -> list[RawForumPost]:
+    """Render and scrape every board; returns posts in board order.
+
+    The round trip (render → parse) must reproduce the forum's posts
+    byte-for-byte; tests assert this invariant.
+    """
+    collected: list[RawForumPost] = []
+    for category in forum.categories:
+        collected.extend(scrape_board(forum.render_board_html(category)))
+    return collected

@@ -1,0 +1,535 @@
+"""Sentence templates for the synthetic Beyond Blue corpus.
+
+Each wellness dimension has a bank of *span templates* — the sentence that
+carries the gold explanation span — plus *secondary templates* (the same
+dimension expressed as non-dominant context inside another dimension's
+post), neutral filler sentences, and emphasis markers that signal which
+clause is dominant (perplexity guideline 1: "Prioritize Dominant
+Dimensions").
+
+Core Table III words are hard-coded into template bodies so their span
+frequencies reproduce the paper's frequent-word profiles; slot words drawn
+from the support lexicons provide surface variety.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.labels import WellnessDimension
+
+__all__ = [
+    "SpanTemplate",
+    "SPAN_TEMPLATES",
+    "SHORT_FILLER_SENTENCES",
+    "MEDIUM_FILLER_SENTENCES",
+    "SECONDARY_TEMPLATES",
+    "SECONDARY_CLAUSES",
+    "FILLER_SENTENCES",
+    "PAD_WORDS",
+    "EMPHASIS_MARKERS",
+    "OFFTOPIC_SENTENCES",
+    "render_span_template",
+]
+
+_IA = WellnessDimension.INTELLECTUAL
+_VA = WellnessDimension.VOCATIONAL
+_SpiA = WellnessDimension.SPIRITUAL
+_PA = WellnessDimension.PHYSICAL
+_SA = WellnessDimension.SOCIAL
+_EA = WellnessDimension.EMOTIONAL
+
+
+@dataclass(frozen=True)
+class SpanTemplate:
+    """A span-bearing sentence.
+
+    ``body`` is the explanation span (format slots ``{a}``/``{b}`` are
+    filled from ``choices_a``/``choices_b``); ``prefix``/``suffix`` wrap it
+    into a full sentence.  The rendered span never includes terminal
+    punctuation, which keeps later text calibration safe (pad words are
+    inserted before the final period, always after ``span.end``).
+    """
+
+    prefix: str
+    body: str
+    suffix: str
+    choices_a: tuple[str, ...] = ()
+    choices_b: tuple[str, ...] = ()
+
+
+def render_span_template(
+    template: SpanTemplate, rng: np.random.Generator
+) -> tuple[str, str]:
+    """Render ``template`` into ``(sentence_text, span_text)``."""
+    kwargs: dict[str, str] = {}
+    if template.choices_a:
+        kwargs["a"] = str(rng.choice(template.choices_a))
+    if template.choices_b:
+        kwargs["b"] = str(rng.choice(template.choices_b))
+    span = template.body.format(**kwargs)
+    sentence = f"{template.prefix}{span}{template.suffix}"
+    return sentence, span
+
+
+# ---------------------------------------------------------------------------
+# Span templates.  Emotional and Spiritual deliberately reuse vocabulary
+# that other dimensions own (anxiety→PA, me→SA, feel/hard→shared), which is
+# what makes them the hard classes in Table IV.
+# ---------------------------------------------------------------------------
+SPAN_TEMPLATES: dict[WellnessDimension, tuple[SpanTemplate, ...]] = {
+    _IA: (
+        SpanTemplate(
+            "", "i feel like i will never be {a} enough to pass my exams", ".",
+            ("smart", "focused", "good"),
+        ),
+        SpanTemplate(
+            "Lately ",
+            "i cannot concentrate on my {a} and my thoughts about the future just spiral",
+            ".",
+            ("study", "assignments", "learning", "grades"),
+        ),
+        SpanTemplate(
+            "",
+            "my mind feels slow and i think there is a real lack of {a} left in my brain",
+            ".",
+            ("focus", "energy", "curiosity"),
+        ),
+        SpanTemplate(
+            "",
+            "i keep struggling with {a} at university and it is hard to even open a book",
+            ".",
+            ("studying", "assignments", "exams", "lectures"),
+        ),
+        SpanTemplate(
+            "Honestly ",
+            "i feel my future is slipping because i keep failing every {a} i attempt",
+            ".",
+            ("exam", "subject", "assignment", "course"),
+        ),
+        SpanTemplate(
+            "",
+            "thinking is hard these days and my thoughts about {a} never settle",
+            ".",
+            ("the future", "my grades", "my studies"),
+        ),
+        SpanTemplate(
+            "",
+            "i used to love learning new things but now i lack the {a} to think at all",
+            ".",
+            ("motivation", "concentration", "patience"),
+        ),
+        SpanTemplate(
+            "",
+            "i feel stupid next to my classmates and struggling through {a} makes it worse",
+            ".",
+            ("revision", "homework", "every lecture", "each exam"),
+        ),
+    ),
+    _VA: (
+        SpanTemplate(
+            "",
+            "my {a} job drains all my energy and i do not see the point of the work anymore",
+            ".",
+            ("9-5", "retail", "warehouse", "office", "hospitality"),
+        ),
+        SpanTemplate(
+            "",
+            "i lost my job last {a} and being unemployed is destroying my confidence",
+            ".",
+            ("month", "week", "year"),
+        ),
+        SpanTemplate(
+            "",
+            "work has become unbearable since my {a} keeps piling on impossible deadlines",
+            ".",
+            ("boss", "manager", "supervisor"),
+        ),
+        SpanTemplate(
+            "Right now ",
+            "the money is not enough and the financial pressure from {a} keeps my mind racing",
+            ".",
+            ("rent", "bills", "my debt", "the mortgage"),
+        ),
+        SpanTemplate(
+            "",
+            "i am struggling at work because my career has stalled and every {a} goes nowhere",
+            ".",
+            ("application", "interview", "promotion round"),
+        ),
+        SpanTemplate(
+            "",
+            "i dread every shift and my job leaves my confidence in pieces with no {a} ahead",
+            ".",
+            ("career", "future", "prospects"),
+        ),
+        SpanTemplate(
+            "",
+            "being unemployed for {a} months means the money worries never stop",
+            ".",
+            ("three", "six", "nine", "twelve"),
+        ),
+        SpanTemplate(
+            "",
+            "my work pays so little that the financial stress shadows my whole {a}",
+            ".",
+            ("week", "month", "household"),
+        ),
+    ),
+    _SpiA: (
+        SpanTemplate(
+            "",
+            "i do not know what my purpose is anymore and everything in life feels {a}",
+            ".",
+            ("meaningless", "pointless", "empty", "hollow"),
+        ),
+        SpanTemplate(
+            "",
+            "i feel completely lost and my thoughts keep asking what the point of {a} is",
+            ".",
+            ("life", "all this", "going on", "existing"),
+        ),
+        SpanTemplate(
+            "Some days ",
+            "thoughts of suicide creep in because life feels so {a}",
+            ".",
+            ("empty", "pointless", "meaningless", "hollow"),
+        ),
+        SpanTemplate(
+            "",
+            "i keep struggling to find meaning and the feeling that my life has no {a} will not lift",
+            ".",
+            ("direction", "purpose", "value", "shape"),
+        ),
+        SpanTemplate(
+            "",
+            "there is a feeling of emptiness in me and i question whether {a} matters",
+            ".",
+            ("anything", "my life", "any of it"),
+        ),
+        SpanTemplate(
+            "",
+            "i feel like a passenger in my own life and the {a} i believed in is gone",
+            ".",
+            ("faith", "hope", "meaning", "purpose"),
+        ),
+        SpanTemplate(
+            "Lately ",
+            "i feel hopeless about life and my thoughts drift toward suicide when i am {a}",
+            ".",
+            ("alone at night", "awake at 3am", "by myself"),
+        ),
+        SpanTemplate(
+            "",
+            "my life feels like a {a} and i am struggling to see why i should continue",
+            ".",
+            ("void", "grey fog", "waiting room", "dead end"),
+        ),
+    ),
+    _PA: (
+        SpanTemplate(
+            "",
+            "i feel exhausted all the time and cannot even sleep {a} anymore",
+            ".",
+            ("properly", "through the night", "more than a few hours"),
+        ),
+        SpanTemplate(
+            "",
+            "my anxiety is so bad that my body shakes and sleep never {a}",
+            ".",
+            ("comes", "lasts", "helps"),
+        ),
+        SpanTemplate(
+            "",
+            "i was diagnosed with an anxiety disorder and the {a} makes me feel worse",
+            ".",
+            ("medication", "new dosage", "side effects"),
+        ),
+        SpanTemplate(
+            "",
+            "the depression leaves me so tired that even {a} feels like running a marathon",
+            ".",
+            ("showering", "getting dressed", "making toast", "walking outside"),
+        ),
+        SpanTemplate(
+            "",
+            "i hate my body and my {a} has become a bad obsession i cannot shake",
+            ".",
+            ("weight", "appetite", "eating", "reflection"),
+        ),
+        SpanTemplate(
+            "My ",
+            "doctor diagnosed the insomnia months ago and the anxiety means my sleep is still {a}",
+            ".",
+            ("wrecked", "broken", "gone"),
+        ),
+        SpanTemplate(
+            "",
+            "the headaches and the {a} pain are constant and the depression makes it worse",
+            ".",
+            ("stomach", "chest", "back", "joint"),
+        ),
+        SpanTemplate(
+            "",
+            "my sleep disorder means i lie awake until {a} and the exhaustion is bad",
+            ".",
+            ("4am", "sunrise", "the alarm goes"),
+        ),
+    ),
+    _SA: (
+        SpanTemplate(
+            "",
+            "i have no real friends and people at {a} make me feel invisible",
+            ".",
+            ("school", "work", "uni", "home"),
+        ),
+        SpanTemplate(
+            "",
+            "ever since my breakup i feel like everyone around me has {a} and nobody wants to talk to me",
+            ".",
+            ("moved on", "disappeared", "picked sides"),
+        ),
+        SpanTemplate(
+            "",
+            "i feel so alone because there is nobody i can talk to about {a}",
+            ".",
+            ("any of this", "how i feel", "what happened"),
+        ),
+        SpanTemplate(
+            "",
+            "my relationship with my {a} has broken down and people keep their distance from me",
+            ".",
+            ("family", "partner", "sister", "parents", "best friend"),
+        ),
+        SpanTemplate(
+            "",
+            "people talk around me like i am not there and my friends {a} me",
+            ".",
+            ("forgot about", "stopped calling", "left behind", "exclude"),
+        ),
+        SpanTemplate(
+            "Most days ",
+            "i feel isolated and the loneliness of having no one to talk to {a} me",
+            ".",
+            ("crushes", "follows", "empties", "hollows out"),
+        ),
+        SpanTemplate(
+            "",
+            "i was bullied at {a} and now i feel like people will never accept me",
+            ".",
+            ("school", "work", "my old job"),
+        ),
+        SpanTemplate(
+            "",
+            "me and my family do not talk anymore and the people i loved feel like {a}",
+            ".",
+            ("strangers", "ghosts", "a past life"),
+        ),
+    ),
+    _EA: (
+        SpanTemplate(
+            "",
+            "i feel like i am drowning in this sad heavy feeling and i cannot stop {a}",
+            ".",
+            ("crying", "shaking", "breaking down"),
+        ),
+        SpanTemplate(
+            "",
+            "the anxiety inside me swells until i end up crying in the {a}",
+            ".",
+            ("car", "bathroom", "dark", "shower"),
+        ),
+        SpanTemplate(
+            "",
+            "i hate myself and the feeling that i do not belong in this world is {a}",
+            ".",
+            ("constant", "overwhelming", "so hard", "always there"),
+        ),
+        SpanTemplate(
+            "",
+            "everything feels too hard and i am so sad that even {a} sets me off crying",
+            ".",
+            ("a kind word", "a song", "nothing at all", "small talk"),
+        ),
+        SpanTemplate(
+            "",
+            "my moods swing so fast that the feeling scares me and i cannot {a}",
+            ".",
+            ("cope", "calm down", "hold it together"),
+        ),
+        SpanTemplate(
+            "",
+            "i feel numb one minute and then the sadness hits me so hard i {a}",
+            ".",
+            ("cannot breathe", "start crying", "fall apart"),
+        ),
+        SpanTemplate(
+            "",
+            "the anxiety and the crying come out of nowhere and i feel {a} inside",
+            ".",
+            ("unstable", "broken", "hollow", "frayed"),
+        ),
+        SpanTemplate(
+            "Honestly ",
+            "i feel emotionally exhausted and it is hard for me to get through {a} without tears",
+            ".",
+            ("a day", "an hour", "one conversation"),
+        ),
+    ),
+}
+
+# ---------------------------------------------------------------------------
+# Secondary templates: the dimension expressed as *non-dominant* context.
+# Short sentences appended after the span sentence; they inject the
+# dimension's vocabulary without being the label.
+# ---------------------------------------------------------------------------
+SECONDARY_TEMPLATES: dict[WellnessDimension, tuple[str, ...]] = {
+    _IA: (
+        "My study has started suffering as well and I cannot think straight at uni anymore.",
+        "On top of all that my exams are coming up and my concentration is completely shot.",
+        "It does not help that every assignment I hand in lately comes back worse than the last.",
+    ),
+    _VA: (
+        "Work is not helping either because my job keeps taking whatever energy I have left.",
+        "The money stress from being behind on bills sits underneath all of it every single day.",
+        "My career worries keep circling in the background and the job situation only adds pressure.",
+    ),
+    _SpiA: (
+        "Some nights I lie there wondering what the point of any of it is supposed to be.",
+        "It makes life feel strangely meaningless and I question my purpose more than I used to.",
+        "Underneath it all there is this quiet sense that nothing I do carries any meaning now.",
+    ),
+    _PA: (
+        "My sleep has completely fallen apart because of it and I wake up exhausted every day.",
+        "The anxiety makes my body ache and my appetite has all but disappeared lately too.",
+        "I am physically exhausted all the time now and even my doctor noticed the change.",
+    ),
+    _SA: (
+        "I have stopped seeing my friends because of it and nobody around me really gets it.",
+        "It is slowly pushing the people I love away and the distance keeps growing wider.",
+        "My family does not know how to talk to me about it so we mostly avoid each other.",
+    ),
+    _EA: (
+        "I end up crying about it most nights and the sadness takes hours to settle down.",
+        "It leaves me feeling so sad and drained that I can barely hold a conversation after.",
+        "The feeling builds up during the day until it overwhelms me completely by evening.",
+    ),
+}
+
+# Secondary context expressed as a trailing clause inside the span sentence
+# (keeps the post single-sentence).  Joined with ", " after the span; no
+# leading capital, no terminal punctuation.
+SECONDARY_CLAUSES: dict[WellnessDimension, tuple[str, ...]] = {
+    _IA: (
+        "and my study is falling apart because of it",
+        "and i cannot concentrate at uni on top of it",
+    ),
+    _VA: (
+        "and work only makes it worse",
+        "and the money stress from my job never lets up",
+    ),
+    _SpiA: (
+        "and some nights life itself feels pointless",
+        "and i keep questioning what the purpose of it all is",
+    ),
+    _PA: (
+        "and my sleep has fallen apart because of it",
+        "and the anxiety leaves my body exhausted",
+    ),
+    _SA: (
+        "and i have pulled away from my friends because of it",
+        "and the people around me feel further away than ever",
+    ),
+    _EA: (
+        "and i end up crying about it most nights",
+        "and the sad feeling never really lifts",
+    ),
+}
+
+# Neutral forum sentences: no class signal at all.  Kept around twelve
+# words so corpus-level words-per-sentence matches Table II (~16.3).
+FILLER_SENTENCES: tuple[str, ...] = (
+    "Sorry for the long post but I could not make it shorter.",
+    "This is my first time posting here so please bear with me.",
+    "I have been reading this forum for a while before posting.",
+    "Thanks in advance to anyone who takes the time to read this.",
+    "I am not even sure where to start with any of this.",
+    "I do not really know what I am hoping to hear.",
+    "Maybe writing it all down will make some kind of difference.",
+    "I have never said any of this out loud before today.",
+    "Any advice from people who have been through similar would mean a lot.",
+    "I just needed to put this somewhere outside my own head.",
+    "It has been like this for a while now and I cannot tell anymore.",
+    "I keep telling myself it will pass but that gets harder to believe.",
+    "Writing this post is much harder than I expected it to be.",
+    "Thank you for giving people a space like this.",
+)
+
+# Short fillers used by word-count calibration: swapping a long filler for
+# a short one trims several words without changing the sentence count.
+# Medium-length fillers give the sentence-count calibration a word-budget
+# middle ground between the long and short pools.
+MEDIUM_FILLER_SENTENCES: tuple[str, ...] = (
+    "I did not expect this post to get so long.",
+    "Even typing all of this out feels strange tonight.",
+    "I am not sure this will make sense to anyone.",
+    "There is probably more but I will stop here.",
+    "I have read similar threads here before posting.",
+    "Apologies if this is the wrong board for it.",
+    "I nearly deleted this instead of posting it.",
+    "It took me a week to write this much.",
+)
+
+SHORT_FILLER_SENTENCES: tuple[str, ...] = (
+    "Sorry for rambling on.",
+    "I appreciate this space.",
+    "Thanks for reading anyway.",
+    "That is about everything.",
+    "Thanks for reading this far.",
+    "That is where things stand.",
+    "Anyway that is my situation.",
+    "So that is where I am.",
+    "Anyway that is the short version.",
+    "Not sure what else to add.",
+    "I will leave it there for now.",
+    "Anyway thank you for reading all this.",
+)
+
+# Single pad words inserted before a post's final period during word-count
+# calibration.  They carry no class signal.
+PAD_WORDS: tuple[str, ...] = (
+    "honestly",
+    "lately",
+    "somehow",
+    "truly",
+    "constantly",
+    "completely",
+    "again",
+    "still",
+)
+
+# Dominance markers (perplexity guideline 1).  Class-agnostic on purpose:
+# a bag-of-words model gains nothing from them, while a context model can
+# learn that the adjacent clause is the dominant dimension.
+EMPHASIS_MARKERS: tuple[str, ...] = (
+    "what really gets to me is that",
+    "more than anything",
+    "the main thing is that",
+    "worst of all",
+    "above everything else",
+)
+
+# Off-topic sentences for the preprocessing funnel (§II-A: off-topic posts
+# are filtered out).  They contain no distress vocabulary.
+OFFTOPIC_SENTENCES: tuple[str, ...] = (
+    "Does anyone know when the forum maintenance window ends this weekend?",
+    "The weather in Brisbane has been lovely this week.",
+    "Can a moderator merge my duplicate account please?",
+    "Looking for recommendations for a good podcast about gardening.",
+    "Happy new year to everyone on the boards.",
+    "Is there a mobile app for this site or just the browser version?",
+    "My favourite footy team finally won on the weekend.",
+    "What is the best way to quote another reply in a thread?",
+)

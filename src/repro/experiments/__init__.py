@@ -1,0 +1,14 @@
+"""Experiment harness: one module per paper table/figure (E1-E8)."""
+
+from repro.experiments.protocol import FULL, REDUCED, Protocol, current_protocol
+from repro.experiments.runner import EXPERIMENTS, ExperimentSpec, run_experiment
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentSpec",
+    "FULL",
+    "Protocol",
+    "REDUCED",
+    "current_protocol",
+    "run_experiment",
+]

@@ -1,0 +1,86 @@
+"""Experiment E7 — Fig. 2: the data annotation framework.
+
+The paper's Fig. 2 is the pipeline diagram: forum scraping, cleaning,
+guideline-driven annotation by two annotators, agreement measurement and
+expert adjudication.  This experiment *runs* every stage over the
+simulated forum and reports the funnel counts and agreement, reproducing
+the figure as an executed process rather than a picture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.annotation.guidelines import ANNOTATION_GUIDELINES, PERPLEXITY_RULES
+from repro.annotation.task import AnnotationTask, SimulatedAnnotator
+from repro.core.dataset import HolistixDataset
+from repro.corpus.forum import SimulatedForum
+from repro.corpus.preprocess import FunnelReport, preprocess
+from repro.corpus.scraper import scrape_forum
+from repro.experiments.reporting import render_table
+
+__all__ = ["Figure2Result", "run_figure2", "format_figure2"]
+
+
+@dataclass(frozen=True)
+class Figure2Result:
+    """Every stage of the annotation framework, executed."""
+
+    funnel: FunnelReport
+    n_guidelines: int
+    n_perplexity_rules: int
+    kappa_percent: float
+    n_adjudicated: int
+    clean_matches_gold: bool
+
+
+def run_figure2(dataset: HolistixDataset | None = None, *, seed: int = 7) -> Figure2Result:
+    """Scrape → clean → annotate → agree → adjudicate, end to end."""
+    dataset = dataset or HolistixDataset.build()
+    gold = list(dataset)
+
+    forum = SimulatedForum.populate(gold, seed=seed)
+    scraped = scrape_forum(forum)
+    clean, funnel = preprocess(scraped)
+    clean_matches_gold = {p.text for p in clean} == {g.text for g in gold}
+
+    task = AnnotationTask(
+        annotators=(
+            SimulatedAnnotator("annotator-A", seed=seed * 1001 + 1),
+            SimulatedAnnotator("annotator-B", seed=seed * 1001 + 2),
+        )
+    )
+    ann_a, ann_b, report = task.run(gold, seed=seed)
+    final = task.adjudicate(gold, ann_a, ann_b)
+    n_adjudicated = sum(
+        a.label != b.label for a, b in zip(ann_a, ann_b)
+    )
+    assert len(final) == len(gold)
+
+    return Figure2Result(
+        funnel=funnel,
+        n_guidelines=len(ANNOTATION_GUIDELINES),
+        n_perplexity_rules=len(PERPLEXITY_RULES),
+        kappa_percent=report.kappa_percent,
+        n_adjudicated=n_adjudicated,
+        clean_matches_gold=clean_matches_gold,
+    )
+
+
+def format_figure2(result: Figure2Result) -> str:
+    funnel_rows = [[stage, count] for stage, count in result.funnel.stages()]
+    funnel_table = render_table(
+        ["Stage", "Posts"],
+        funnel_rows,
+        title="Fig. 2 — Data annotation framework (executed)",
+    )
+    lines = [
+        funnel_table,
+        "",
+        f"Annotation guidelines applied : {result.n_guidelines}",
+        f"Perplexity rules applied      : {result.n_perplexity_rules}",
+        f"Fleiss' kappa                 : {result.kappa_percent:.2f}% (paper 75.92%)",
+        f"Disagreements adjudicated     : {result.n_adjudicated}",
+        f"Clean posts match gold corpus : {result.clean_matches_gold}",
+    ]
+    return "\n".join(lines)

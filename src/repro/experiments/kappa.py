@@ -1,0 +1,47 @@
+"""Experiment E5 — §II-E inter-annotator agreement (Fleiss' kappa)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.annotation.task import AgreementReport, run_annotation_study
+from repro.core.dataset import HolistixDataset
+from repro.experiments.paper_reference import PAPER_KAPPA_PERCENT
+from repro.experiments.reporting import render_table
+
+__all__ = ["KappaResult", "run_kappa", "format_kappa"]
+
+
+@dataclass(frozen=True)
+class KappaResult:
+    """Agreement study outcome next to the published kappa."""
+
+    report: AgreementReport
+
+    @property
+    def within_points(self) -> float:
+        """Absolute distance from the paper's 75.92."""
+        return abs(self.report.kappa_percent - PAPER_KAPPA_PERCENT)
+
+
+def run_kappa(dataset: HolistixDataset | None = None, *, seed: int = 7) -> KappaResult:
+    """Run the two-annotator study over the (default) Holistix build."""
+    dataset = dataset or HolistixDataset.build()
+    return KappaResult(report=run_annotation_study(list(dataset), seed=seed))
+
+
+def format_kappa(result: KappaResult) -> str:
+    report = result.report
+    rows = [
+        ["Fleiss' kappa (%)", f"{report.kappa_percent:.2f}", f"{PAPER_KAPPA_PERCENT:.2f}"],
+        ["Raw agreement", f"{report.raw_agreement:.3f}", "-"],
+        ["Items", report.n_items, 1420],
+        ["Disagreements", report.n_disagreements, "-"],
+    ]
+    table = render_table(
+        ["Measure", "Measured", "Paper"],
+        rows,
+        title="Inter-annotator agreement (two simulated annotators)",
+    )
+    confusions = ", ".join(f"{pair}:{n}" for pair, n in report.top_confusions())
+    return f"{table}\nTop disagreement pairs: {confusions}"

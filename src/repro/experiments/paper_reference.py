@@ -1,0 +1,156 @@
+"""The paper's published numbers, encoded once.
+
+Every experiment prints its measured values next to these references, and
+the benchmark suite asserts *shape* against them (orderings and rough
+factors, never exact equality — our substrate is a synthetic corpus, not
+the authors' scraped data).
+"""
+
+from __future__ import annotations
+
+from repro.core.labels import WellnessDimension
+
+__all__ = [
+    "PAPER_TABLE2",
+    "PAPER_CLASS_PERCENTAGES",
+    "PAPER_TABLE3",
+    "PAPER_TABLE4",
+    "PAPER_TABLE4_ACCURACY",
+    "PAPER_TABLE5",
+    "PAPER_KAPPA_PERCENT",
+    "PAPER_SPLIT",
+]
+
+_IA = WellnessDimension.INTELLECTUAL
+_VA = WellnessDimension.VOCATIONAL
+_SpiA = WellnessDimension.SPIRITUAL
+_PA = WellnessDimension.PHYSICAL
+_SA = WellnessDimension.SOCIAL
+_EA = WellnessDimension.EMOTIONAL
+
+# Table II.
+PAPER_TABLE2 = {
+    "total_posts": 1420,
+    "total_words": 37082,
+    "max_words_per_post": 115,
+    "total_sentences": 2271,
+    "max_sentences_per_post": 9,
+    "dimension_counts": {_IA: 155, _VA: 150, _SpiA: 190, _PA: 296, _SA: 406, _EA: 223},
+}
+
+# §II-C distribution.
+PAPER_CLASS_PERCENTAGES = {
+    _IA: 10.91,
+    _VA: 10.56,
+    _SpiA: 13.38,
+    _PA: 20.84,
+    _SA: 28.59,
+    _EA: 15.70,
+}
+
+# Table III: frequent words (with the published average counts).
+PAPER_TABLE3: dict[WellnessDimension, tuple[tuple[str, int], ...]] = {
+    _IA: (
+        ("future", 10), ("feel", 9), ("hard", 9), ("thoughts", 7),
+        ("lack", 7), ("think", 6), ("struggling", 5),
+    ),
+    _VA: (
+        ("job", 45), ("work", 43), ("money", 8), ("career", 7),
+        ("financial", 7), ("struggling", 6), ("unemployed", 6),
+    ),
+    _SpiA: (
+        ("feel", 40), ("life", 31), ("thoughts", 9), ("suicide", 8),
+        ("struggling", 7), ("feeling", 6),
+    ),
+    _SA: (
+        ("me", 48), ("people", 35), ("feel", 43), ("talk", 21),
+        ("alone", 18), ("friends", 17), ("relationship", 17),
+    ),
+    _PA: (
+        ("anxiety", 42), ("sleep", 30), ("depression", 28), ("disorder", 17),
+        ("diagnosed", 14), ("bad", 11),
+    ),
+    _EA: (
+        ("feel", 41), ("anxiety", 23), ("feeling", 18), ("me", 9),
+        ("sad", 8), ("crying", 7), ("hard", 7),
+    ),
+}
+
+# Table IV: per-class (precision, recall, F1) per baseline.
+PAPER_TABLE4: dict[str, dict[WellnessDimension, tuple[float, float, float]]] = {
+    "LR": {
+        _IA: (0.71, 0.15, 0.25), _VA: (0.89, 0.53, 0.67),
+        _SpiA: (0.31, 0.26, 0.29), _PA: (0.64, 0.75, 0.69),
+        _SA: (0.50, 0.76, 0.60), _EA: (0.23, 0.17, 0.21),
+    },
+    "Linear SVM": {
+        _IA: (0.40, 0.24, 0.30), _VA: (0.73, 0.59, 0.66),
+        _SpiA: (0.32, 0.32, 0.32), _PA: (0.67, 0.73, 0.70),
+        _SA: (0.51, 0.65, 0.57), _EA: (0.20, 0.15, 0.17),
+    },
+    "Gaussian NB": {
+        _IA: (0.24, 0.24, 0.24), _VA: (0.21, 0.25, 0.23),
+        _SpiA: (0.22, 0.50, 0.30), _PA: (0.64, 0.39, 0.48),
+        _SA: (0.56, 0.39, 0.38), _EA: (0.18, 0.23, 0.20),
+    },
+    "BERT": {
+        _IA: (0.41, 0.47, 0.44), _VA: (0.77, 0.87, 0.82),
+        _SpiA: (0.38, 0.48, 0.43), _PA: (0.73, 0.74, 0.74),
+        _SA: (0.83, 0.78, 0.81), _EA: (0.48, 0.33, 0.39),
+    },
+    "DistilBERT": {
+        _IA: (0.57, 0.63, 0.60), _VA: (0.70, 0.91, 0.79),
+        _SpiA: (0.46, 0.67, 0.55), _PA: (0.79, 0.72, 0.76),
+        _SA: (0.79, 0.84, 0.82), _EA: (0.75, 0.27, 0.40),
+    },
+    "MentalBERT": {
+        _IA: (0.70, 0.74, 0.72), _VA: (0.84, 0.91, 0.87),
+        _SpiA: (0.63, 0.44, 0.52), _PA: (0.75, 0.85, 0.80),
+        _SA: (0.77, 0.91, 0.83), _EA: (0.62, 0.39, 0.48),
+    },
+    "Flan-T5": {
+        _IA: (0.70, 0.37, 0.48), _VA: (0.69, 0.87, 0.77),
+        _SpiA: (0.42, 0.48, 0.45), _PA: (0.75, 0.70, 0.73),
+        _SA: (0.73, 0.84, 0.78), _EA: (0.44, 0.33, 0.38),
+    },
+    "XLNet": {
+        _IA: (0.52, 0.79, 0.62), _VA: (0.79, 0.83, 0.81),
+        _SpiA: (0.48, 0.44, 0.46), _PA: (0.75, 0.70, 0.73),
+        _SA: (0.82, 0.66, 0.73), _EA: (0.33, 0.39, 0.36),
+    },
+    "GPT-2.0": {
+        _IA: (0.60, 0.47, 0.53), _VA: (0.69, 0.78, 0.73),
+        _SpiA: (0.41, 0.48, 0.44), _PA: (0.87, 0.70, 0.78),
+        _SA: (0.67, 0.94, 0.78), _EA: (0.67, 0.24, 0.36),
+    },
+}
+
+PAPER_TABLE4_ACCURACY: dict[str, float] = {
+    "LR": 0.52,
+    "Linear SVM": 0.50,
+    "Gaussian NB": 0.32,
+    "BERT": 0.65,
+    "DistilBERT": 0.69,
+    "MentalBERT": 0.74,
+    "Flan-T5": 0.65,
+    "XLNet": 0.63,
+    "GPT-2.0": 0.66,
+}
+
+# Table V: LIME explanation similarity vs gold spans.
+PAPER_TABLE5: dict[str, dict[str, float]] = {
+    "LR": {
+        "f1": 0.4221, "precision": 0.314, "recall": 0.6976,
+        "rouge": 0.3645, "bleu": 0.1349,
+    },
+    "MentalBERT": {
+        "f1": 0.4471, "precision": 0.4901, "recall": 0.7463,
+        "rouge": 0.3833, "bleu": 0.1412,
+    },
+}
+
+# §II-E inter-annotator agreement.
+PAPER_KAPPA_PERCENT = 75.92
+
+# §III fixed split sizes (sums to 1,415 of 1,420 — the paper's own quirk).
+PAPER_SPLIT = {"train": 990, "validation": 212, "test": 213}

@@ -1,0 +1,67 @@
+"""Experiment protocol: full (paper) vs reduced (CI-friendly) settings.
+
+The paper's evaluation protocol — 10-fold cross-validation of nine
+baselines including six transformers — takes tens of minutes on a numpy
+substrate.  The benchmark suite therefore defaults to a *reduced*
+protocol (fewer folds, shorter fine-tuning) that preserves every
+comparison, and switches to the full protocol when the environment
+variable ``REPRO_FULL=1`` is set.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+
+from repro.models.config import MODEL_CONFIGS, ModelConfig
+
+__all__ = ["Protocol", "current_protocol", "FULL", "REDUCED"]
+
+
+@dataclass(frozen=True)
+class Protocol:
+    """Evaluation sizing knobs."""
+
+    name: str
+    n_folds: int
+    transformer_epochs: int | None  # None = each model's configured epochs
+    pretrain_steps_scale: float
+    lime_posts: int
+    lime_samples: int
+    seed: int = 7
+
+    def model_config(self, name: str) -> ModelConfig:
+        """The baseline's config adjusted to this protocol."""
+        config = MODEL_CONFIGS[name]
+        updates: dict[str, object] = {}
+        if self.transformer_epochs is not None:
+            updates["epochs"] = self.transformer_epochs
+        if self.pretrain_steps_scale != 1.0:
+            updates["pretrain_steps"] = max(
+                1, int(config.pretrain_steps * self.pretrain_steps_scale)
+            )
+        return replace(config, **updates) if updates else config
+
+
+FULL = Protocol(
+    name="full",
+    n_folds=10,
+    transformer_epochs=None,
+    pretrain_steps_scale=1.0,
+    lime_posts=50,
+    lime_samples=300,
+)
+
+REDUCED = Protocol(
+    name="reduced",
+    n_folds=3,
+    transformer_epochs=4,
+    pretrain_steps_scale=0.5,
+    lime_posts=15,
+    lime_samples=150,
+)
+
+
+def current_protocol() -> Protocol:
+    """REDUCED unless ``REPRO_FULL=1`` is exported."""
+    return FULL if os.environ.get("REPRO_FULL") == "1" else REDUCED

@@ -1,0 +1,43 @@
+"""Plain-text table rendering for experiment output."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["render_table", "format_float", "side_by_side"]
+
+
+def format_float(value: float, digits: int = 2) -> str:
+    """Fixed-precision float without a leading zero surprise."""
+    return f"{value:.{digits}f}"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render an aligned monospace table.
+
+    >>> print(render_table(["a", "b"], [[1, 2.5]]))
+    a  b
+    -  ---
+    1  2.5
+    """
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(cells[0], widths))
+    lines.append(header_line.rstrip())
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def side_by_side(measured: float, paper: float, digits: int = 2) -> str:
+    """``measured (paper X)`` cell used throughout experiment output."""
+    return f"{measured:.{digits}f} ({paper:.{digits}f})"

@@ -1,0 +1,143 @@
+"""Experiment registry and command-line entry point.
+
+``holistix-experiments list`` shows every experiment; ``holistix-
+experiments run E1 E5`` (or ``all``) executes them and prints the
+paper-vs-measured comparisons.  The heavy experiments respect the
+``REPRO_FULL`` protocol switch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import dataclass
+from collections.abc import Callable
+
+__all__ = ["EXPERIMENTS", "ExperimentSpec", "run_experiment", "main"]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One registered experiment: id, description, runner."""
+
+    experiment_id: str
+    paper_artifact: str
+    description: str
+    run: Callable[[], str]
+
+
+def _e1() -> str:
+    from repro.experiments.table2 import format_table2, run_table2
+
+    return format_table2(run_table2())
+
+
+def _e2() -> str:
+    from repro.experiments.table3 import format_table3, run_table3
+
+    return format_table3(run_table3())
+
+
+def _e3() -> str:
+    from repro.experiments.table4 import format_table4, run_table4
+
+    return format_table4(run_table4())
+
+
+def _e4() -> str:
+    from repro.experiments.table5 import format_table5, run_table5
+
+    return format_table5(run_table5())
+
+
+def _e5() -> str:
+    from repro.experiments.kappa import format_kappa, run_kappa
+
+    return format_kappa(run_kappa())
+
+
+def _e6() -> str:
+    from repro.experiments.figure1 import format_figure1, run_figure1
+
+    return format_figure1(run_figure1())
+
+
+def _e7() -> str:
+    from repro.experiments.figure2 import format_figure2, run_figure2
+
+    return format_figure2(run_figure2())
+
+
+def _e8() -> str:
+    from repro.experiments.ablation import (
+        format_hardness_ablation,
+        format_pretraining_ablation,
+        run_hardness_ablation,
+        run_pretraining_ablation,
+    )
+
+    return (
+        format_pretraining_ablation(run_pretraining_ablation())
+        + "\n\n"
+        + format_hardness_ablation(run_hardness_ablation())
+    )
+
+
+EXPERIMENTS: dict[str, ExperimentSpec] = {
+    spec.experiment_id: spec
+    for spec in (
+        ExperimentSpec("E1", "Table II", "Dataset statistics", _e1),
+        ExperimentSpec("E2", "Table III", "Frequent words in spans", _e2),
+        ExperimentSpec("E3", "Table IV", "Baseline comparison (K-fold)", _e3),
+        ExperimentSpec("E4", "Table V", "LIME explainability", _e4),
+        ExperimentSpec("E5", "kappa", "Inter-annotator agreement", _e5),
+        ExperimentSpec("E6", "Fig. 1", "Problem formulation example", _e6),
+        ExperimentSpec("E7", "Fig. 2", "Annotation framework funnel", _e7),
+        ExperimentSpec("E8", "ablations", "Pretraining & hardness ablations", _e8),
+    )
+}
+
+
+def run_experiment(experiment_id: str) -> str:
+    """Execute one experiment by id and return its formatted report."""
+    spec = EXPERIMENTS.get(experiment_id)
+    if spec is None:
+        valid = ", ".join(EXPERIMENTS)
+        raise KeyError(f"unknown experiment {experiment_id!r}; expected {valid}")
+    return spec.run()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="holistix-experiments",
+        description="Reproduce the Holistix paper's tables and figures.",
+    )
+    parser.add_argument(
+        "command", choices=["list", "run"], help="list experiments or run some"
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids (E1..E8) or 'all'",
+    )
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for spec in EXPERIMENTS.values():
+            print(f"{spec.experiment_id}: {spec.paper_artifact} — {spec.description}")
+        return 0
+
+    requested = args.experiments or ["all"]
+    if requested == ["all"]:
+        requested = list(EXPERIMENTS)
+    for experiment_id in requested:
+        started = time.time()
+        print(f"=== {experiment_id} ===")
+        print(run_experiment(experiment_id))
+        print(f"[{experiment_id} took {time.time() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,74 @@
+"""Experiment E1 — Table II: dataset statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.dataset import DatasetStatistics, HolistixDataset
+from repro.core.labels import DIMENSIONS
+from repro.experiments.paper_reference import (
+    PAPER_CLASS_PERCENTAGES,
+    PAPER_TABLE2,
+)
+from repro.experiments.reporting import render_table
+
+__all__ = ["Table2Result", "run_table2", "format_table2"]
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    """Measured statistics next to the published ones."""
+
+    measured: DatasetStatistics
+
+    def matches_paper_exactly(self) -> bool:
+        m = self.measured
+        return (
+            m.total_posts == PAPER_TABLE2["total_posts"]
+            and m.total_words == PAPER_TABLE2["total_words"]
+            and m.max_words_per_post == PAPER_TABLE2["max_words_per_post"]
+            and m.total_sentences == PAPER_TABLE2["total_sentences"]
+            and m.max_sentences_per_post == PAPER_TABLE2["max_sentences_per_post"]
+            and m.dimension_counts == PAPER_TABLE2["dimension_counts"]
+        )
+
+
+def run_table2(dataset: HolistixDataset | None = None) -> Table2Result:
+    """Compute Table II over the (default) Holistix build."""
+    dataset = dataset or HolistixDataset.build()
+    return Table2Result(measured=dataset.statistics())
+
+
+def format_table2(result: Table2Result) -> str:
+    """Render the Table II comparison as text."""
+    m = result.measured
+    rows = [
+        ["Total posts", m.total_posts, PAPER_TABLE2["total_posts"]],
+        ["Total words count", m.total_words, PAPER_TABLE2["total_words"]],
+        [
+            "Max. word count per post",
+            m.max_words_per_post,
+            PAPER_TABLE2["max_words_per_post"],
+        ],
+        ["Total sentence count", m.total_sentences, PAPER_TABLE2["total_sentences"]],
+        [
+            "Max. sentences per post",
+            m.max_sentences_per_post,
+            PAPER_TABLE2["max_sentences_per_post"],
+        ],
+    ]
+    percentages = m.dimension_percentages()
+    for dim in DIMENSIONS:
+        rows.append(
+            [
+                f"{dim.code} count (share)",
+                f"{m.dimension_counts[dim]} ({percentages[dim]:.2f}%)",
+                f"{PAPER_TABLE2['dimension_counts'][dim]} "
+                f"({PAPER_CLASS_PERCENTAGES[dim]:.2f}%)",
+            ]
+        )
+    return render_table(
+        ["Measure", "Measured", "Paper"],
+        rows,
+        title="Table II — Statistics of dataset (measured vs paper)",
+    )

@@ -1,0 +1,58 @@
+"""Experiment E2 — Table III: frequent words in explanation spans."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.dataset import HolistixDataset
+from repro.core.labels import DIMENSIONS, WellnessDimension
+from repro.experiments.paper_reference import PAPER_TABLE3
+from repro.experiments.reporting import render_table
+
+__all__ = ["Table3Result", "run_table3", "format_table3"]
+
+
+@dataclass(frozen=True)
+class Table3Result:
+    """Measured frequent-word profiles plus overlap with the paper's."""
+
+    profiles: dict[WellnessDimension, list[tuple[str, int]]]
+
+    def overlap(self, dimension: WellnessDimension) -> tuple[int, int]:
+        """(shared words, paper words) for one dimension's profile."""
+        paper_words = {w for w, _ in PAPER_TABLE3[dimension]}
+        measured = {w for w, _ in self.profiles[dimension]}
+        return len(paper_words & measured), len(paper_words)
+
+    def total_overlap(self) -> tuple[int, int]:
+        shared = total = 0
+        for dim in DIMENSIONS:
+            s, t = self.overlap(dim)
+            shared += s
+            total += t
+        return shared, total
+
+
+def run_table3(
+    dataset: HolistixDataset | None = None, *, top_k: int = 8
+) -> Table3Result:
+    """Frequent span words per dimension over the (default) build.
+
+    ``top_k`` of 8 gives the paper's 6-7 words per row one slot of slack.
+    """
+    dataset = dataset or HolistixDataset.build()
+    return Table3Result(profiles=dataset.frequent_span_words(top_k=top_k))
+
+
+def format_table3(result: Table3Result) -> str:
+    rows = []
+    for dim in DIMENSIONS:
+        measured = ", ".join(f"{w}({c})" for w, c in result.profiles[dim])
+        paper = ", ".join(f"{w}({c})" for w, c in PAPER_TABLE3[dim])
+        shared, total = result.overlap(dim)
+        rows.append([dim.code, measured, paper, f"{shared}/{total}"])
+    return render_table(
+        ["Dimension", "Measured frequent words", "Paper frequent words", "Overlap"],
+        rows,
+        title="Table III — Frequent words in explanatory spans",
+    )

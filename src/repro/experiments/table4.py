@@ -1,0 +1,222 @@
+"""Experiment E3 — Table IV: baseline comparison with K-fold CV.
+
+Reproduces the paper's headline table: per-class precision/recall/F1 and
+overall accuracy for three traditional ML baselines and six transformers,
+averaged over (stratified) K folds.  The reduced protocol (3 folds,
+shorter fine-tuning) keeps wall-clock reasonable on a numpy substrate;
+``REPRO_FULL=1`` selects the paper's 10-fold protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.dataset import HolistixDataset
+from repro.core.labels import DIMENSIONS, WellnessDimension
+from repro.experiments.paper_reference import (
+    PAPER_TABLE4,
+    PAPER_TABLE4_ACCURACY,
+)
+from repro.experiments.protocol import Protocol, current_protocol
+from repro.experiments.reporting import render_table
+from repro.ml.metrics import ClassificationReport, classification_report
+from repro.ml.logistic import LogisticRegression
+from repro.ml.naive_bayes import GaussianNaiveBayes
+from repro.ml.svm import LinearSVM
+from repro.text.tfidf import TfidfVectorizer
+from repro.text.vocab import Vocabulary
+
+__all__ = [
+    "BaselineScores",
+    "Table4Result",
+    "run_table4",
+    "format_table4",
+    "TRADITIONAL_NAMES",
+    "TRANSFORMER_NAMES",
+]
+
+TRADITIONAL_NAMES: tuple[str, ...] = ("LR", "Linear SVM", "Gaussian NB")
+TRANSFORMER_NAMES: tuple[str, ...] = (
+    "BERT",
+    "DistilBERT",
+    "MentalBERT",
+    "Flan-T5",
+    "XLNet",
+    "GPT-2.0",
+)
+
+
+@dataclass
+class BaselineScores:
+    """Fold-averaged per-class P/R/F and accuracy for one baseline."""
+
+    name: str
+    per_class: dict[WellnessDimension, tuple[float, float, float]]
+    accuracy: float
+    fold_accuracies: list[float] = field(default_factory=list)
+
+
+@dataclass
+class Table4Result:
+    """Every baseline's scores plus the protocol that produced them."""
+
+    scores: dict[str, BaselineScores]
+    protocol_name: str
+    n_folds: int
+
+    def accuracy_of(self, name: str) -> float:
+        return self.scores[name].accuracy
+
+
+def _average_reports(
+    reports: Sequence[ClassificationReport],
+) -> tuple[dict[WellnessDimension, tuple[float, float, float]], float]:
+    per_class: dict[WellnessDimension, tuple[float, float, float]] = {}
+    for dim in DIMENSIONS:
+        precisions = [r.per_class[dim].precision for r in reports]
+        recalls = [r.per_class[dim].recall for r in reports]
+        f1s = [r.per_class[dim].f1 for r in reports]
+        per_class[dim] = (
+            float(np.mean(precisions)),
+            float(np.mean(recalls)),
+            float(np.mean(f1s)),
+        )
+    return per_class, float(np.mean([r.accuracy for r in reports]))
+
+
+def _evaluate_traditional(
+    name: str,
+    dataset: HolistixDataset,
+    folds: Sequence[tuple[list[int], list[int]]],
+    seed: int,
+) -> BaselineScores:
+    texts = dataset.texts
+    labels = dataset.labels
+    reports: list[ClassificationReport] = []
+    for train_idx, eval_idx in folds:
+        vectorizer = TfidfVectorizer(max_features=3000)
+        train_matrix = vectorizer.fit_transform([texts[i] for i in train_idx])
+        eval_matrix = vectorizer.transform([texts[i] for i in eval_idx])
+        targets = np.asarray(
+            [DIMENSIONS.index(labels[i]) for i in train_idx], dtype=np.int64
+        )
+        if name == "LR":
+            model = LogisticRegression(max_iter=300)
+        elif name == "Linear SVM":
+            model = LinearSVM(epochs=10, seed=seed)
+        else:
+            model = GaussianNaiveBayes()
+        model.fit(train_matrix, targets)
+        predicted = [DIMENSIONS[int(i)] for i in model.predict(eval_matrix)]
+        gold = [labels[i] for i in eval_idx]
+        reports.append(classification_report(gold, predicted, list(DIMENSIONS)))
+    per_class, accuracy = _average_reports(reports)
+    return BaselineScores(
+        name=name,
+        per_class=per_class,
+        accuracy=accuracy,
+        fold_accuracies=[r.accuracy for r in reports],
+    )
+
+
+def _evaluate_transformer(
+    name: str,
+    dataset: HolistixDataset,
+    folds: Sequence[tuple[list[int], list[int]]],
+    protocol: Protocol,
+    vocab: Vocabulary,
+) -> BaselineScores:
+    from repro.models.trainer import Trainer
+
+    texts = dataset.texts
+    labels = dataset.labels
+    config = protocol.model_config(name)
+    reports: list[ClassificationReport] = []
+    for train_idx, eval_idx in folds:
+        trainer = Trainer(config, vocab)
+        trainer.fit(
+            [texts[i] for i in train_idx], [labels[i] for i in train_idx]
+        )
+        predicted = trainer.predict([texts[i] for i in eval_idx])
+        gold = [labels[i] for i in eval_idx]
+        reports.append(classification_report(gold, predicted, list(DIMENSIONS)))
+    per_class, accuracy = _average_reports(reports)
+    return BaselineScores(
+        name=name,
+        per_class=per_class,
+        accuracy=accuracy,
+        fold_accuracies=[r.accuracy for r in reports],
+    )
+
+
+def run_table4(
+    dataset: HolistixDataset | None = None,
+    *,
+    protocol: Protocol | None = None,
+    baselines: Sequence[str] | None = None,
+) -> Table4Result:
+    """Run the Table IV comparison.
+
+    ``baselines`` restricts the run (e.g. traditional only for a quick
+    look); the default runs all nine.
+    """
+    from repro.models.pretrain import build_pretraining_corpus
+
+    dataset = dataset or HolistixDataset.build()
+    protocol = protocol or current_protocol()
+    names = tuple(baselines or TRADITIONAL_NAMES + TRANSFORMER_NAMES)
+    folds = dataset.stratified_folds(protocol.n_folds, seed=protocol.seed)
+
+    vocab: Vocabulary | None = None
+    if any(n in TRANSFORMER_NAMES for n in names):
+        corpus = build_pretraining_corpus("mental_health", seed=101)
+        vocab = Vocabulary.build(corpus + dataset.texts, max_size=2500)
+
+    scores: dict[str, BaselineScores] = {}
+    for name in names:
+        if name in TRADITIONAL_NAMES:
+            scores[name] = _evaluate_traditional(
+                name, dataset, folds, protocol.seed
+            )
+        elif name in TRANSFORMER_NAMES:
+            assert vocab is not None
+            scores[name] = _evaluate_transformer(
+                name, dataset, folds, protocol, vocab
+            )
+        else:
+            raise ValueError(f"unknown baseline {name!r}")
+    return Table4Result(
+        scores=scores, protocol_name=protocol.name, n_folds=protocol.n_folds
+    )
+
+
+def format_table4(result: Table4Result) -> str:
+    headers = ["Method"]
+    for dim in DIMENSIONS:
+        headers += [f"{dim.code}-P", f"{dim.code}-R", f"{dim.code}-F"]
+    headers.append("Acc")
+    rows = []
+    for name, scores in result.scores.items():
+        row: list[object] = [name]
+        for dim in DIMENSIONS:
+            precision, recall, f1 = scores.per_class[dim]
+            row += [f"{precision:.2f}", f"{recall:.2f}", f"{f1:.2f}"]
+        row.append(f"{scores.accuracy:.2f}")
+        rows.append(row)
+        paper_row: list[object] = [f"  (paper)"]
+        for dim in DIMENSIONS:
+            precision, recall, f1 = PAPER_TABLE4[name][dim]
+            paper_row += [f"{precision:.2f}", f"{recall:.2f}", f"{f1:.2f}"]
+        paper_row.append(f"{PAPER_TABLE4_ACCURACY[name]:.2f}")
+        rows.append(paper_row)
+    return render_table(
+        headers,
+        rows,
+        title=(
+            "Table IV — Baseline comparison "
+            f"({result.n_folds}-fold, protocol={result.protocol_name})"
+        ),
+    )

@@ -1,0 +1,96 @@
+"""Experiment E4 — Table V: LIME explainability of the top models.
+
+The paper explains the best traditional model (LR) and the best
+transformer (MentalBERT) with LIME, then scores the LIME keywords against
+the gold explanation spans with F1/precision/recall/ROUGE/BLEU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.dataset import HolistixDataset
+from repro.core.pipeline import WellnessClassifier
+from repro.experiments.paper_reference import PAPER_TABLE5
+from repro.experiments.protocol import Protocol, current_protocol
+from repro.experiments.reporting import render_table
+from repro.explain.lime import LimeTextExplainer
+from repro.explain.similarity import SpanSimilarity, score_explanations
+
+__all__ = ["Table5Result", "run_table5", "format_table5"]
+
+
+@dataclass(frozen=True)
+class Table5Result:
+    """LIME-vs-gold-span similarity for the two top models."""
+
+    scores: dict[str, SpanSimilarity]
+    n_posts: int
+
+
+def run_table5(
+    dataset: HolistixDataset | None = None,
+    *,
+    protocol: Protocol | None = None,
+    classifiers: dict[str, WellnessClassifier] | None = None,
+) -> Table5Result:
+    """Explain test posts with LIME for LR and MentalBERT and score them.
+
+    Pre-fitted ``classifiers`` (keyed "LR"/"MentalBERT") can be supplied
+    to avoid retraining — the Table IV bench reuses its models that way.
+    """
+    dataset = dataset or HolistixDataset.build()
+    protocol = protocol or current_protocol()
+    split = dataset.fixed_split()
+
+    if classifiers is None:
+        classifiers = {
+            name: WellnessClassifier(name).fit(split.train)
+            for name in ("LR", "MentalBERT")
+        }
+
+    test = split.test
+    n_posts = min(protocol.lime_posts, len(test))
+    scores: dict[str, SpanSimilarity] = {}
+    for name, classifier in classifiers.items():
+        explainer = LimeTextExplainer(
+            classifier.predict_proba,
+            n_samples=protocol.lime_samples,
+            seed=protocol.seed,
+        )
+        explanations = [explainer.explain(test[i].text) for i in range(n_posts)]
+        gold = [test[i].span_text for i in range(n_posts)]
+        scores[name] = score_explanations(explanations, gold)
+    return Table5Result(scores=scores, n_posts=n_posts)
+
+
+def format_table5(result: Table5Result) -> str:
+    rows = []
+    for name, sim in result.scores.items():
+        rows.append(
+            [
+                name,
+                f"{sim.f1:.4f}",
+                f"{sim.precision:.4f}",
+                f"{sim.recall:.4f}",
+                f"{sim.rouge:.4f}",
+                f"{sim.bleu:.4f}",
+            ]
+        )
+        if name in PAPER_TABLE5:
+            paper = PAPER_TABLE5[name]
+            rows.append(
+                [
+                    "  (paper)",
+                    f"{paper['f1']:.4f}",
+                    f"{paper['precision']:.4f}",
+                    f"{paper['recall']:.4f}",
+                    f"{paper['rouge']:.4f}",
+                    f"{paper['bleu']:.4f}",
+                ]
+            )
+    return render_table(
+        ["Method", "F1-score", "Precision", "Recall", "ROUGE", "BLEU"],
+        rows,
+        title=f"Table V — LIME explainability over {result.n_posts} test posts",
+    )

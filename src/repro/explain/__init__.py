@@ -1,0 +1,32 @@
+"""Explainability substrate: LIME, ROUGE, BLEU, span-similarity scoring."""
+
+from repro.explain.bleu import bleu, brevity_penalty, modified_precision
+from repro.explain.lime import Explanation, LimeTextExplainer
+from repro.explain.rouge import RougeScore, rouge_l, rouge_n
+from repro.explain.span_predictor import (
+    SpanPredictor,
+    SpanPrediction,
+    evaluate_span_predictions,
+)
+from repro.explain.similarity import (
+    SpanSimilarity,
+    keyword_similarity,
+    score_explanations,
+)
+
+__all__ = [
+    "Explanation",
+    "LimeTextExplainer",
+    "RougeScore",
+    "SpanPrediction",
+    "SpanPredictor",
+    "SpanSimilarity",
+    "bleu",
+    "brevity_penalty",
+    "evaluate_span_predictions",
+    "keyword_similarity",
+    "modified_precision",
+    "rouge_l",
+    "rouge_n",
+    "score_explanations",
+]

@@ -1,0 +1,67 @@
+"""BLEU from scratch (Papineni et al., 2002).
+
+Table V reports BLEU between LIME keyword explanations and gold spans.
+Implements clipped modified n-gram precision with smoothing (method 1,
+add-epsilon) and the brevity penalty.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.text.ngrams import ngram_counts
+from repro.text.tokenize import word_tokenize
+
+__all__ = ["bleu", "modified_precision", "brevity_penalty"]
+
+
+def modified_precision(candidate: list[str], reference: list[str], n: int) -> float:
+    """Clipped n-gram precision for one order."""
+    cand_counts = ngram_counts(candidate, n)
+    if not cand_counts:
+        return 0.0
+    ref_counts = ngram_counts(reference, n)
+    clipped = sum(
+        min(count, ref_counts[gram]) for gram, count in cand_counts.items()
+    )
+    return clipped / sum(cand_counts.values())
+
+
+def brevity_penalty(candidate_len: int, reference_len: int) -> float:
+    """Penalise candidates shorter than the reference."""
+    if candidate_len == 0:
+        return 0.0
+    if candidate_len >= reference_len:
+        return 1.0
+    return math.exp(1.0 - reference_len / candidate_len)
+
+
+def bleu(
+    candidate: str,
+    reference: str,
+    *,
+    max_n: int = 4,
+    smoothing_epsilon: float = 0.1,
+) -> float:
+    """Sentence-level BLEU with uniform weights over orders 1..max_n.
+
+    Zero precisions are smoothed with ``smoothing_epsilon / candidate
+    n-gram count`` (Chen & Cherry's method 1), the standard choice for
+    short-segment scoring like Table V's span comparison.
+    """
+    cand = word_tokenize(candidate)
+    ref = word_tokenize(reference)
+    if not cand or not ref:
+        return 0.0
+    log_sum = 0.0
+    for n in range(1, max_n + 1):
+        total = max(len(cand) - n + 1, 0)
+        if total == 0:
+            precision = smoothing_epsilon / max(len(cand), 1)
+        else:
+            precision = modified_precision(cand, ref, n)
+            if precision == 0.0:
+                precision = smoothing_epsilon / total
+        log_sum += math.log(precision)
+    geometric = math.exp(log_sum / max_n)
+    return brevity_penalty(len(cand), len(ref)) * geometric

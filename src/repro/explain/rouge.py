@@ -1,0 +1,67 @@
+"""ROUGE metrics from scratch (Lin, 2004).
+
+Table V scores LIME keyword explanations against gold spans with ROUGE;
+this module implements ROUGE-N (n-gram recall/precision/F) and ROUGE-L
+(longest common subsequence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.text.ngrams import ngram_counts
+from repro.text.tokenize import word_tokenize
+
+__all__ = ["RougeScore", "rouge_n", "rouge_l"]
+
+
+@dataclass(frozen=True)
+class RougeScore:
+    """Precision/recall/F1 triple for one ROUGE variant."""
+
+    precision: float
+    recall: float
+    f1: float
+
+
+def _prf(overlap: float, candidate_total: float, reference_total: float) -> RougeScore:
+    precision = overlap / candidate_total if candidate_total else 0.0
+    recall = overlap / reference_total if reference_total else 0.0
+    f1 = (
+        2 * precision * recall / (precision + recall)
+        if precision + recall
+        else 0.0
+    )
+    return RougeScore(precision, recall, f1)
+
+
+def rouge_n(candidate: str, reference: str, n: int = 1) -> RougeScore:
+    """ROUGE-N: clipped n-gram overlap between candidate and reference."""
+    cand = ngram_counts(word_tokenize(candidate), n)
+    ref = ngram_counts(word_tokenize(reference), n)
+    overlap = sum(min(count, ref[gram]) for gram, count in cand.items())
+    return _prf(overlap, sum(cand.values()), sum(ref.values()))
+
+
+def _lcs_length(a: list[str], b: list[str]) -> int:
+    """Longest common subsequence length, O(len(a)*len(b))."""
+    if not a or not b:
+        return 0
+    previous = [0] * (len(b) + 1)
+    for token_a in a:
+        current = [0] * (len(b) + 1)
+        for j, token_b in enumerate(b, start=1):
+            if token_a == token_b:
+                current[j] = previous[j - 1] + 1
+            else:
+                current[j] = max(previous[j], current[j - 1])
+        previous = current
+    return previous[-1]
+
+
+def rouge_l(candidate: str, reference: str) -> RougeScore:
+    """ROUGE-L: longest-common-subsequence precision/recall/F."""
+    cand = word_tokenize(candidate)
+    ref = word_tokenize(reference)
+    lcs = _lcs_length(cand, ref)
+    return _prf(lcs, len(cand), len(ref))

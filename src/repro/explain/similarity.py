@@ -1,0 +1,87 @@
+"""Scoring LIME explanations against gold spans (Table V).
+
+The paper "calculate[s] the similarity score between the LIME-generated
+predictions and the annotated explanation spans using keywords", reporting
+F1/precision/recall plus ROUGE and BLEU.  Here: the LIME explanation's
+top-k keywords are compared with the gold span's content words as sets
+(P/R/F1) and as text (ROUGE-1 F, BLEU).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.explain.bleu import bleu
+from repro.explain.lime import Explanation
+from repro.explain.rouge import rouge_n
+from repro.text.stopwords import FUNCTION_WORDS
+from repro.text.tokenize import word_tokenize
+
+__all__ = ["SpanSimilarity", "keyword_similarity", "score_explanations"]
+
+
+@dataclass(frozen=True)
+class SpanSimilarity:
+    """Table V row: keyword overlap + text-similarity metrics."""
+
+    f1: float
+    precision: float
+    recall: float
+    rouge: float
+    bleu: float
+
+
+def _content_words(text: str) -> set[str]:
+    return {t for t in word_tokenize(text) if t not in FUNCTION_WORDS}
+
+
+def keyword_similarity(
+    explanation_keywords: Sequence[str], gold_span: str
+) -> tuple[float, float, float]:
+    """Set precision/recall/F1 of keywords against the span's content words."""
+    predicted = {k.lower() for k in explanation_keywords}
+    gold = _content_words(gold_span)
+    if not predicted or not gold:
+        return 0.0, 0.0, 0.0
+    overlap = len(predicted & gold)
+    precision = overlap / len(predicted)
+    recall = overlap / len(gold)
+    f1 = (
+        2 * precision * recall / (precision + recall)
+        if precision + recall
+        else 0.0
+    )
+    return precision, recall, f1
+
+
+def score_explanations(
+    explanations: Sequence[Explanation],
+    gold_spans: Sequence[str],
+    *,
+    top_k: int = 10,
+    bleu_max_n: int = 2,
+) -> SpanSimilarity:
+    """Average Table V metrics over a set of explained posts."""
+    if len(explanations) != len(gold_spans):
+        raise ValueError("explanations and gold spans length mismatch")
+    if not explanations:
+        raise ValueError("nothing to score")
+    precisions, recalls, f1s, rouges, bleus = [], [], [], [], []
+    for explanation, gold in zip(explanations, gold_spans):
+        keywords = explanation.top_words(top_k)
+        precision, recall, f1 = keyword_similarity(keywords, gold)
+        keyword_text = " ".join(keywords)
+        precisions.append(precision)
+        recalls.append(recall)
+        f1s.append(f1)
+        rouges.append(rouge_n(keyword_text, gold, 1).f1)
+        bleus.append(bleu(keyword_text, gold, max_n=bleu_max_n))
+    n = len(explanations)
+    return SpanSimilarity(
+        f1=sum(f1s) / n,
+        precision=sum(precisions) / n,
+        recall=sum(recalls) / n,
+        rouge=sum(rouges) / n,
+        bleu=sum(bleus) / n,
+    )

@@ -1,0 +1,152 @@
+"""Explanation-span prediction (the paper's §V future work).
+
+The paper plans to "leverage explanation span predictions to further
+enhance model explainability".  This module implements the natural first
+system: given a post and its (predicted) wellness dimension, rank the
+post's sentences by how strongly they express that dimension and return
+the best one as the predicted explanation span.
+
+Scoring combines the perplexity engine's lexical evidence with an
+optional classifier-probability drop test (how much the predicted class
+probability falls when the sentence is removed — an occlusion saliency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.annotation.perplexity import detect_dimensions
+from repro.core.labels import WellnessDimension
+from repro.explain.rouge import rouge_l, rouge_n
+from repro.text.tokenize import sent_tokenize
+
+__all__ = ["SpanPrediction", "SpanPredictor", "evaluate_span_predictions"]
+
+
+@dataclass(frozen=True)
+class SpanPrediction:
+    """A predicted explanation span with its per-sentence scores."""
+
+    text: str
+    span: str
+    sentence_scores: tuple[tuple[str, float], ...]
+
+
+class SpanPredictor:
+    """Rank sentences as explanation-span candidates.
+
+    Parameters
+    ----------
+    predict_proba:
+        Optional classifier probability function over texts; when given,
+        occlusion saliency is mixed into the lexical score.
+    occlusion_weight:
+        Relative weight of the occlusion term (0 = lexical only).
+    """
+
+    def __init__(
+        self,
+        predict_proba: Callable[[list[str]], np.ndarray] | None = None,
+        *,
+        occlusion_weight: float = 1.0,
+    ) -> None:
+        if occlusion_weight < 0:
+            raise ValueError("occlusion_weight must be non-negative")
+        self.predict_proba = predict_proba
+        self.occlusion_weight = occlusion_weight
+
+    # ------------------------------------------------------------------
+    def _lexical_score(self, sentence: str, dimension: WellnessDimension) -> float:
+        for evidence in detect_dimensions(sentence):
+            if evidence.dimension is dimension:
+                return evidence.score
+        return 0.0
+
+    def _occlusion_scores(
+        self,
+        sentences: Sequence[str],
+        dimension_index: int,
+    ) -> np.ndarray:
+        """Probability drop when each sentence is removed."""
+        assert self.predict_proba is not None
+        full_text = " ".join(sentences)
+        variants = [
+            " ".join(s for j, s in enumerate(sentences) if j != i) or full_text
+            for i in range(len(sentences))
+        ]
+        probs = np.asarray(self.predict_proba([full_text] + variants))
+        base = probs[0, dimension_index]
+        return np.maximum(base - probs[1:, dimension_index], 0.0)
+
+    # ------------------------------------------------------------------
+    def predict(
+        self, text: str, dimension: WellnessDimension, *, dimension_index: int | None = None
+    ) -> SpanPrediction:
+        """Predict the explanation span of ``text`` for ``dimension``.
+
+        ``dimension_index`` is the class column for the probability
+        function (defaults to the DIMENSIONS ordering).
+        """
+        sentences = sent_tokenize(text)
+        if not sentences:
+            raise ValueError("cannot predict a span for empty text")
+        lexical = np.asarray(
+            [self._lexical_score(s, dimension) for s in sentences]
+        )
+        scores = lexical.astype(np.float64)
+        if self.predict_proba is not None and len(sentences) > 1:
+            from repro.core.labels import DIMENSIONS
+
+            index = (
+                DIMENSIONS.index(dimension)
+                if dimension_index is None
+                else dimension_index
+            )
+            occlusion = self._occlusion_scores(sentences, index)
+            # Normalise both signals to [0, 1] before mixing.
+            if lexical.max() > 0:
+                scores = lexical / lexical.max()
+            if occlusion.max() > 0:
+                scores = scores + self.occlusion_weight * occlusion / occlusion.max()
+        best = int(scores.argmax())
+        span = sentences[best].rstrip(".!?")
+        ranked = tuple(
+            (s, float(score)) for s, score in zip(sentences, scores)
+        )
+        return SpanPrediction(text=text, span=span, sentence_scores=ranked)
+
+
+@dataclass(frozen=True)
+class SpanEvaluation:
+    """Aggregate quality of predicted spans against gold spans."""
+
+    rouge1_f1: float
+    rouge_l_f1: float
+    exact_sentence_rate: float
+
+
+def evaluate_span_predictions(
+    predictions: Sequence[SpanPrediction], gold_spans: Sequence[str]
+) -> SpanEvaluation:
+    """Score predicted spans with ROUGE and exact-sentence hit rate."""
+    if len(predictions) != len(gold_spans):
+        raise ValueError("predictions and gold spans length mismatch")
+    if not predictions:
+        raise ValueError("nothing to evaluate")
+    rouge1 = []
+    rouge_lcs = []
+    exact = 0
+    for prediction, gold in zip(predictions, gold_spans):
+        rouge1.append(rouge_n(prediction.span, gold, 1).f1)
+        rouge_lcs.append(rouge_l(prediction.span, gold).f1)
+        if gold in prediction.span or prediction.span in gold:
+            exact += 1
+    n = len(predictions)
+    return SpanEvaluation(
+        rouge1_f1=float(np.mean(rouge1)),
+        rouge_l_f1=float(np.mean(rouge_lcs)),
+        exact_sentence_rate=exact / n,
+    )

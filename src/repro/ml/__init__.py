@@ -1,0 +1,47 @@
+"""Classic ML substrate: estimators, metrics, model selection."""
+
+from repro.ml.logistic import LogisticRegression, softmax
+from repro.ml.metrics import (
+    ClassificationReport,
+    ClassMetrics,
+    accuracy,
+    classification_report,
+    confusion_matrix,
+    precision_recall_f1,
+)
+from repro.ml.model_selection import (
+    KFold,
+    StratifiedKFold,
+    cross_validate,
+    train_test_split,
+)
+from repro.ml.multilabel import (
+    MultiLabelMetrics,
+    OneVsRestClassifier,
+    multilabel_metrics,
+)
+from repro.ml.naive_bayes import GaussianNaiveBayes
+from repro.ml.preprocessing import LabelEncoder, StandardScaler
+from repro.ml.svm import LinearSVM
+
+__all__ = [
+    "ClassMetrics",
+    "ClassificationReport",
+    "GaussianNaiveBayes",
+    "KFold",
+    "LabelEncoder",
+    "LinearSVM",
+    "LogisticRegression",
+    "MultiLabelMetrics",
+    "OneVsRestClassifier",
+    "StandardScaler",
+    "StratifiedKFold",
+    "accuracy",
+    "classification_report",
+    "confusion_matrix",
+    "cross_validate",
+    "multilabel_metrics",
+    "precision_recall_f1",
+    "softmax",
+    "train_test_split",
+]

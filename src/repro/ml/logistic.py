@@ -1,0 +1,136 @@
+"""Multinomial logistic regression trained by full-batch gradient descent.
+
+The LR baseline from §III-A: softmax regression over TF-IDF features with
+L2 regularisation, optimised with gradient descent plus Nesterov momentum
+and a simple backtracking step size — dependency-free but converging to
+the same optimum surface as scikit-learn's lbfgs solver.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LogisticRegression", "softmax"]
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax, numerically stabilised."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+class LogisticRegression:
+    """Softmax regression with L2 penalty.
+
+    Parameters
+    ----------
+    c:
+        Inverse regularisation strength (scikit-learn's ``C``).
+    max_iter:
+        Gradient steps.
+    tol:
+        Stop when the gradient's infinity norm falls below this.
+    learning_rate:
+        Initial step size; adapted by backtracking when a step would
+        increase the loss.
+    """
+
+    def __init__(
+        self,
+        *,
+        c: float = 1.0,
+        max_iter: int = 300,
+        tol: float = 1e-5,
+        learning_rate: float = 1.0,
+        fit_intercept: bool = True,
+    ) -> None:
+        if c <= 0:
+            raise ValueError("c must be positive")
+        self.c = c
+        self.max_iter = max_iter
+        self.tol = tol
+        self.learning_rate = learning_rate
+        self.fit_intercept = fit_intercept
+        self.coef_: np.ndarray | None = None
+        self.intercept_: np.ndarray | None = None
+        self.n_classes_: int | None = None
+        self.n_iter_: int = 0
+
+    # ------------------------------------------------------------------
+    def _loss_grad(
+        self, weights: np.ndarray, x: np.ndarray, onehot: np.ndarray
+    ) -> tuple[float, np.ndarray]:
+        """Mean cross-entropy + L2, and its gradient, for stacked weights."""
+        n = x.shape[0]
+        probs = softmax(x @ weights)
+        eps = 1e-12
+        data_loss = -np.log(probs[onehot.astype(bool)] + eps).mean()
+        penalty_mask = np.ones_like(weights)
+        if self.fit_intercept:
+            penalty_mask[-1, :] = 0.0  # bias row unpenalised
+        reg = 0.5 / self.c * float((penalty_mask * weights**2).sum()) / n
+        grad = x.T @ (probs - onehot) / n + (penalty_mask * weights) / (self.c * n)
+        return data_loss + reg, grad
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "LogisticRegression":
+        """Fit on ``features`` (n, d) with integer ``targets`` (n,)."""
+        x = np.asarray(features, dtype=np.float64)
+        y = np.asarray(targets, dtype=np.int64)
+        if x.ndim != 2:
+            raise ValueError("features must be 2-D")
+        if x.shape[0] != y.shape[0]:
+            raise ValueError("features and targets length mismatch")
+        if x.shape[0] == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        n_classes = int(y.max()) + 1
+        self.n_classes_ = n_classes
+        if self.fit_intercept:
+            x = np.hstack([x, np.ones((x.shape[0], 1))])
+        onehot = np.zeros((x.shape[0], n_classes))
+        onehot[np.arange(x.shape[0]), y] = 1.0
+
+        weights = np.zeros((x.shape[1], n_classes))
+        velocity = np.zeros_like(weights)
+        lr = self.learning_rate
+        loss, grad = self._loss_grad(weights, x, onehot)
+        for step in range(self.max_iter):
+            self.n_iter_ = step + 1
+            if np.abs(grad).max() < self.tol:
+                break
+            # Nesterov lookahead with backtracking on divergence.
+            lookahead = weights + 0.9 * velocity
+            _, grad_la = self._loss_grad(lookahead, x, onehot)
+            candidate_velocity = 0.9 * velocity - lr * grad_la
+            candidate = weights + candidate_velocity
+            new_loss, new_grad = self._loss_grad(candidate, x, onehot)
+            if new_loss > loss + 1e-10:
+                lr *= 0.5
+                velocity = np.zeros_like(weights)
+                if lr < 1e-8:
+                    break
+                continue
+            weights, velocity = candidate, candidate_velocity
+            loss, grad = new_loss, new_grad
+
+        if self.fit_intercept:
+            self.coef_ = weights[:-1, :]
+            self.intercept_ = weights[-1, :]
+        else:
+            self.coef_ = weights
+            self.intercept_ = np.zeros(n_classes)
+        return self
+
+    # ------------------------------------------------------------------
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        if self.coef_ is None or self.intercept_ is None:
+            raise RuntimeError("LogisticRegression must be fitted first")
+        return np.asarray(features, dtype=np.float64) @ self.coef_ + self.intercept_
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Class probabilities, shape ``(n, n_classes)``."""
+        return softmax(self.decision_function(features))
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Most probable class id per row."""
+        return self.decision_function(features).argmax(axis=1)

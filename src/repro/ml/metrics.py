@@ -1,0 +1,130 @@
+"""Classification metrics: per-class P/R/F1, accuracy, confusion matrix.
+
+Table IV reports per-class precision, recall and F-score plus overall
+accuracy, averaged over 10 folds.  These implementations follow the
+scikit-learn conventions (zero division yields 0.0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Hashable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "ClassMetrics",
+    "ClassificationReport",
+    "accuracy",
+    "confusion_matrix",
+    "classification_report",
+    "precision_recall_f1",
+]
+
+
+@dataclass(frozen=True)
+class ClassMetrics:
+    """Precision/recall/F1 for one class."""
+
+    precision: float
+    recall: float
+    f1: float
+    support: int
+
+
+@dataclass(frozen=True)
+class ClassificationReport:
+    """Per-class metrics plus aggregate measures."""
+
+    per_class: dict[Hashable, ClassMetrics]
+    accuracy: float
+
+    @property
+    def macro_f1(self) -> float:
+        values = [m.f1 for m in self.per_class.values()]
+        return float(np.mean(values)) if values else 0.0
+
+    @property
+    def macro_precision(self) -> float:
+        values = [m.precision for m in self.per_class.values()]
+        return float(np.mean(values)) if values else 0.0
+
+    @property
+    def macro_recall(self) -> float:
+        values = [m.recall for m in self.per_class.values()]
+        return float(np.mean(values)) if values else 0.0
+
+    @property
+    def weighted_f1(self) -> float:
+        total = sum(m.support for m in self.per_class.values())
+        if total == 0:
+            return 0.0
+        return float(
+            sum(m.f1 * m.support for m in self.per_class.values()) / total
+        )
+
+
+def accuracy(y_true: Sequence[Hashable], y_pred: Sequence[Hashable]) -> float:
+    """Fraction of exact label matches."""
+    _check_lengths(y_true, y_pred)
+    return sum(t == p for t, p in zip(y_true, y_pred)) / len(y_true)
+
+
+def confusion_matrix(
+    y_true: Sequence[Hashable],
+    y_pred: Sequence[Hashable],
+    labels: Sequence[Hashable],
+) -> np.ndarray:
+    """Counts matrix with rows = true labels, columns = predictions."""
+    _check_lengths(y_true, y_pred)
+    index = {label: i for i, label in enumerate(labels)}
+    matrix = np.zeros((len(labels), len(labels)), dtype=np.int64)
+    for t, p in zip(y_true, y_pred):
+        if t not in index:
+            raise ValueError(f"true label {t!r} missing from labels")
+        if p not in index:
+            raise ValueError(f"predicted label {p!r} missing from labels")
+        matrix[index[t], index[p]] += 1
+    return matrix
+
+
+def precision_recall_f1(
+    y_true: Sequence[Hashable],
+    y_pred: Sequence[Hashable],
+    label: Hashable,
+) -> ClassMetrics:
+    """One-vs-rest precision/recall/F1 for ``label``."""
+    _check_lengths(y_true, y_pred)
+    tp = sum(t == label and p == label for t, p in zip(y_true, y_pred))
+    fp = sum(t != label and p == label for t, p in zip(y_true, y_pred))
+    fn = sum(t == label and p != label for t, p in zip(y_true, y_pred))
+    precision = tp / (tp + fp) if tp + fp else 0.0
+    recall = tp / (tp + fn) if tp + fn else 0.0
+    f1 = (
+        2 * precision * recall / (precision + recall)
+        if precision + recall
+        else 0.0
+    )
+    support = sum(t == label for t in y_true)
+    return ClassMetrics(precision, recall, f1, support)
+
+
+def classification_report(
+    y_true: Sequence[Hashable],
+    y_pred: Sequence[Hashable],
+    labels: Sequence[Hashable],
+) -> ClassificationReport:
+    """Per-class metrics for every label plus overall accuracy."""
+    per_class = {
+        label: precision_recall_f1(y_true, y_pred, label) for label in labels
+    }
+    return ClassificationReport(per_class=per_class, accuracy=accuracy(y_true, y_pred))
+
+
+def _check_lengths(y_true: Sequence[Hashable], y_pred: Sequence[Hashable]) -> None:
+    if len(y_true) != len(y_pred):
+        raise ValueError(
+            f"length mismatch: {len(y_true)} true vs {len(y_pred)} predicted"
+        )
+    if not y_true:
+        raise ValueError("cannot score empty label sequences")

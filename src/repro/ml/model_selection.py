@@ -1,0 +1,113 @@
+"""Cross-validation utilities: K-fold splitters and a scoring loop."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Callable, Hashable, Sequence
+
+import numpy as np
+
+from repro.ml.metrics import ClassificationReport, classification_report
+
+__all__ = ["KFold", "StratifiedKFold", "train_test_split", "cross_validate"]
+
+
+@dataclass(frozen=True)
+class KFold:
+    """Plain K-fold: contiguous blocks after an optional shuffle."""
+
+    n_splits: int = 10
+    shuffle: bool = True
+    seed: int = 7
+
+    def split(self, n_samples: int) -> list[tuple[np.ndarray, np.ndarray]]:
+        """(train_idx, eval_idx) pairs covering every sample exactly once."""
+        if self.n_splits < 2:
+            raise ValueError("n_splits must be >= 2")
+        if n_samples < self.n_splits:
+            raise ValueError("more folds than samples")
+        indices = np.arange(n_samples)
+        if self.shuffle:
+            indices = np.random.default_rng(self.seed).permutation(n_samples)
+        sizes = np.full(self.n_splits, n_samples // self.n_splits, dtype=np.int64)
+        sizes[: n_samples % self.n_splits] += 1
+        folds: list[tuple[np.ndarray, np.ndarray]] = []
+        start = 0
+        for size in sizes:
+            eval_idx = np.sort(indices[start : start + size])
+            train_idx = np.sort(
+                np.concatenate([indices[:start], indices[start + size :]])
+            )
+            folds.append((train_idx, eval_idx))
+            start += size
+        return folds
+
+
+@dataclass(frozen=True)
+class StratifiedKFold:
+    """K-fold preserving class proportions in every evaluation part."""
+
+    n_splits: int = 10
+    seed: int = 7
+
+    def split(
+        self, labels: Sequence[Hashable]
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """(train_idx, eval_idx) pairs with per-class round-robin assignment."""
+        if self.n_splits < 2:
+            raise ValueError("n_splits must be >= 2")
+        rng = np.random.default_rng(self.seed)
+        by_label: dict[Hashable, list[int]] = {}
+        for i, label in enumerate(labels):
+            by_label.setdefault(label, []).append(i)
+        members: list[list[int]] = [[] for _ in range(self.n_splits)]
+        for label in sorted(by_label, key=repr):
+            indices = by_label[label]
+            if len(indices) < self.n_splits:
+                raise ValueError(
+                    f"class {label!r} has {len(indices)} samples "
+                    f"< {self.n_splits} folds"
+                )
+            shuffled = [indices[j] for j in rng.permutation(len(indices))]
+            for pos, idx in enumerate(shuffled):
+                members[pos % self.n_splits].append(idx)
+        folds: list[tuple[np.ndarray, np.ndarray]] = []
+        all_indices = set(range(len(labels)))
+        for k in range(self.n_splits):
+            eval_idx = np.asarray(sorted(members[k]), dtype=np.int64)
+            train_idx = np.asarray(
+                sorted(all_indices - set(members[k])), dtype=np.int64
+            )
+            folds.append((train_idx, eval_idx))
+        return folds
+
+
+def train_test_split(
+    n_samples: int, *, test_fraction: float = 0.2, seed: int = 7
+) -> tuple[np.ndarray, np.ndarray]:
+    """Shuffled (train_idx, test_idx) partition."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    order = np.random.default_rng(seed).permutation(n_samples)
+    n_test = max(1, int(round(test_fraction * n_samples)))
+    return np.sort(order[n_test:]), np.sort(order[:n_test])
+
+
+def cross_validate(
+    fit_predict: Callable[[np.ndarray, np.ndarray], Sequence[Hashable]],
+    labels: Sequence[Hashable],
+    class_labels: Sequence[Hashable],
+    folds: Sequence[tuple[np.ndarray, np.ndarray]],
+) -> list[ClassificationReport]:
+    """Score ``fit_predict`` over prepared folds.
+
+    ``fit_predict(train_idx, eval_idx)`` trains on the first index set and
+    returns predictions for the second; this function scores each fold
+    with the Table IV metrics.
+    """
+    reports: list[ClassificationReport] = []
+    for train_idx, eval_idx in folds:
+        predictions = fit_predict(np.asarray(train_idx), np.asarray(eval_idx))
+        gold = [labels[i] for i in eval_idx]
+        reports.append(classification_report(gold, list(predictions), class_labels))
+    return reports

@@ -1,0 +1,169 @@
+"""Multi-label wellness classification (the paper's §V future work).
+
+The paper's conclusion proposes "multi-label classification to better
+handle overlapping wellness dimensions".  The corpus supports it
+natively: a balanced post's gold label *set* is its dominant dimension
+plus the secondary dimensions present in the text (perplexity guideline 1
+says annotators "label all relevant ones but highlight the most
+dominant").
+
+This module provides a one-vs-rest multi-label classifier over any binary
+scorer plus the standard multi-label metrics (subset accuracy, Hamming
+loss, micro/macro F1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Hashable, Sequence
+
+import numpy as np
+
+from repro.ml.logistic import LogisticRegression
+
+__all__ = [
+    "MultiLabelMetrics",
+    "OneVsRestClassifier",
+    "multilabel_metrics",
+]
+
+
+class OneVsRestClassifier:
+    """Independent binary logistic head per label.
+
+    Parameters
+    ----------
+    labels:
+        The full label universe, in a fixed order.
+    threshold:
+        Decision threshold on each head's probability.
+    always_predict_top:
+        Guarantee a non-empty prediction by always including the
+        highest-scoring label (the dominant dimension always exists).
+    """
+
+    def __init__(
+        self,
+        labels: Sequence[Hashable],
+        *,
+        threshold: float = 0.5,
+        always_predict_top: bool = True,
+        max_iter: int = 200,
+    ) -> None:
+        if not labels:
+            raise ValueError("labels must be non-empty")
+        if not 0.0 < threshold < 1.0:
+            raise ValueError("threshold must be in (0, 1)")
+        self.labels = list(labels)
+        self.threshold = threshold
+        self.always_predict_top = always_predict_top
+        self.max_iter = max_iter
+        self._heads: list[LogisticRegression] | None = None
+
+    def fit(
+        self, features: np.ndarray, label_sets: Sequence[set[Hashable]]
+    ) -> "OneVsRestClassifier":
+        """Fit one binary head per label on ``(features, label_sets)``."""
+        x = np.asarray(features, dtype=np.float64)
+        if x.shape[0] != len(label_sets):
+            raise ValueError("features and label sets length mismatch")
+        if x.shape[0] == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        self._heads = []
+        for label in self.labels:
+            y = np.asarray(
+                [1 if label in s else 0 for s in label_sets], dtype=np.int64
+            )
+            head = LogisticRegression(max_iter=self.max_iter)
+            if y.min() == y.max():
+                # Degenerate: label always (or never) present; a constant
+                # head would crash the softmax target range, so remember
+                # the constant instead.
+                head = _ConstantHead(int(y[0]))
+            else:
+                head.fit(x, y)
+            self._heads.append(head)
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Per-label probabilities, shape ``(n, n_labels)``."""
+        if self._heads is None:
+            raise RuntimeError("OneVsRestClassifier must be fitted first")
+        x = np.asarray(features, dtype=np.float64)
+        columns = []
+        for head in self._heads:
+            probs = head.predict_proba(x)
+            columns.append(probs[:, 1] if probs.shape[1] == 2 else probs[:, 0])
+        return np.column_stack(columns)
+
+    def predict(self, features: np.ndarray) -> list[set[Hashable]]:
+        """Label set per row (never empty when ``always_predict_top``)."""
+        probs = self.predict_proba(features)
+        results: list[set[Hashable]] = []
+        for row in probs:
+            chosen = {
+                label for label, p in zip(self.labels, row) if p >= self.threshold
+            }
+            if not chosen and self.always_predict_top:
+                chosen = {self.labels[int(row.argmax())]}
+            results.append(chosen)
+        return results
+
+
+class _ConstantHead:
+    """Stand-in head for a label that is constant in training data."""
+
+    def __init__(self, value: int) -> None:
+        self._value = float(value)
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        n = np.asarray(features).shape[0]
+        positive = np.full(n, self._value)
+        return np.column_stack([1.0 - positive, positive])
+
+
+@dataclass(frozen=True)
+class MultiLabelMetrics:
+    """Standard multi-label scores."""
+
+    subset_accuracy: float
+    hamming_loss: float
+    micro_f1: float
+    macro_f1: float
+
+
+def multilabel_metrics(
+    gold: Sequence[set[Hashable]],
+    predicted: Sequence[set[Hashable]],
+    labels: Sequence[Hashable],
+) -> MultiLabelMetrics:
+    """Score predicted label sets against gold label sets."""
+    if len(gold) != len(predicted):
+        raise ValueError("gold and predicted length mismatch")
+    if not gold:
+        raise ValueError("nothing to score")
+    n = len(gold)
+    subset = sum(g == p for g, p in zip(gold, predicted)) / n
+    hamming = sum(
+        len(g.symmetric_difference(p)) for g, p in zip(gold, predicted)
+    ) / (n * len(labels))
+
+    tp_total = fp_total = fn_total = 0
+    per_label_f1 = []
+    for label in labels:
+        tp = sum(label in g and label in p for g, p in zip(gold, predicted))
+        fp = sum(label not in g and label in p for g, p in zip(gold, predicted))
+        fn = sum(label in g and label not in p for g, p in zip(gold, predicted))
+        tp_total += tp
+        fp_total += fp
+        fn_total += fn
+        denominator = 2 * tp + fp + fn
+        per_label_f1.append(2 * tp / denominator if denominator else 0.0)
+    micro_denominator = 2 * tp_total + fp_total + fn_total
+    micro = 2 * tp_total / micro_denominator if micro_denominator else 0.0
+    return MultiLabelMetrics(
+        subset_accuracy=subset,
+        hamming_loss=hamming,
+        micro_f1=micro,
+        macro_f1=float(np.mean(per_label_f1)),
+    )

@@ -1,0 +1,81 @@
+"""Feature/label preprocessing shared by the classic ML baselines."""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Sequence
+
+import numpy as np
+
+__all__ = ["LabelEncoder", "StandardScaler"]
+
+
+class LabelEncoder:
+    """Map hashable labels to contiguous integer ids and back."""
+
+    def __init__(self) -> None:
+        self._classes: list[Hashable] | None = None
+        self._index: dict[Hashable, int] = {}
+
+    def fit(self, labels: Sequence[Hashable]) -> "LabelEncoder":
+        """Learn the label set; order follows first appearance, sorted by repr.
+
+        Sorting by ``repr`` keeps the encoding deterministic regardless of
+        input order while supporting non-comparable label types (enums).
+        """
+        if not labels:
+            raise ValueError("cannot fit LabelEncoder on no labels")
+        unique = sorted(set(labels), key=repr)
+        self._classes = unique
+        self._index = {label: i for i, label in enumerate(unique)}
+        return self
+
+    def transform(self, labels: Sequence[Hashable]) -> np.ndarray:
+        if self._classes is None:
+            raise RuntimeError("LabelEncoder must be fitted first")
+        try:
+            return np.asarray([self._index[label] for label in labels], dtype=np.int64)
+        except KeyError as exc:
+            raise ValueError(f"unseen label {exc.args[0]!r}") from None
+
+    def fit_transform(self, labels: Sequence[Hashable]) -> np.ndarray:
+        return self.fit(labels).transform(labels)
+
+    def inverse_transform(self, ids: Sequence[int]) -> list[Hashable]:
+        if self._classes is None:
+            raise RuntimeError("LabelEncoder must be fitted first")
+        return [self._classes[int(i)] for i in ids]
+
+    @property
+    def classes(self) -> list[Hashable]:
+        if self._classes is None:
+            raise RuntimeError("LabelEncoder must be fitted first")
+        return list(self._classes)
+
+    def __len__(self) -> int:
+        return len(self._classes or ())
+
+
+class StandardScaler:
+    """Zero-mean, unit-variance feature scaling (variance floor 1e-12)."""
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, features: np.ndarray) -> "StandardScaler":
+        matrix = np.asarray(features, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[0] == 0:
+            raise ValueError("features must be a non-empty 2-D array")
+        self.mean_ = matrix.mean(axis=0)
+        std = matrix.std(axis=0)
+        std[std < 1e-12] = 1.0
+        self.scale_ = std
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("StandardScaler must be fitted first")
+        return (np.asarray(features, dtype=np.float64) - self.mean_) / self.scale_
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        return self.fit(features).transform(features)

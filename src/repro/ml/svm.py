@@ -1,0 +1,114 @@
+"""Linear SVM: one-vs-rest hinge loss trained with Pegasos SGD.
+
+The Linear SVM baseline from §III-A.  Each class gets a binary
+max-margin separator trained with the Pegasos algorithm
+(Shalev-Shwartz et al., 2011): stochastic sub-gradient steps with the
+1/(lambda * t) schedule and the optional projection onto the
+1/sqrt(lambda) ball.  Multi-class prediction takes the argmax margin.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LinearSVM"]
+
+
+class LinearSVM:
+    """One-vs-rest linear SVM.
+
+    Parameters
+    ----------
+    c:
+        Inverse regularisation (converted to Pegasos lambda as
+        ``1 / (c * n_samples)``).
+    epochs:
+        Passes over the training set per binary problem.
+    seed:
+        Shuffling seed (Pegasos samples uniformly; we shuffle per epoch).
+    project:
+        Apply the norm-ball projection step from the Pegasos paper.
+    """
+
+    def __init__(
+        self,
+        *,
+        c: float = 1.0,
+        epochs: int = 20,
+        seed: int = 0,
+        project: bool = True,
+        fit_intercept: bool = True,
+    ) -> None:
+        if c <= 0:
+            raise ValueError("c must be positive")
+        if epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        self.c = c
+        self.epochs = epochs
+        self.seed = seed
+        self.project = project
+        self.fit_intercept = fit_intercept
+        self.coef_: np.ndarray | None = None
+        self.intercept_: np.ndarray | None = None
+        self.n_classes_: int | None = None
+
+    # ------------------------------------------------------------------
+    def _fit_binary(
+        self, x: np.ndarray, sign: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Pegasos on one binary problem; returns the weight vector."""
+        n, d = x.shape
+        lam = 1.0 / (self.c * n)
+        weights = np.zeros(d)
+        t = 0
+        for _ in range(self.epochs):
+            for i in rng.permutation(n):
+                t += 1
+                eta = 1.0 / (lam * t)
+                margin = sign[i] * float(x[i] @ weights)
+                weights *= 1.0 - eta * lam
+                if margin < 1.0:
+                    weights += eta * sign[i] * x[i]
+                if self.project:
+                    norm = float(np.linalg.norm(weights))
+                    bound = 1.0 / np.sqrt(lam)
+                    if norm > bound:
+                        weights *= bound / norm
+        return weights
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "LinearSVM":
+        """Fit OvR separators on ``features`` (n, d), integer ``targets``."""
+        x = np.asarray(features, dtype=np.float64)
+        y = np.asarray(targets, dtype=np.int64)
+        if x.ndim != 2:
+            raise ValueError("features must be 2-D")
+        if x.shape[0] != y.shape[0]:
+            raise ValueError("features and targets length mismatch")
+        if x.shape[0] == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        if self.fit_intercept:
+            x = np.hstack([x, np.ones((x.shape[0], 1))])
+        n_classes = int(y.max()) + 1
+        self.n_classes_ = n_classes
+        rng = np.random.default_rng(self.seed)
+        stacked = np.zeros((x.shape[1], n_classes))
+        for k in range(n_classes):
+            sign = np.where(y == k, 1.0, -1.0)
+            stacked[:, k] = self._fit_binary(x, sign, rng)
+        if self.fit_intercept:
+            self.coef_ = stacked[:-1, :]
+            self.intercept_ = stacked[-1, :]
+        else:
+            self.coef_ = stacked
+            self.intercept_ = np.zeros(n_classes)
+        return self
+
+    # ------------------------------------------------------------------
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        if self.coef_ is None or self.intercept_ is None:
+            raise RuntimeError("LinearSVM must be fitted first")
+        return np.asarray(features, dtype=np.float64) @ self.coef_ + self.intercept_
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Class with the largest one-vs-rest margin."""
+        return self.decision_function(features).argmax(axis=1)

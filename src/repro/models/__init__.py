@@ -1,0 +1,36 @@
+"""The six transformer baselines from Table IV."""
+
+from repro.models.bert import BERT_CONFIG, BertClassifier
+from repro.models.classifier import TransformerClassifier
+from repro.models.config import MODEL_CONFIGS, ModelConfig, scaled_for_tests
+from repro.models.distilbert import DISTILBERT_CONFIG, DistilBertClassifier
+from repro.models.flan_t5 import FLAN_T5_CONFIG, FlanT5Classifier
+from repro.models.gpt2 import GPT2_CONFIG, Gpt2Classifier
+from repro.models.mentalbert import MENTALBERT_CONFIG, MentalBertClassifier
+from repro.models.pretrain import build_pretraining_corpus, mask_tokens, pretrain
+from repro.models.trainer import Trainer, TrainResult
+from repro.models.xlnet import XLNET_CONFIG, XLNetClassifier
+
+__all__ = [
+    "BERT_CONFIG",
+    "BertClassifier",
+    "DISTILBERT_CONFIG",
+    "DistilBertClassifier",
+    "FLAN_T5_CONFIG",
+    "FlanT5Classifier",
+    "GPT2_CONFIG",
+    "Gpt2Classifier",
+    "MENTALBERT_CONFIG",
+    "MentalBertClassifier",
+    "MODEL_CONFIGS",
+    "ModelConfig",
+    "Trainer",
+    "TrainResult",
+    "TransformerClassifier",
+    "XLNET_CONFIG",
+    "XLNetClassifier",
+    "build_pretraining_corpus",
+    "mask_tokens",
+    "pretrain",
+    "scaled_for_tests",
+]

@@ -1,0 +1,157 @@
+"""Model configurations for the six transformer baselines.
+
+Sizes are scaled to what a numpy autograd engine can train in minutes,
+but every *architectural* distinction the paper leans on is physically
+present:
+
+==============  =====================================================
+Baseline        Distinguishing mechanism
+==============  =====================================================
+BERT            bidirectional encoder, CLS pooling, generic MLM
+DistilBERT      the BERT recipe at half depth (knowledge-distillation
+                regime: smaller, faster, close in accuracy)
+MentalBERT      the BERT recipe pretrained on the *mental-health
+                domain* corpus (more steps, in-domain text)
+Flan-T5         encoder-decoder with an instruction prefix
+XLNet           relative-position attention, no absolute positions
+                (its Transformer-XL inheritance), permutation-style LM
+GPT-2           causal decoder, last-token pooling, autoregressive LM
+==============  =====================================================
+
+The fine-tuning hyperparameters (learning rate, batch size, epochs) are
+the paper's §III-A table verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["ModelConfig", "MODEL_CONFIGS", "scaled_for_tests"]
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Architecture + fine-tuning hyperparameters for one baseline."""
+
+    name: str
+    dim: int = 48
+    n_layers: int = 2
+    n_heads: int = 4
+    ffn_hidden: int = 96
+    max_len: int = 40
+    dropout: float = 0.1
+    # Fine-tuning hyperparameters (paper §III-A).
+    learning_rate: float = 1e-3
+    batch_size: int = 16
+    epochs: int = 10
+    # Architecture switches.
+    causal: bool = False
+    relative_positions: bool = False
+    use_absolute_positions: bool = True
+    encoder_decoder: bool = False
+    pooling: str = "cls"  # cls | mean | last
+    instruction_prefix: str | None = None
+    # Pretraining recipe.
+    pretrain_objective: str | None = "mlm"  # mlm | clm | plm | None
+    pretrain_domain: str = "mixed"  # mixed | mental_health
+    pretrain_steps: int = 300
+    seed: int = 11
+
+    def __post_init__(self) -> None:
+        if self.pooling not in ("cls", "mean", "last"):
+            raise ValueError(f"unknown pooling {self.pooling!r}")
+        if self.pretrain_objective not in (None, "mlm", "clm", "plm"):
+            raise ValueError(f"unknown objective {self.pretrain_objective!r}")
+        if self.pretrain_domain not in ("mixed", "mental_health"):
+            raise ValueError(f"unknown pretrain domain {self.pretrain_domain!r}")
+
+
+MODEL_CONFIGS: dict[str, ModelConfig] = {
+    "BERT": ModelConfig(
+        name="BERT",
+        learning_rate=1e-3,
+        batch_size=16,
+        epochs=10,
+        pooling="cls",
+        pretrain_objective="mlm",
+        pretrain_domain="mixed",
+        pretrain_steps=300,
+        seed=11,
+    ),
+    "DistilBERT": ModelConfig(
+        name="DistilBERT",
+        n_layers=1,
+        learning_rate=1e-3,
+        batch_size=16,
+        epochs=10,
+        pooling="cls",
+        pretrain_objective="mlm",
+        pretrain_domain="mixed",
+        pretrain_steps=300,
+        seed=13,
+    ),
+    "MentalBERT": ModelConfig(
+        name="MentalBERT",
+        learning_rate=1e-3,
+        batch_size=16,
+        epochs=10,
+        pooling="cls",
+        pretrain_objective="mlm",
+        pretrain_domain="mental_health",
+        pretrain_steps=1500,
+        seed=17,
+    ),
+    "Flan-T5": ModelConfig(
+        name="Flan-T5",
+        learning_rate=3e-4,
+        batch_size=8,
+        epochs=10,
+        encoder_decoder=True,
+        pooling="mean",
+        instruction_prefix="classify the wellness dimension :",
+        pretrain_objective="mlm",
+        pretrain_domain="mixed",
+        pretrain_steps=300,
+        seed=19,
+    ),
+    "XLNet": ModelConfig(
+        name="XLNet",
+        learning_rate=1e-3,
+        batch_size=8,
+        epochs=10,
+        relative_positions=True,
+        use_absolute_positions=False,
+        pooling="mean",
+        pretrain_objective="plm",
+        pretrain_domain="mixed",
+        pretrain_steps=300,
+        seed=23,
+    ),
+    "GPT-2.0": ModelConfig(
+        name="GPT-2.0",
+        learning_rate=3e-4,
+        batch_size=4,
+        epochs=10,
+        causal=True,
+        pooling="last",
+        pretrain_objective="clm",
+        pretrain_domain="mixed",
+        pretrain_steps=600,
+        seed=29,
+    ),
+}
+
+
+def scaled_for_tests(config: ModelConfig) -> ModelConfig:
+    """A fast variant for unit tests: tiny model, one epoch, no pretrain."""
+    return replace(
+        config,
+        dim=16,
+        n_layers=1,
+        n_heads=2,
+        ffn_hidden=32,
+        max_len=24,
+        epochs=1,
+        pretrain_objective=None,
+        pretrain_steps=0,
+    )

@@ -1,0 +1,163 @@
+"""Fine-tuning loop for the transformer baselines.
+
+The Trainer owns the full §III-A protocol for one model: build (or reuse)
+a vocabulary, optionally pretrain with the model's objective and domain
+corpus, then fine-tune on labelled posts with the paper's hyperparameters
+(learning rate / batch size / epochs per model), tracking validation
+accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.labels import DIMENSIONS, WellnessDimension
+from repro.models.classifier import TransformerClassifier
+from repro.models.config import ModelConfig
+from repro.models.pretrain import build_pretraining_corpus, pretrain
+from repro.nn.optim import Adam, WarmupLinearSchedule, clip_grad_norm
+from repro.text.vocab import Vocabulary
+
+__all__ = ["TrainResult", "Trainer"]
+
+_PRETRAINED_CACHE: dict[tuple, dict[str, np.ndarray]] = {}
+
+
+@dataclass
+class TrainResult:
+    """Losses and validation accuracies collected during fine-tuning."""
+
+    train_losses: list[float] = field(default_factory=list)
+    val_accuracies: list[float] = field(default_factory=list)
+    pretrain_losses: list[float] = field(default_factory=list)
+
+
+class Trainer:
+    """Train one baseline transformer end to end.
+
+    Parameters
+    ----------
+    config:
+        The model's architecture + hyperparameters.
+    vocab:
+        Shared vocabulary; build once from the unlabeled corpus so every
+        model sees the same token space.
+    use_pretraining_cache:
+        Pretraining is deterministic given (config, vocab size); caching
+        the pretrained weights makes 10-fold cross-validation affordable
+        — each fold starts from the same pretrained checkpoint and only
+        fine-tuning differs, exactly like fine-tuning a published
+        checkpoint per fold.
+    """
+
+    def __init__(
+        self,
+        config: ModelConfig,
+        vocab: Vocabulary,
+        *,
+        n_classes: int = len(DIMENSIONS),
+        use_pretraining_cache: bool = True,
+    ) -> None:
+        self.config = config
+        self.vocab = vocab
+        self.n_classes = n_classes
+        self.use_pretraining_cache = use_pretraining_cache
+        self.model = TransformerClassifier(config, vocab, n_classes)
+        self.result = TrainResult()
+
+    # ------------------------------------------------------------------
+    def maybe_pretrain(self) -> None:
+        """Run (or restore from cache) the model's pretraining phase."""
+        config = self.config
+        if config.pretrain_objective is None or config.pretrain_steps <= 0:
+            return
+        cache_key = (
+            config.name,
+            config.pretrain_objective,
+            config.pretrain_domain,
+            config.pretrain_steps,
+            config.dim,
+            config.n_layers,
+            len(self.vocab),
+        )
+        if self.use_pretraining_cache and cache_key in _PRETRAINED_CACHE:
+            self.model.load_state_dict(_PRETRAINED_CACHE[cache_key])
+            return
+        corpus = build_pretraining_corpus(config.pretrain_domain, seed=101)
+        losses = pretrain(
+            self.model,
+            corpus,
+            steps=config.pretrain_steps,
+            objective=config.pretrain_objective,
+            batch_size=16,
+            learning_rate=1e-3,
+            seed=config.seed,
+        )
+        self.result.pretrain_losses = losses
+        if self.use_pretraining_cache:
+            _PRETRAINED_CACHE[cache_key] = self.model.state_dict()
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        train_texts: list[str],
+        train_labels: list[WellnessDimension],
+        *,
+        val_texts: list[str] | None = None,
+        val_labels: list[WellnessDimension] | None = None,
+    ) -> TrainResult:
+        """Pretrain (once) then fine-tune with the paper hyperparameters."""
+        if len(train_texts) != len(train_labels):
+            raise ValueError("texts and labels length mismatch")
+        if not train_texts:
+            raise ValueError("cannot fine-tune on an empty training set")
+        self.maybe_pretrain()
+
+        config = self.config
+        label_ids = np.asarray(
+            [DIMENSIONS.index(label) for label in train_labels], dtype=np.int64
+        )
+        n = len(train_texts)
+        steps_per_epoch = max(1, n // config.batch_size)
+        total_steps = steps_per_epoch * config.epochs
+        optimizer = Adam(self.model.parameters(), config.learning_rate)
+        schedule = WarmupLinearSchedule(
+            optimizer,
+            warmup_steps=max(2, total_steps // 10),
+            total_steps=total_steps + 1,
+        )
+        rng = np.random.default_rng(config.seed + 1000)
+
+        for _epoch in range(config.epochs):
+            order = rng.permutation(n)
+            for start in range(0, steps_per_epoch * config.batch_size, config.batch_size):
+                picks = order[start : start + config.batch_size]
+                if picks.size == 0:
+                    continue
+                batch_texts = [train_texts[int(i)] for i in picks]
+                token_ids = self.model.encode_batch(batch_texts)
+                loss = self.model.classification_loss(token_ids, label_ids[picks])
+                optimizer.zero_grad()
+                loss.backward()
+                clip_grad_norm(self.model.parameters(), 1.0)
+                schedule.step()
+                optimizer.step()
+                self.result.train_losses.append(loss.item())
+            if val_texts and val_labels:
+                self.result.val_accuracies.append(
+                    self.score(val_texts, val_labels)
+                )
+        return self.result
+
+    # ------------------------------------------------------------------
+    def predict(self, texts: list[str]) -> list[WellnessDimension]:
+        """Predicted wellness dimensions for raw texts."""
+        ids = self.model.predict(texts)
+        return [DIMENSIONS[int(i)] for i in ids]
+
+    def score(self, texts: list[str], labels: list[WellnessDimension]) -> float:
+        """Accuracy on a labelled set."""
+        predictions = self.predict(texts)
+        return sum(p == g for p, g in zip(predictions, labels)) / len(labels)

@@ -1,0 +1,64 @@
+"""Numpy autograd engine: tensors, layers, attention, optimisers."""
+
+from repro.nn.attention import MultiHeadAttention
+from repro.nn.functional import (
+    attention_mask_from_padding,
+    cross_entropy,
+    dropout,
+)
+from repro.nn.layers import (
+    Dropout,
+    Embedding,
+    LayerNorm,
+    Linear,
+    Module,
+    Sequential,
+)
+from repro.nn.optim import (
+    SGD,
+    Adam,
+    AdamW,
+    ConstantSchedule,
+    CosineSchedule,
+    LRSchedule,
+    WarmupLinearSchedule,
+    clip_grad_norm,
+)
+from repro.nn.serialization import load_weights, save_weights
+from repro.nn.tensor import Tensor, is_grad_enabled, no_grad
+from repro.nn.transformer import (
+    DecoderBlock,
+    EncoderBlock,
+    FeedForward,
+    TransformerEncoder,
+)
+
+__all__ = [
+    "Adam",
+    "AdamW",
+    "ConstantSchedule",
+    "CosineSchedule",
+    "DecoderBlock",
+    "Dropout",
+    "Embedding",
+    "EncoderBlock",
+    "FeedForward",
+    "LRSchedule",
+    "LayerNorm",
+    "Linear",
+    "Module",
+    "MultiHeadAttention",
+    "SGD",
+    "Sequential",
+    "Tensor",
+    "TransformerEncoder",
+    "WarmupLinearSchedule",
+    "attention_mask_from_padding",
+    "clip_grad_norm",
+    "cross_entropy",
+    "dropout",
+    "is_grad_enabled",
+    "load_weights",
+    "no_grad",
+    "save_weights",
+]

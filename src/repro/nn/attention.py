@@ -1,0 +1,123 @@
+"""Multi-head attention with optional causal masking and relative positions.
+
+One implementation serves all six baselines: BERT-family encoders use
+bidirectional attention with padding masks, GPT-2 adds the causal mask,
+the T5 decoder adds cross-attention, and the XLNet variant switches on
+the learned relative-position bias (its Transformer-XL inheritance).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Dropout, Linear, Module
+from repro.nn.tensor import Tensor
+
+__all__ = ["MultiHeadAttention"]
+
+_NEG_INF = -1e9
+
+
+class MultiHeadAttention(Module):
+    """Scaled dot-product attention over ``(B, T, D)`` inputs.
+
+    Parameters
+    ----------
+    dim:
+        Model width; must divide evenly by ``n_heads``.
+    n_heads:
+        Number of attention heads.
+    causal:
+        Mask future positions (decoder-style).
+    relative_positions:
+        Add a learned relative-position bias to the attention scores
+        (clipped at ``max_relative_distance``), as in Transformer-XL/XLNet
+        and T5.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        n_heads: int,
+        *,
+        causal: bool = False,
+        relative_positions: bool = False,
+        max_relative_distance: int = 16,
+        dropout: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if dim % n_heads != 0:
+            raise ValueError(f"dim {dim} not divisible by n_heads {n_heads}")
+        self.dim = dim
+        self.n_heads = n_heads
+        self.head_dim = dim // n_heads
+        self.causal = causal
+        self.relative_positions = relative_positions
+        self.max_relative_distance = max_relative_distance
+        self.q_proj = Linear(dim, dim, seed=seed)
+        self.k_proj = Linear(dim, dim, seed=seed + 1)
+        self.v_proj = Linear(dim, dim, seed=seed + 2)
+        self.out_proj = Linear(dim, dim, seed=seed + 3)
+        self.attn_dropout = Dropout(dropout, seed=seed + 4)
+        if relative_positions:
+            rng = np.random.default_rng(seed + 5)
+            n_buckets = 2 * max_relative_distance + 1
+            self.rel_bias = Tensor(
+                rng.normal(0.0, 0.02, size=(n_heads, n_buckets)),
+                requires_grad=True,
+            )
+
+    # ------------------------------------------------------------------
+    def _split_heads(self, x: Tensor) -> Tensor:
+        b, t, _ = x.shape
+        return x.reshape(b, t, self.n_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def _merge_heads(self, x: Tensor) -> Tensor:
+        b, h, t, d = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(b, t, h * d)
+
+    def _relative_bias(self, t_query: int, t_key: int) -> Tensor:
+        """Per-head bias ``(H, Tq, Tk)`` from clipped relative distances."""
+        positions = np.arange(t_key)[None, :] - np.arange(t_query)[:, None]
+        clipped = np.clip(
+            positions, -self.max_relative_distance, self.max_relative_distance
+        )
+        buckets = (clipped + self.max_relative_distance).astype(np.int64)
+        # Gather (H, Tq, Tk) from (H, n_buckets) via fancy indexing.
+        return self.rel_bias[:, buckets.reshape(-1)].reshape(
+            self.n_heads, t_query, t_key
+        )
+
+    # ------------------------------------------------------------------
+    def forward(
+        self,
+        query: Tensor,
+        key: Tensor | None = None,
+        value: Tensor | None = None,
+        *,
+        padding_mask: np.ndarray | None = None,
+    ) -> Tensor:
+        """Attend; ``key``/``value`` default to ``query`` (self-attention).
+
+        ``padding_mask`` is boolean, True on PAD key positions, and must
+        broadcast to the score shape ``(B, H, Tq, Tk)``.
+        """
+        key = query if key is None else key
+        value = key if value is None else value
+        q = self._split_heads(self.q_proj(query))
+        k = self._split_heads(self.k_proj(key))
+        v = self._split_heads(self.v_proj(value))
+
+        scores = (q @ k.swapaxes(-1, -2)) * (1.0 / np.sqrt(self.head_dim))
+        t_query, t_key = q.shape[2], k.shape[2]
+        if self.relative_positions:
+            scores = scores + self._relative_bias(t_query, t_key)
+        if self.causal:
+            future = np.triu(np.ones((t_query, t_key), dtype=bool), k=1)
+            scores = scores.masked_fill(future[None, None, :, :], _NEG_INF)
+        if padding_mask is not None:
+            scores = scores.masked_fill(padding_mask, _NEG_INF)
+
+        weights = self.attn_dropout(scores.softmax(axis=-1))
+        return self.out_proj(self._merge_heads(weights @ v))

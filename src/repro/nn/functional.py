@@ -1,0 +1,76 @@
+"""Loss functions and stateless neural helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = ["cross_entropy", "dropout", "attention_mask_from_padding"]
+
+
+def cross_entropy(
+    logits: Tensor,
+    targets: np.ndarray,
+    *,
+    ignore_index: int | None = None,
+) -> Tensor:
+    """Mean cross-entropy over the last axis of ``logits``.
+
+    ``logits`` may be ``(N, C)`` or ``(B, T, C)``; targets are the matching
+    integer array.  ``ignore_index`` masks positions out of the loss (used
+    by MLM pretraining, where only masked positions contribute).  The
+    softmax+NLL backward is fused for numerical stability.
+    """
+    flat_logits = logits.data.reshape(-1, logits.shape[-1])
+    flat_targets = np.asarray(targets, dtype=np.int64).reshape(-1)
+    if flat_logits.shape[0] != flat_targets.shape[0]:
+        raise ValueError(
+            f"{flat_logits.shape[0]} logit rows vs {flat_targets.shape[0]} targets"
+        )
+    if ignore_index is not None:
+        keep = flat_targets != ignore_index
+    else:
+        keep = np.ones_like(flat_targets, dtype=bool)
+    n_kept = int(keep.sum())
+    if n_kept == 0:
+        raise ValueError("no targets left after ignore_index masking")
+
+    shifted = flat_logits - flat_logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    probs = exp / exp.sum(axis=1, keepdims=True)
+    safe_targets = np.where(keep, flat_targets, 0)
+    picked = probs[np.arange(flat_targets.shape[0]), safe_targets]
+    losses = -np.log(picked + 1e-12)
+    loss_value = float(losses[keep].mean())
+
+    def backward(grad: np.ndarray) -> None:
+        if not logits.requires_grad:
+            return
+        scale = float(grad.reshape(-1)[0]) / n_kept
+        delta = probs.copy()
+        delta[np.arange(flat_targets.shape[0]), safe_targets] -= 1.0
+        delta[~keep] = 0.0
+        logits._accumulate((delta * scale).reshape(logits.shape))
+
+    return Tensor._make(np.asarray(loss_value, dtype=np.float32), (logits,), backward)
+
+
+def dropout(x: Tensor, p: float, rng: np.random.Generator, *, training: bool) -> Tensor:
+    """Inverted dropout: scales kept activations by ``1/(1-p)``."""
+    if not 0.0 <= p < 1.0:
+        raise ValueError("dropout probability must be in [0, 1)")
+    if not training or p == 0.0:
+        return x
+    mask = (rng.random(x.shape) >= p).astype(np.float32) / (1.0 - p)
+    return x * Tensor(mask)
+
+
+def attention_mask_from_padding(token_ids: np.ndarray, pad_id: int) -> np.ndarray:
+    """Boolean mask ``(B, 1, 1, T)`` that is True on PAD positions.
+
+    Broadcastable against attention scores ``(B, H, T, T)``; True entries
+    are filled with -inf before the softmax.
+    """
+    ids = np.asarray(token_ids)
+    return (ids == pad_id)[:, None, None, :]

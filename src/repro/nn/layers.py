@@ -1,0 +1,172 @@
+"""Neural network modules: parameter containers and core layers."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.nn.functional import dropout
+from repro.nn.tensor import Tensor
+
+__all__ = ["Module", "Linear", "Embedding", "LayerNorm", "Dropout", "Sequential"]
+
+
+class Module:
+    """Base class: tracks parameters and sub-modules by attribute."""
+
+    def __init__(self) -> None:
+        self._parameters: dict[str, Tensor] = {}
+        self._modules: dict[str, Module] = {}
+        self.training = True
+
+    def __setattr__(self, name: str, value: object) -> None:
+        if isinstance(value, Tensor) and value.requires_grad:
+            self.__dict__.setdefault("_parameters", {})[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", {})[name] = value
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------
+    def parameters(self) -> Iterator[Tensor]:
+        """All trainable tensors, depth-first, deterministic order."""
+        for param in self._parameters.values():
+            yield param
+        for module in self._modules.values():
+            yield from module.parameters()
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Tensor]]:
+        for name, param in self._parameters.items():
+            yield f"{prefix}{name}", param
+        for mod_name, module in self._modules.items():
+            yield from module.named_parameters(f"{prefix}{mod_name}.")
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def train(self) -> "Module":
+        self.training = True
+        for module in self._modules.values():
+            module.train()
+        return self
+
+    def eval(self) -> "Module":
+        self.training = False
+        for module in self._modules.values():
+            module.eval()
+        return self
+
+    def n_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise ValueError(
+                f"state dict mismatch: missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for name, param in own.items():
+            if param.data.shape != state[name].shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: "
+                    f"{param.data.shape} vs {state[name].shape}"
+                )
+            param.data = state[name].astype(np.float32).copy()
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class Linear(Module):
+    """Affine map ``y = x W + b`` with Xavier-uniform init."""
+
+    def __init__(
+        self, in_features: int, out_features: int, *, bias: bool = True, seed: int = 0
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        bound = np.sqrt(6.0 / (in_features + out_features))
+        self.weight = Tensor(
+            rng.uniform(-bound, bound, size=(in_features, out_features)),
+            requires_grad=True,
+        )
+        self.has_bias = bias
+        if bias:
+            self.bias = Tensor(np.zeros(out_features), requires_grad=True)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.has_bias:
+            out = out + self.bias
+        return out
+
+
+class Embedding(Module):
+    """Token-id → vector lookup table."""
+
+    def __init__(self, num_embeddings: int, dim: int, *, seed: int = 0) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.weight = Tensor(
+            rng.normal(0.0, 0.02, size=(num_embeddings, dim)), requires_grad=True
+        )
+
+    def forward(self, ids: np.ndarray) -> Tensor:
+        return Tensor.embedding(self.weight, ids)
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last axis with learned scale/shift."""
+
+    def __init__(self, dim: int, *, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.eps = eps
+        self.gain = Tensor(np.ones(dim), requires_grad=True)
+        self.shift = Tensor(np.zeros(dim), requires_grad=True)
+
+    def forward(self, x: Tensor) -> Tensor:
+        mu = x.mean(axis=-1, keepdims=True)
+        centred = x - mu
+        var = (centred * centred).mean(axis=-1, keepdims=True)
+        inv = (var + self.eps) ** -0.5
+        return centred * inv * self.gain + self.shift
+
+
+class Dropout(Module):
+    """Inverted dropout module with its own deterministic stream."""
+
+    def __init__(self, p: float, *, seed: int = 0) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout probability must be in [0, 1)")
+        self.p = p
+        self._rng = np.random.default_rng(seed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return dropout(x, self.p, self._rng, training=self.training)
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self.steps = list(modules)
+        for i, module in enumerate(modules):
+            setattr(self, f"step{i}", module)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self.steps:
+            x = module(x)
+        return x

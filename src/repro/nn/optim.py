@@ -1,0 +1,208 @@
+"""Optimisers and learning-rate schedules."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = [
+    "SGD",
+    "Adam",
+    "AdamW",
+    "LRSchedule",
+    "ConstantSchedule",
+    "WarmupLinearSchedule",
+    "CosineSchedule",
+    "clip_grad_norm",
+]
+
+
+def clip_grad_norm(parameters: Iterable[Tensor], max_norm: float) -> float:
+    """Scale gradients in place so their global L2 norm is <= ``max_norm``.
+
+    Returns the pre-clip norm.
+    """
+    params = [p for p in parameters if p.grad is not None]
+    total = float(np.sqrt(sum(float((p.grad**2).sum()) for p in params)))
+    if total > max_norm and total > 0:
+        scale = max_norm / total
+        for p in params:
+            p.grad *= scale
+    return total
+
+
+class _Optimizer:
+    """Shared bookkeeping: parameter list, zero_grad, step counting."""
+
+    def __init__(self, parameters: Iterable[Tensor], lr: float) -> None:
+        self.parameters = [p for p in parameters]
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = lr
+        self.t = 0
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class SGD(_Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(
+        self, parameters: Iterable[Tensor], lr: float, *, momentum: float = 0.0
+    ) -> None:
+        super().__init__(parameters, lr)
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self.t += 1
+        for p, v in zip(self.parameters, self._velocity):
+            if p.grad is None:
+                continue
+            if self.momentum > 0:
+                v *= self.momentum
+                v -= self.lr * p.grad
+                p.data += v
+            else:
+                p.data -= self.lr * p.grad
+
+
+class Adam(_Optimizer):
+    """Adam (Kingma & Ba, 2015) with bias correction."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Tensor],
+        lr: float,
+        *,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def _update(self, p: Tensor, m: np.ndarray, v: np.ndarray) -> np.ndarray:
+        m *= self.beta1
+        m += (1 - self.beta1) * p.grad
+        v *= self.beta2
+        v += (1 - self.beta2) * p.grad**2
+        m_hat = m / (1 - self.beta1**self.t)
+        v_hat = v / (1 - self.beta2**self.t)
+        return self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def step(self) -> None:
+        self.t += 1
+        for p, m, v in zip(self.parameters, self._m, self._v):
+            if p.grad is None:
+                continue
+            p.data -= self._update(p, m, v)
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (Loshchilov & Hutter, 2019)."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Tensor],
+        lr: float,
+        *,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.01,
+    ) -> None:
+        super().__init__(parameters, lr, betas=betas, eps=eps)
+        self.weight_decay = weight_decay
+
+    def step(self) -> None:
+        self.t += 1
+        for p, m, v in zip(self.parameters, self._m, self._v):
+            if p.grad is None:
+                continue
+            p.data -= self.lr * self.weight_decay * p.data
+            p.data -= self._update(p, m, v)
+
+
+class LRSchedule:
+    """Base schedule: maps step → learning rate and drives an optimizer."""
+
+    def __init__(self, optimizer: _Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self._step = 0
+
+    def rate(self, step: int) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one step; sets and returns the optimizer's new lr."""
+        self._step += 1
+        lr = self.rate(self._step)
+        self.optimizer.lr = lr
+        return lr
+
+
+class ConstantSchedule(LRSchedule):
+    """Fixed learning rate."""
+
+    def rate(self, step: int) -> float:
+        return self.base_lr
+
+
+class WarmupLinearSchedule(LRSchedule):
+    """Linear warmup to base lr, then linear decay to zero."""
+
+    def __init__(
+        self, optimizer: _Optimizer, *, warmup_steps: int, total_steps: int
+    ) -> None:
+        super().__init__(optimizer)
+        if total_steps <= warmup_steps:
+            raise ValueError("total_steps must exceed warmup_steps")
+        self.warmup_steps = max(1, warmup_steps)
+        self.total_steps = total_steps
+
+    def rate(self, step: int) -> float:
+        if step < self.warmup_steps:
+            return self.base_lr * step / self.warmup_steps
+        remaining = max(0, self.total_steps - step)
+        return self.base_lr * remaining / (self.total_steps - self.warmup_steps)
+
+
+class CosineSchedule(LRSchedule):
+    """Linear warmup followed by cosine decay to ``min_lr``."""
+
+    def __init__(
+        self,
+        optimizer: _Optimizer,
+        *,
+        warmup_steps: int,
+        total_steps: int,
+        min_lr: float = 0.0,
+    ) -> None:
+        super().__init__(optimizer)
+        if total_steps <= warmup_steps:
+            raise ValueError("total_steps must exceed warmup_steps")
+        self.warmup_steps = max(1, warmup_steps)
+        self.total_steps = total_steps
+        self.min_lr = min_lr
+
+    def rate(self, step: int) -> float:
+        if step < self.warmup_steps:
+            return self.base_lr * step / self.warmup_steps
+        progress = min(1.0, (step - self.warmup_steps) / (
+            self.total_steps - self.warmup_steps
+        ))
+        cosine = 0.5 * (1.0 + np.cos(np.pi * progress))
+        return self.min_lr + (self.base_lr - self.min_lr) * float(cosine)

@@ -1,0 +1,27 @@
+"""Weight persistence: save/load a module's state dict as ``.npz``."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.layers import Module
+
+__all__ = ["save_weights", "load_weights"]
+
+
+def save_weights(module: Module, path: str | Path) -> None:
+    """Write every named parameter to a compressed ``.npz`` archive."""
+    state = module.state_dict()
+    np.savez_compressed(str(path), **state)
+
+
+def load_weights(module: Module, path: str | Path) -> None:
+    """Load weights written by :func:`save_weights` into ``module``.
+
+    Shapes and names must match exactly.
+    """
+    with np.load(str(path)) as archive:
+        state = {name: archive[name] for name in archive.files}
+    module.load_state_dict(state)

@@ -1,0 +1,465 @@
+"""A small reverse-mode autodiff engine over numpy arrays.
+
+This is the substrate the six transformer baselines are built on: a
+``Tensor`` wraps an ``ndarray``, records the operation that produced it,
+and ``backward()`` walks the tape in reverse topological order
+accumulating gradients.  Broadcasting follows numpy semantics; gradients
+of broadcast operands are summed back to the original shape.
+
+Only the operations the models need are implemented, each with an exact
+(not numerical) backward rule; the test suite checks every rule against
+finite differences.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
+
+_GRAD_ENABLED = True
+
+
+class no_grad:
+    """Context manager disabling graph construction (inference mode)."""
+
+    def __enter__(self) -> None:
+        global _GRAD_ENABLED
+        self._previous = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+
+    def __exit__(self, *exc: object) -> None:
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._previous
+
+
+def is_grad_enabled() -> bool:
+    """True unless inside a :class:`no_grad` block."""
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` (inverse of numpy broadcasting)."""
+    if grad.shape == shape:
+        return grad
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """An autodiff node wrapping a float32 numpy array."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward_fn", "_parents")
+
+    def __init__(
+        self,
+        data: "np.ndarray | float | int | list",
+        *,
+        requires_grad: bool = False,
+    ) -> None:
+        array = np.asarray(data, dtype=np.float32)
+        self.data: np.ndarray = array
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self._backward_fn: Callable[[np.ndarray], None] | None = None
+        self._parents: tuple[Tensor, ...] = ()
+
+    # ------------------------------------------------------------------
+    # Graph helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def _make(
+        cls,
+        data: np.ndarray,
+        parents: tuple["Tensor", ...],
+        backward_fn: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        out = cls(data)
+        if _GRAD_ENABLED and any(p.requires_grad for p in parents):
+            out.requires_grad = True
+            out._parents = parents
+            out._backward_fn = backward_fn
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = grad.astype(np.float32, copy=True)
+        else:
+            self.grad += grad
+
+    def backward(self, grad: "np.ndarray | None" = None) -> None:
+        """Backpropagate from this tensor.
+
+        ``grad`` defaults to 1 for scalars; non-scalar roots require an
+        explicit output gradient.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("tensor does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("backward() on non-scalar needs an explicit grad")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=np.float32)
+
+        order: list[Tensor] = []
+        seen: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if parent.requires_grad and id(parent) not in seen:
+                    stack.append((parent, False))
+
+        self._accumulate(grad)
+        for node in reversed(order):
+            if node._backward_fn is not None and node.grad is not None:
+                node._backward_fn(node.grad)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def detach(self) -> "Tensor":
+        """A new tensor sharing data but cut from the graph."""
+        return Tensor(self.data)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def item(self) -> float:
+        return float(self.data.reshape(-1)[0])
+
+    def numpy(self) -> np.ndarray:
+        return self.data
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad})"
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _coerce(value: "Tensor | float | int | np.ndarray") -> "Tensor":
+        return value if isinstance(value, Tensor) else Tensor(value)
+
+    def __add__(self, other: "Tensor | float | int") -> "Tensor":
+        other = self._coerce(other)
+        data = self.data + other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad, self.data.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(grad, other.data.shape))
+
+        return Tensor._make(data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(-grad)
+
+        return Tensor._make(-self.data, (self,), backward)
+
+    def __sub__(self, other: "Tensor | float | int") -> "Tensor":
+        return self + (-self._coerce(other))
+
+    def __rsub__(self, other: "Tensor | float | int") -> "Tensor":
+        return self._coerce(other) + (-self)
+
+    def __mul__(self, other: "Tensor | float | int") -> "Tensor":
+        other = self._coerce(other)
+        data = self.data * other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad * other.data, self.data.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(grad * self.data, other.data.shape))
+
+        return Tensor._make(data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: "Tensor | float | int") -> "Tensor":
+        other = self._coerce(other)
+        data = self.data / other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad / other.data, self.data.shape))
+            if other.requires_grad:
+                other._accumulate(
+                    _unbroadcast(
+                        -grad * self.data / (other.data**2), other.data.shape
+                    )
+                )
+
+        return Tensor._make(data, (self, other), backward)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        data = self.data**exponent
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return Tensor._make(data, (self,), backward)
+
+    def __matmul__(self, other: "Tensor") -> "Tensor":
+        other = self._coerce(other)
+        data = self.data @ other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                if other.data.ndim == 1:
+                    grad_self = np.expand_dims(grad, -1) * other.data
+                else:
+                    grad_self = grad @ np.swapaxes(other.data, -1, -2)
+                self._accumulate(_unbroadcast(grad_self, self.data.shape))
+            if other.requires_grad:
+                if self.data.ndim == 1:
+                    grad_other = np.expand_dims(self.data, -1) * np.expand_dims(
+                        grad, -2
+                    )
+                else:
+                    grad_other = np.swapaxes(self.data, -1, -2) @ grad
+                other._accumulate(_unbroadcast(grad_other, other.data.shape))
+
+        return Tensor._make(data, (self, other), backward)
+
+    # ------------------------------------------------------------------
+    # Elementwise nonlinearities
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        data = np.exp(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * data)
+
+        return Tensor._make(data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        data = np.log(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad / self.data)
+
+        return Tensor._make(data, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * (1.0 - data**2))
+
+        return Tensor._make(data, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        data = np.maximum(self.data, 0.0)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * (self.data > 0))
+
+        return Tensor._make(data, (self,), backward)
+
+    def gelu(self) -> "Tensor":
+        """Gaussian error linear unit (tanh approximation)."""
+        c = np.float32(np.sqrt(2.0 / np.pi))
+        inner = c * (self.data + 0.044715 * self.data**3)
+        tanh_inner = np.tanh(inner)
+        data = 0.5 * self.data * (1.0 + tanh_inner)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                sech2 = 1.0 - tanh_inner**2
+                d_inner = c * (1.0 + 3 * 0.044715 * self.data**2)
+                local = 0.5 * (1.0 + tanh_inner) + 0.5 * self.data * sech2 * d_inner
+                self._accumulate(grad * local)
+
+        return Tensor._make(data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * data * (1.0 - data))
+
+        return Tensor._make(data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Reductions and shape ops
+    # ------------------------------------------------------------------
+    def sum(
+        self, axis: "int | tuple[int, ...] | None" = None, keepdims: bool = False
+    ) -> "Tensor":
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            g = grad
+            if axis is not None and not keepdims:
+                axes = (axis,) if isinstance(axis, int) else axis
+                for a in sorted(a % self.data.ndim for a in axes):
+                    g = np.expand_dims(g, a)
+            self._accumulate(np.broadcast_to(g, self.data.shape).copy())
+
+        return Tensor._make(data, (self,), backward)
+
+    def mean(
+        self, axis: "int | tuple[int, ...] | None" = None, keepdims: bool = False
+    ) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = (axis,) if isinstance(axis, int) else axis
+            count = int(np.prod([self.data.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis: int, keepdims: bool = False) -> "Tensor":
+        data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            g = grad if keepdims else np.expand_dims(grad, axis)
+            full = data if keepdims else np.expand_dims(data, axis)
+            mask = self.data == full
+            counts = mask.sum(axis=axis, keepdims=True)
+            self._accumulate(mask * g / counts)
+
+        return Tensor._make(data, (self,), backward)
+
+    def reshape(self, *shape: int) -> "Tensor":
+        data = self.data.reshape(shape)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad.reshape(self.data.shape))
+
+        return Tensor._make(data, (self,), backward)
+
+    def transpose(self, *axes: int) -> "Tensor":
+        order = axes or tuple(reversed(range(self.data.ndim)))
+        data = self.data.transpose(order)
+        inverse = np.argsort(order)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad.transpose(inverse))
+
+        return Tensor._make(data, (self,), backward)
+
+    def swapaxes(self, a: int, b: int) -> "Tensor":
+        data = np.swapaxes(self.data, a, b)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(np.swapaxes(grad, a, b))
+
+        return Tensor._make(data, (self,), backward)
+
+    def __getitem__(self, index) -> "Tensor":
+        data = self.data[index]
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                full = np.zeros_like(self.data)
+                np.add.at(full, index, grad)
+                self._accumulate(full)
+
+        return Tensor._make(data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Composite ops with fused backwards
+    # ------------------------------------------------------------------
+    def softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        exp = np.exp(shifted)
+        data = exp / exp.sum(axis=axis, keepdims=True)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                dot = (grad * data).sum(axis=axis, keepdims=True)
+                self._accumulate(data * (grad - dot))
+
+        return Tensor._make(data, (self,), backward)
+
+    def masked_fill(self, mask: np.ndarray, value: float) -> "Tensor":
+        """Replace entries where ``mask`` is True with ``value``."""
+        data = np.where(mask, np.float32(value), self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(
+                    _unbroadcast(
+                        np.where(mask, np.float32(0.0), grad), self.data.shape
+                    )
+                )
+
+        return Tensor._make(data, (self,), backward)
+
+    @staticmethod
+    def concatenate(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+        arrays = [t.data for t in tensors]
+        data = np.concatenate(arrays, axis=axis)
+        sizes = [a.shape[axis] for a in arrays]
+        offsets = np.cumsum([0] + sizes)
+
+        def backward(grad: np.ndarray) -> None:
+            slicer: list[slice] = [slice(None)] * grad.ndim
+            for t, start, end in zip(tensors, offsets[:-1], offsets[1:]):
+                if t.requires_grad:
+                    slicer[axis] = slice(int(start), int(end))
+                    t._accumulate(grad[tuple(slicer)])
+
+        return Tensor._make(data, tuple(tensors), backward)
+
+    @staticmethod
+    def embedding(weight: "Tensor", ids: np.ndarray) -> "Tensor":
+        """Row lookup ``weight[ids]`` with scatter-add backward."""
+        ids = np.asarray(ids, dtype=np.int64)
+        data = weight.data[ids]
+
+        def backward(grad: np.ndarray) -> None:
+            if weight.requires_grad:
+                full = np.zeros_like(weight.data)
+                np.add.at(full, ids, grad)
+                weight._accumulate(full)
+
+        return Tensor._make(data, (weight,), backward)

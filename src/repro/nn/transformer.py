@@ -1,0 +1,158 @@
+"""Transformer building blocks: encoder and decoder stacks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.attention import MultiHeadAttention
+from repro.nn.layers import Dropout, Embedding, LayerNorm, Linear, Module
+from repro.nn.tensor import Tensor
+
+__all__ = ["FeedForward", "EncoderBlock", "DecoderBlock", "TransformerEncoder"]
+
+
+class FeedForward(Module):
+    """Position-wise two-layer MLP with GELU."""
+
+    def __init__(self, dim: int, hidden: int, *, dropout: float = 0.0, seed: int = 0):
+        super().__init__()
+        self.up = Linear(dim, hidden, seed=seed)
+        self.down = Linear(hidden, dim, seed=seed + 1)
+        self.drop = Dropout(dropout, seed=seed + 2)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.drop(self.down(self.up(x).gelu()))
+
+
+class EncoderBlock(Module):
+    """Pre-norm transformer encoder block."""
+
+    def __init__(
+        self,
+        dim: int,
+        n_heads: int,
+        ffn_hidden: int,
+        *,
+        causal: bool = False,
+        relative_positions: bool = False,
+        dropout: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        self.norm1 = LayerNorm(dim)
+        self.attn = MultiHeadAttention(
+            dim,
+            n_heads,
+            causal=causal,
+            relative_positions=relative_positions,
+            dropout=dropout,
+            seed=seed,
+        )
+        self.norm2 = LayerNorm(dim)
+        self.ffn = FeedForward(dim, ffn_hidden, dropout=dropout, seed=seed + 10)
+        self.drop = Dropout(dropout, seed=seed + 20)
+
+    def forward(self, x: Tensor, *, padding_mask: np.ndarray | None = None) -> Tensor:
+        x = x + self.drop(self.attn(self.norm1(x), padding_mask=padding_mask))
+        return x + self.ffn(self.norm2(x))
+
+
+class DecoderBlock(Module):
+    """Pre-norm decoder block: causal self-attention + cross-attention."""
+
+    def __init__(
+        self,
+        dim: int,
+        n_heads: int,
+        ffn_hidden: int,
+        *,
+        dropout: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        self.norm1 = LayerNorm(dim)
+        self.self_attn = MultiHeadAttention(
+            dim, n_heads, causal=True, dropout=dropout, seed=seed
+        )
+        self.norm2 = LayerNorm(dim)
+        self.cross_attn = MultiHeadAttention(
+            dim, n_heads, dropout=dropout, seed=seed + 5
+        )
+        self.norm3 = LayerNorm(dim)
+        self.ffn = FeedForward(dim, ffn_hidden, dropout=dropout, seed=seed + 10)
+
+    def forward(
+        self,
+        x: Tensor,
+        memory: Tensor,
+        *,
+        memory_padding_mask: np.ndarray | None = None,
+    ) -> Tensor:
+        x = x + self.self_attn(self.norm1(x))
+        x = x + self.cross_attn(
+            self.norm2(x), memory, memory, padding_mask=memory_padding_mask
+        )
+        return x + self.ffn(self.norm3(x))
+
+
+class TransformerEncoder(Module):
+    """Token + position embeddings over a stack of encoder blocks.
+
+    ``use_absolute_positions=False`` (the XLNet variant) drops the learned
+    absolute position table; position information then flows only through
+    the blocks' relative-position biases.
+    """
+
+    def __init__(
+        self,
+        *,
+        vocab_size: int,
+        max_len: int,
+        dim: int,
+        n_layers: int,
+        n_heads: int,
+        ffn_hidden: int,
+        causal: bool = False,
+        relative_positions: bool = False,
+        use_absolute_positions: bool = True,
+        dropout: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        self.max_len = max_len
+        self.token_embedding = Embedding(vocab_size, dim, seed=seed)
+        self.use_absolute_positions = use_absolute_positions
+        if use_absolute_positions:
+            self.position_embedding = Embedding(max_len, dim, seed=seed + 1)
+        self.embed_dropout = Dropout(dropout, seed=seed + 2)
+        self.blocks = []
+        for layer in range(n_layers):
+            block = EncoderBlock(
+                dim,
+                n_heads,
+                ffn_hidden,
+                causal=causal,
+                relative_positions=relative_positions,
+                dropout=dropout,
+                seed=seed + 100 * (layer + 1),
+            )
+            setattr(self, f"block{layer}", block)
+            self.blocks.append(block)
+        self.final_norm = LayerNorm(dim)
+
+    def forward(
+        self, token_ids: np.ndarray, *, padding_mask: np.ndarray | None = None
+    ) -> Tensor:
+        ids = np.asarray(token_ids, dtype=np.int64)
+        if ids.ndim != 2:
+            raise ValueError(f"token_ids must be (B, T), got {ids.shape}")
+        if ids.shape[1] > self.max_len:
+            raise ValueError(f"sequence length {ids.shape[1]} > max_len {self.max_len}")
+        x = self.token_embedding(ids)
+        if self.use_absolute_positions:
+            positions = np.broadcast_to(np.arange(ids.shape[1]), ids.shape)
+            x = x + self.position_embedding(positions)
+        x = self.embed_dropout(x)
+        for block in self.blocks:
+            x = block(x, padding_mask=padding_mask)
+        return self.final_norm(x)

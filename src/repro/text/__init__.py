@@ -1,0 +1,34 @@
+"""Text-processing substrate: tokenisation, vocabulary, n-grams, TF-IDF."""
+
+from repro.text.ngrams import ngram_counts, ngrams, skipgrams
+from repro.text.stopwords import FUNCTION_WORDS, STOPWORDS, is_stopword
+from repro.text.tfidf import TfidfVectorizer
+from repro.text.tokenize import (
+    count_sentences,
+    count_words,
+    iter_tokens,
+    sent_tokenize,
+    word_tokenize,
+)
+from repro.text.vocab import CLS, MASK, PAD, SEP, UNK, Vocabulary
+
+__all__ = [
+    "CLS",
+    "FUNCTION_WORDS",
+    "MASK",
+    "PAD",
+    "SEP",
+    "STOPWORDS",
+    "TfidfVectorizer",
+    "UNK",
+    "Vocabulary",
+    "count_sentences",
+    "count_words",
+    "is_stopword",
+    "iter_tokens",
+    "ngram_counts",
+    "ngrams",
+    "sent_tokenize",
+    "skipgrams",
+    "word_tokenize",
+]

@@ -1,0 +1,54 @@
+"""N-gram utilities shared by BLEU, ROUGE and feature extraction."""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Sequence
+
+__all__ = ["ngrams", "ngram_counts", "skipgrams"]
+
+
+def ngrams(tokens: Sequence[str], n: int) -> list[tuple[str, ...]]:
+    """All contiguous ``n``-grams of ``tokens`` in order.
+
+    >>> ngrams(["a", "b", "c"], 2)
+    [('a', 'b'), ('b', 'c')]
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return [tuple(tokens[i : i + n]) for i in range(len(tokens) - n + 1)]
+
+
+def ngram_counts(tokens: Sequence[str], n: int) -> Counter[tuple[str, ...]]:
+    """Multiset of ``n``-grams — the object BLEU's clipped precision needs."""
+    return Counter(ngrams(tokens, n))
+
+
+def skipgrams(tokens: Sequence[str], n: int, k: int) -> list[tuple[str, ...]]:
+    """``n``-grams allowing up to ``k`` skipped tokens between elements.
+
+    Only ``n=2`` is needed by ROUGE-S; the general recursion is provided for
+    completeness and tested for small ``n``.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    results: list[tuple[str, ...]] = []
+
+    def extend(prefix: tuple[str, ...], start: int, skips_left: int) -> None:
+        if len(prefix) == n:
+            results.append(prefix)
+            return
+        for j in range(start, len(tokens)):
+            gap = j - start
+            if prefix and gap > skips_left:
+                break
+            extend(
+                prefix + (tokens[j],),
+                j + 1,
+                skips_left - gap if prefix else skips_left,
+            )
+
+    extend((), 0, k)
+    return results

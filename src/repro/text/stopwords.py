@@ -1,0 +1,58 @@
+"""English stop-word list.
+
+Used by the frequent-word analysis (Table III) and optionally by the TF-IDF
+vectoriser.  The list is a compact, hand-curated set of English function
+words; the paper's Table III keeps some pronouns ("me") as signal words, so
+the dataset-statistics code uses :data:`FUNCTION_WORDS` (a smaller list that
+keeps first-person pronouns) while feature extraction may use the full
+:data:`STOPWORDS`.
+"""
+
+from __future__ import annotations
+
+__all__ = ["STOPWORDS", "FUNCTION_WORDS", "is_stopword"]
+
+# Full stop-word list for feature extraction.
+STOPWORDS: frozenset[str] = frozenset(
+    """
+    a about above after again against all am an and any are aren't as at be
+    because been before being below between both but by can can't cannot
+    could couldn't did didn't do does doesn't doing don't down during each
+    few for from further had hadn't has hasn't have haven't having he he'd
+    he'll he's her here here's hers herself him himself his how how's i i'd
+    i'll i'm i've if in into is isn't it it's its itself let's me more most
+    mustn't my myself no nor not of off on once only or other ought our ours
+    ourselves out over own same shan't she she'd she'll she's should
+    shouldn't so some such than that that's the their theirs them themselves
+    then there there's these they they'd they'll they're they've this those
+    through to too under until up very was wasn't we we'd we'll we're we've
+    were weren't what what's when when's where where's which while who who's
+    whom why why's with won't would wouldn't you you'd you'll you're you've
+    your yours yourself yourselves
+    """.split()
+)
+
+# Reduced list for Table III style frequent-word profiles: the paper keeps
+# content-bearing pronouns such as "me" (Social Aspect) and words like
+# "feel", so only pure grammatical glue is removed.
+FUNCTION_WORDS: frozenset[str] = frozenset(
+    """
+    a about after all am an and any anymore are as at be because been being
+    but by can cannot could did do does doing even every feels for from get means
+    had has have having he her here his how i if in into is it its just keep
+    keeps like my never no nobody not nothing now of off on one or our out
+    over she since so some such than that the their them then there these
+    they this those through to too up was we were what when where which
+    while who why will with would you your
+    """.split()
+)
+
+
+def is_stopword(token: str, *, full: bool = True) -> bool:
+    """True when ``token`` is a stop word.
+
+    ``full`` selects between :data:`STOPWORDS` (feature extraction) and
+    :data:`FUNCTION_WORDS` (Table III profiles).
+    """
+    words = STOPWORDS if full else FUNCTION_WORDS
+    return token.lower() in words

@@ -1,0 +1,166 @@
+"""TF-IDF vectoriser built from scratch.
+
+The paper's traditional ML baselines "convert text data into numerical
+representation using Term Frequency-Inverse Document Frequency (TF-IDF)".
+This implementation mirrors scikit-learn's ``TfidfVectorizer`` defaults:
+
+* smooth idf: ``idf(t) = ln((1 + N) / (1 + df(t))) + 1``
+* optional sublinear tf: ``1 + ln(tf)``
+* L2 row normalisation
+
+so the downstream classifiers see features with the familiar scaling.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.text.stopwords import STOPWORDS
+from repro.text.tokenize import word_tokenize
+from repro.text.vocab import Vocabulary
+
+__all__ = ["TfidfVectorizer"]
+
+
+class TfidfVectorizer:
+    """Fit a TF-IDF model on a corpus and transform documents to vectors.
+
+    Parameters
+    ----------
+    max_features:
+        Keep only the ``max_features`` most frequent terms (by collection
+        frequency, ties broken alphabetically), like scikit-learn.
+    min_df / max_df:
+        Document-frequency bounds.  ``min_df`` is an absolute count;
+        ``max_df`` is a fraction of documents.
+    sublinear_tf:
+        Use ``1 + ln(tf)`` instead of raw term frequency.
+    remove_stopwords:
+        Drop English stop words before counting.
+    ngram_range:
+        Inclusive ``(lo, hi)`` range of word n-gram lengths; unigrams only
+        by default, matching the paper's frequency-based features.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_features: int | None = None,
+        min_df: int = 1,
+        max_df: float = 1.0,
+        sublinear_tf: bool = False,
+        remove_stopwords: bool = False,
+        ngram_range: tuple[int, int] = (1, 1),
+    ) -> None:
+        if min_df < 1:
+            raise ValueError("min_df must be >= 1")
+        if not 0.0 < max_df <= 1.0:
+            raise ValueError("max_df must be in (0, 1]")
+        lo, hi = ngram_range
+        if lo < 1 or hi < lo:
+            raise ValueError(f"invalid ngram_range {ngram_range}")
+        self.max_features = max_features
+        self.min_df = min_df
+        self.max_df = max_df
+        self.sublinear_tf = sublinear_tf
+        self.remove_stopwords = remove_stopwords
+        self.ngram_range = ngram_range
+        self._vocab: Vocabulary | None = None
+        self._idf: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    def _analyze(self, text: str) -> list[str]:
+        """Tokenise ``text`` into the terms this vectoriser counts."""
+        tokens = word_tokenize(text)
+        if self.remove_stopwords:
+            tokens = [t for t in tokens if t not in STOPWORDS]
+        lo, hi = self.ngram_range
+        if (lo, hi) == (1, 1):
+            return tokens
+        terms: list[str] = []
+        for n in range(lo, hi + 1):
+            terms.extend(
+                " ".join(tokens[i : i + n]) for i in range(len(tokens) - n + 1)
+            )
+        return terms
+
+    # ------------------------------------------------------------------
+    def fit(self, documents: Sequence[str]) -> "TfidfVectorizer":
+        """Learn vocabulary and idf weights from ``documents``."""
+        if not documents:
+            raise ValueError("cannot fit TfidfVectorizer on an empty corpus")
+        collection: Counter[str] = Counter()
+        doc_freq: Counter[str] = Counter()
+        n_docs = len(documents)
+        for doc in documents:
+            terms = self._analyze(doc)
+            collection.update(terms)
+            doc_freq.update(set(terms))
+
+        max_df_count = self.max_df * n_docs
+        eligible = [
+            term
+            for term, df in doc_freq.items()
+            if df >= self.min_df and df <= max_df_count
+        ]
+        eligible.sort(key=lambda t: (-collection[t], t))
+        if self.max_features is not None:
+            eligible = eligible[: self.max_features]
+        # Feature order is alphabetical for a stable column layout.
+        eligible.sort()
+
+        self._vocab = Vocabulary(eligible, specials=False)
+        idf = np.empty(len(eligible), dtype=np.float64)
+        for j, term in enumerate(eligible):
+            idf[j] = math.log((1.0 + n_docs) / (1.0 + doc_freq[term])) + 1.0
+        self._idf = idf
+        return self
+
+    def fit_transform(self, documents: Sequence[str]) -> np.ndarray:
+        """Fit on ``documents`` and return their TF-IDF matrix."""
+        return self.fit(documents).transform(documents)
+
+    def transform(self, documents: Iterable[str]) -> np.ndarray:
+        """TF-IDF matrix of shape ``(n_docs, n_features)``.
+
+        Unknown terms are ignored; all-zero rows stay zero after the L2
+        normalisation (no division by zero).
+        """
+        if self._vocab is None or self._idf is None:
+            raise RuntimeError("TfidfVectorizer must be fitted before transform")
+        docs = list(documents)
+        matrix = np.zeros((len(docs), len(self._vocab)), dtype=np.float64)
+        for i, doc in enumerate(docs):
+            counts = Counter(t for t in self._analyze(doc) if t in self._vocab)
+            for term, tf in counts.items():
+                weight = 1.0 + math.log(tf) if self.sublinear_tf else float(tf)
+                matrix[i, self._vocab[term]] = weight
+        matrix *= self._idf
+        norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+        np.divide(matrix, norms, out=matrix, where=norms > 0)
+        return matrix
+
+    # ------------------------------------------------------------------
+    @property
+    def feature_names(self) -> list[str]:
+        """Terms in column order."""
+        if self._vocab is None:
+            raise RuntimeError("TfidfVectorizer must be fitted first")
+        return [self._vocab.token(i) for i in range(len(self._vocab))]
+
+    @property
+    def idf(self) -> np.ndarray:
+        """Learned idf vector (copy)."""
+        if self._idf is None:
+            raise RuntimeError("TfidfVectorizer must be fitted first")
+        return self._idf.copy()
+
+    @property
+    def n_features(self) -> int:
+        if self._vocab is None:
+            raise RuntimeError("TfidfVectorizer must be fitted first")
+        return len(self._vocab)

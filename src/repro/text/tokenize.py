@@ -1,0 +1,97 @@
+"""Word and sentence tokenisation.
+
+The paper computes word counts, sentence counts (Table II) and frequent-word
+profiles over explanation spans (Table III).  Both rely on a deterministic,
+dependency-free tokeniser, which this module provides.
+
+The word tokeniser is intentionally simple — lowercased alphanumeric runs
+with internal apostrophes kept (``don't`` stays one token) — because the
+paper's statistics are plain word counts, and TF-IDF features downstream
+want a stable, reproducible token stream rather than a linguistically
+sophisticated one.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterable, Iterator
+
+__all__ = [
+    "word_tokenize",
+    "sent_tokenize",
+    "count_words",
+    "count_sentences",
+    "iter_tokens",
+]
+
+# A word is a run of letters/digits, optionally joined by a single internal
+# apostrophe or hyphen ("don't", "self-harm" stay single tokens).
+_WORD_RE = re.compile(r"[a-z0-9]+(?:['\-][a-z0-9]+)*")
+
+# Sentence boundaries: ., !, ? possibly repeated, followed by whitespace or
+# end of string.  Common abbreviations are protected first.
+_ABBREVIATIONS = ("mr", "mrs", "ms", "dr", "prof", "e.g", "i.e", "etc", "vs")
+_SENT_RE = re.compile(r"[.!?]+(?:\s+|$)")
+
+
+def word_tokenize(text: str) -> list[str]:
+    """Split ``text`` into lowercase word tokens.
+
+    >>> word_tokenize("I can't sleep -- my anxiety is BAD.")
+    ['i', "can't", 'sleep', 'my', 'anxiety', 'is', 'bad']
+    """
+    return _WORD_RE.findall(text.lower())
+
+
+def iter_tokens(texts: Iterable[str]) -> Iterator[str]:
+    """Stream tokens from many documents without materialising lists."""
+    for text in texts:
+        yield from word_tokenize(text)
+
+
+def _protect_abbreviations(text: str) -> str:
+    """Replace the trailing period of known abbreviations with a marker."""
+    out = text
+    for abbr in _ABBREVIATIONS:
+        out = re.sub(
+            rf"\b{re.escape(abbr)}\.",
+            lambda match: match.group(0).replace(".", "\x00"),
+            out,
+            flags=re.IGNORECASE,
+        )
+    return out
+
+
+def sent_tokenize(text: str) -> list[str]:
+    """Split ``text`` into sentences.
+
+    Handles runs of terminal punctuation ("What?!"), protects a small list
+    of abbreviations, and never returns empty sentences.
+
+    >>> sent_tokenize("I feel lost. Nothing helps! What now?")
+    ['I feel lost.', 'Nothing helps!', 'What now?']
+    """
+    protected = _protect_abbreviations(text.strip())
+    if not protected:
+        return []
+    sentences: list[str] = []
+    start = 0
+    for match in _SENT_RE.finditer(protected):
+        chunk = protected[start : match.end()].strip()
+        if chunk:
+            sentences.append(chunk.replace("\x00", "."))
+        start = match.end()
+    tail = protected[start:].strip()
+    if tail:
+        sentences.append(tail.replace("\x00", "."))
+    return sentences
+
+
+def count_words(text: str) -> int:
+    """Number of word tokens in ``text`` (the paper's word-count measure)."""
+    return len(word_tokenize(text))
+
+
+def count_sentences(text: str) -> int:
+    """Number of sentences in ``text`` (the paper's sentence-count measure)."""
+    return len(sent_tokenize(text))

@@ -1,0 +1,182 @@
+"""Vocabulary mapping tokens to integer ids.
+
+Shared by the TF-IDF vectoriser (feature index) and the transformer models
+(embedding table index).  Supports special tokens (padding, unknown, CLS,
+SEP, MASK) so a single class serves both consumers.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from collections.abc import Iterable
+from pathlib import Path
+
+from repro.text.tokenize import word_tokenize
+
+PAD = "[PAD]"
+UNK = "[UNK]"
+CLS = "[CLS]"
+SEP = "[SEP]"
+MASK = "[MASK]"
+
+__all__ = ["Vocabulary", "PAD", "UNK", "CLS", "SEP", "MASK"]
+
+
+class Vocabulary:
+    """A frozen token ↔ id mapping built from a corpus.
+
+    Parameters
+    ----------
+    tokens:
+        Ordinary tokens, most frequent first.  Special tokens must not be
+        included; they are always prepended in the canonical order
+        ``[PAD], [UNK], [CLS], [SEP], [MASK]`` when ``specials`` is True.
+    specials:
+        Whether to reserve ids for the five special tokens.  TF-IDF uses
+        ``specials=False``; neural models use the default True.
+    """
+
+    def __init__(self, tokens: Iterable[str], *, specials: bool = True) -> None:
+        self._specials = bool(specials)
+        base = [PAD, UNK, CLS, SEP, MASK] if specials else []
+        self._itos: list[str] = list(base)
+        seen = set(base)
+        for token in tokens:
+            if token in seen:
+                raise ValueError(f"duplicate token in vocabulary: {token!r}")
+            seen.add(token)
+            self._itos.append(token)
+        self._stoi: dict[str, int] = {t: i for i, t in enumerate(self._itos)}
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        texts: Iterable[str],
+        *,
+        max_size: int | None = None,
+        min_freq: int = 1,
+        specials: bool = True,
+    ) -> "Vocabulary":
+        """Build a vocabulary from raw documents.
+
+        Tokens are ranked by ``(-count, token)`` so ties break
+        deterministically.
+        """
+        counts: Counter[str] = Counter()
+        for text in texts:
+            counts.update(word_tokenize(text))
+        ranked = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        kept = [t for t, c in ranked if c >= min_freq]
+        if max_size is not None:
+            budget = max_size - (5 if specials else 0)
+            if budget < 0:
+                raise ValueError("max_size too small for special tokens")
+            kept = kept[:budget]
+        return cls(kept, specials=specials)
+
+    # ------------------------------------------------------------------
+    # Mapping API
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._itos)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._stoi
+
+    def __getitem__(self, token: str) -> int:
+        """Id of ``token``; falls back to ``[UNK]`` when specials exist."""
+        idx = self._stoi.get(token)
+        if idx is not None:
+            return idx
+        if self._specials:
+            return self._stoi[UNK]
+        raise KeyError(token)
+
+    def token(self, idx: int) -> str:
+        """Inverse lookup: token string for ``idx``."""
+        return self._itos[idx]
+
+    @property
+    def has_specials(self) -> bool:
+        return self._specials
+
+    @property
+    def pad_id(self) -> int:
+        return self._require_special(PAD)
+
+    @property
+    def unk_id(self) -> int:
+        return self._require_special(UNK)
+
+    @property
+    def cls_id(self) -> int:
+        return self._require_special(CLS)
+
+    @property
+    def sep_id(self) -> int:
+        return self._require_special(SEP)
+
+    @property
+    def mask_id(self) -> int:
+        return self._require_special(MASK)
+
+    def _require_special(self, token: str) -> int:
+        if not self._specials:
+            raise ValueError(f"vocabulary was built without special tokens ({token})")
+        return self._stoi[token]
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+    def encode(
+        self,
+        text: str,
+        *,
+        max_len: int | None = None,
+        add_cls: bool = False,
+        add_sep: bool = False,
+        pad_to: int | None = None,
+    ) -> list[int]:
+        """Encode ``text`` into token ids.
+
+        ``max_len`` truncates the *word* portion (CLS/SEP are extra),
+        ``pad_to`` right-pads with ``[PAD]`` up to a total length.
+        """
+        ids = [self[t] for t in word_tokenize(text)]
+        if max_len is not None:
+            ids = ids[:max_len]
+        if add_cls:
+            ids = [self.cls_id] + ids
+        if add_sep:
+            ids = ids + [self.sep_id]
+        if pad_to is not None:
+            if len(ids) > pad_to:
+                ids = ids[:pad_to]
+            ids = ids + [self.pad_id] * (pad_to - len(ids))
+        return ids
+
+    def decode(self, ids: Iterable[int], *, skip_special: bool = True) -> list[str]:
+        """Token strings for ``ids``, optionally dropping special tokens."""
+        specials = {PAD, UNK, CLS, SEP, MASK} if skip_special else set()
+        return [self._itos[i] for i in ids if self._itos[i] not in specials]
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Write the vocabulary to a JSON file."""
+        payload = {
+            "specials": self._specials,
+            "tokens": self._itos[5:] if self._specials else self._itos,
+        }
+        Path(path).write_text(json.dumps(payload), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Vocabulary":
+        """Read a vocabulary previously written by :meth:`save`."""
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        return cls(payload["tokens"], specials=payload["specials"])

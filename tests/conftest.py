@@ -1,0 +1,41 @@
+"""Shared fixtures.
+
+The full calibrated 1,420-post build takes under a second but is used by
+dozens of tests, so it is session-scoped.  ``small_dataset`` is an
+uncalibrated 10x-smaller corpus for tests that train models.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dataset import HolistixDataset
+from repro.core.labels import WellnessDimension
+from repro.corpus.generator import GeneratorConfig
+
+SMALL_CLASS_COUNTS = {
+    WellnessDimension.INTELLECTUAL: 16,
+    WellnessDimension.VOCATIONAL: 15,
+    WellnessDimension.SPIRITUAL: 19,
+    WellnessDimension.PHYSICAL: 30,
+    WellnessDimension.SOCIAL: 40,
+    WellnessDimension.EMOTIONAL: 22,
+}
+
+
+@pytest.fixture(scope="session")
+def dataset() -> HolistixDataset:
+    """The full calibrated Holistix build (paper defaults, seed 7)."""
+    return HolistixDataset.build()
+
+
+@pytest.fixture(scope="session")
+def small_dataset() -> HolistixDataset:
+    """A ~140-post corpus without calibration targets, for model tests."""
+    config = GeneratorConfig(
+        class_counts=dict(SMALL_CLASS_COUNTS),
+        seed=13,
+        target_total_words=None,
+        target_total_sentences=None,
+    )
+    return HolistixDataset.build(config)

@@ -1,0 +1,252 @@
+"""Tests for the annotation substrate: agreement, perplexity, annotators."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.annotation.agreement import (
+    cohen_kappa,
+    fleiss_kappa,
+    percent_agreement,
+    rating_matrix,
+)
+from repro.annotation.annotator import SimulatedAnnotator
+from repro.annotation.guidelines import ANNOTATION_GUIDELINES, PERPLEXITY_RULES
+from repro.annotation.perplexity import detect_dimensions, resolve_dominant
+from repro.annotation.task import AnnotationTask, run_annotation_study
+from repro.core.labels import DIMENSIONS, WellnessDimension
+
+
+class TestRatingMatrix:
+    def test_counts(self):
+        matrix = rating_matrix([("a", "b"), ("a", "a")], ["a", "b"])
+        assert matrix.tolist() == [[1, 1], [2, 0]]
+
+    def test_unequal_raters_rejected(self):
+        with pytest.raises(ValueError):
+            rating_matrix([("a", "b"), ("a",)], ["a", "b"])
+
+    def test_unknown_label_rejected(self):
+        with pytest.raises(ValueError):
+            rating_matrix([("a", "c")], ["a", "b"])
+
+    def test_single_rater_rejected(self):
+        with pytest.raises(ValueError):
+            rating_matrix([("a",)], ["a"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            rating_matrix([], ["a"])
+
+
+class TestFleissKappa:
+    def test_perfect_agreement(self):
+        matrix = rating_matrix([("a", "a"), ("b", "b")], ["a", "b"])
+        assert fleiss_kappa(matrix) == pytest.approx(1.0)
+
+    def test_perfect_disagreement_negative(self):
+        matrix = rating_matrix([("a", "b"), ("b", "a")], ["a", "b"])
+        assert fleiss_kappa(matrix) < 0
+
+    def test_single_category_degenerate(self):
+        matrix = rating_matrix([("a", "a")], ["a"])
+        assert fleiss_kappa(matrix) == 1.0
+
+    def test_fleiss_worked_example(self):
+        # The classic 10-subject / 14-rater / 5-category worked example;
+        # published value kappa = 0.210.
+        matrix = np.array(
+            [
+                [0, 0, 0, 0, 14], [0, 2, 6, 4, 2], [0, 0, 3, 5, 6],
+                [0, 3, 9, 2, 0], [2, 2, 8, 1, 1], [7, 7, 0, 0, 0],
+                [3, 2, 6, 3, 0], [2, 5, 3, 2, 2], [6, 5, 2, 1, 0],
+                [0, 2, 2, 3, 7],
+            ]
+        )
+        assert fleiss_kappa(matrix) == pytest.approx(0.210, abs=0.001)
+
+    def test_uneven_raters_rejected(self):
+        bad = np.array([[2, 0], [1, 0]])
+        with pytest.raises(ValueError):
+            fleiss_kappa(bad)
+
+    def test_matches_cohen_for_two_raters_roughly(self):
+        rng = np.random.default_rng(3)
+        labels_a = rng.choice(["x", "y", "z"], size=200).tolist()
+        labels_b = [
+            a if rng.random() < 0.7 else rng.choice(["x", "y", "z"])
+            for a in labels_a
+        ]
+        matrix = rating_matrix(list(zip(labels_a, labels_b)), ["x", "y", "z"])
+        # Fleiss with 2 raters is Scott's pi; close to Cohen's kappa when
+        # the marginals are similar.
+        assert fleiss_kappa(matrix) == pytest.approx(
+            cohen_kappa(labels_a, labels_b), abs=0.03
+        )
+
+
+class TestCohenAndAgreement:
+    def test_cohen_perfect(self):
+        assert cohen_kappa(["a", "b"], ["a", "b"]) == 1.0
+
+    def test_cohen_chance_is_zero(self):
+        # Independent raters with identical marginals -> kappa near 0.
+        rng = np.random.default_rng(0)
+        a = rng.choice(["x", "y"], size=4000).tolist()
+        b = rng.choice(["x", "y"], size=4000).tolist()
+        assert abs(cohen_kappa(a, b)) < 0.05
+
+    def test_percent_agreement(self):
+        assert percent_agreement(["a", "b", "c"], ["a", "b", "x"]) == pytest.approx(2 / 3)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            percent_agreement(["a"], ["a", "b"])
+        with pytest.raises(ValueError):
+            cohen_kappa(["a"], ["a", "b"])
+
+    @given(st.lists(st.sampled_from("ab"), min_size=1, max_size=50))
+    def test_kappa_bounds(self, labels):
+        assert cohen_kappa(labels, labels) == 1.0
+
+
+class TestGuidelines:
+    def test_seven_annotation_guidelines(self):
+        assert len(ANNOTATION_GUIDELINES) == 7
+        assert [g.number for g in ANNOTATION_GUIDELINES] == list(range(1, 8))
+
+    def test_six_perplexity_rules(self):
+        assert len(PERPLEXITY_RULES) == 6
+        assert [r.number for r in PERPLEXITY_RULES] == list(range(1, 7))
+
+    def test_rules_have_examples(self):
+        for rule in PERPLEXITY_RULES:
+            assert rule.example_text
+            assert rule.example_resolution
+
+
+class TestPerplexityEngine:
+    def test_detects_vocational(self):
+        evidence = detect_dimensions("my job and the money stress never stop")
+        assert evidence[0].dimension is WellnessDimension.VOCATIONAL
+
+    def test_detects_multiple(self):
+        evidence = detect_dimensions(
+            "my job drains me and i cannot sleep because of the anxiety"
+        )
+        dims = {e.dimension for e in evidence}
+        assert WellnessDimension.VOCATIONAL in dims
+        assert WellnessDimension.PHYSICAL in dims
+
+    def test_no_evidence_raises(self):
+        with pytest.raises(ValueError):
+            resolve_dominant("completely unrelated gardening chatter")
+
+    def test_emphasis_marker_wins(self):
+        text = (
+            "My sleep has fallen apart and the anxiety is constant. "
+            "Worst of all my job is gone and the money worries never stop."
+        )
+        decision = resolve_dominant(text)
+        assert decision.rule_applied == 1
+        assert decision.dominant is WellnessDimension.VOCATIONAL
+
+    def test_lexical_majority_wins_without_marker(self):
+        text = "my job my work my career and the money and also my sleep"
+        decision = resolve_dominant(text)
+        assert decision.dominant is WellnessDimension.VOCATIONAL
+        assert decision.rule_applied == 2
+
+    def test_candidates_sorted(self):
+        evidence = detect_dimensions("job money sleep anxiety friends alone")
+        scores = [e.score for e in evidence]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestSimulatedAnnotator:
+    def test_perfect_annotator_matches_gold(self, small_dataset):
+        annotator = SimulatedAnnotator(
+            "perfect", seed=1, clear_accuracy=1.0, ambiguous_accuracy=1.0
+        )
+        annotations = annotator.annotate_all(list(small_dataset))
+        agreement = sum(
+            a.label == inst.label
+            for a, inst in zip(annotations, small_dataset)
+        ) / len(annotations)
+        assert agreement == 1.0
+
+    def test_unreliable_annotator_diverges(self, small_dataset):
+        annotator = SimulatedAnnotator(
+            "sloppy", seed=2, clear_accuracy=0.5, ambiguous_accuracy=0.3
+        )
+        annotations = annotator.annotate_all(list(small_dataset))
+        agreement = sum(
+            a.label == inst.label
+            for a, inst in zip(annotations, small_dataset)
+        ) / len(annotations)
+        assert agreement < 0.8
+
+    def test_invalid_accuracy_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedAnnotator("x", seed=0, clear_accuracy=1.5)
+
+    def test_wrong_label_is_plausible(self, small_dataset):
+        from repro.corpus.lexicon import SECONDARY_BLEED
+
+        annotator = SimulatedAnnotator(
+            "confused", seed=3, clear_accuracy=0.0, ambiguous_accuracy=0.0
+        )
+        for inst in list(small_dataset)[:40]:
+            annotation = annotator.annotate(inst)
+            if annotation.label != inst.label:
+                plausible = set(SECONDARY_BLEED[inst.label]) | {
+                    d for d in DIMENSIONS
+                }
+                assert annotation.label in plausible
+
+
+class TestAnnotationStudy:
+    def test_kappa_near_paper(self, dataset):
+        report = run_annotation_study(list(dataset))
+        assert abs(report.kappa_percent - 75.92) < 3.0
+
+    def test_report_consistency(self, small_dataset):
+        report = run_annotation_study(list(small_dataset))
+        assert report.n_items == len(small_dataset)
+        assert 0 <= report.raw_agreement <= 1
+        assert report.n_disagreements == sum(report.confusion_pairs.values())
+
+    def test_adjudication_resolves_everything(self, small_dataset):
+        task = AnnotationTask(
+            annotators=(
+                SimulatedAnnotator("a", seed=10),
+                SimulatedAnnotator("b", seed=20),
+            )
+        )
+        instances = list(small_dataset)
+        ann_a, ann_b, _ = task.run(instances)
+        final = task.adjudicate(instances, ann_a, ann_b)
+        assert len(final) == len(instances)
+        # Where annotators agreed, adjudication keeps their label.
+        for inst, a, b, f in zip(instances, ann_a, ann_b, final):
+            if a.label == b.label:
+                assert f == a.label
+            else:
+                assert f == inst.label
+
+    def test_empty_task_rejected(self):
+        task = AnnotationTask(
+            annotators=(
+                SimulatedAnnotator("a", seed=1),
+                SimulatedAnnotator("b", seed=2),
+            )
+        )
+        with pytest.raises(ValueError):
+            task.run([])
+
+    def test_confusions_concentrate_on_bleed_pairs(self, dataset):
+        report = run_annotation_study(list(dataset))
+        top = dict(report.top_confusions(3))
+        # The §IV confusions: EA with SA/PA/SpiA dominate.
+        assert any("EA" in pair for pair in top)

@@ -1,0 +1,187 @@
+"""Tests for calibration internals and the template banks."""
+
+import numpy as np
+import pytest
+
+from repro.core.labels import DIMENSIONS
+from repro.corpus.calibrate import CalibrationError, calibrate
+from repro.corpus.generator import DraftPost, GeneratorConfig, generate_drafts
+from repro.corpus.templates import (
+    EMPHASIS_MARKERS,
+    FILLER_SENTENCES,
+    MEDIUM_FILLER_SENTENCES,
+    OFFTOPIC_SENTENCES,
+    PAD_WORDS,
+    SHORT_FILLER_SENTENCES,
+    SPAN_TEMPLATES,
+    SpanTemplate,
+    render_span_template,
+)
+from repro.core.labels import WellnessDimension
+from repro.text.tokenize import count_words
+
+
+class TestTemplateBank:
+    def test_every_dimension_has_templates(self):
+        for dim in DIMENSIONS:
+            assert len(SPAN_TEMPLATES[dim]) >= 6
+
+    def test_render_span_inside_sentence(self):
+        rng = np.random.default_rng(0)
+        for dim in DIMENSIONS:
+            for template in SPAN_TEMPLATES[dim]:
+                sentence, span = render_span_template(template, rng)
+                assert span in sentence
+                assert sentence.endswith(".")
+                # The span must end before the final period so pad-word
+                # insertion can never disturb it.
+                assert sentence.index(span) + len(span) <= len(sentence) - 1
+
+    def test_render_uses_choices(self):
+        template = SpanTemplate("", "i feel {a}", ".", ("lost", "numb"))
+        rng = np.random.default_rng(1)
+        rendered = {render_span_template(template, rng)[1] for _ in range(20)}
+        assert rendered == {"i feel lost", "i feel numb"}
+
+    def test_filler_pools_disjoint_lengths_available(self):
+        lengths = {count_words(s) for s in FILLER_SENTENCES}
+        short_lengths = {count_words(s) for s in SHORT_FILLER_SENTENCES}
+        assert min(short_lengths) < min(lengths)
+
+    def test_all_fillers_end_with_period(self):
+        for pool in (FILLER_SENTENCES, MEDIUM_FILLER_SENTENCES, SHORT_FILLER_SENTENCES):
+            assert all(s.endswith(".") for s in pool)
+
+    def test_pad_words_are_single_tokens(self):
+        assert all(count_words(w) == 1 for w in PAD_WORDS)
+
+    def test_emphasis_markers_lowercase_phrases(self):
+        for marker in EMPHASIS_MARKERS:
+            assert marker == marker.lower()
+            assert count_words(marker) >= 2
+
+    def test_offtopic_sentences_have_no_distress_vocab(self):
+        from repro.corpus.preprocess import is_on_topic
+
+        for sentence in OFFTOPIC_SENTENCES:
+            assert not is_on_topic(sentence), sentence
+
+
+class TestCalibrationBehaviour:
+    def _config(self, words, sentences, seed=3):
+        counts = {d: 30 for d in DIMENSIONS}
+        return GeneratorConfig(
+            class_counts=counts,
+            seed=seed,
+            target_total_words=words,
+            target_total_sentences=sentences,
+        )
+
+    def test_hits_feasible_targets_exactly(self):
+        # Measure an uncalibrated draw, then target slightly different
+        # totals; calibration must land exactly.
+        probe = GeneratorConfig(
+            class_counts={d: 30 for d in DIMENSIONS},
+            seed=3,
+            target_total_words=None,
+            target_total_sentences=None,
+        )
+        drafts = generate_drafts(probe)
+        words = sum(d.word_count() for d in drafts)
+        sentences = sum(d.sentence_count() for d in drafts)
+        config = self._config(words + 120, sentences + 25)
+        drafts = generate_drafts(config)
+        calibrate(drafts, config)
+        assert sum(d.word_count() for d in drafts) == words + 120
+        assert sum(d.sentence_count() for d in drafts) == sentences + 25
+
+    def test_shrinks_toward_lower_targets(self):
+        probe = GeneratorConfig(
+            class_counts={d: 30 for d in DIMENSIONS},
+            seed=4,
+            target_total_words=None,
+            target_total_sentences=None,
+        )
+        drafts = generate_drafts(probe)
+        words = sum(d.word_count() for d in drafts)
+        sentences = sum(d.sentence_count() for d in drafts)
+        config = self._config(words - 150, sentences - 10, seed=4)
+        drafts = generate_drafts(config)
+        calibrate(drafts, config)
+        assert sum(d.word_count() for d in drafts) == words - 150
+        assert sum(d.sentence_count() for d in drafts) == sentences - 10
+
+    def test_preserves_spans(self):
+        # Feasible targets for a 180-post corpus: measure, then nudge.
+        probe = GeneratorConfig(
+            class_counts={d: 30 for d in DIMENSIONS},
+            seed=5,
+            target_total_words=None,
+            target_total_sentences=None,
+        )
+        measured = generate_drafts(probe)
+        config = GeneratorConfig(
+            class_counts={d: 30 for d in DIMENSIONS},
+            seed=5,
+            target_total_words=sum(d.word_count() for d in measured) + 60,
+            target_total_sentences=sum(d.sentence_count() for d in measured) + 12,
+        )
+        from repro.corpus.generator import assemble
+
+        drafts = calibrate(generate_drafts(config), config)
+        for i, draft in enumerate(drafts[:200]):
+            inst = assemble(draft, f"c{i}")
+            assert inst.post.text[inst.span.start : inst.span.end] == inst.span.text
+
+    def test_preserves_uniqueness(self):
+        probe = GeneratorConfig(
+            class_counts={d: 40 for d in DIMENSIONS},
+            seed=6,
+            target_total_words=None,
+            target_total_sentences=None,
+        )
+        measured = generate_drafts(probe)
+        config = GeneratorConfig(
+            class_counts={d: 40 for d in DIMENSIONS},
+            seed=6,
+            target_total_words=sum(d.word_count() for d in measured) + 80,
+            target_total_sentences=sum(d.sentence_count() for d in measured) + 15,
+        )
+        drafts = calibrate(generate_drafts(config), config)
+        texts = [d.text() for d in drafts]
+        assert len(set(texts)) == len(texts)
+
+    def test_duplicate_drafts_rejected(self):
+        draft = DraftPost(
+            label=WellnessDimension.SOCIAL,
+            category="Anxiety",
+            sentences=[("I feel alone.", "span")],
+            span_sentence_idx=0,
+            span_local=(0, 12),
+        )
+        clone = DraftPost(
+            label=WellnessDimension.SOCIAL,
+            category="Anxiety",
+            sentences=[("I feel alone.", "span")],
+            span_sentence_idx=0,
+            span_local=(0, 12),
+        )
+        with pytest.raises(CalibrationError, match="unique"):
+            calibrate([draft, clone], GeneratorConfig())
+
+    def test_impossible_word_target_raises(self):
+        config = GeneratorConfig(
+            class_counts={WellnessDimension.SOCIAL: 8},
+            seed=7,
+            target_total_words=40,  # far below the content minimum
+            target_total_sentences=None,
+        )
+        drafts = generate_drafts(config)
+        with pytest.raises(CalibrationError):
+            calibrate(drafts, config)
+
+    def test_default_build_grows_maximum_post(self, dataset):
+        word_counts = [i.post.word_count for i in dataset]
+        sentence_counts = [i.post.sentence_count for i in dataset]
+        assert max(word_counts) == 115
+        assert max(sentence_counts) == 9

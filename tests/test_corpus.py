@@ -1,0 +1,285 @@
+"""Tests for the corpus substrate: generator, calibration, forum, funnel."""
+
+import numpy as np
+import pytest
+
+from repro.core.labels import DIMENSIONS, WellnessDimension
+from repro.corpus.calibrate import CalibrationError, calibrate
+from repro.corpus.forum import JunkProfile, SimulatedForum
+from repro.corpus.generator import (
+    FORUM_CATEGORIES,
+    PAPER_CLASS_COUNTS,
+    DraftPost,
+    GeneratorConfig,
+    assemble,
+    draft_post,
+    generate_drafts,
+)
+from repro.corpus.hardness import HARDNESS, TypeMixture, WEAK_PHRASES
+from repro.corpus.lexicon import SECONDARY_BLEED, all_dimension_words
+from repro.corpus.preprocess import is_on_topic, preprocess
+from repro.corpus.scraper import scrape_board, scrape_forum
+from repro.text.tokenize import count_sentences, count_words
+
+
+class TestGeneratorConfig:
+    def test_paper_counts_sum(self):
+        assert sum(PAPER_CLASS_COUNTS.values()) == 1420
+
+    def test_invalid_counts(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(class_counts={WellnessDimension.SOCIAL: -1})
+
+    def test_invalid_noise(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(label_noise=1.5)
+
+    def test_invalid_max_words(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(max_words=5)
+
+
+class TestDraftPost:
+    def _draft(self, label=WellnessDimension.SOCIAL, seed=0):
+        return draft_post(label, np.random.default_rng(seed))
+
+    def test_span_inside_sentence(self):
+        for seed in range(30):
+            draft = self._draft(seed=seed)
+            sentence, kind = draft.sentences[draft.span_sentence_idx]
+            assert kind == "span"
+            lo, hi = draft.span_local
+            assert 0 <= lo < hi <= len(sentence)
+
+    def test_every_dimension_drafts(self):
+        rng = np.random.default_rng(1)
+        for dim in DIMENSIONS:
+            draft = draft_post(dim, rng)
+            assert draft.label is dim
+            assert draft.category in FORUM_CATEGORIES
+
+    def test_post_types_cover_all(self):
+        rng = np.random.default_rng(2)
+        types = {
+            draft_post(WellnessDimension.EMOTIONAL, rng).post_type
+            for _ in range(80)
+        }
+        assert types == {"clear", "balanced", "generic"}
+
+    def test_balanced_has_partner(self):
+        rng = np.random.default_rng(3)
+        for _ in range(60):
+            draft = draft_post(WellnessDimension.SOCIAL, rng)
+            if draft.post_type == "balanced":
+                assert draft.secondary_dims
+                assert draft.secondary_dims[0] != draft.label
+                break
+        else:
+            pytest.fail("no balanced draft in 60 tries")
+
+    def test_drop_and_append_filler(self):
+        draft = DraftPost(
+            label=WellnessDimension.SOCIAL,
+            category="Anxiety",
+            sentences=[("I feel alone.", "span"), ("Thanks for reading.", "filler")],
+            span_sentence_idx=0,
+            span_local=(0, 12),
+        )
+        assert draft.can_drop_filler()
+        words = draft.drop_last_filler()
+        assert words == 3
+        assert not draft.can_drop_filler()
+        draft.append_filler("Sorry for rambling on.")
+        assert draft.sentence_count() == 2
+
+    def test_drop_longest_filler(self):
+        draft = DraftPost(
+            label=WellnessDimension.SOCIAL,
+            category="Anxiety",
+            sentences=[
+                ("Short one.", "filler"),
+                ("I feel alone.", "span"),
+                ("This filler is much much longer than the other.", "filler"),
+            ],
+            span_sentence_idx=1,
+            span_local=(0, 12),
+        )
+        dropped = draft.drop_longest_filler()
+        assert dropped == 9
+        assert draft.span_sentence_idx == 1
+
+    def test_drop_filler_before_span_shifts_index(self):
+        draft = DraftPost(
+            label=WellnessDimension.SOCIAL,
+            category="Anxiety",
+            sentences=[("Filler first.", "filler"), ("I feel alone.", "span")],
+            span_sentence_idx=1,
+            span_local=(0, 12),
+        )
+        draft.drop_last_filler()
+        assert draft.span_sentence_idx == 0
+
+    def test_insert_pad_word(self):
+        draft = DraftPost(
+            label=WellnessDimension.SOCIAL,
+            category="Anxiety",
+            sentences=[("I feel alone.", "span")],
+            span_sentence_idx=0,
+            span_local=(0, 12),
+        )
+        draft.insert_pad_word("honestly")
+        assert draft.sentences[0][0] == "I feel alone honestly."
+        # Span text unchanged at its offsets.
+        assert draft.sentences[0][0][0:12] == "I feel alone"
+
+
+class TestAssemble:
+    def test_span_invariant_holds(self):
+        rng = np.random.default_rng(5)
+        for i in range(100):
+            dim = DIMENSIONS[i % 6]
+            inst = assemble(draft_post(dim, rng), f"p{i}")
+            assert inst.post.text[inst.span.start : inst.span.end] == inst.span.text
+
+    def test_metadata_recorded(self):
+        rng = np.random.default_rng(6)
+        inst = assemble(draft_post(WellnessDimension.PHYSICAL, rng), "p0")
+        assert inst.metadata["post_type"] in ("clear", "balanced", "generic")
+        assert "marked" in inst.metadata
+
+
+class TestGenerateAndCalibrate:
+    def test_exact_paper_statistics(self, dataset):
+        stats = dataset.statistics()
+        assert stats.total_posts == 1420
+        assert stats.total_words == 37082
+        assert stats.total_sentences == 2271
+        assert stats.max_words_per_post == 115
+        assert stats.max_sentences_per_post == 9
+        assert stats.dimension_counts == PAPER_CLASS_COUNTS
+
+    def test_texts_unique(self, dataset):
+        assert len({i.text for i in dataset}) == 1420
+
+    def test_deterministic(self):
+        config = GeneratorConfig(
+            class_counts={WellnessDimension.SOCIAL: 25, WellnessDimension.EMOTIONAL: 20},
+            target_total_words=None,
+            target_total_sentences=None,
+        )
+        a = [d.text() for d in generate_drafts(config)]
+        b = [d.text() for d in generate_drafts(config)]
+        assert a == b
+
+    def test_class_counts_respected_with_noise(self, small_dataset):
+        from collections import Counter
+
+        counts = Counter(i.label for i in small_dataset)
+        from tests.conftest import SMALL_CLASS_COUNTS
+
+        assert dict(counts) == SMALL_CLASS_COUNTS
+
+    def test_calibrate_skips_without_targets(self):
+        config = GeneratorConfig(
+            class_counts={WellnessDimension.SOCIAL: 10},
+            target_total_words=None,
+            target_total_sentences=None,
+        )
+        drafts = generate_drafts(config)
+        texts_before = [d.text() for d in drafts]
+        calibrate(drafts, config)
+        assert [d.text() for d in drafts] == texts_before
+
+    def test_calibrate_empty_rejected(self):
+        with pytest.raises(CalibrationError):
+            calibrate([], GeneratorConfig())
+
+
+class TestHardness:
+    def test_mixtures_sum_to_one(self):
+        for mixture in HARDNESS.values():
+            assert mixture.clear + mixture.balanced + mixture.generic == pytest.approx(1.0)
+
+    def test_invalid_mixture(self):
+        with pytest.raises(ValueError):
+            TypeMixture(clear=0.5, balanced=0.5, generic=0.5)
+
+    def test_weak_phrases_shared(self):
+        # Every weak phrase belongs to at least two dimensions.
+        from collections import Counter
+
+        owners = Counter()
+        for phrases in WEAK_PHRASES.values():
+            for phrase in set(phrases):
+                owners[phrase] += 1
+        assert all(count >= 2 for count in owners.values())
+
+    def test_bleed_excludes_self(self):
+        for dim, targets in SECONDARY_BLEED.items():
+            assert dim not in targets
+
+    def test_lexicons_nonempty(self):
+        for dim in DIMENSIONS:
+            assert len(all_dimension_words(dim)) >= 10
+
+
+class TestForumAndScraper:
+    @pytest.fixture(scope="class")
+    def forum(self, dataset):
+        return SimulatedForum.populate(list(dataset), seed=7)
+
+    def test_raw_pool_size(self, forum):
+        assert len(forum) == 2000
+
+    def test_junk_profile_total(self):
+        assert JunkProfile().total == 580
+
+    def test_boards_cover_categories(self, forum):
+        total = sum(len(forum.board(c)) for c in forum.categories)
+        assert total == 2000
+
+    def test_render_parse_roundtrip(self, forum):
+        scraped = scrape_forum(forum)
+        original = {(p.post_id, p.text, p.category) for p in forum.posts}
+        recovered = {(p.post_id, p.text, p.category) for p in scraped}
+        assert original == recovered
+
+    def test_scrape_board_handles_escaping(self):
+        html_page = (
+            '<section class="board" data-category="Anxiety">'
+            '<article class="forum-post" data-post-id="x1">'
+            '<div class="post-body">a &amp; b &lt;tag&gt;</div>'
+            "</article></section>"
+        )
+        posts = scrape_board(html_page)
+        assert posts[0].text == "a & b <tag>"
+
+    def test_funnel_counts(self, forum):
+        clean, report = preprocess(scrape_forum(forum))
+        assert report.raw == 2000
+        assert report.removed_empty == 120
+        assert report.removed_duplicates == 180
+        assert report.removed_overlong == 130
+        assert report.removed_offtopic == 150
+        assert report.after_topic_filter == 1420
+        assert len(clean) == 1420
+
+    def test_funnel_recovers_gold_texts(self, forum, dataset):
+        clean, _ = preprocess(scrape_forum(forum))
+        assert {p.text for p in clean} == {i.text for i in dataset}
+
+    def test_funnel_stage_order(self, forum):
+        _, report = preprocess(scrape_forum(forum))
+        counts = [count for _, count in report.stages()]
+        assert counts == sorted(counts, reverse=True)
+
+
+class TestOnTopic:
+    def test_distress_text_on_topic(self):
+        assert is_on_topic("my anxiety keeps me awake")
+
+    def test_smalltalk_off_topic(self):
+        assert not is_on_topic("lovely weather in brisbane this weekend")
+
+    def test_empty_off_topic(self):
+        assert not is_on_topic("")

@@ -1,0 +1,102 @@
+"""Property-based tests on the corpus generator's invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.dataset import HolistixDataset
+from repro.core.labels import DIMENSIONS
+from repro.corpus.generator import GeneratorConfig, assemble, draft_post
+from repro.text.tokenize import count_sentences, count_words
+
+_dim = st.sampled_from(list(DIMENSIONS))
+
+
+class TestDraftProperties:
+    @given(dim=_dim, seed=st.integers(0, 2000))
+    @settings(max_examples=120, deadline=None)
+    def test_span_always_recoverable(self, dim, seed):
+        draft = draft_post(dim, np.random.default_rng(seed))
+        instance = assemble(draft, "prop")
+        assert (
+            instance.post.text[instance.span.start : instance.span.end]
+            == instance.span.text
+        )
+        assert instance.span.text  # never empty
+
+    @given(dim=_dim, seed=st.integers(0, 2000))
+    @settings(max_examples=80, deadline=None)
+    def test_limits_respected(self, dim, seed):
+        draft = draft_post(dim, np.random.default_rng(seed))
+        assert draft.sentence_count() <= 9
+        # max_words may be exceeded only when no filler is droppable,
+        # which the generator prevents for the default limits.
+        assert draft.word_count() <= 115
+
+    @given(dim=_dim, seed=st.integers(0, 2000))
+    @settings(max_examples=80, deadline=None)
+    def test_word_count_consistent_with_text(self, dim, seed):
+        draft = draft_post(dim, np.random.default_rng(seed))
+        assert draft.word_count() == count_words(draft.text())
+
+    @given(dim=_dim, seed=st.integers(0, 2000))
+    @settings(max_examples=60, deadline=None)
+    def test_sentence_count_consistent_with_tokenizer(self, dim, seed):
+        draft = draft_post(dim, np.random.default_rng(seed))
+        assert draft.sentence_count() == count_sentences(draft.text())
+
+    @given(dim=_dim, seed=st.integers(0, 1000))
+    @settings(max_examples=60, deadline=None)
+    def test_label_matches_request_without_noise(self, dim, seed):
+        draft = draft_post(dim, np.random.default_rng(seed))
+        assert draft.label is dim
+
+    @given(dim=_dim, seed=st.integers(0, 800))
+    @settings(max_examples=50, deadline=None)
+    def test_balanced_posts_have_distinct_partner(self, dim, seed):
+        draft = draft_post(dim, np.random.default_rng(seed))
+        if draft.post_type == "balanced":
+            assert len(draft.secondary_dims) == 1
+            assert draft.secondary_dims[0] is not dim
+        elif draft.post_type in ("clear", "generic"):
+            assert not draft.secondary_dims
+
+
+class TestBuildProperties:
+    @given(
+        counts=st.dictionaries(
+            _dim, st.integers(3, 12), min_size=2, max_size=6
+        ),
+        seed=st.integers(0, 50),
+    )
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_arbitrary_class_counts_respected(self, counts, seed):
+        from collections import Counter
+
+        config = GeneratorConfig(
+            class_counts=counts,
+            seed=seed,
+            target_total_words=None,
+            target_total_sentences=None,
+            label_noise=0.0,
+        )
+        dataset = HolistixDataset.build(config)
+        measured = Counter(i.label for i in dataset)
+        assert dict(measured) == {d: c for d, c in counts.items() if c > 0}
+
+    @given(seed=st.integers(0, 30))
+    @settings(max_examples=6, deadline=None)
+    def test_uniqueness_for_any_seed(self, seed):
+        config = GeneratorConfig(
+            class_counts={d: 15 for d in DIMENSIONS},
+            seed=seed,
+            target_total_words=None,
+            target_total_sentences=None,
+        )
+        dataset = HolistixDataset.build(config)
+        assert len({i.text for i in dataset}) == len(dataset)

@@ -1,0 +1,170 @@
+"""Tests for HolistixDataset: statistics, splits, folds, persistence."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.dataset import HolistixDataset
+from repro.core.labels import DIMENSIONS, WellnessDimension
+from repro.corpus.generator import PAPER_CLASS_COUNTS
+
+
+class TestCollection:
+    def test_len_and_iteration(self, small_dataset):
+        assert len(small_dataset) == sum(
+            Counter(i.label for i in small_dataset).values()
+        )
+
+    def test_indexing(self, small_dataset):
+        assert small_dataset[0] is small_dataset.instances[0]
+
+    def test_texts_labels_spans_aligned(self, small_dataset):
+        assert len(small_dataset.texts) == len(small_dataset.labels) == len(
+            small_dataset.spans
+        )
+        for inst, text, span in zip(
+            small_dataset, small_dataset.texts, small_dataset.spans
+        ):
+            assert inst.text == text
+            assert inst.span_text == span
+
+    def test_subset(self, small_dataset):
+        sub = small_dataset.subset([0, 2, 4])
+        assert len(sub) == 3
+        assert sub[1].text == small_dataset[2].text
+
+    def test_filter_label(self, small_dataset):
+        social = small_dataset.filter_label(WellnessDimension.SOCIAL)
+        assert all(i.label is WellnessDimension.SOCIAL for i in social)
+        assert len(social) > 0
+
+
+class TestStatistics:
+    def test_table2_exact(self, dataset):
+        stats = dataset.statistics()
+        assert stats.total_posts == 1420
+        assert stats.total_words == 37082
+        assert stats.total_sentences == 2271
+        assert stats.max_words_per_post == 115
+        assert stats.max_sentences_per_post == 9
+        assert stats.dimension_counts == PAPER_CLASS_COUNTS
+
+    def test_percentages_sum_to_100(self, dataset):
+        percentages = dataset.statistics().dimension_percentages()
+        assert sum(percentages.values()) == pytest.approx(100.0)
+
+    def test_empty_dataset_statistics(self):
+        stats = HolistixDataset([]).statistics()
+        assert stats.total_posts == 0
+        assert stats.max_words_per_post == 0
+
+    def test_frequent_words_table3_overlap(self, dataset):
+        from repro.corpus.lexicon import TABLE3_EXPECTED_WORDS
+
+        profiles = dataset.frequent_span_words(top_k=8)
+        for dim in DIMENSIONS:
+            expected = set(TABLE3_EXPECTED_WORDS[dim])
+            measured = {w for w, _ in profiles[dim]}
+            assert len(expected & measured) >= len(expected) - 3, dim
+
+    def test_frequent_words_sorted_by_count(self, dataset):
+        profiles = dataset.frequent_span_words(top_k=10)
+        for words in profiles.values():
+            counts = [c for _, c in words]
+            assert counts == sorted(counts, reverse=True)
+
+
+class TestSplits:
+    def test_fixed_split_paper_sizes(self, dataset):
+        split = dataset.fixed_split()
+        assert len(split.train) == 990
+        assert len(split.validation) == 212
+        assert len(split.test) == 213
+
+    def test_fixed_split_disjoint(self, dataset):
+        split = dataset.fixed_split()
+        train_ids = {i.post.post_id for i in split.train}
+        val_ids = {i.post.post_id for i in split.validation}
+        test_ids = {i.post.post_id for i in split.test}
+        assert not (train_ids & val_ids)
+        assert not (train_ids & test_ids)
+        assert not (val_ids & test_ids)
+
+    def test_fixed_split_all_classes_everywhere(self, dataset):
+        split = dataset.fixed_split()
+        for part in (split.train, split.validation, split.test):
+            assert set(part.labels) == set(DIMENSIONS)
+
+    def test_fixed_split_oversized_rejected(self, small_dataset):
+        with pytest.raises(ValueError):
+            small_dataset.fixed_split(train=990, validation=212, test=213)
+
+    def test_stratified_folds_partition(self, dataset):
+        folds = dataset.stratified_folds(10)
+        assert len(folds) == 10
+        all_eval = sorted(i for _, eval_idx in folds for i in eval_idx)
+        assert all_eval == list(range(len(dataset)))
+
+    def test_stratified_folds_preserve_ratios(self, dataset):
+        folds = dataset.stratified_folds(10)
+        for _, eval_idx in folds:
+            counts = Counter(dataset[i].label for i in eval_idx)
+            for dim in DIMENSIONS:
+                expected = PAPER_CLASS_COUNTS[dim] / 10
+                assert abs(counts[dim] - expected) <= 1
+
+    def test_folds_deterministic(self, dataset):
+        a = dataset.stratified_folds(5, seed=3)
+        b = dataset.stratified_folds(5, seed=3)
+        assert a == b
+
+    def test_too_few_folds_rejected(self, dataset):
+        with pytest.raises(ValueError):
+            dataset.stratified_folds(1)
+
+
+class TestPersistence:
+    def test_jsonl_roundtrip(self, small_dataset, tmp_path):
+        path = tmp_path / "holistix.jsonl"
+        small_dataset.save(path)
+        loaded = HolistixDataset.load(path)
+        assert len(loaded) == len(small_dataset)
+        for a, b in zip(small_dataset, loaded):
+            assert a.text == b.text
+            assert a.label == b.label
+            assert a.span_text == b.span_text
+            assert a.metadata == b.metadata
+
+    def test_loaded_statistics_match(self, small_dataset, tmp_path):
+        path = tmp_path / "holistix.jsonl"
+        small_dataset.save(path)
+        loaded = HolistixDataset.load(path)
+        assert loaded.statistics() == small_dataset.statistics()
+
+
+class TestBuildDeterminism:
+    def test_same_seed_same_corpus(self):
+        from repro.corpus.generator import GeneratorConfig
+
+        config = GeneratorConfig(
+            class_counts={WellnessDimension.SOCIAL: 20, WellnessDimension.PHYSICAL: 15},
+            target_total_words=None,
+            target_total_sentences=None,
+            seed=99,
+        )
+        a = HolistixDataset.build(config)
+        b = HolistixDataset.build(config)
+        assert a.texts == b.texts
+        assert a.labels == b.labels
+
+    def test_different_seed_different_corpus(self):
+        from repro.corpus.generator import GeneratorConfig
+
+        base = dict(
+            class_counts={WellnessDimension.SOCIAL: 20},
+            target_total_words=None,
+            target_total_sentences=None,
+        )
+        a = HolistixDataset.build(GeneratorConfig(seed=1, **base))
+        b = HolistixDataset.build(GeneratorConfig(seed=2, **base))
+        assert a.texts != b.texts

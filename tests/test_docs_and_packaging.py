@@ -1,0 +1,77 @@
+"""Sanity tests on documentation, packaging and public API surface."""
+
+import importlib
+import pathlib
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+class TestDocumentation:
+    def test_required_files_exist(self):
+        for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md", "pyproject.toml"):
+            assert (REPO_ROOT / name).is_file(), name
+
+    def test_design_covers_every_experiment(self):
+        design = (REPO_ROOT / "DESIGN.md").read_text(encoding="utf-8")
+        for experiment_id in ("E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8"):
+            assert experiment_id in design
+
+    def test_experiments_md_records_paper_numbers(self):
+        text = (REPO_ROOT / "EXPERIMENTS.md").read_text(encoding="utf-8")
+        assert "37082" in text      # Table II
+        assert "75.92" in text      # kappa
+        assert "0.74" in text       # MentalBERT paper accuracy
+
+    def test_readme_quickstart_imports_work(self):
+        # The classes the README's quickstart uses must exist at the
+        # documented paths.
+        from repro import HolistixDataset, WellnessClassifier  # noqa: F401
+
+    def test_examples_exist_and_have_mains(self):
+        examples = sorted((REPO_ROOT / "examples").glob("*.py"))
+        assert len(examples) >= 3
+        for path in examples:
+            source = path.read_text(encoding="utf-8")
+            assert '__main__' in source, path.name
+            assert source.startswith('"""'), f"{path.name} missing docstring"
+
+
+class TestPublicApi:
+    PACKAGES = [
+        "repro",
+        "repro.core",
+        "repro.corpus",
+        "repro.annotation",
+        "repro.text",
+        "repro.ml",
+        "repro.nn",
+        "repro.models",
+        "repro.explain",
+        "repro.experiments",
+    ]
+
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_all_exports_resolve(self, package):
+        module = importlib.import_module(package)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{package}.{name}"
+
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_package_docstrings(self, package):
+        module = importlib.import_module(package)
+        assert module.__doc__, package
+
+    def test_every_public_module_has_docstring(self):
+        src = REPO_ROOT / "src" / "repro"
+        for path in src.rglob("*.py"):
+            source = path.read_text(encoding="utf-8")
+            if path.name == "__init__.py" and not source.strip():
+                continue
+            assert source.lstrip().startswith('"""'), path
+
+    def test_version_exposed(self):
+        import repro
+
+        assert repro.__version__

@@ -1,0 +1,135 @@
+"""Tests for the experiment harness (E1-E8 infrastructure + cheap runs)."""
+
+import pytest
+
+from repro.experiments.kappa import format_kappa, run_kappa
+from repro.experiments.paper_reference import (
+    PAPER_KAPPA_PERCENT,
+    PAPER_TABLE2,
+    PAPER_TABLE4,
+    PAPER_TABLE4_ACCURACY,
+    PAPER_TABLE5,
+)
+from repro.experiments.protocol import FULL, REDUCED, Protocol, current_protocol
+from repro.experiments.reporting import format_float, render_table, side_by_side
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+from repro.experiments.table2 import format_table2, run_table2
+from repro.experiments.table3 import format_table3, run_table3
+
+
+class TestPaperReference:
+    def test_table2_totals_consistent(self):
+        assert sum(PAPER_TABLE2["dimension_counts"].values()) == 1420
+
+    def test_table4_rows_complete(self):
+        assert len(PAPER_TABLE4) == 9
+        for scores in PAPER_TABLE4.values():
+            assert len(scores) == 6
+
+    def test_accuracy_ordering_facts(self):
+        # The facts the reproduction must preserve.
+        acc = PAPER_TABLE4_ACCURACY
+        assert acc["MentalBERT"] == max(acc.values())
+        assert acc["Gaussian NB"] == min(acc.values())
+        assert min(acc[m] for m in ("BERT", "DistilBERT", "MentalBERT",
+                                    "Flan-T5", "XLNet", "GPT-2.0")) > max(
+            acc[m] for m in ("LR", "Linear SVM", "Gaussian NB")
+        )
+
+    def test_table5_mentalbert_wins_every_metric(self):
+        for metric in ("f1", "precision", "recall", "rouge", "bleu"):
+            assert PAPER_TABLE5["MentalBERT"][metric] > PAPER_TABLE5["LR"][metric]
+
+
+class TestProtocol:
+    def test_default_is_reduced(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        assert current_protocol() is REDUCED
+
+    def test_env_switches_to_full(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert current_protocol() is FULL
+
+    def test_full_matches_paper_protocol(self):
+        assert FULL.n_folds == 10
+        assert FULL.transformer_epochs is None  # per-model configured epochs
+
+    def test_model_config_scaling(self):
+        config = REDUCED.model_config("BERT")
+        assert config.epochs == REDUCED.transformer_epochs
+        assert config.pretrain_steps < FULL.model_config("BERT").pretrain_steps
+
+
+class TestReporting:
+    def test_render_table_aligns(self):
+        table = render_table(["a", "bb"], [[1, 2], [33, 4]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_title_included(self):
+        assert render_table(["x"], [[1]], title="T").startswith("T\n")
+
+    def test_side_by_side(self):
+        assert side_by_side(0.5, 0.25) == "0.50 (0.25)"
+
+    def test_format_float(self):
+        assert format_float(0.123456, 3) == "0.123"
+
+
+class TestRegistry:
+    def test_eight_experiments_registered(self):
+        assert list(EXPERIMENTS) == ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8"]
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("E99")
+
+    def test_specs_have_descriptions(self):
+        for spec in EXPERIMENTS.values():
+            assert spec.paper_artifact
+            assert spec.description
+
+
+class TestCheapExperiments:
+    def test_e1_matches_paper_exactly(self, dataset):
+        result = run_table2(dataset)
+        assert result.matches_paper_exactly()
+        text = format_table2(result)
+        assert "37082" in text
+        assert "1420" in text
+
+    def test_e2_overlap_strong(self, dataset):
+        result = run_table3(dataset)
+        shared, total = result.total_overlap()
+        assert shared >= total - 10  # at least ~75% of paper words recovered
+        assert "Dimension" in format_table3(result)
+
+    def test_e5_kappa_close(self, dataset):
+        result = run_kappa(dataset)
+        assert result.within_points < 3.0
+        assert str(round(PAPER_KAPPA_PERCENT, 2)) in format_kappa(result)
+
+
+class TestFigureExperiments:
+    def test_figure2_funnel(self, dataset):
+        from repro.experiments.figure2 import format_figure2, run_figure2
+
+        result = run_figure2(dataset)
+        assert result.funnel.raw == 2000
+        assert result.funnel.after_topic_filter == 1420
+        assert result.clean_matches_gold
+        assert result.n_guidelines == 7
+        assert result.n_perplexity_rules == 6
+        assert "2000" in format_figure2(result)
+
+    def test_figure1_example(self, small_dataset):
+        from repro.core.pipeline import WellnessClassifier
+        from repro.experiments.figure1 import format_figure1, run_figure1
+
+        split = small_dataset.fixed_split(train=100, validation=20, test=22)
+        clf = WellnessClassifier("LR").fit(split.train)
+        result = run_figure1(small_dataset, classifier=clf)
+        assert result.gold_span in result.text
+        assert result.candidate_dimensions
+        assert result.gold_label.code in format_figure1(result)

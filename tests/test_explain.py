@@ -1,0 +1,191 @@
+"""Tests for LIME, ROUGE, BLEU and span-similarity scoring."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.explain.bleu import bleu, brevity_penalty, modified_precision
+from repro.explain.lime import LimeTextExplainer
+from repro.explain.rouge import rouge_l, rouge_n
+from repro.explain.similarity import keyword_similarity, score_explanations
+
+
+class TestRouge:
+    def test_identical_texts(self):
+        score = rouge_n("the cat sat", "the cat sat", 1)
+        assert score.f1 == pytest.approx(1.0)
+
+    def test_disjoint_texts(self):
+        score = rouge_n("aaa bbb", "ccc ddd", 1)
+        assert score.f1 == 0.0
+
+    def test_partial_overlap(self):
+        score = rouge_n("the cat", "the cat sat down", 1)
+        assert score.precision == pytest.approx(1.0)
+        assert score.recall == pytest.approx(0.5)
+
+    def test_bigram_order_matters(self):
+        same_bag = rouge_n("cat the", "the cat", 2)
+        assert same_bag.f1 == 0.0
+
+    def test_clipping(self):
+        score = rouge_n("the the the", "the cat", 1)
+        assert score.precision == pytest.approx(1 / 3)
+
+    def test_rouge_l_subsequence(self):
+        score = rouge_l("a b c d", "a x b y d")
+        # LCS = a b d = 3
+        assert score.recall == pytest.approx(3 / 5)
+        assert score.precision == pytest.approx(3 / 4)
+
+    def test_rouge_l_empty(self):
+        assert rouge_l("", "anything").f1 == 0.0
+
+    @given(st.lists(st.sampled_from("abc"), min_size=1, max_size=10))
+    def test_rouge_identity_property(self, words):
+        text = " ".join(words)
+        assert rouge_n(text, text, 1).f1 == pytest.approx(1.0)
+        assert rouge_l(text, text).f1 == pytest.approx(1.0)
+
+
+class TestBleu:
+    def test_identical(self):
+        assert bleu("the cat sat on the mat", "the cat sat on the mat") == pytest.approx(
+            1.0, abs=1e-6
+        )
+
+    def test_disjoint_near_zero(self):
+        assert bleu("aaa bbb ccc ddd", "www xxx yyy zzz") < 0.05
+
+    def test_brevity_penalty(self):
+        assert brevity_penalty(10, 5) == 1.0
+        assert brevity_penalty(5, 10) == pytest.approx(np.exp(-1))
+        assert brevity_penalty(0, 5) == 0.0
+
+    def test_modified_precision_clips(self):
+        assert modified_precision(["the"] * 4, ["the", "cat"], 1) == pytest.approx(0.25)
+
+    def test_short_candidate_penalised(self):
+        long_ref = "one two three four five six seven eight"
+        partial = bleu("one two", long_ref)
+        full = bleu(long_ref, long_ref)
+        assert partial < full
+
+    def test_empty_inputs(self):
+        assert bleu("", "ref") == 0.0
+        assert bleu("cand", "") == 0.0
+
+    def test_max_n_parameter(self):
+        # Unigram-only BLEU is higher than 4-gram BLEU on partial matches.
+        cand, ref = "cat dog", "cat bird dog fish"
+        assert bleu(cand, ref, max_n=1) >= bleu(cand, ref, max_n=4)
+
+
+class TestKeywordSimilarity:
+    def test_perfect_overlap(self):
+        precision, recall, f1 = keyword_similarity(
+            ["anxiety", "sleep"], "anxiety sleep"
+        )
+        assert (precision, recall, f1) == (1.0, 1.0, 1.0)
+
+    def test_function_words_ignored_in_gold(self):
+        precision, recall, _ = keyword_similarity(
+            ["anxiety"], "the anxiety is a problem"
+        )
+        assert precision == 1.0
+        assert recall == pytest.approx(1 / 2)  # {anxiety, problem}
+
+    def test_empty_inputs(self):
+        assert keyword_similarity([], "gold span") == (0.0, 0.0, 0.0)
+        assert keyword_similarity(["word"], "") == (0.0, 0.0, 0.0)
+
+
+class _LinearToyModel:
+    """Deterministic 2-class model: P(class 1) rises with 'anxiety' count."""
+
+    def predict_proba(self, texts):
+        probs = []
+        for text in texts:
+            score = min(text.lower().split().count("anxiety") * 0.4, 0.95)
+            probs.append([1.0 - score, score])
+        return np.asarray(probs)
+
+
+class TestLime:
+    def test_identifies_driving_word(self):
+        model = _LinearToyModel()
+        explainer = LimeTextExplainer(model.predict_proba, n_samples=200, seed=0)
+        explanation = explainer.explain(
+            "the anxiety keeps me awake at night", class_index=1
+        )
+        assert explanation.top_words(1) == ["anxiety"]
+
+    def test_weights_signed_correctly(self):
+        model = _LinearToyModel()
+        explainer = LimeTextExplainer(model.predict_proba, n_samples=200, seed=0)
+        explanation = explainer.explain("anxiety and calm words", class_index=1)
+        weights = dict(explanation.word_weights)
+        assert weights["anxiety"] > 0
+        assert abs(weights["calm"]) < weights["anxiety"]
+
+    def test_deterministic_given_seed(self):
+        model = _LinearToyModel()
+        a = LimeTextExplainer(model.predict_proba, n_samples=100, seed=5).explain(
+            "anxiety words here today"
+        )
+        b = LimeTextExplainer(model.predict_proba, n_samples=100, seed=5).explain(
+            "anxiety words here today"
+        )
+        assert a.word_weights == b.word_weights
+
+    def test_predicted_class_default(self):
+        model = _LinearToyModel()
+        explainer = LimeTextExplainer(model.predict_proba, n_samples=100, seed=0)
+        explanation = explainer.explain("anxiety anxiety anxiety bad")
+        assert explanation.predicted_class == 1
+
+    def test_empty_text_rejected(self):
+        explainer = LimeTextExplainer(_LinearToyModel().predict_proba, n_samples=50)
+        with pytest.raises(ValueError):
+            explainer.explain("...")
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            LimeTextExplainer(_LinearToyModel().predict_proba, n_samples=5)
+
+    def test_surrogate_r2_reasonable(self):
+        model = _LinearToyModel()
+        explainer = LimeTextExplainer(model.predict_proba, n_samples=300, seed=1)
+        explanation = explainer.explain("anxiety here anxiety there calm")
+        assert explanation.surrogate_r2 > 0.5
+
+    def test_as_span_joins_keywords(self):
+        model = _LinearToyModel()
+        explainer = LimeTextExplainer(model.predict_proba, n_samples=100, seed=0)
+        explanation = explainer.explain("anxiety is bad", class_index=1)
+        assert isinstance(explanation.as_span(2), str)
+
+
+class TestScoreExplanations:
+    def test_averages_metrics(self):
+        model = _LinearToyModel()
+        explainer = LimeTextExplainer(model.predict_proba, n_samples=100, seed=0)
+        explanations = [
+            explainer.explain("anxiety ruins my sleep", class_index=1),
+            explainer.explain("anxiety again tonight", class_index=1),
+        ]
+        result = score_explanations(explanations, ["anxiety sleep", "anxiety"])
+        assert 0 <= result.f1 <= 1
+        assert 0 <= result.rouge <= 1
+        assert 0 <= result.bleu <= 1
+        assert result.recall > 0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            score_explanations([], ["gold"])
+        model = _LinearToyModel()
+        explainer = LimeTextExplainer(model.predict_proba, n_samples=100, seed=0)
+        exp = explainer.explain("anxiety here")
+        with pytest.raises(ValueError):
+            score_explanations([exp], [])

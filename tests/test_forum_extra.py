@@ -1,0 +1,139 @@
+"""Additional forum, preprocessing and stopword tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.corpus.forum import JunkProfile, RawForumPost, SimulatedForum
+from repro.corpus.preprocess import is_on_topic, preprocess
+from repro.corpus.scraper import scrape_board
+from repro.text.stopwords import FUNCTION_WORDS, STOPWORDS, is_stopword
+from repro.text.tokenize import count_words
+
+
+class TestJunkProfileCustomisation:
+    def test_custom_profile_changes_pool_size(self, small_dataset):
+        profile = JunkProfile(duplicates=5, empty=5, overlong=5, offtopic=5)
+        forum = SimulatedForum.populate(
+            list(small_dataset), junk=profile, seed=3
+        )
+        assert len(forum) == len(small_dataset) + 20
+
+    def test_custom_profile_funnel(self, small_dataset):
+        profile = JunkProfile(duplicates=7, empty=3, overlong=4, offtopic=6)
+        forum = SimulatedForum.populate(
+            list(small_dataset), junk=profile, seed=4
+        )
+        clean, report = preprocess([p for p in forum.posts])
+        assert report.removed_empty == 3
+        assert report.removed_duplicates == 7
+        assert report.removed_overlong == 4
+        assert report.removed_offtopic == 6
+        assert len(clean) == len(small_dataset)
+
+    def test_zero_junk(self, small_dataset):
+        profile = JunkProfile(duplicates=0, empty=0, overlong=0, offtopic=0)
+        forum = SimulatedForum.populate(
+            list(small_dataset), junk=profile, seed=5
+        )
+        clean, report = preprocess(list(forum.posts))
+        assert report.raw == len(small_dataset)
+        assert len(clean) == len(small_dataset)
+
+    def test_forum_deterministic(self, small_dataset):
+        a = SimulatedForum.populate(list(small_dataset), seed=9)
+        b = SimulatedForum.populate(list(small_dataset), seed=9)
+        assert [p.text for p in a.posts] == [p.text for p in b.posts]
+
+    def test_overlong_junk_exceeds_limit(self, small_dataset):
+        forum = SimulatedForum.populate(list(small_dataset), seed=6)
+        overlong = [p for p in forum.posts if p.post_id.startswith("junk-long")]
+        assert overlong
+        assert all(count_words(p.text) > 115 for p in overlong)
+
+    def test_offtopic_junk_has_no_distress_words(self, small_dataset):
+        forum = SimulatedForum.populate(list(small_dataset), seed=6)
+        offtopic = [
+            p for p in forum.posts if p.post_id.startswith("junk-offtopic")
+        ]
+        assert offtopic
+        assert not any(is_on_topic(p.text) for p in offtopic)
+
+
+class TestScraperEdgeCases:
+    def test_empty_page(self):
+        assert scrape_board("<html><body></body></html>") == []
+
+    def test_body_outside_article_rejected(self):
+        page = '<div class="post-body">orphan</div>'
+        with pytest.raises(ValueError):
+            scrape_board(page)
+
+    def test_multiple_boards_in_one_page(self):
+        page = (
+            '<section class="board" data-category="A">'
+            '<article class="forum-post" data-post-id="1">'
+            '<div class="post-body">first</div></article></section>'
+            '<section class="board" data-category="B">'
+            '<article class="forum-post" data-post-id="2">'
+            '<div class="post-body">second</div></article></section>'
+        )
+        posts = scrape_board(page)
+        assert [(p.post_id, p.category) for p in posts] == [("1", "A"), ("2", "B")]
+
+    def test_charref_handling(self):
+        page = (
+            '<section class="board" data-category="A">'
+            '<article class="forum-post" data-post-id="1">'
+            '<div class="post-body">a&#39;s post</div></article></section>'
+        )
+        assert scrape_board(page)[0].text == "a's post"
+
+
+class TestPreprocessProperties:
+    @given(
+        st.lists(
+            st.sampled_from(
+                [
+                    "",
+                    "   ",
+                    "my anxiety is bad tonight",
+                    "my anxiety is bad tonight",
+                    "lovely weather this weekend",
+                    "i cannot sleep and the depression is back",
+                ]
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_funnel_monotone_and_consistent(self, texts):
+        posts = [RawForumPost(f"p{i}", t, "Anxiety") for i, t in enumerate(texts)]
+        clean, report = preprocess(posts)
+        counts = [c for _, c in report.stages()]
+        assert counts == sorted(counts, reverse=True)
+        assert len(clean) == report.after_topic_filter
+        # Survivors are non-empty, unique, on-topic.
+        survivors = [p.text for p in clean]
+        assert len(set(survivors)) == len(survivors)
+        assert all(t.strip() for t in survivors)
+        assert all(is_on_topic(t) for t in survivors)
+
+
+class TestStopwords:
+    def test_full_list_contains_glue(self):
+        for word in ("the", "and", "of", "is"):
+            assert word in STOPWORDS
+
+    def test_function_words_keep_me(self):
+        # Table III keeps "me" as a Social Aspect signal word.
+        assert "me" not in FUNCTION_WORDS
+        assert "me" in STOPWORDS
+
+    def test_is_stopword_switch(self):
+        assert is_stopword("the")
+        assert is_stopword("THE")
+        assert is_stopword("me", full=True)
+        assert not is_stopword("me", full=False)
+        assert not is_stopword("anxiety")

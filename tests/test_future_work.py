@@ -1,0 +1,197 @@
+"""Tests for the §V future-work features: multi-label, span prediction,
+dimension interactions."""
+
+import numpy as np
+import pytest
+
+from repro.core.interactions import analyze_interactions, build_interaction_graph
+from repro.core.labels import DIMENSIONS, WellnessDimension
+from repro.explain.span_predictor import (
+    SpanPredictor,
+    evaluate_span_predictions,
+)
+from repro.ml.multilabel import (
+    OneVsRestClassifier,
+    multilabel_metrics,
+)
+from repro.text.tfidf import TfidfVectorizer
+
+
+class TestMultiLabelSets:
+    def test_dataset_exposes_label_sets(self, small_dataset):
+        sets = small_dataset.multi_label_sets()
+        assert len(sets) == len(small_dataset)
+        for labels, inst in zip(sets, small_dataset):
+            assert inst.label in labels
+            assert len(labels) >= 1
+
+    def test_balanced_posts_have_two_labels(self, small_dataset):
+        # Noisy posts are excluded: their adjudicated label can coincide
+        # with the content's secondary dimension, collapsing the set.
+        sets = small_dataset.multi_label_sets()
+        balanced = [
+            s
+            for s, inst in zip(sets, small_dataset)
+            if inst.metadata.get("post_type") == "balanced"
+            and not inst.metadata.get("noisy")
+        ]
+        assert balanced
+        assert all(len(s) == 2 for s in balanced)
+
+
+class TestOneVsRest:
+    @pytest.fixture(scope="class")
+    def fitted(self, small_dataset):
+        split = small_dataset.fixed_split(train=100, validation=20, test=22)
+        vectorizer = TfidfVectorizer(max_features=1500)
+        x_train = vectorizer.fit_transform(split.train.texts)
+        x_test = vectorizer.transform(split.test.texts)
+        train_sets = split.train.multi_label_sets()
+        test_sets = split.test.multi_label_sets()
+        model = OneVsRestClassifier(list(DIMENSIONS)).fit(x_train, train_sets)
+        return model, x_test, test_sets
+
+    def test_predictions_never_empty(self, fitted):
+        model, x_test, _ = fitted
+        for label_set in model.predict(x_test):
+            assert label_set
+
+    def test_proba_shape_and_range(self, fitted):
+        model, x_test, _ = fitted
+        probs = model.predict_proba(x_test)
+        assert probs.shape == (x_test.shape[0], 6)
+        assert (probs >= 0).all() and (probs <= 1).all()
+
+    def test_beats_chance(self, fitted):
+        model, x_test, test_sets = fitted
+        predictions = model.predict(x_test)
+        metrics = multilabel_metrics(test_sets, predictions, list(DIMENSIONS))
+        assert metrics.micro_f1 > 0.3
+        assert metrics.hamming_loss < 0.5
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            OneVsRestClassifier([])
+        with pytest.raises(ValueError):
+            OneVsRestClassifier(["a"], threshold=0.0)
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(RuntimeError):
+            OneVsRestClassifier(["a"]).predict(np.zeros((1, 2)))
+
+    def test_constant_label_handled(self):
+        x = np.random.default_rng(0).normal(size=(10, 3))
+        sets = [{"always"} for _ in range(10)]
+        model = OneVsRestClassifier(["always", "never"]).fit(x, sets)
+        predictions = model.predict(x)
+        assert all(p == {"always"} for p in predictions)
+
+
+class TestMultiLabelMetrics:
+    def test_perfect(self):
+        gold = [{"a"}, {"a", "b"}]
+        metrics = multilabel_metrics(gold, gold, ["a", "b"])
+        assert metrics.subset_accuracy == 1.0
+        assert metrics.hamming_loss == 0.0
+        assert metrics.micro_f1 == 1.0
+
+    def test_partial(self):
+        gold = [{"a", "b"}]
+        predicted = [{"a"}]
+        metrics = multilabel_metrics(gold, predicted, ["a", "b"])
+        assert metrics.subset_accuracy == 0.0
+        assert metrics.hamming_loss == pytest.approx(0.5)
+        assert metrics.micro_f1 == pytest.approx(2 / 3)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            multilabel_metrics([{"a"}], [], ["a"])
+
+
+class TestSpanPredictor:
+    def test_lexical_only_picks_span_sentence(self, small_dataset):
+        predictor = SpanPredictor()
+        hits = total = 0
+        for inst in list(small_dataset)[:60]:
+            if inst.metadata.get("noisy"):
+                continue
+            prediction = predictor.predict(inst.text, inst.label)
+            total += 1
+            if (
+                inst.span_text in prediction.span
+                or prediction.span in inst.span_text
+            ):
+                hits += 1
+        assert total > 0
+        assert hits / total > 0.6
+
+    def test_rouge_evaluation(self, small_dataset):
+        predictor = SpanPredictor()
+        instances = list(small_dataset)[:30]
+        predictions = [
+            predictor.predict(inst.text, inst.label) for inst in instances
+        ]
+        evaluation = evaluate_span_predictions(
+            predictions, [inst.span_text for inst in instances]
+        )
+        assert evaluation.rouge1_f1 > 0.5
+        assert 0 <= evaluation.exact_sentence_rate <= 1
+
+    def test_occlusion_mixes_in(self, small_dataset):
+        split = small_dataset.fixed_split(train=100, validation=20, test=22)
+        from repro.core.pipeline import WellnessClassifier
+
+        clf = WellnessClassifier("LR").fit(split.train)
+        predictor = SpanPredictor(clf.predict_proba, occlusion_weight=1.0)
+        multi_sentence = next(
+            inst
+            for inst in split.test
+            if inst.post.sentence_count > 1
+        )
+        prediction = predictor.predict(multi_sentence.text, multi_sentence.label)
+        assert len(prediction.sentence_scores) == multi_sentence.post.sentence_count
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(ValueError):
+            SpanPredictor().predict("", WellnessDimension.SOCIAL)
+
+    def test_invalid_weight(self):
+        with pytest.raises(ValueError):
+            SpanPredictor(occlusion_weight=-1)
+
+
+class TestInteractions:
+    def test_graph_structure(self, small_dataset):
+        graph = build_interaction_graph(small_dataset)
+        assert set(graph.nodes()) == {d.code for d in DIMENSIONS}
+        assert all(d["weight"] >= 1 for _, _, d in graph.edges(data=True))
+
+    def test_report_on_full_corpus(self, dataset):
+        report = analyze_interactions(dataset)
+        assert report.n_cooccurring_posts > 0
+        assert report.strongest_pairs
+        # §IV: the Emotional dimension sits at the centre of the overlap
+        # structure (its vocabulary bleeds into everything).
+        assert report.most_central == "EA"
+        # EA/SA is among the strongest interaction pairs.
+        top_pair_sets = [{a, b} for a, b, _ in report.strongest_pairs[:3]]
+        assert {"EA", "SA"} in top_pair_sets
+
+    def test_centrality_sums_to_one(self, small_dataset):
+        report = analyze_interactions(small_dataset)
+        assert sum(report.centrality.values()) == pytest.approx(1.0)
+
+    def test_pair_weight_symmetric_lookup(self, dataset):
+        report = analyze_interactions(dataset)
+        weight = report.pair_weight(
+            WellnessDimension.EMOTIONAL, WellnessDimension.SOCIAL
+        )
+        reverse = report.pair_weight(
+            WellnessDimension.SOCIAL, WellnessDimension.EMOTIONAL
+        )
+        assert weight == reverse > 0
+
+    def test_empty_corpus(self):
+        report = analyze_interactions([])
+        assert report.n_cooccurring_posts == 0
+        assert report.reciprocity == 0.0

@@ -1,0 +1,120 @@
+"""Tests for repro.core.labels and repro.core.instance."""
+
+import pytest
+
+from repro.core.instance import AnnotatedInstance, Post, Span
+from repro.core.labels import (
+    DIMENSIONS,
+    INDICATORS,
+    WellnessDimension,
+    dimension_from_code,
+)
+
+
+class TestLabels:
+    def test_six_dimensions(self):
+        assert len(DIMENSIONS) == 6
+        assert len(set(DIMENSIONS)) == 6
+
+    def test_codes_match_paper(self):
+        assert [d.code for d in DIMENSIONS] == ["IA", "VA", "SpiA", "PA", "SA", "EA"]
+
+    def test_from_code_roundtrip(self):
+        for dim in DIMENSIONS:
+            assert dimension_from_code(dim.code) is dim
+
+    def test_from_code_invalid(self):
+        with pytest.raises(ValueError, match="unknown dimension"):
+            dimension_from_code("XX")
+
+    def test_every_dimension_has_indicator(self):
+        assert set(INDICATORS) == set(DIMENSIONS)
+
+    def test_indicators_have_examples(self):
+        for indicator in INDICATORS.values():
+            assert indicator.examples
+            assert indicator.indicators
+
+    def test_descriptions_nonempty(self):
+        for dim in DIMENSIONS:
+            assert dim.description
+
+
+class TestPost:
+    def test_counts(self):
+        post = Post("p1", "One two three. Four five.", "Anxiety")
+        assert post.word_count == 5
+        assert post.sentence_count == 2
+
+    def test_empty_detection(self):
+        assert Post("p1", "  \n ", "Anxiety").is_empty
+        assert not Post("p1", "text", "Anxiety").is_empty
+
+    def test_requires_id(self):
+        with pytest.raises(ValueError):
+            Post("", "text", "Anxiety")
+
+
+class TestSpan:
+    def test_locate(self):
+        span = Span.locate("I feel lost today", "feel lost")
+        assert (span.start, span.end) == (2, 11)
+        assert span.text == "feel lost"
+
+    def test_locate_missing(self):
+        with pytest.raises(ValueError, match="not found"):
+            Span.locate("abc", "xyz")
+
+    def test_invalid_offsets(self):
+        with pytest.raises(ValueError):
+            Span(5, 2, "x")
+        with pytest.raises(ValueError):
+            Span(-1, 2, "abc")
+
+    def test_text_length_must_match(self):
+        with pytest.raises(ValueError):
+            Span(0, 5, "ab")
+
+    def test_overlaps(self):
+        a = Span(0, 5, "abcde")
+        b = Span(4, 6, "ef")
+        c = Span(5, 7, "fg")
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_len(self):
+        assert len(Span(2, 6, "abcd")) == 4
+
+
+class TestAnnotatedInstance:
+    def _make(self):
+        post = Post("p1", "I feel so alone tonight.", "Depression")
+        span = Span.locate(post.text, "feel so alone")
+        return AnnotatedInstance(post, span, WellnessDimension.SOCIAL)
+
+    def test_span_must_match_text(self):
+        post = Post("p1", "Some text here.", "Anxiety")
+        bad_span = Span(0, 4, "Nope")
+        with pytest.raises(ValueError, match="span offsets"):
+            AnnotatedInstance(post, bad_span, WellnessDimension.SOCIAL)
+
+    def test_accessors(self):
+        inst = self._make()
+        assert inst.text == inst.post.text
+        assert inst.span_text == "feel so alone"
+
+    def test_dict_roundtrip(self):
+        inst = self._make()
+        clone = AnnotatedInstance.from_dict(inst.to_dict())
+        assert clone.post == inst.post
+        assert clone.span == inst.span
+        assert clone.label == inst.label
+
+    def test_metadata_preserved(self):
+        post = Post("p1", "I feel so alone tonight.", "Depression")
+        span = Span.locate(post.text, "alone")
+        inst = AnnotatedInstance(
+            post, span, WellnessDimension.SOCIAL, metadata={"post_type": "clear"}
+        )
+        clone = AnnotatedInstance.from_dict(inst.to_dict())
+        assert clone.metadata["post_type"] == "clear"

@@ -1,0 +1,98 @@
+"""Integration tests: cross-module pipelines end to end."""
+
+import numpy as np
+import pytest
+
+from repro.annotation import run_annotation_study
+from repro.core import HolistixDataset, WellnessClassifier
+from repro.core.labels import DIMENSIONS
+from repro.core.profiles import build_profile, triage
+from repro.corpus import SimulatedForum, preprocess, scrape_forum
+from repro.explain import LimeTextExplainer, score_explanations
+
+
+class TestForumToDatasetPipeline:
+    """§II end to end: generate → forum → scrape → clean → annotate."""
+
+    def test_full_pipeline_small(self, small_dataset):
+        gold = list(small_dataset)
+        forum = SimulatedForum.populate(gold, seed=11)
+        scraped = scrape_forum(forum)
+        clean, report = preprocess(scraped)
+        assert {p.text for p in clean} == {g.text for g in gold}
+        assert report.raw == len(gold) + 580
+
+    def test_annotation_study_on_clean_data(self, small_dataset):
+        report = run_annotation_study(list(small_dataset), seed=3)
+        assert 0.4 < report.kappa < 1.0
+
+
+class TestTrainPredictExplainPipeline:
+    """Classifier lifecycle: fit → predict → explain → score."""
+
+    @pytest.fixture(scope="class")
+    def fitted(self, small_dataset):
+        split = small_dataset.fixed_split(train=100, validation=20, test=22)
+        clf = WellnessClassifier("LR").fit(split.train)
+        return clf, split
+
+    def test_predictions_cover_split(self, fitted):
+        clf, split = fitted
+        predictions = clf.predict(split.test.texts)
+        assert len(predictions) == len(split.test)
+        assert all(p in DIMENSIONS for p in predictions)
+
+    def test_explanations_score_against_gold(self, fitted):
+        clf, split = fitted
+        explainer = LimeTextExplainer(clf.predict_proba, n_samples=100, seed=0)
+        explanations = [explainer.explain(split.test[i].text) for i in range(5)]
+        gold = [split.test[i].span_text for i in range(5)]
+        similarity = score_explanations(explanations, gold)
+        assert similarity.f1 > 0.05
+
+    def test_profiles_from_predictions(self, fitted):
+        clf, split = fitted
+        predictions = clf.predict(split.test.texts[:10])
+        profile = build_profile("itest-user", predictions)
+        decision = triage(profile)
+        assert profile.n_posts == 10
+        assert isinstance(decision.flagged, bool)
+
+
+class TestTransformerPipeline:
+    """Tiny transformer through the full pipeline object."""
+
+    def test_fast_transformer_end_to_end(self, small_dataset):
+        split = small_dataset.fixed_split(train=100, validation=20, test=22)
+        clf = WellnessClassifier("GPT-2.0", fast=True).fit(
+            split.train, validation=split.validation
+        )
+        predictions = clf.predict(split.test.texts)
+        assert len(predictions) == 22
+        probs = clf.predict_proba(split.test.texts[:3])
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, rtol=1e-4)
+
+    def test_transformer_explanation(self, small_dataset):
+        split = small_dataset.fixed_split(train=100, validation=20, test=22)
+        clf = WellnessClassifier("DistilBERT", fast=True).fit(split.train)
+        explanation = clf.explain(split.test[0].text, n_samples=60)
+        assert explanation.word_weights
+
+
+class TestDeterminismAcrossTheBoard:
+    def test_dataset_build_deterministic(self):
+        a = HolistixDataset.build()
+        b = HolistixDataset.build()
+        assert a.texts == b.texts
+        assert [l.code for l in a.labels] == [l.code for l in b.labels]
+
+    def test_classifier_deterministic(self, small_dataset):
+        split = small_dataset.fixed_split(train=100, validation=20, test=22)
+        p1 = WellnessClassifier("LR").fit(split.train).predict(split.test.texts)
+        p2 = WellnessClassifier("LR").fit(split.train).predict(split.test.texts)
+        assert p1 == p2
+
+    def test_annotation_study_deterministic(self, small_dataset):
+        a = run_annotation_study(list(small_dataset), seed=5)
+        b = run_annotation_study(list(small_dataset), seed=5)
+        assert a.kappa == b.kappa

@@ -1,0 +1,260 @@
+"""Tests for the classic ML substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.logistic import LogisticRegression, softmax
+from repro.ml.metrics import (
+    accuracy,
+    classification_report,
+    confusion_matrix,
+    precision_recall_f1,
+)
+from repro.ml.model_selection import (
+    KFold,
+    StratifiedKFold,
+    cross_validate,
+    train_test_split,
+)
+from repro.ml.naive_bayes import GaussianNaiveBayes
+from repro.ml.preprocessing import LabelEncoder, StandardScaler
+from repro.ml.svm import LinearSVM
+
+
+def _blobs(n=120, seed=0, spread=0.6):
+    """Three well-separated Gaussian blobs in 2-D."""
+    rng = np.random.default_rng(seed)
+    centers = np.array([[0, 0], [4, 0], [0, 4]], dtype=float)
+    x = np.vstack(
+        [rng.normal(c, spread, size=(n // 3, 2)) for c in centers]
+    )
+    y = np.repeat(np.arange(3), n // 3)
+    order = rng.permutation(len(y))
+    return x[order], y[order]
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        probs = softmax(np.array([[1.0, 2.0, 3.0], [0.0, 0.0, 0.0]]))
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+
+    def test_stable_for_large_logits(self):
+        probs = softmax(np.array([[1000.0, 1001.0]]))
+        assert np.isfinite(probs).all()
+
+    def test_shift_invariance(self):
+        logits = np.array([[1.0, 2.0, 3.0]])
+        np.testing.assert_allclose(softmax(logits), softmax(logits + 100.0))
+
+
+class TestLogisticRegression:
+    def test_separates_blobs(self):
+        x, y = _blobs()
+        model = LogisticRegression(max_iter=200).fit(x, y)
+        assert accuracy(y.tolist(), model.predict(x).tolist()) > 0.95
+
+    def test_predict_proba_valid(self):
+        x, y = _blobs()
+        model = LogisticRegression(max_iter=100).fit(x, y)
+        probs = model.predict_proba(x)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, rtol=1e-6)
+        assert (probs >= 0).all()
+
+    def test_regularisation_shrinks_weights(self):
+        x, y = _blobs()
+        loose = LogisticRegression(c=100.0, max_iter=150).fit(x, y)
+        tight = LogisticRegression(c=0.01, max_iter=150).fit(x, y)
+        assert np.abs(tight.coef_).sum() < np.abs(loose.coef_).sum()
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(RuntimeError):
+            LogisticRegression().predict(np.zeros((1, 2)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(np.zeros((0, 2)), np.zeros(0, dtype=int))
+
+    def test_invalid_c(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(c=0.0)
+
+    def test_binary_works(self):
+        x, y = _blobs()
+        mask = y < 2
+        model = LogisticRegression(max_iter=100).fit(x[mask], y[mask])
+        assert model.n_classes_ == 2
+
+
+class TestLinearSVM:
+    def test_separates_blobs(self):
+        x, y = _blobs()
+        model = LinearSVM(epochs=15, seed=0).fit(x, y)
+        assert accuracy(y.tolist(), model.predict(x).tolist()) > 0.9
+
+    def test_deterministic_given_seed(self):
+        x, y = _blobs()
+        a = LinearSVM(epochs=5, seed=42).fit(x, y).predict(x)
+        b = LinearSVM(epochs=5, seed=42).fit(x, y).predict(x)
+        np.testing.assert_array_equal(a, b)
+
+    def test_decision_function_shape(self):
+        x, y = _blobs()
+        model = LinearSVM(epochs=5).fit(x, y)
+        assert model.decision_function(x).shape == (len(x), 3)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            LinearSVM(c=-1)
+        with pytest.raises(ValueError):
+            LinearSVM(epochs=0)
+
+
+class TestGaussianNB:
+    def test_separates_blobs(self):
+        x, y = _blobs()
+        model = GaussianNaiveBayes().fit(x, y)
+        assert accuracy(y.tolist(), model.predict(x).tolist()) > 0.95
+
+    def test_proba_normalised(self):
+        x, y = _blobs()
+        model = GaussianNaiveBayes().fit(x, y)
+        probs = model.predict_proba(x)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, rtol=1e-6)
+
+    def test_priors_match_frequencies(self):
+        x, y = _blobs()
+        model = GaussianNaiveBayes().fit(x, y)
+        np.testing.assert_allclose(model.class_prior_, [1 / 3] * 3, atol=0.01)
+
+    def test_constant_feature_survives(self):
+        x = np.array([[1.0, 5.0], [1.0, 6.0], [1.0, 1.0], [1.0, 0.0]])
+        y = np.array([0, 0, 1, 1])
+        model = GaussianNaiveBayes().fit(x, y)
+        assert np.isfinite(model._joint_log_likelihood(x)).all()
+
+    def test_missing_class_rejected(self):
+        x = np.zeros((2, 2))
+        y = np.array([0, 2])
+        with pytest.raises(ValueError):
+            GaussianNaiveBayes().fit(x, y)
+
+
+class TestMetrics:
+    def test_precision_recall_f1(self):
+        gold = ["a", "a", "b", "b"]
+        pred = ["a", "b", "b", "b"]
+        m = precision_recall_f1(gold, pred, "b")
+        assert m.precision == pytest.approx(2 / 3)
+        assert m.recall == pytest.approx(1.0)
+        assert m.f1 == pytest.approx(0.8)
+        assert m.support == 2
+
+    def test_zero_division_yields_zero(self):
+        m = precision_recall_f1(["a", "a"], ["a", "a"], "b")
+        assert m.precision == 0.0
+        assert m.recall == 0.0
+        assert m.f1 == 0.0
+
+    def test_confusion_matrix(self):
+        gold = ["a", "b", "a"]
+        pred = ["a", "a", "b"]
+        matrix = confusion_matrix(gold, pred, ["a", "b"])
+        assert matrix.tolist() == [[1, 1], [1, 0]]
+
+    def test_confusion_unknown_label(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(["a"], ["c"], ["a", "b"])
+
+    def test_report_aggregates(self):
+        gold = ["a", "a", "b", "b"]
+        pred = ["a", "a", "b", "a"]
+        report = classification_report(gold, pred, ["a", "b"])
+        assert report.accuracy == 0.75
+        assert 0 < report.macro_f1 <= 1
+        assert 0 < report.weighted_f1 <= 1
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy(["a"], ["a", "b"])
+
+    @given(st.lists(st.sampled_from("abc"), min_size=1, max_size=40))
+    def test_perfect_prediction_metrics(self, labels):
+        report = classification_report(labels, labels, ["a", "b", "c"])
+        assert report.accuracy == 1.0
+        for label in set(labels):
+            assert report.per_class[label].f1 == 1.0
+
+
+class TestModelSelection:
+    def test_kfold_partitions(self):
+        folds = KFold(n_splits=4, seed=1).split(22)
+        eval_all = np.concatenate([e for _, e in folds])
+        assert sorted(eval_all.tolist()) == list(range(22))
+        for train, eval_ in folds:
+            assert set(train) & set(eval_) == set()
+
+    def test_kfold_too_many_splits(self):
+        with pytest.raises(ValueError):
+            KFold(n_splits=5).split(3)
+
+    def test_stratified_preserves_ratio(self):
+        labels = ["a"] * 40 + ["b"] * 20
+        folds = StratifiedKFold(n_splits=4, seed=0).split(labels)
+        for _, eval_idx in folds:
+            eval_labels = [labels[i] for i in eval_idx]
+            assert eval_labels.count("a") == 10
+            assert eval_labels.count("b") == 5
+
+    def test_stratified_small_class_rejected(self):
+        with pytest.raises(ValueError):
+            StratifiedKFold(n_splits=5).split(["a"] * 10 + ["b"] * 3)
+
+    def test_train_test_split(self):
+        train, test = train_test_split(100, test_fraction=0.2, seed=0)
+        assert len(test) == 20
+        assert len(train) == 80
+        assert set(train) | set(test) == set(range(100))
+
+    def test_cross_validate_scores_each_fold(self):
+        x, y = _blobs(n=90)
+        labels = y.tolist()
+        folds = StratifiedKFold(n_splits=3, seed=0).split(labels)
+
+        def fit_predict(train_idx, eval_idx):
+            model = LogisticRegression(max_iter=80).fit(x[train_idx], y[train_idx])
+            return model.predict(x[eval_idx]).tolist()
+
+        reports = cross_validate(fit_predict, labels, [0, 1, 2], folds)
+        assert len(reports) == 3
+        assert all(r.accuracy > 0.9 for r in reports)
+
+
+class TestPreprocessing:
+    def test_label_encoder_roundtrip(self):
+        encoder = LabelEncoder().fit(["b", "a", "b"])
+        ids = encoder.transform(["a", "b"])
+        assert encoder.inverse_transform(ids) == ["a", "b"]
+
+    def test_label_encoder_unseen(self):
+        encoder = LabelEncoder().fit(["a"])
+        with pytest.raises(ValueError):
+            encoder.transform(["zzz"])
+
+    def test_label_encoder_deterministic_order(self):
+        a = LabelEncoder().fit(["x", "y"]).classes
+        b = LabelEncoder().fit(["y", "x"]).classes
+        assert a == b
+
+    def test_scaler_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(5.0, 3.0, size=(200, 4))
+        scaled = StandardScaler().fit_transform(x)
+        np.testing.assert_allclose(scaled.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(scaled.std(axis=0), 1.0, atol=1e-9)
+
+    def test_scaler_constant_feature(self):
+        x = np.ones((10, 2))
+        scaled = StandardScaler().fit_transform(x)
+        assert np.isfinite(scaled).all()

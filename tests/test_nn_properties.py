@@ -1,0 +1,108 @@
+"""Property-based tests on the autograd engine's algebraic invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.tensor import Tensor
+
+_shape = st.tuples(st.integers(1, 4), st.integers(1, 5))
+
+
+def _array(shape, seed):
+    return np.random.default_rng(seed).normal(size=shape).astype(np.float32)
+
+
+class TestAlgebraicInvariants:
+    @given(shape=_shape, seed=st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_addition_commutes(self, shape, seed):
+        a = _array(shape, seed)
+        b = _array(shape, seed + 1)
+        left = (Tensor(a) + Tensor(b)).data
+        right = (Tensor(b) + Tensor(a)).data
+        np.testing.assert_array_equal(left, right)
+
+    @given(shape=_shape, seed=st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_mul_by_one_is_identity(self, shape, seed):
+        a = _array(shape, seed)
+        np.testing.assert_array_equal((Tensor(a) * 1.0).data, a)
+
+    @given(shape=_shape, seed=st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_double_negation(self, shape, seed):
+        a = _array(shape, seed)
+        np.testing.assert_array_equal((-(-Tensor(a))).data, a)
+
+    @given(shape=_shape, seed=st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_softmax_is_distribution(self, shape, seed):
+        a = _array(shape, seed)
+        probs = Tensor(a).softmax(axis=-1).data
+        assert (probs >= 0).all()
+        np.testing.assert_allclose(probs.sum(axis=-1), 1.0, rtol=1e-5)
+
+    @given(shape=_shape, seed=st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_reshape_roundtrip(self, shape, seed):
+        a = _array(shape, seed)
+        flat = Tensor(a).reshape(a.size)
+        back = flat.reshape(*shape)
+        np.testing.assert_array_equal(back.data, a)
+
+    @given(shape=_shape, seed=st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_transpose_involution(self, shape, seed):
+        a = _array(shape, seed)
+        twice = Tensor(a).transpose(1, 0).transpose(1, 0)
+        np.testing.assert_array_equal(twice.data, a)
+
+
+class TestGradientInvariants:
+    @given(shape=_shape, seed=st.integers(0, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_sum_gradient_is_ones(self, shape, seed):
+        x = Tensor(_array(shape, seed), requires_grad=True)
+        x.sum().backward()
+        np.testing.assert_array_equal(x.grad, np.ones(shape, dtype=np.float32))
+
+    @given(shape=_shape, seed=st.integers(0, 100), scale=st.floats(-3, 3))
+    @settings(max_examples=25, deadline=None)
+    def test_linearity_of_gradients(self, shape, seed, scale):
+        x = Tensor(_array(shape, seed), requires_grad=True)
+        (x * scale).sum().backward()
+        np.testing.assert_allclose(
+            x.grad, np.full(shape, scale, dtype=np.float32), rtol=1e-5, atol=1e-6
+        )
+
+    @given(shape=_shape, seed=st.integers(0, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_gradient_accumulates_linearly(self, shape, seed):
+        a = _array(shape, seed)
+        x = Tensor(a, requires_grad=True)
+        x.sum().backward()
+        first = x.grad.copy()
+        x.sum().backward()  # second pass without zero_grad doubles it
+        np.testing.assert_allclose(x.grad, 2 * first, rtol=1e-6)
+
+    @given(seed=st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_chain_rule_through_composition(self, seed):
+        # d/dx sum(tanh(2x)) = 2 * (1 - tanh(2x)^2)
+        a = _array((3, 3), seed)
+        x = Tensor(a, requires_grad=True)
+        (x * 2.0).tanh().sum().backward()
+        expected = 2.0 * (1.0 - np.tanh(2.0 * a) ** 2)
+        np.testing.assert_allclose(x.grad, expected, rtol=1e-4, atol=1e-5)
+
+    @given(seed=st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_masked_positions_have_zero_gradient(self, seed):
+        a = _array((4, 4), seed)
+        mask = np.random.default_rng(seed).random((4, 4)) > 0.5
+        x = Tensor(a, requires_grad=True)
+        x.masked_fill(mask, 0.0).sum().backward()
+        np.testing.assert_array_equal(x.grad[mask], 0.0)
+        np.testing.assert_array_equal(x.grad[~mask], 1.0)

@@ -1,0 +1,296 @@
+"""Tests for the autograd engine: every backward rule vs finite differences."""
+
+import numpy as np
+import pytest
+
+from repro.nn.functional import attention_mask_from_padding, cross_entropy, dropout
+from repro.nn.tensor import Tensor, is_grad_enabled, no_grad
+
+
+def numeric_gradient(fn, x0, eps=1e-3):
+    """Central finite differences of a scalar-valued function."""
+    grad = np.zeros_like(x0)
+    it = np.nditer(x0, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        plus = x0.copy()
+        plus[idx] += eps
+        minus = x0.copy()
+        minus[idx] -= eps
+        grad[idx] = (fn(Tensor(plus)).item() - fn(Tensor(minus)).item()) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def check_gradient(fn, shape, seed=0, tol=5e-2):
+    rng = np.random.default_rng(seed)
+    x0 = rng.normal(size=shape).astype(np.float32)
+    x = Tensor(x0, requires_grad=True)
+    fn(x).backward()
+    numeric = numeric_gradient(fn, x0)
+    np.testing.assert_allclose(x.grad, numeric, atol=tol, rtol=tol)
+
+
+class TestElementwiseGradients:
+    def test_add(self):
+        check_gradient(lambda x: (x + 3.0).sum(), (3, 4))
+
+    def test_mul(self):
+        rng = np.random.default_rng(1)
+        other = Tensor(rng.normal(size=(3, 4)).astype(np.float32))
+        check_gradient(lambda x: (x * other).sum(), (3, 4))
+
+    def test_div(self):
+        check_gradient(lambda x: (x / 2.5).sum(), (2, 3))
+
+    def test_div_by_tensor(self):
+        denom = Tensor(np.full((2, 3), 2.0, dtype=np.float32), requires_grad=True)
+        x = Tensor(np.ones((2, 3), dtype=np.float32))
+        (x / denom).sum().backward()
+        np.testing.assert_allclose(denom.grad, -0.25 * np.ones((2, 3)), rtol=1e-5)
+
+    def test_pow(self):
+        check_gradient(lambda x: (x**3).sum(), (4,))
+
+    def test_exp(self):
+        check_gradient(lambda x: x.exp().sum(), (3, 3))
+
+    def test_log(self):
+        rng = np.random.default_rng(2)
+        x0 = (rng.random((3, 3)) + 0.5).astype(np.float32)
+        x = Tensor(x0, requires_grad=True)
+        x.log().sum().backward()
+        np.testing.assert_allclose(x.grad, 1.0 / x0, rtol=1e-4)
+
+    def test_tanh(self):
+        check_gradient(lambda x: x.tanh().sum(), (5,))
+
+    def test_relu(self):
+        x = Tensor(np.array([-1.0, 0.5, 2.0], dtype=np.float32), requires_grad=True)
+        x.relu().sum().backward()
+        np.testing.assert_array_equal(x.grad, [0.0, 1.0, 1.0])
+
+    def test_gelu(self):
+        check_gradient(lambda x: x.gelu().sum(), (6,))
+
+    def test_sigmoid(self):
+        check_gradient(lambda x: x.sigmoid().sum(), (4,))
+
+    def test_neg_sub(self):
+        check_gradient(lambda x: (5.0 - x).sum(), (3,))
+
+
+class TestBroadcastGradients:
+    def test_bias_broadcast(self):
+        bias = Tensor(np.zeros(4, dtype=np.float32), requires_grad=True)
+        x = Tensor(np.ones((3, 4), dtype=np.float32))
+        (x + bias).sum().backward()
+        np.testing.assert_array_equal(bias.grad, [3.0] * 4)
+
+    def test_keepdim_broadcast(self):
+        scale = Tensor(np.ones((3, 1), dtype=np.float32), requires_grad=True)
+        x = Tensor(np.full((3, 4), 2.0, dtype=np.float32))
+        (x * scale).sum().backward()
+        np.testing.assert_array_equal(scale.grad, [[8.0]] * 3)
+
+
+class TestMatmulGradients:
+    def test_2d(self):
+        rng = np.random.default_rng(3)
+        w = Tensor(rng.normal(size=(4, 2)).astype(np.float32))
+        check_gradient(lambda x: (x @ w).sum(), (3, 4))
+
+    def test_3d_batched(self):
+        rng = np.random.default_rng(4)
+        w = Tensor(rng.normal(size=(4, 2)).astype(np.float32))
+        check_gradient(lambda x: (x @ w).sum(), (2, 3, 4))
+
+    def test_weight_gradient(self):
+        rng = np.random.default_rng(5)
+        x0 = rng.normal(size=(3, 4)).astype(np.float32)
+        w0 = rng.normal(size=(4, 2)).astype(np.float32)
+        w = Tensor(w0, requires_grad=True)
+        (Tensor(x0) @ w).sum().backward()
+        np.testing.assert_allclose(w.grad, x0.T @ np.ones((3, 2)), rtol=1e-5)
+
+    def test_4d_attention_shape(self):
+        rng = np.random.default_rng(6)
+        k = Tensor(rng.normal(size=(2, 2, 5, 3)).astype(np.float32))
+        check_gradient(lambda q: (q @ k.swapaxes(-1, -2)).sum(), (2, 2, 5, 3), tol=0.1)
+
+
+class TestReductionGradients:
+    def test_sum_all(self):
+        check_gradient(lambda x: x.sum(), (3, 4))
+
+    def test_sum_axis(self):
+        check_gradient(lambda x: (x.sum(axis=1) ** 2).sum(), (3, 4))
+
+    def test_sum_keepdims(self):
+        check_gradient(lambda x: (x.sum(axis=-1, keepdims=True) * x).sum(), (3, 4))
+
+    def test_mean(self):
+        check_gradient(lambda x: (x.mean(axis=0) ** 2).sum(), (4, 3))
+
+    def test_max(self):
+        x = Tensor(np.array([[1.0, 5.0], [7.0, 2.0]], dtype=np.float32), requires_grad=True)
+        x.max(axis=1).sum().backward()
+        np.testing.assert_array_equal(x.grad, [[0, 1], [1, 0]])
+
+
+class TestShapeGradients:
+    def test_reshape(self):
+        check_gradient(lambda x: (x.reshape(6) ** 2).sum(), (2, 3))
+
+    def test_transpose(self):
+        rng = np.random.default_rng(7)
+        c = Tensor(rng.normal(size=(4, 3)).astype(np.float32))
+        check_gradient(lambda x: (x.transpose(1, 0) * c).sum(), (3, 4))
+
+    def test_swapaxes(self):
+        check_gradient(lambda x: (x.swapaxes(0, 1) ** 2).sum(), (2, 3))
+
+    def test_getitem(self):
+        x = Tensor(np.arange(6, dtype=np.float32).reshape(2, 3), requires_grad=True)
+        x[:, 0].sum().backward()
+        np.testing.assert_array_equal(x.grad, [[1, 0, 0], [1, 0, 0]])
+
+    def test_concatenate(self):
+        a = Tensor(np.ones((2, 2), dtype=np.float32), requires_grad=True)
+        b = Tensor(np.ones((3, 2), dtype=np.float32), requires_grad=True)
+        Tensor.concatenate([a, b], axis=0).sum().backward()
+        np.testing.assert_array_equal(a.grad, np.ones((2, 2)))
+        np.testing.assert_array_equal(b.grad, np.ones((3, 2)))
+
+
+class TestCompositeGradients:
+    def test_softmax(self):
+        rng = np.random.default_rng(8)
+        c = Tensor(rng.normal(size=(3, 4)).astype(np.float32))
+        check_gradient(lambda x: (x.softmax(axis=-1) * c).sum(), (3, 4))
+
+    def test_softmax_rows_sum_one(self):
+        rng = np.random.default_rng(9)
+        x = Tensor(rng.normal(size=(5, 7)).astype(np.float32))
+        np.testing.assert_allclose(x.softmax(axis=-1).data.sum(axis=-1), 1.0, rtol=1e-5)
+
+    def test_masked_fill_blocks_gradient(self):
+        x = Tensor(np.ones((2, 2), dtype=np.float32), requires_grad=True)
+        mask = np.array([[True, False], [False, True]])
+        x.masked_fill(mask, -1e9).sum().backward()
+        np.testing.assert_array_equal(x.grad, [[0, 1], [1, 0]])
+
+    def test_embedding_scatter_add(self):
+        weight = Tensor(np.zeros((4, 2), dtype=np.float32), requires_grad=True)
+        ids = np.array([[0, 1, 1]])
+        Tensor.embedding(weight, ids).sum().backward()
+        np.testing.assert_array_equal(weight.grad, [[1, 1], [2, 2], [0, 0], [0, 0]])
+
+    def test_layernorm_composition(self):
+        def layer_norm(x):
+            mu = x.mean(axis=-1, keepdims=True)
+            centred = x - mu
+            var = (centred * centred).mean(axis=-1, keepdims=True)
+            return (centred * (var + 1e-5) ** -0.5).sum()
+
+        check_gradient(layer_norm, (3, 6))
+
+
+class TestCrossEntropy:
+    def test_matches_manual(self):
+        logits = Tensor(np.array([[2.0, 0.0], [0.0, 2.0]], dtype=np.float32))
+        loss = cross_entropy(logits, np.array([0, 1]))
+        expected = -np.log(np.exp(2) / (np.exp(2) + 1))
+        assert loss.item() == pytest.approx(expected, rel=1e-5)
+
+    def test_gradient(self):
+        targets = np.array([0, 2, 1])
+        check_gradient(lambda x: cross_entropy(x, targets), (3, 4))
+
+    def test_ignore_index(self):
+        logits = Tensor(
+            np.array([[5.0, 0.0], [0.0, 5.0]], dtype=np.float32), requires_grad=True
+        )
+        loss = cross_entropy(logits, np.array([0, -100]), ignore_index=-100)
+        loss.backward()
+        # Ignored row contributes nothing.
+        np.testing.assert_array_equal(logits.grad[1], [0.0, 0.0])
+
+    def test_3d_logits(self):
+        targets = np.array([[0, 1], [1, 0]])
+        check_gradient(lambda x: cross_entropy(x, targets), (2, 2, 3))
+
+    def test_all_ignored_rejected(self):
+        logits = Tensor(np.zeros((1, 2), dtype=np.float32))
+        with pytest.raises(ValueError):
+            cross_entropy(logits, np.array([-100]), ignore_index=-100)
+
+    def test_shape_mismatch(self):
+        logits = Tensor(np.zeros((2, 3), dtype=np.float32))
+        with pytest.raises(ValueError):
+            cross_entropy(logits, np.array([0, 1, 2]))
+
+
+class TestAutogradMechanics:
+    def test_grad_accumulates_across_uses(self):
+        x = Tensor(np.array([2.0], dtype=np.float32), requires_grad=True)
+        (x * x).backward()  # d/dx x^2 = 2x = 4
+        np.testing.assert_allclose(x.grad, [4.0])
+
+    def test_backward_requires_grad(self):
+        with pytest.raises(RuntimeError):
+            Tensor(np.ones(2)).backward()
+
+    def test_backward_nonscalar_needs_grad(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (x * 2).backward()
+
+    def test_no_grad_blocks_graph(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        with no_grad():
+            y = x * 2
+        assert not y.requires_grad
+        assert is_grad_enabled()
+
+    def test_detach(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        assert not x.detach().requires_grad
+
+    def test_zero_grad(self):
+        x = Tensor(np.ones(1), requires_grad=True)
+        (x * 1).backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_diamond_graph(self):
+        # x feeds two paths that rejoin: gradient must sum correctly.
+        x = Tensor(np.array([3.0], dtype=np.float32), requires_grad=True)
+        a = x * 2
+        b = x * 5
+        (a + b).backward()
+        np.testing.assert_allclose(x.grad, [7.0])
+
+
+class TestDropoutAndMask:
+    def test_dropout_off_in_eval(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((4, 4)))
+        out = dropout(x, 0.5, rng, training=False)
+        np.testing.assert_array_equal(out.data, x.data)
+
+    def test_dropout_preserves_expectation(self):
+        rng = np.random.default_rng(1)
+        x = Tensor(np.ones((200, 200)))
+        out = dropout(x, 0.3, rng, training=True)
+        assert out.data.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_dropout_invalid_p(self):
+        with pytest.raises(ValueError):
+            dropout(Tensor(np.ones(2)), 1.0, np.random.default_rng(0), training=True)
+
+    def test_padding_mask_shape(self):
+        ids = np.array([[1, 2, 0], [3, 0, 0]])
+        mask = attention_mask_from_padding(ids, pad_id=0)
+        assert mask.shape == (2, 1, 1, 3)
+        assert mask[0, 0, 0].tolist() == [False, False, True]

@@ -1,0 +1,126 @@
+"""Tests for the WellnessClassifier pipeline and wellness profiling."""
+
+import numpy as np
+import pytest
+
+from repro.core.labels import DIMENSIONS, WellnessDimension
+from repro.core.pipeline import (
+    TRADITIONAL_BASELINES,
+    TRANSFORMER_BASELINES,
+    WellnessClassifier,
+)
+from repro.core.profiles import build_profile, triage
+
+
+class TestWellnessClassifier:
+    def test_unknown_baseline_rejected(self):
+        with pytest.raises(ValueError, match="unknown baseline"):
+            WellnessClassifier("RoBERTa")
+
+    def test_nine_baselines_exposed(self):
+        assert len(TRADITIONAL_BASELINES) + len(TRANSFORMER_BASELINES) == 9
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            WellnessClassifier("LR").predict(["text"])
+
+    def test_fit_empty_rejected(self, small_dataset):
+        with pytest.raises(ValueError):
+            WellnessClassifier("LR").fit(small_dataset.subset([]))
+
+    @pytest.mark.parametrize("name", TRADITIONAL_BASELINES)
+    def test_traditional_baselines_learn(self, name, small_dataset):
+        split = small_dataset.fixed_split(train=100, validation=20, test=22)
+        clf = WellnessClassifier(name).fit(split.train)
+        accuracy = clf.accuracy(split.test)
+        assert accuracy > 1.0 / 6
+
+    def test_transformer_fast_mode_learns(self, small_dataset):
+        split = small_dataset.fixed_split(train=100, validation=20, test=22)
+        clf = WellnessClassifier("DistilBERT", fast=True).fit(split.train)
+        predictions = clf.predict(split.test.texts)
+        assert len(predictions) == 22
+        assert all(p in DIMENSIONS for p in predictions)
+
+    def test_predict_proba_shape(self, small_dataset):
+        split = small_dataset.fixed_split(train=100, validation=20, test=22)
+        for name in ("LR", "Linear SVM", "Gaussian NB"):
+            clf = WellnessClassifier(name).fit(split.train)
+            probs = clf.predict_proba(split.test.texts[:5])
+            assert probs.shape == (5, 6)
+            np.testing.assert_allclose(probs.sum(axis=1), 1.0, rtol=1e-5)
+
+    def test_explain_returns_keywords(self, small_dataset):
+        split = small_dataset.fixed_split(train=100, validation=20, test=22)
+        clf = WellnessClassifier("LR").fit(split.train)
+        explanation = clf.explain(split.test[0].text, n_samples=80)
+        assert explanation.top_words(3)
+
+    def test_classifier_beats_chance_on_clear_posts(self, small_dataset):
+        split = small_dataset.fixed_split(train=100, validation=20, test=22)
+        clf = WellnessClassifier("LR").fit(split.train)
+        clear = [
+            inst
+            for inst in split.test
+            if inst.metadata.get("post_type") == "clear"
+            and not inst.metadata.get("noisy")
+        ]
+        if clear:
+            predictions = clf.predict([i.text for i in clear])
+            accuracy = sum(
+                p == i.label for p, i in zip(predictions, clear)
+            ) / len(clear)
+            assert accuracy > 0.5
+
+
+class TestProfiles:
+    def test_build_profile_counts(self):
+        predictions = [
+            WellnessDimension.SOCIAL,
+            WellnessDimension.SOCIAL,
+            WellnessDimension.EMOTIONAL,
+        ]
+        profile = build_profile("user-1", predictions)
+        assert profile.n_posts == 3
+        assert profile.share(WellnessDimension.SOCIAL) == pytest.approx(2 / 3)
+        assert profile.dominant is WellnessDimension.SOCIAL
+
+    def test_empty_profile(self):
+        profile = build_profile("user-0", [])
+        assert profile.dominant is None
+        assert profile.share(WellnessDimension.SOCIAL) == 0.0
+
+    def test_as_percentages(self):
+        profile = build_profile("u", [WellnessDimension.PHYSICAL] * 4)
+        percentages = profile.as_percentages()
+        assert percentages[WellnessDimension.PHYSICAL] == 100.0
+        assert sum(percentages.values()) == pytest.approx(100.0)
+
+    def test_triage_flags_acute_dominance(self):
+        predictions = [WellnessDimension.SPIRITUAL] * 3 + [
+            WellnessDimension.EMOTIONAL
+        ] * 2
+        decision = triage(build_profile("u", predictions))
+        assert decision.flagged
+        assert any("acute" in r for r in decision.reasons)
+
+    def test_triage_flags_breadth(self):
+        predictions = [
+            WellnessDimension.INTELLECTUAL,
+            WellnessDimension.VOCATIONAL,
+            WellnessDimension.PHYSICAL,
+            WellnessDimension.SOCIAL,
+        ]
+        decision = triage(build_profile("u", predictions))
+        assert decision.flagged
+        assert any("spans" in r for r in decision.reasons)
+
+    def test_triage_ignores_thin_histories(self):
+        predictions = [WellnessDimension.SPIRITUAL] * 2
+        decision = triage(build_profile("u", predictions), min_posts=3)
+        assert not decision.flagged
+
+    def test_triage_passes_benign_profile(self):
+        predictions = [WellnessDimension.VOCATIONAL] * 5
+        decision = triage(build_profile("u", predictions))
+        assert not decision.flagged

@@ -1,0 +1,119 @@
+"""Failure-injection tests: corrupted inputs and hostile edge cases."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import HolistixDataset
+from repro.core.instance import AnnotatedInstance, Post, Span
+from repro.core.labels import WellnessDimension
+from repro.ml.logistic import LogisticRegression
+from repro.nn.layers import Linear
+from repro.nn.serialization import load_weights, save_weights
+from repro.text.vocab import Vocabulary
+
+
+class TestCorruptedPersistence:
+    def test_dataset_load_corrupt_json(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"not": "valid instance"}\n', encoding="utf-8")
+        with pytest.raises(KeyError):
+            HolistixDataset.load(path)
+
+    def test_dataset_load_truncated_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"post_id": "x", "text": ', encoding="utf-8")
+        with pytest.raises(json.JSONDecodeError):
+            HolistixDataset.load(path)
+
+    def test_dataset_load_bad_label_code(self, tmp_path, small_dataset):
+        payload = small_dataset[0].to_dict()
+        payload["label"] = "ZZ"
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps(payload) + "\n", encoding="utf-8")
+        with pytest.raises(ValueError, match="unknown dimension"):
+            HolistixDataset.load(path)
+
+    def test_dataset_load_mismatched_span(self, tmp_path, small_dataset):
+        payload = small_dataset[0].to_dict()
+        payload["span_text"] = "completely different"
+        payload["span_end"] = payload["span_start"] + len("completely different")
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps(payload) + "\n", encoding="utf-8")
+        with pytest.raises(ValueError, match="span"):
+            HolistixDataset.load(path)
+
+    def test_dataset_load_skips_blank_lines(self, tmp_path, small_dataset):
+        path = tmp_path / "ok.jsonl"
+        lines = [json.dumps(small_dataset[0].to_dict()), "", "   "]
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        loaded = HolistixDataset.load(path)
+        assert len(loaded) == 1
+
+    def test_vocab_load_garbage(self, tmp_path):
+        path = tmp_path / "vocab.json"
+        path.write_text("not json at all", encoding="utf-8")
+        with pytest.raises(json.JSONDecodeError):
+            Vocabulary.load(path)
+
+    def test_weights_load_wrong_architecture(self, tmp_path):
+        small = Linear(2, 2, seed=0)
+        big = Linear(4, 4, seed=0)
+        path = tmp_path / "weights.npz"
+        save_weights(small, path)
+        with pytest.raises(ValueError):
+            load_weights(big, path)
+
+
+class TestHostileInputs:
+    def test_classifier_handles_oov_text(self, small_dataset):
+        from repro.core.pipeline import WellnessClassifier
+
+        split = small_dataset.fixed_split(train=100, validation=20, test=22)
+        clf = WellnessClassifier("LR").fit(split.train)
+        # Entirely out-of-vocabulary text must still classify (zero
+        # vector -> some deterministic class), not crash.
+        predictions = clf.predict(["xylophone zucchini quasar"])
+        assert len(predictions) == 1
+
+    def test_classifier_handles_unicode(self, small_dataset):
+        from repro.core.pipeline import WellnessClassifier
+
+        split = small_dataset.fixed_split(train=100, validation=20, test=22)
+        clf = WellnessClassifier("LR").fit(split.train)
+        predictions = clf.predict(["я чувствую себя 😢 très seul"])
+        assert len(predictions) == 1
+
+    def test_lr_with_single_class_training(self):
+        x = np.random.default_rng(0).normal(size=(10, 3))
+        y = np.zeros(10, dtype=np.int64)
+        model = LogisticRegression(max_iter=20).fit(x, y)
+        assert (model.predict(x) == 0).all()
+
+    def test_span_locate_on_unicode(self):
+        text = "je suis épuisé aujourd'hui"
+        span = Span.locate(text, "épuisé")
+        assert text[span.start : span.end] == "épuisé"
+
+    def test_instance_with_emoji_roundtrip(self, tmp_path):
+        post = Post("p1", "I feel 😞 lonely tonight.", "Depression")
+        span = Span.locate(post.text, "lonely")
+        inst = AnnotatedInstance(post, span, WellnessDimension.SOCIAL)
+        clone = AnnotatedInstance.from_dict(
+            json.loads(json.dumps(inst.to_dict()))
+        )
+        assert clone.span_text == "lonely"
+
+    def test_very_long_input_truncated_by_transformer(self, small_dataset):
+        from repro.models.classifier import TransformerClassifier
+        from repro.models.config import MODEL_CONFIGS, scaled_for_tests
+
+        vocab = Vocabulary.build(small_dataset.texts, max_size=500)
+        model = TransformerClassifier(
+            scaled_for_tests(MODEL_CONFIGS["BERT"]), vocab, 6
+        )
+        monster = " ".join(["word"] * 5000)
+        ids = model.encode_batch([monster])
+        assert ids.shape[1] <= model.config.max_len + 8
+        assert model(ids).shape == (1, 6)

@@ -1,0 +1,27 @@
+"""Tests for the experiment runner CLI."""
+
+import pytest
+
+from repro.experiments.runner import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for experiment_id in EXPERIMENTS:
+            assert experiment_id in out
+
+    def test_run_cheap_experiment(self, capsys):
+        assert main(["run", "E1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "37082" in out
+
+    def test_run_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            main(["run", "E42"])
+
+    def test_invalid_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["bogus"])

@@ -1,0 +1,93 @@
+"""Integration tests for the Table IV / Table V experiment harnesses.
+
+The benches run the full protocols; these tests exercise the same
+plumbing with cheap settings (traditional baselines only, tiny LIME)
+so harness regressions surface in the fast suite.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.labels import DIMENSIONS, WellnessDimension
+from repro.core.pipeline import WellnessClassifier
+from repro.experiments.protocol import REDUCED
+from repro.experiments.table4 import (
+    TRADITIONAL_NAMES,
+    format_table4,
+    run_table4,
+)
+from repro.experiments.table5 import format_table5, run_table5
+
+
+@pytest.fixture(scope="module")
+def traditional_result(dataset):
+    protocol = replace(REDUCED, n_folds=2)
+    return run_table4(dataset, protocol=protocol, baselines=TRADITIONAL_NAMES)
+
+
+class TestTable4Harness:
+    def test_scores_for_each_baseline(self, traditional_result):
+        assert set(traditional_result.scores) == set(TRADITIONAL_NAMES)
+        for scores in traditional_result.scores.values():
+            assert len(scores.fold_accuracies) == 2
+            assert 0.0 <= scores.accuracy <= 1.0
+            assert set(scores.per_class) == set(DIMENSIONS)
+
+    def test_accuracy_is_fold_mean(self, traditional_result):
+        for scores in traditional_result.scores.values():
+            mean = sum(scores.fold_accuracies) / len(scores.fold_accuracies)
+            assert scores.accuracy == pytest.approx(mean)
+
+    def test_gnb_worst_among_traditional(self, traditional_result):
+        acc = {n: s.accuracy for n, s in traditional_result.scores.items()}
+        assert acc["Gaussian NB"] == min(acc.values())
+
+    def test_hard_classes_ordering(self, traditional_result):
+        lr = traditional_result.scores["LR"]
+        ea_f1 = lr.per_class[WellnessDimension.EMOTIONAL][2]
+        pa_f1 = lr.per_class[WellnessDimension.PHYSICAL][2]
+        assert pa_f1 > ea_f1
+
+    def test_format_includes_paper_rows(self, traditional_result):
+        text = format_table4(traditional_result)
+        assert "(paper)" in text
+        assert "LR" in text
+        assert "Acc" in text
+
+    def test_unknown_baseline_rejected(self, dataset):
+        with pytest.raises(ValueError, match="unknown baseline"):
+            run_table4(dataset, baselines=["RoBERTa"])
+
+
+class TestTable5Harness:
+    def test_with_prefitted_classifiers(self, dataset):
+        protocol = replace(REDUCED, lime_posts=4, lime_samples=60)
+        split = dataset.fixed_split()
+        classifiers = {
+            "LR": WellnessClassifier("LR").fit(split.train),
+        }
+        result = run_table5(
+            dataset, protocol=protocol, classifiers=classifiers
+        )
+        assert result.n_posts == 4
+        assert set(result.scores) == {"LR"}
+        similarity = result.scores["LR"]
+        for value in (
+            similarity.f1,
+            similarity.precision,
+            similarity.recall,
+            similarity.rouge,
+            similarity.bleu,
+        ):
+            assert 0.0 <= value <= 1.0
+
+    def test_format_lists_metrics(self, dataset):
+        protocol = replace(REDUCED, lime_posts=3, lime_samples=60)
+        split = dataset.fixed_split()
+        classifiers = {"LR": WellnessClassifier("LR").fit(split.train)}
+        result = run_table5(dataset, protocol=protocol, classifiers=classifiers)
+        text = format_table5(result)
+        assert "F1-score" in text
+        assert "ROUGE" in text
+        assert "(paper)" in text

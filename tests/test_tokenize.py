@@ -1,0 +1,109 @@
+"""Tests for repro.text.tokenize."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.tokenize import (
+    count_sentences,
+    count_words,
+    iter_tokens,
+    sent_tokenize,
+    word_tokenize,
+)
+
+
+class TestWordTokenize:
+    def test_lowercases(self):
+        assert word_tokenize("Hello WORLD") == ["hello", "world"]
+
+    def test_keeps_internal_apostrophe(self):
+        assert word_tokenize("I can't sleep") == ["i", "can't", "sleep"]
+
+    def test_keeps_internal_hyphen(self):
+        assert word_tokenize("my 9-5 job") == ["my", "9-5", "job"]
+
+    def test_strips_punctuation(self):
+        assert word_tokenize("wait... what?!") == ["wait", "what"]
+
+    def test_numbers_are_tokens(self):
+        assert word_tokenize("slept 3 hours") == ["slept", "3", "hours"]
+
+    def test_empty_string(self):
+        assert word_tokenize("") == []
+
+    def test_whitespace_only(self):
+        assert word_tokenize("  \n\t ") == []
+
+    def test_leading_apostrophe_not_attached(self):
+        assert word_tokenize("'quoted'") == ["quoted"]
+
+    def test_unicode_dashes_split(self):
+        assert word_tokenize("life — meaning") == ["life", "meaning"]
+
+
+class TestSentTokenize:
+    def test_simple_split(self):
+        assert sent_tokenize("I feel lost. Nothing helps! What now?") == [
+            "I feel lost.",
+            "Nothing helps!",
+            "What now?",
+        ]
+
+    def test_repeated_terminators(self):
+        assert sent_tokenize("Really?! Yes.") == ["Really?!", "Yes."]
+
+    def test_no_terminal_punctuation(self):
+        assert sent_tokenize("no punctuation here") == ["no punctuation here"]
+
+    def test_abbreviation_not_split(self):
+        sentences = sent_tokenize("I saw Dr. Smith today. It went fine.")
+        assert len(sentences) == 2
+        assert sentences[0] == "I saw Dr. Smith today."
+
+    def test_empty(self):
+        assert sent_tokenize("") == []
+
+    def test_whitespace_only(self):
+        assert sent_tokenize("   ") == []
+
+    def test_single_sentence(self):
+        assert sent_tokenize("One sentence only.") == ["One sentence only."]
+
+
+class TestCounts:
+    def test_count_words(self):
+        assert count_words("one two three.") == 3
+
+    def test_count_sentences(self):
+        assert count_sentences("A. B. C.") == 3
+
+    def test_iter_tokens_streams_documents(self):
+        tokens = list(iter_tokens(["a b", "c"]))
+        assert tokens == ["a", "b", "c"]
+
+
+class TestProperties:
+    @given(st.text(max_size=300))
+    def test_word_tokenize_never_raises(self, text):
+        tokens = word_tokenize(text)
+        assert all(t == t.lower() for t in tokens)
+
+    @given(st.text(max_size=300))
+    def test_sentences_never_empty(self, text):
+        assert all(s.strip() for s in sent_tokenize(text))
+
+    @given(st.text(max_size=200))
+    def test_word_count_matches_tokens(self, text):
+        assert count_words(text) == len(word_tokenize(text))
+
+    @given(st.lists(st.sampled_from(["alpha", "beta", "gamma"]), min_size=1, max_size=20))
+    def test_tokens_roundtrip_simple_words(self, words):
+        text = " ".join(words)
+        assert word_tokenize(text) == words
+
+    @given(st.text(max_size=200))
+    def test_sentence_concatenation_preserves_words(self, text):
+        direct = word_tokenize(text)
+        via_sentences = [t for s in sent_tokenize(text) for t in word_tokenize(s)]
+        assert via_sentences == direct

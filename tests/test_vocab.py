@@ -1,0 +1,145 @@
+"""Tests for repro.text.vocab."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.vocab import CLS, MASK, PAD, SEP, UNK, Vocabulary
+
+
+class TestConstruction:
+    def test_specials_first(self):
+        vocab = Vocabulary(["apple", "banana"])
+        assert vocab.token(0) == PAD
+        assert vocab.token(1) == UNK
+        assert vocab.token(5) == "apple"
+
+    def test_without_specials(self):
+        vocab = Vocabulary(["apple"], specials=False)
+        assert len(vocab) == 1
+        assert vocab["apple"] == 0
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Vocabulary(["a", "a"])
+
+    def test_build_ranks_by_frequency(self):
+        vocab = Vocabulary.build(["b b b a a c"], specials=False)
+        assert vocab["b"] == 0
+        assert vocab["a"] == 1
+        assert vocab["c"] == 2
+
+    def test_build_tie_breaks_alphabetically(self):
+        vocab = Vocabulary.build(["z a"], specials=False)
+        assert vocab["a"] < vocab["z"]
+
+    def test_build_min_freq(self):
+        vocab = Vocabulary.build(["a a b"], min_freq=2, specials=False)
+        assert "a" in vocab
+        assert "b" not in vocab
+
+    def test_build_max_size(self):
+        vocab = Vocabulary.build(["a a a b b c"], max_size=7)
+        assert len(vocab) == 7  # 5 specials + 2 words
+
+    def test_max_size_too_small(self):
+        with pytest.raises(ValueError, match="max_size"):
+            Vocabulary.build(["a"], max_size=3)
+
+
+class TestLookup:
+    def test_unknown_maps_to_unk(self):
+        vocab = Vocabulary(["known"])
+        assert vocab["missing"] == vocab.unk_id
+
+    def test_unknown_raises_without_specials(self):
+        vocab = Vocabulary(["known"], specials=False)
+        with pytest.raises(KeyError):
+            vocab["missing"]
+
+    def test_special_ids(self):
+        vocab = Vocabulary(["x"])
+        assert vocab.pad_id == 0
+        assert vocab.unk_id == 1
+        assert vocab.cls_id == 2
+        assert vocab.sep_id == 3
+        assert vocab.mask_id == 4
+
+    def test_special_property_raises_without_specials(self):
+        vocab = Vocabulary(["x"], specials=False)
+        with pytest.raises(ValueError):
+            vocab.pad_id
+
+    def test_contains(self):
+        vocab = Vocabulary(["word"])
+        assert "word" in vocab
+        assert "other" not in vocab
+
+
+class TestEncode:
+    def test_encode_basic(self):
+        vocab = Vocabulary(["hello", "world"])
+        assert vocab.encode("hello world") == [vocab["hello"], vocab["world"]]
+
+    def test_encode_truncates(self):
+        vocab = Vocabulary(["a", "b", "c"])
+        assert len(vocab.encode("a b c", max_len=2)) == 2
+
+    def test_encode_cls_sep(self):
+        vocab = Vocabulary(["a"])
+        ids = vocab.encode("a", add_cls=True, add_sep=True)
+        assert ids[0] == vocab.cls_id
+        assert ids[-1] == vocab.sep_id
+
+    def test_encode_pads(self):
+        vocab = Vocabulary(["a"])
+        ids = vocab.encode("a", pad_to=4)
+        assert len(ids) == 4
+        assert ids[1:] == [vocab.pad_id] * 3
+
+    def test_pad_to_truncates(self):
+        vocab = Vocabulary(["a", "b", "c"])
+        assert len(vocab.encode("a b c", pad_to=2)) == 2
+
+    def test_decode_skips_specials(self):
+        vocab = Vocabulary(["a"])
+        ids = vocab.encode("a unknownword", pad_to=5)
+        assert vocab.decode(ids) == ["a"]
+
+    def test_decode_keeps_specials_when_asked(self):
+        vocab = Vocabulary(["a"])
+        ids = [vocab.pad_id, vocab["a"]]
+        assert vocab.decode(ids, skip_special=False) == [PAD, "a"]
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path):
+        vocab = Vocabulary(["alpha", "beta"])
+        path = tmp_path / "vocab.json"
+        vocab.save(path)
+        loaded = Vocabulary.load(path)
+        assert len(loaded) == len(vocab)
+        assert loaded["alpha"] == vocab["alpha"]
+        assert loaded.pad_id == vocab.pad_id
+
+    def test_roundtrip_without_specials(self, tmp_path):
+        vocab = Vocabulary(["alpha"], specials=False)
+        path = tmp_path / "vocab.json"
+        vocab.save(path)
+        loaded = Vocabulary.load(path)
+        assert not loaded.has_specials
+        assert loaded["alpha"] == 0
+
+
+class TestProperties:
+    @given(st.lists(st.text(alphabet="abcdef", min_size=1, max_size=6), min_size=1, max_size=30, unique=True))
+    def test_bijection(self, tokens):
+        vocab = Vocabulary(tokens)
+        for token in tokens:
+            assert vocab.token(vocab[token]) == token
+
+    @given(st.lists(st.sampled_from(["cat", "dog", "bird"]), min_size=1, max_size=10))
+    def test_encode_decode_roundtrip(self, words):
+        vocab = Vocabulary(["cat", "dog", "bird"])
+        text = " ".join(words)
+        assert vocab.decode(vocab.encode(text)) == words
