@@ -1,0 +1,1 @@
+"""Benchmark suite (package so module basenames never clash with tests/)."""

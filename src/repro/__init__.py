@@ -24,6 +24,7 @@ from repro.core import (
     WellnessClassifier,
     WellnessDimension,
 )
+from repro.engine import InferenceServer, PredictionEngine
 
 __version__ = "1.0.0"
 
@@ -31,7 +32,9 @@ __all__ = [
     "AnnotatedInstance",
     "DIMENSIONS",
     "HolistixDataset",
+    "InferenceServer",
     "Post",
+    "PredictionEngine",
     "Span",
     "WellnessClassifier",
     "WellnessDimension",

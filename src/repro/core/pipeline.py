@@ -1,38 +1,41 @@
 """High-level classification API: one object over every baseline.
 
 ``WellnessClassifier`` is the library's front door: pick any of the nine
-Table IV baselines by name, ``fit`` on a dataset, ``predict`` dimensions
-for new posts, and ``explain`` predictions with LIME — without touching
-the TF-IDF/encoder plumbing underneath.
+Table IV baselines by name (resolved through the unified
+:mod:`repro.engine.registry`), ``fit`` on a dataset, ``predict``
+dimensions for new posts through the batched, cached
+:class:`~repro.engine.engine.PredictionEngine`, ``explain`` predictions
+with LIME, and ``save``/``load`` the fitted model as a checkpoint
+directory — without touching the TF-IDF/encoder plumbing underneath.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
+from dataclasses import asdict
+from pathlib import Path
 from collections.abc import Sequence
 
 import numpy as np
 
 from repro.core.dataset import HolistixDataset
 from repro.core.labels import DIMENSIONS, WellnessDimension
+from repro.engine.engine import PredictionEngine
+from repro.engine.registry import (
+    create_traditional_model,
+    get_spec,
+    traditional_baselines,
+    transformer_baselines,
+    transformer_class,
+)
 from repro.explain.lime import Explanation, LimeTextExplainer
-from repro.ml.logistic import LogisticRegression
-from repro.ml.naive_bayes import GaussianNaiveBayes
-from repro.ml.svm import LinearSVM
 from repro.text.tfidf import TfidfVectorizer
 from repro.text.vocab import Vocabulary
 
 __all__ = ["WellnessClassifier", "TRADITIONAL_BASELINES", "TRANSFORMER_BASELINES"]
 
-TRADITIONAL_BASELINES: tuple[str, ...] = ("LR", "Linear SVM", "Gaussian NB")
-TRANSFORMER_BASELINES: tuple[str, ...] = (
-    "BERT",
-    "DistilBERT",
-    "MentalBERT",
-    "Flan-T5",
-    "XLNet",
-    "GPT-2.0",
-)
+# Derived from the registry; kept as module constants for the public API.
+TRADITIONAL_BASELINES: tuple[str, ...] = traditional_baselines()
+TRANSFORMER_BASELINES: tuple[str, ...] = transformer_baselines()
 
 
 class WellnessClassifier:
@@ -43,7 +46,8 @@ class WellnessClassifier:
     baseline:
         One of the paper's nine baselines (Table IV row names):
         ``LR``, ``Linear SVM``, ``Gaussian NB``, ``BERT``, ``DistilBERT``,
-        ``MentalBERT``, ``Flan-T5``, ``XLNet``, ``GPT-2.0``.
+        ``MentalBERT``, ``Flan-T5``, ``XLNet``, ``GPT-2.0`` — anything
+        registered in :mod:`repro.engine.registry`.
     max_features:
         TF-IDF vocabulary size for the traditional baselines.
     fast:
@@ -59,11 +63,7 @@ class WellnessClassifier:
         fast: bool = False,
         seed: int = 7,
     ) -> None:
-        known = TRADITIONAL_BASELINES + TRANSFORMER_BASELINES
-        if baseline not in known:
-            raise ValueError(
-                f"unknown baseline {baseline!r}; expected one of {known}"
-            )
+        self._spec = get_spec(baseline)  # raises on unknown names
         self.baseline = baseline
         self.max_features = max_features
         self.fast = fast
@@ -71,11 +71,18 @@ class WellnessClassifier:
         self._vectorizer: TfidfVectorizer | None = None
         self._model = None
         self._trainer = None
+        self._engine: PredictionEngine | None = None
 
     @property
     def is_transformer(self) -> bool:
-        return self.baseline in TRANSFORMER_BASELINES
+        return self._spec.is_transformer
 
+    @property
+    def is_fitted(self) -> bool:
+        return self._model is not None
+
+    # ------------------------------------------------------------------
+    # Training
     # ------------------------------------------------------------------
     def fit(
         self,
@@ -89,6 +96,7 @@ class WellnessClassifier:
             raise ValueError("cannot fit on an empty dataset")
         texts = [inst.text for inst in instances]
         labels = [inst.label for inst in instances]
+        self._engine = None  # new weights ⇒ new engine + empty cache
         if self.is_transformer:
             self._fit_transformer(texts, labels, validation)
         else:
@@ -101,12 +109,7 @@ class WellnessClassifier:
         self._vectorizer = TfidfVectorizer(max_features=self.max_features)
         features = self._vectorizer.fit_transform(texts)
         targets = np.asarray([DIMENSIONS.index(label) for label in labels])
-        if self.baseline == "LR":
-            self._model = LogisticRegression(max_iter=300)
-        elif self.baseline == "Linear SVM":
-            self._model = LinearSVM(epochs=10, seed=self.seed)
-        else:
-            self._model = GaussianNaiveBayes()
+        self._model = create_traditional_model(self.baseline, seed=self.seed)
         self._model.fit(features, targets)
 
     def _fit_transformer(
@@ -115,11 +118,11 @@ class WellnessClassifier:
         labels: list[WellnessDimension],
         validation: "HolistixDataset | None",
     ) -> None:
-        from repro.models.config import MODEL_CONFIGS, scaled_for_tests
+        from repro.models.config import scaled_for_tests
         from repro.models.pretrain import build_pretraining_corpus
         from repro.models.trainer import Trainer
 
-        config = MODEL_CONFIGS[self.baseline]
+        config = self._spec.config
         if self.fast:
             config = scaled_for_tests(config)
         if config.pretrain_objective is not None:
@@ -135,33 +138,35 @@ class WellnessClassifier:
                 "val_labels": validation.labels,
             }
         self._trainer.fit(texts, labels, **kwargs)
+        self._model = self._trainer.model
 
     # ------------------------------------------------------------------
+    # Inference (all routed through the PredictionEngine)
+    # ------------------------------------------------------------------
+    @property
+    def engine(self) -> PredictionEngine:
+        """The batched/cached inference engine over the fitted model."""
+        if self._engine is None:
+            if self._model is None:
+                raise RuntimeError("classifier must be fitted before predict")
+            model_id = f"{self.baseline}#{id(self._model):x}"
+            if self.is_transformer:
+                self._engine = PredictionEngine.for_transformer(
+                    self._model, model_id=model_id
+                )
+            else:
+                self._engine = PredictionEngine.for_traditional(
+                    self._vectorizer, self._model, model_id=model_id
+                )
+        return self._engine
+
     def predict(self, texts: Sequence[str]) -> list[WellnessDimension]:
         """Predicted dimensions for raw post texts."""
-        texts = list(texts)
-        if self._trainer is not None:
-            return self._trainer.predict(texts)
-        if self._model is None or self._vectorizer is None:
-            raise RuntimeError("classifier must be fitted before predict")
-        features = self._vectorizer.transform(texts)
-        ids = self._model.predict(features)
-        return [DIMENSIONS[int(i)] for i in ids]
+        return self.engine.predict(list(texts))
 
     def predict_proba(self, texts: Sequence[str]) -> np.ndarray:
         """Probability matrix ``(n, 6)`` in DIMENSIONS order."""
-        texts = list(texts)
-        if self._trainer is not None:
-            return self._trainer.model.predict_proba(texts)
-        if self._model is None or self._vectorizer is None:
-            raise RuntimeError("classifier must be fitted before predict_proba")
-        features = self._vectorizer.transform(texts)
-        if hasattr(self._model, "predict_proba"):
-            return self._model.predict_proba(features)
-        # SVM: softmax over margins as a probability surrogate.
-        margins = self._model.decision_function(features)
-        exp = np.exp(margins - margins.max(axis=1, keepdims=True))
-        return exp / exp.sum(axis=1, keepdims=True)
+        return self.engine.predict_proba(list(texts))
 
     def accuracy(self, dataset: HolistixDataset) -> float:
         """Accuracy over an annotated dataset."""
@@ -170,13 +175,99 @@ class WellnessClassifier:
         return sum(p == g for p, g in zip(predictions, gold)) / len(gold)
 
     # ------------------------------------------------------------------
+    # Explainability
+    # ------------------------------------------------------------------
     def explain(
         self, text: str, *, n_samples: int = 300, seed: int | None = None
     ) -> Explanation:
-        """LIME explanation of this classifier's prediction on ``text``."""
-        explainer = LimeTextExplainer(
-            self.predict_proba,
+        """LIME explanation of this classifier's prediction on ``text``.
+
+        The explainer queries the prediction engine, so the hundreds of
+        perturbed texts are batched (and duplicates cached) rather than
+        scored one path at a time.
+        """
+        explainer = LimeTextExplainer.from_engine(
+            self.engine,
             n_samples=n_samples,
             seed=self.seed if seed is None else seed,
         )
         return explainer.explain(text)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> Path:
+        """Write a checkpoint directory for the fitted classifier.
+
+        The checkpoint is ``weights.npz`` (model parameters, plus the
+        TF-IDF idf vector for traditional baselines) and ``config.json``
+        (baseline identity, hyperparameters, vocabulary).  Any baseline —
+        traditional or transformer — round-trips through
+        :meth:`WellnessClassifier.load` with identical predictions.
+        """
+        from repro.nn.serialization import collect_array_state, save_checkpoint
+
+        if self._model is None:
+            raise RuntimeError("classifier must be fitted before save")
+        config: dict = {
+            "baseline": self.baseline,
+            "kind": self._spec.kind,
+            "max_features": self.max_features,
+            "fast": self.fast,
+            "seed": self.seed,
+        }
+        if self.is_transformer:
+            model = self._model
+            arrays = {
+                f"model.{name}": value
+                for name, value in model.state_dict().items()
+            }
+            config["n_classes"] = model.n_classes
+            config["model_config"] = asdict(model.config)
+            config["vocab_tokens"] = model.vocab.ordinary_tokens()
+        else:
+            vec_config, idf = self._vectorizer.get_state()
+            arrays = {
+                f"model.{name}": value
+                for name, value in collect_array_state(self._model).items()
+            }
+            arrays["vectorizer.idf"] = idf
+            config["vectorizer"] = vec_config
+        return save_checkpoint(path, arrays=arrays, config=config)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "WellnessClassifier":
+        """Rebuild a fitted classifier from a :meth:`save` checkpoint."""
+        from repro.models.config import ModelConfig
+        from repro.nn.serialization import load_checkpoint, restore_array_state
+
+        arrays, config = load_checkpoint(path)
+        classifier = cls(
+            config["baseline"],
+            max_features=config["max_features"],
+            fast=config["fast"],
+            seed=config["seed"],
+        )
+        model_arrays = {
+            name[len("model.") :]: value
+            for name, value in arrays.items()
+            if name.startswith("model.")
+        }
+        if config["kind"] == "transformer":
+            vocab = Vocabulary(config["vocab_tokens"], specials=True)
+            model_config = ModelConfig(**config["model_config"])
+            model = transformer_class(config["baseline"])(
+                vocab, n_classes=config["n_classes"], config=model_config
+            )
+            model.load_state_dict(model_arrays)
+            classifier._model = model
+        else:
+            classifier._vectorizer = TfidfVectorizer.from_state(
+                config["vectorizer"], arrays["vectorizer.idf"]
+            )
+            model = create_traditional_model(
+                config["baseline"], seed=config["seed"]
+            )
+            restore_array_state(model, model_arrays)
+            classifier._model = model
+        return classifier

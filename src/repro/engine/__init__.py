@@ -1,0 +1,55 @@
+"""Unified model registry, batched inference engine, and serving layer.
+
+The three pieces every prediction path shares:
+
+* :mod:`repro.engine.registry` — one declarative table of the nine
+  Table IV baselines (name → kind, factory, config).
+* :mod:`repro.engine.engine` — :class:`PredictionEngine`: tokenisation,
+  length-bucketed batching, an LRU prediction cache, and vectorised
+  softmax/argmax.
+* :mod:`repro.engine.server` — a stdlib micro-batching front-end that
+  coalesces concurrent requests into engine batches and tracks
+  throughput/latency.
+"""
+
+from repro.engine.engine import (
+    EngineStats,
+    PredictionEngine,
+    TraditionalBackend,
+    TransformerBackend,
+    softmax_rows,
+)
+from repro.engine.registry import (
+    REGISTRY,
+    BaselineSpec,
+    available_baselines,
+    create_traditional_model,
+    create_transformer,
+    get_spec,
+    register,
+    traditional_baselines,
+    transformer_baselines,
+    transformer_class,
+)
+from repro.engine.server import InferenceServer, PredictionResult, ServerStats
+
+__all__ = [
+    "BaselineSpec",
+    "EngineStats",
+    "InferenceServer",
+    "PredictionEngine",
+    "PredictionResult",
+    "REGISTRY",
+    "ServerStats",
+    "TraditionalBackend",
+    "TransformerBackend",
+    "available_baselines",
+    "create_traditional_model",
+    "create_transformer",
+    "get_spec",
+    "register",
+    "softmax_rows",
+    "traditional_baselines",
+    "transformer_baselines",
+    "transformer_class",
+]

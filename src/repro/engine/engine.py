@@ -1,0 +1,267 @@
+"""Batched inference engine shared by every prediction path.
+
+``PredictionEngine`` is the single place where raw texts become class
+probabilities: it owns tokenisation, length-bucketed batching (texts are
+sorted by token count so each batch pads only to its own longest row
+instead of the global maximum), an LRU cache keyed on ``(model-id,
+text)``, and vectorised softmax/argmax post-processing.
+``WellnessClassifier``, ``Trainer.predict``, the LIME callback, and the
+serving front-end all route through it, so padding waste is paid once
+and repeated texts (LIME perturbations, hot traffic) are served from
+cache.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.labels import DIMENSIONS, WellnessDimension
+
+__all__ = [
+    "EngineStats",
+    "PredictionEngine",
+    "TraditionalBackend",
+    "TransformerBackend",
+    "softmax_rows",
+]
+
+
+def softmax_rows(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable row-wise softmax over the last axis."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+@dataclass
+class EngineStats:
+    """Counters the engine accumulates across calls."""
+
+    requests: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    batches: int = 0
+    padded_tokens: int = 0
+    padded_tokens_naive: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    @property
+    def padding_saved(self) -> float:
+        """Fraction of pad tokens avoided versus one global-width batch."""
+        if self.padded_tokens_naive == 0:
+            return 0.0
+        return 1.0 - self.padded_tokens / self.padded_tokens_naive
+
+
+class TraditionalBackend:
+    """TF-IDF + classical-ML probability backend.
+
+    Vectorises the whole batch in one ``transform`` call; models without
+    ``predict_proba`` (the SVM) get a softmax over decision margins.
+    """
+
+    def __init__(self, vectorizer, model) -> None:
+        self.vectorizer = vectorizer
+        self.model = model
+
+    @property
+    def n_classes(self) -> int:
+        return int(self.model.n_classes_)
+
+    def proba_batch(self, texts: list[str]) -> np.ndarray:
+        features = self.vectorizer.transform(texts)
+        if hasattr(self.model, "predict_proba"):
+            return np.asarray(self.model.predict_proba(features), dtype=np.float64)
+        margins = np.asarray(self.model.decision_function(features))
+        return softmax_rows(margins)
+
+
+class TransformerBackend:
+    """Token-id probability backend over a :class:`TransformerClassifier`.
+
+    Exposes per-text encoding so the engine can sort by length and pad
+    per bucket instead of per call.
+    """
+
+    def __init__(self, model) -> None:
+        self.model = model
+
+    @property
+    def n_classes(self) -> int:
+        return int(self.model.n_classes)
+
+    def encode(self, text: str) -> list[int]:
+        return self.model.encode_ids(text)
+
+    def proba_rows(self, rows: list[list[int]]) -> np.ndarray:
+        from repro.nn.tensor import no_grad
+
+        model = self.model
+        was_training = model.training
+        model.eval()
+        try:
+            with no_grad():
+                batch = model.pad_rows(rows)
+                logits = model.forward(batch).data
+        finally:
+            if was_training:
+                model.train()
+        return softmax_rows(np.asarray(logits, dtype=np.float64))
+
+
+class PredictionEngine:
+    """Cached, batched text → probability engine over one fitted model.
+
+    Parameters
+    ----------
+    backend:
+        :class:`TraditionalBackend` or :class:`TransformerBackend`.
+    model_id:
+        Identifier mixed into every cache key so caches from different
+        models (or model versions) never collide.
+    batch_size:
+        Maximum texts per forward pass for transformer backends.
+    cache_size:
+        LRU capacity in texts; ``0`` disables caching.
+    """
+
+    def __init__(
+        self,
+        backend,
+        *,
+        model_id: str,
+        batch_size: int = 64,
+        cache_size: int = 2048,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if cache_size < 0:
+            raise ValueError("cache_size must be >= 0")
+        self.backend = backend
+        self.model_id = model_id
+        self.batch_size = batch_size
+        self.cache_size = cache_size
+        self.stats = EngineStats()
+        self._cache: OrderedDict[tuple[str, str], np.ndarray] = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_traditional(
+        cls, vectorizer, model, *, model_id: str, **kwargs
+    ) -> "PredictionEngine":
+        return cls(TraditionalBackend(vectorizer, model), model_id=model_id, **kwargs)
+
+    @classmethod
+    def for_transformer(cls, model, *, model_id: str, **kwargs) -> "PredictionEngine":
+        return cls(TransformerBackend(model), model_id=model_id, **kwargs)
+
+    @property
+    def n_classes(self) -> int:
+        return self.backend.n_classes
+
+    # ------------------------------------------------------------------
+    # Cache
+    # ------------------------------------------------------------------
+    def _cache_get(self, text: str) -> np.ndarray | None:
+        key = (self.model_id, text)
+        row = self._cache.get(key)
+        if row is not None:
+            self._cache.move_to_end(key)
+        return row
+
+    def _cache_put(self, text: str, row: np.ndarray) -> None:
+        if self.cache_size == 0:
+            return
+        key = (self.model_id, text)
+        self._cache[key] = row
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+
+    def invalidate(self) -> None:
+        """Drop every cached prediction (call after weights change)."""
+        self._cache.clear()
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def _compute(self, texts: list[str]) -> np.ndarray:
+        """Probabilities for unique, uncached texts (batched)."""
+        if hasattr(self.backend, "encode"):
+            return self._compute_bucketed(texts)
+        probs = np.empty((len(texts), self.n_classes), dtype=np.float64)
+        for start in range(0, len(texts), self.batch_size):
+            chunk = texts[start : start + self.batch_size]
+            probs[start : start + len(chunk)] = self.backend.proba_batch(chunk)
+            self.stats.batches += 1
+        return probs
+
+    def _compute_bucketed(self, texts: list[str]) -> np.ndarray:
+        """Length-bucketed transformer inference.
+
+        Sorting by token count before chunking means each batch pads to
+        its own longest row; the stats record how many pad tokens that
+        saved versus padding everything to the global maximum.
+        """
+        rows = [self.backend.encode(t) for t in texts]
+        order = sorted(range(len(rows)), key=lambda i: (len(rows[i]), i))
+        widest = max((len(r) for r in rows), default=0)
+        probs = np.empty((len(texts), self.n_classes), dtype=np.float64)
+        for start in range(0, len(order), self.batch_size):
+            picks = order[start : start + self.batch_size]
+            bucket = [rows[i] for i in picks]
+            width = max(len(r) for r in bucket)
+            probs[picks] = self.backend.proba_rows(bucket)
+            self.stats.batches += 1
+            self.stats.padded_tokens += sum(width - len(r) for r in bucket)
+            self.stats.padded_tokens_naive += sum(widest - len(r) for r in bucket)
+        return probs
+
+    def predict_proba(self, texts: Sequence[str]) -> np.ndarray:
+        """Probability matrix ``(n, n_classes)``, cache-aware and batched."""
+        texts = [str(t) for t in texts]
+        self.stats.requests += len(texts)
+        out = np.empty((len(texts), self.n_classes), dtype=np.float64)
+        pending: dict[str, list[int]] = {}
+        for i, text in enumerate(texts):
+            row = self._cache_get(text)
+            if row is not None:
+                self.stats.cache_hits += 1
+                out[i] = row
+            else:
+                # Duplicate uncached texts are computed once.
+                pending.setdefault(text, []).append(i)
+        if pending:
+            self.stats.cache_misses += len(pending)
+            unique = list(pending)
+            computed = self._compute(unique)
+            for text, row in zip(unique, computed):
+                self._cache_put(text, row)
+                for i in pending[text]:
+                    out[i] = row
+        return out
+
+    def predict_ids(self, texts: Sequence[str]) -> np.ndarray:
+        """Vectorised argmax class ids."""
+        return self.predict_proba(texts).argmax(axis=1)
+
+    def predict(self, texts: Sequence[str]) -> list[WellnessDimension]:
+        """Predicted wellness dimensions (requires the six-class head)."""
+        if self.n_classes != len(DIMENSIONS):
+            raise ValueError(
+                f"model has {self.n_classes} classes; expected {len(DIMENSIONS)}"
+            )
+        return [DIMENSIONS[int(i)] for i in self.predict_ids(texts)]

@@ -1,0 +1,325 @@
+"""Declarative registry of the nine Table IV baselines.
+
+One table maps every baseline name to its kind, factory, and
+configuration; everything that previously hard-coded baseline lists or
+``if name == ...`` construction chains (``core/pipeline.py``,
+``experiments/table4.py``, the six wrapper modules under
+``repro/models``) resolves models here instead.  Adding a tenth baseline
+is one ``register()`` call — the classifier front door, the experiment
+harness, and the serving engine all pick it up automatically.
+
+Model classes and configs are resolved lazily (the registry sits below
+both ``repro.core`` and ``repro.models`` in the import graph, so it must
+not import either at module load).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+from collections.abc import Callable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.models.classifier import TransformerClassifier
+    from repro.models.config import ModelConfig
+    from repro.text.vocab import Vocabulary
+
+__all__ = [
+    "BaselineSpec",
+    "REGISTRY",
+    "register",
+    "get_spec",
+    "available_baselines",
+    "traditional_baselines",
+    "transformer_baselines",
+    "create_traditional_model",
+    "create_transformer",
+    "transformer_class",
+]
+
+
+@dataclass(frozen=True)
+class BaselineSpec:
+    """Everything needed to build one baseline.
+
+    Parameters
+    ----------
+    name:
+        The Table IV row name (public identifier, e.g. ``"MentalBERT"``).
+    kind:
+        ``"traditional"`` (TF-IDF + classical ML) or ``"transformer"``.
+    description:
+        One line on what distinguishes this baseline.
+    factory:
+        Traditional only: ``factory(seed)`` returns an unfitted model
+        exposing ``fit``/``predict`` (and ``predict_proba`` or
+        ``decision_function``).
+    config_factory:
+        Transformer only: zero-argument callable returning the
+        architecture + fine-tuning :class:`ModelConfig`.  A callable (not
+        the config itself) so the registry never imports the model layer
+        at module load.
+    max_features:
+        Traditional only: TF-IDF vocabulary size.
+    class_name:
+        Transformer only: public class name for the generated
+        ``TransformerClassifier`` subclass (``BertClassifier``, ...).
+    """
+
+    name: str
+    kind: str
+    description: str
+    factory: Callable[[int], object] | None = None
+    config_factory: Callable[[], "ModelConfig"] | None = None
+    max_features: int = 3000
+    class_name: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("traditional", "transformer"):
+            raise ValueError(f"unknown baseline kind {self.kind!r}")
+        if self.kind == "traditional" and self.factory is None:
+            raise ValueError(f"traditional baseline {self.name!r} needs a factory")
+        if self.kind == "transformer" and self.config_factory is None:
+            raise ValueError(
+                f"transformer baseline {self.name!r} needs a config_factory"
+            )
+
+    @property
+    def is_transformer(self) -> bool:
+        return self.kind == "transformer"
+
+    @property
+    def config(self) -> "ModelConfig | None":
+        """The transformer's config (``None`` for traditional baselines)."""
+        if self.config_factory is None:
+            return None
+        return self.config_factory()
+
+
+REGISTRY: dict[str, BaselineSpec] = {}
+
+
+def register(spec: BaselineSpec) -> BaselineSpec:
+    """Add ``spec`` to the registry (name must be unused)."""
+    if spec.name in REGISTRY:
+        raise ValueError(f"baseline {spec.name!r} already registered")
+    REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_spec(name: str) -> BaselineSpec:
+    """Spec for ``name``; raises with the valid names on a miss."""
+    spec = REGISTRY.get(name)
+    if spec is None:
+        raise ValueError(
+            f"unknown baseline {name!r}; expected one of {available_baselines()}"
+        )
+    return spec
+
+
+def available_baselines() -> tuple[str, ...]:
+    """Every registered baseline name, registration order."""
+    return tuple(REGISTRY)
+
+
+def traditional_baselines() -> tuple[str, ...]:
+    return tuple(n for n, s in REGISTRY.items() if s.kind == "traditional")
+
+
+def transformer_baselines() -> tuple[str, ...]:
+    return tuple(n for n, s in REGISTRY.items() if s.kind == "transformer")
+
+
+# ----------------------------------------------------------------------
+# Factories
+# ----------------------------------------------------------------------
+def create_traditional_model(name: str, *, seed: int = 7):
+    """Unfitted classical ML model for a traditional baseline."""
+    spec = get_spec(name)
+    if spec.kind != "traditional":
+        raise ValueError(f"{name!r} is a transformer baseline")
+    return spec.factory(seed)
+
+
+def create_transformer(
+    name: str,
+    vocab: "Vocabulary",
+    *,
+    n_classes: int = 6,
+    config: "ModelConfig | None" = None,
+) -> "TransformerClassifier":
+    """Unfitted :class:`TransformerClassifier` subclass instance for ``name``."""
+    return transformer_class(name)(vocab, n_classes=n_classes, config=config)
+
+
+_TRANSFORMER_CLASSES: dict[str, type] = {}
+
+
+def transformer_class(name: str) -> "type[TransformerClassifier]":
+    """The public classifier class for a transformer baseline.
+
+    Classes are generated once from the registry entry; the wrapper
+    modules (``repro.models.bert`` etc.) re-export them so the public
+    names (``BertClassifier``, ...) are stable.
+    """
+    spec = get_spec(name)
+    if not spec.is_transformer:
+        raise ValueError(f"{name!r} is not a transformer baseline")
+    cached = _TRANSFORMER_CLASSES.get(name)
+    if cached is not None:
+        return cached
+
+    from repro.models.classifier import TransformerClassifier
+
+    # Importing the model layer can re-enter this function (the wrapper
+    # modules call it at import time) — honour whatever that populated.
+    cached = _TRANSFORMER_CLASSES.get(name)
+    if cached is not None:
+        return cached
+
+    def __init__(self, vocab, *, n_classes: int = 6, config=None) -> None:
+        TransformerClassifier.__init__(
+            self, config or spec.config, vocab, n_classes
+        )
+
+    cls = type(
+        spec.class_name or f"{name}Classifier",
+        (TransformerClassifier,),
+        {"__init__": __init__, "__doc__": spec.description, "BASELINE": name},
+    )
+    # Bind the class onto this module so instances are picklable
+    # (pickle resolves classes by __module__ + __qualname__).
+    globals()[cls.__name__] = cls
+    _TRANSFORMER_CLASSES[name] = cls
+    return cls
+
+
+# ----------------------------------------------------------------------
+# The nine Table IV baselines
+# ----------------------------------------------------------------------
+def _make_lr(seed: int):
+    from repro.ml.logistic import LogisticRegression
+
+    return LogisticRegression(max_iter=300)
+
+
+def _make_svm(seed: int):
+    from repro.ml.svm import LinearSVM
+
+    return LinearSVM(epochs=10, seed=seed)
+
+
+def _make_gnb(seed: int):
+    from repro.ml.naive_bayes import GaussianNaiveBayes
+
+    return GaussianNaiveBayes()
+
+
+def _paper_config(name: str) -> Callable[[], "ModelConfig"]:
+    """Lazy accessor for one of the §III-A published configurations."""
+
+    def resolve() -> "ModelConfig":
+        from repro.models.config import MODEL_CONFIGS
+
+        return MODEL_CONFIGS[name]
+
+    return resolve
+
+
+register(
+    BaselineSpec(
+        name="LR",
+        kind="traditional",
+        description="Multinomial logistic regression over TF-IDF features.",
+        factory=_make_lr,
+    )
+)
+register(
+    BaselineSpec(
+        name="Linear SVM",
+        kind="traditional",
+        description="One-vs-rest Pegasos linear SVM over TF-IDF features.",
+        factory=_make_svm,
+    )
+)
+register(
+    BaselineSpec(
+        name="Gaussian NB",
+        kind="traditional",
+        description="Gaussian naive Bayes over dense TF-IDF features.",
+        factory=_make_gnb,
+    )
+)
+register(
+    BaselineSpec(
+        name="BERT",
+        kind="transformer",
+        description=(
+            "The BERT recipe: bidirectional self-attention over absolute "
+            "positions, a [CLS] classification summary token, and masked "
+            "language-model pretraining on a general (mixed-domain) corpus."
+        ),
+        config_factory=_paper_config("BERT"),
+        class_name="BertClassifier",
+    )
+)
+register(
+    BaselineSpec(
+        name="DistilBERT",
+        kind="transformer",
+        description=(
+            "The BERT recipe at half depth — the knowledge-distillation "
+            "regime: smaller and faster, close in accuracy."
+        ),
+        config_factory=_paper_config("DistilBERT"),
+        class_name="DistilBertClassifier",
+    )
+)
+register(
+    BaselineSpec(
+        name="MentalBERT",
+        kind="transformer",
+        description=(
+            "The BERT recipe pretrained longer on the mental-health domain "
+            "corpus — the paper's strongest baseline."
+        ),
+        config_factory=_paper_config("MentalBERT"),
+        class_name="MentalBertClassifier",
+    )
+)
+register(
+    BaselineSpec(
+        name="Flan-T5",
+        kind="transformer",
+        description=(
+            "Encoder-decoder with an instruction prefix: the encoder reads "
+            "the prompt + post, a one-token decoder query pools it."
+        ),
+        config_factory=_paper_config("Flan-T5"),
+        class_name="FlanT5Classifier",
+    )
+)
+register(
+    BaselineSpec(
+        name="XLNet",
+        kind="transformer",
+        description=(
+            "Relative-position attention with no absolute positions (its "
+            "Transformer-XL inheritance) and permutation-style pretraining."
+        ),
+        config_factory=_paper_config("XLNet"),
+        class_name="XLNetClassifier",
+    )
+)
+register(
+    BaselineSpec(
+        name="GPT-2.0",
+        kind="transformer",
+        description=(
+            "Causal decoder with last-token pooling and autoregressive "
+            "language-model pretraining."
+        ),
+        config_factory=_paper_config("GPT-2.0"),
+        class_name="Gpt2Classifier",
+    )
+)

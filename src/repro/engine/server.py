@@ -1,0 +1,247 @@
+"""Micro-batching serving front-end over a :class:`PredictionEngine`.
+
+Stdlib-only: callers submit single texts from any thread and get a
+:class:`concurrent.futures.Future`; a worker thread coalesces whatever
+has queued up (up to ``max_batch_size``, waiting at most
+``max_wait_ms``) into one engine call, so concurrent traffic is served
+at batch throughput instead of one forward pass per request.  The
+server keeps throughput and latency counters for capacity planning.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+from repro.core.labels import WellnessDimension
+from repro.engine.engine import PredictionEngine
+
+__all__ = ["InferenceServer", "PredictionResult", "ServerStats"]
+
+_STOP = object()
+
+
+@dataclass(frozen=True)
+class PredictionResult:
+    """One served prediction: label, probabilities, and queue latency."""
+
+    text: str
+    label: WellnessDimension
+    probabilities: tuple[float, ...]
+    latency_ms: float
+
+
+@dataclass
+class ServerStats:
+    """Aggregate serving counters (guarded by the server's lock).
+
+    Percentiles are computed over a bounded window of the most recent
+    requests so a long-running server's memory stays constant.
+    """
+
+    requests: int = 0
+    batches: int = 0
+    total_latency_ms: float = 0.0
+    max_latency_ms: float = 0.0
+    largest_batch: int = 0
+    started_at: float | None = None
+    stopped_at: float | None = None
+    _latencies_ms: deque = field(
+        default_factory=lambda: deque(maxlen=10_000), repr=False
+    )
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.requests / self.batches if self.batches else 0.0
+
+    @property
+    def mean_latency_ms(self) -> float:
+        return self.total_latency_ms / self.requests if self.requests else 0.0
+
+    def latency_percentile(self, q: float) -> float:
+        """Latency at percentile ``q`` in [0, 100] over recent requests."""
+        if not self._latencies_ms:
+            return 0.0
+        ranked = sorted(self._latencies_ms)
+        idx = min(len(ranked) - 1, int(round(q / 100.0 * (len(ranked) - 1))))
+        return ranked[idx]
+
+    def throughput(self) -> float:
+        """Served requests per second of server uptime."""
+        if self.started_at is None:
+            return 0.0
+        end = self.stopped_at if self.stopped_at is not None else time.perf_counter()
+        elapsed = end - self.started_at
+        return self.requests / elapsed if elapsed > 0 else 0.0
+
+
+class InferenceServer:
+    """Coalesce single-text requests into batched engine calls.
+
+    Parameters
+    ----------
+    engine:
+        A fitted :class:`PredictionEngine`.
+    max_batch_size:
+        Hard cap on texts per coalesced batch.
+    max_wait_ms:
+        How long the worker holds an open batch hoping for more traffic;
+        the first request in a batch never waits longer than this before
+        inference starts.
+    """
+
+    def __init__(
+        self,
+        engine: PredictionEngine,
+        *,
+        max_batch_size: int = 32,
+        max_wait_ms: float = 2.0,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        self.engine = engine
+        self.max_batch_size = max_batch_size
+        self.max_wait_ms = max_wait_ms
+        self.stats = ServerStats()
+        self._queue: queue.Queue = queue.Queue()
+        self._lock = threading.Lock()
+        # Guards the accepting flag: submissions and the stop sentinel are
+        # enqueued under it, so FIFO order guarantees every accepted
+        # request precedes the sentinel and is served before shutdown.
+        self._state_lock = threading.Lock()
+        self._accepting = False
+        self._worker: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._worker is not None and self._worker.is_alive()
+
+    def start(self) -> "InferenceServer":
+        with self._state_lock:
+            if self.running:
+                raise RuntimeError("server is already running")
+            self.stats.started_at = time.perf_counter()
+            self.stats.stopped_at = None
+            self._worker = threading.Thread(
+                target=self._serve_loop, name="inference-server", daemon=True
+            )
+            self._worker.start()
+            self._accepting = True
+        return self
+
+    def stop(self) -> None:
+        """Drain outstanding requests, then stop the worker."""
+        with self._state_lock:
+            if not self.running:
+                return
+            self._accepting = False
+            worker = self._worker
+            self._queue.put(_STOP)
+        worker.join()
+        self._worker = None
+        self.stats.stopped_at = time.perf_counter()
+
+    def __enter__(self) -> "InferenceServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Client API
+    # ------------------------------------------------------------------
+    def submit(self, text: str) -> "Future[PredictionResult]":
+        """Enqueue one text; the future resolves to a PredictionResult."""
+        future: "Future[PredictionResult]" = Future()
+        with self._state_lock:
+            if not self._accepting:
+                raise RuntimeError("server is not running (call start())")
+            self._queue.put((text, future, time.perf_counter()))
+        return future
+
+    def predict(
+        self, texts: Sequence[str], *, timeout: float | None = 30.0
+    ) -> list[PredictionResult]:
+        """Submit many texts and block until all are served."""
+        futures = [self.submit(t) for t in texts]
+        return [f.result(timeout=timeout) for f in futures]
+
+    # ------------------------------------------------------------------
+    # Worker
+    # ------------------------------------------------------------------
+    def _collect_batch(self) -> tuple[list, bool]:
+        """Block for one request, then coalesce briefly. -> (batch, stop)"""
+        first = self._queue.get()
+        if first is _STOP:
+            return [], True
+        batch = [first]
+        deadline = time.perf_counter() + self.max_wait_ms / 1000.0
+        while len(batch) < self.max_batch_size:
+            remaining = deadline - time.perf_counter()
+            try:
+                item = self._queue.get(timeout=max(remaining, 0.0))
+            except queue.Empty:
+                break
+            if item is _STOP:
+                return batch, True
+            batch.append(item)
+        return batch, False
+
+    def _serve_batch(self, batch: list) -> None:
+        texts = [text for text, _, _ in batch]
+        try:
+            probs = self.engine.predict_proba(texts)
+            ids = probs.argmax(axis=1)
+        except BaseException as error:  # propagate to every waiting caller
+            for _, future, _ in batch:
+                future.set_exception(error)
+            return
+        from repro.core.labels import DIMENSIONS
+
+        now = time.perf_counter()
+        results = []
+        for (text, future, enqueued), row, class_id in zip(batch, probs, ids):
+            latency_ms = (now - enqueued) * 1000.0
+            results.append(
+                (
+                    future,
+                    PredictionResult(
+                        text=text,
+                        label=DIMENSIONS[int(class_id)],
+                        probabilities=tuple(float(p) for p in row),
+                        latency_ms=latency_ms,
+                    ),
+                )
+            )
+        with self._lock:
+            stats = self.stats
+            stats.batches += 1
+            stats.largest_batch = max(stats.largest_batch, len(batch))
+            for _, result in results:
+                stats.requests += 1
+                stats.total_latency_ms += result.latency_ms
+                stats.max_latency_ms = max(stats.max_latency_ms, result.latency_ms)
+                stats._latencies_ms.append(result.latency_ms)
+        for future, result in results:
+            future.set_result(result)
+
+    def _serve_loop(self) -> None:
+        # No drain needed after the sentinel: submissions and the sentinel
+        # share the state lock, so FIFO order puts every accepted request
+        # ahead of _STOP and _collect_batch has already served them.
+        while True:
+            batch, stop = self._collect_batch()
+            if batch:
+                self._serve_batch(batch)
+            if stop:
+                return

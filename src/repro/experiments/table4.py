@@ -16,6 +16,12 @@ import numpy as np
 
 from repro.core.dataset import HolistixDataset
 from repro.core.labels import DIMENSIONS, WellnessDimension
+from repro.engine.registry import (
+    create_traditional_model,
+    get_spec,
+    traditional_baselines,
+    transformer_baselines,
+)
 from repro.experiments.paper_reference import (
     PAPER_TABLE4,
     PAPER_TABLE4_ACCURACY,
@@ -23,9 +29,6 @@ from repro.experiments.paper_reference import (
 from repro.experiments.protocol import Protocol, current_protocol
 from repro.experiments.reporting import render_table
 from repro.ml.metrics import ClassificationReport, classification_report
-from repro.ml.logistic import LogisticRegression
-from repro.ml.naive_bayes import GaussianNaiveBayes
-from repro.ml.svm import LinearSVM
 from repro.text.tfidf import TfidfVectorizer
 from repro.text.vocab import Vocabulary
 
@@ -38,15 +41,9 @@ __all__ = [
     "TRANSFORMER_NAMES",
 ]
 
-TRADITIONAL_NAMES: tuple[str, ...] = ("LR", "Linear SVM", "Gaussian NB")
-TRANSFORMER_NAMES: tuple[str, ...] = (
-    "BERT",
-    "DistilBERT",
-    "MentalBERT",
-    "Flan-T5",
-    "XLNet",
-    "GPT-2.0",
-)
+# Resolved from the unified registry — the single source of baseline names.
+TRADITIONAL_NAMES: tuple[str, ...] = traditional_baselines()
+TRANSFORMER_NAMES: tuple[str, ...] = transformer_baselines()
 
 
 @dataclass
@@ -95,20 +92,16 @@ def _evaluate_traditional(
 ) -> BaselineScores:
     texts = dataset.texts
     labels = dataset.labels
+    max_features = get_spec(name).max_features
     reports: list[ClassificationReport] = []
     for train_idx, eval_idx in folds:
-        vectorizer = TfidfVectorizer(max_features=3000)
+        vectorizer = TfidfVectorizer(max_features=max_features)
         train_matrix = vectorizer.fit_transform([texts[i] for i in train_idx])
         eval_matrix = vectorizer.transform([texts[i] for i in eval_idx])
         targets = np.asarray(
             [DIMENSIONS.index(labels[i]) for i in train_idx], dtype=np.int64
         )
-        if name == "LR":
-            model = LogisticRegression(max_iter=300)
-        elif name == "Linear SVM":
-            model = LinearSVM(epochs=10, seed=seed)
-        else:
-            model = GaussianNaiveBayes()
+        model = create_traditional_model(name, seed=seed)
         model.fit(train_matrix, targets)
         predicted = [DIMENSIONS[int(i)] for i in model.predict(eval_matrix)]
         gold = [labels[i] for i in eval_idx]

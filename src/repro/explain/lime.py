@@ -81,6 +81,17 @@ class LimeTextExplainer:
         self.ridge_alpha = ridge_alpha
         self.seed = seed
 
+    @classmethod
+    def from_engine(cls, engine, **kwargs) -> "LimeTextExplainer":
+        """Explainer whose black box is a ``PredictionEngine``.
+
+        Routing the perturbation queries through the engine means the
+        hundreds of masked texts per explanation are length-bucketed into
+        batches, and texts repeated across explanations hit the engine's
+        prediction cache instead of the model.
+        """
+        return cls(engine.predict_proba, **kwargs)
+
     # ------------------------------------------------------------------
     def _perturbations(
         self, n_words: int, rng: np.random.Generator

@@ -1,27 +1,16 @@
-"""BERT baseline: bidirectional encoder, CLS pooling, generic MLM."""
+"""BERT baseline: bidirectional encoder, CLS pooling, generic MLM.
+
+The class is generated from the :mod:`repro.engine.registry` entry; this
+module re-exports it (and the published config) under its stable public
+name.
+"""
 
 from __future__ import annotations
 
-from repro.core.labels import DIMENSIONS
-from repro.models.classifier import TransformerClassifier
-from repro.models.config import MODEL_CONFIGS, ModelConfig
-from repro.text.vocab import Vocabulary
+from repro.engine.registry import get_spec, transformer_class
+from repro.models.config import ModelConfig
 
 __all__ = ["BertClassifier", "BERT_CONFIG"]
 
-BERT_CONFIG: ModelConfig = MODEL_CONFIGS["BERT"]
-
-
-class BertClassifier(TransformerClassifier):
-    """The BERT recipe: bidirectional self-attention over absolute
-    positions, a ``[CLS]`` classification summary token, and masked
-    language-model pretraining on a general (mixed-domain) corpus."""
-
-    def __init__(
-        self,
-        vocab: Vocabulary,
-        *,
-        n_classes: int = len(DIMENSIONS),
-        config: ModelConfig | None = None,
-    ) -> None:
-        super().__init__(config or BERT_CONFIG, vocab, n_classes)
+BERT_CONFIG: ModelConfig = get_spec("BERT").config
+BertClassifier = transformer_class("BERT")

@@ -71,22 +71,31 @@ class TransformerClassifier(Module):
             return []
         return [self.vocab[t] for t in self.config.instruction_prefix.split()]
 
-    def encode_batch(self, texts: list[str]) -> np.ndarray:
-        """Token-id matrix ``(B, T)`` with CLS/prefix and right padding."""
+    def encode_ids(self, text: str) -> list[int]:
+        """Token ids for one text, with CLS/prefix handling applied.
+
+        This is the single tokenisation path: ``encode_batch`` and the
+        prediction engine's length-bucketed batching both build on it.
+        """
         config = self.config
-        rows: list[list[int]] = []
-        for text in texts:
-            ids = self.vocab.encode(text, max_len=config.max_len)
-            if config.pooling == "cls":
-                ids = [self.vocab.cls_id] + ids
-            if self._prefix_ids:
-                ids = self._prefix_ids + ids
-            rows.append(ids)
+        ids = self.vocab.encode(text, max_len=config.max_len)
+        if config.pooling == "cls":
+            ids = [self.vocab.cls_id] + ids
+        if self._prefix_ids:
+            ids = self._prefix_ids + ids
+        return ids
+
+    def pad_rows(self, rows: list[list[int]]) -> np.ndarray:
+        """Right-pad id rows to the longest row → ``(B, T)`` matrix."""
         width = max(len(r) for r in rows)
         batch = np.full((len(rows), width), self.vocab.pad_id, dtype=np.int64)
         for i, row in enumerate(rows):
             batch[i, : len(row)] = row
         return batch
+
+    def encode_batch(self, texts: list[str]) -> np.ndarray:
+        """Token-id matrix ``(B, T)`` with CLS/prefix and right padding."""
+        return self.pad_rows([self.encode_ids(text) for text in texts])
 
     # ------------------------------------------------------------------
     # Forward passes

@@ -1,27 +1,16 @@
-"""DistilBERT baseline: the BERT recipe at half depth."""
+"""DistilBERT baseline: the BERT recipe at half depth.
+
+The class is generated from the :mod:`repro.engine.registry` entry; this
+module re-exports it (and the published config) under its stable public
+name.
+"""
 
 from __future__ import annotations
 
-from repro.core.labels import DIMENSIONS
-from repro.models.classifier import TransformerClassifier
-from repro.models.config import MODEL_CONFIGS, ModelConfig
-from repro.text.vocab import Vocabulary
+from repro.engine.registry import get_spec, transformer_class
+from repro.models.config import ModelConfig
 
 __all__ = ["DistilBertClassifier", "DISTILBERT_CONFIG"]
 
-DISTILBERT_CONFIG: ModelConfig = MODEL_CONFIGS["DistilBERT"]
-
-
-class DistilBertClassifier(TransformerClassifier):
-    """The knowledge-distillation regime: the same interface and
-    pretraining as BERT with half the layers — smaller and faster at a
-    small accuracy cost, which is DistilBERT's published trade-off."""
-
-    def __init__(
-        self,
-        vocab: Vocabulary,
-        *,
-        n_classes: int = len(DIMENSIONS),
-        config: ModelConfig | None = None,
-    ) -> None:
-        super().__init__(config or DISTILBERT_CONFIG, vocab, n_classes)
+DISTILBERT_CONFIG: ModelConfig = get_spec("DistilBERT").config
+DistilBertClassifier = transformer_class("DistilBERT")

@@ -1,28 +1,16 @@
-"""Flan-T5 baseline: instruction-prefixed encoder-decoder."""
+"""Flan-T5 baseline: instruction-prefixed encoder-decoder.
+
+The class is generated from the :mod:`repro.engine.registry` entry; this
+module re-exports it (and the published config) under its stable public
+name.
+"""
 
 from __future__ import annotations
 
-from repro.core.labels import DIMENSIONS
-from repro.models.classifier import TransformerClassifier
-from repro.models.config import MODEL_CONFIGS, ModelConfig
-from repro.text.vocab import Vocabulary
+from repro.engine.registry import get_spec, transformer_class
+from repro.models.config import ModelConfig
 
 __all__ = ["FlanT5Classifier", "FLAN_T5_CONFIG"]
 
-FLAN_T5_CONFIG: ModelConfig = MODEL_CONFIGS["Flan-T5"]
-
-
-class FlanT5Classifier(TransformerClassifier):
-    """The instruction-tuned encoder-decoder recipe: the input is
-    prefixed with a natural-language instruction, the encoder reads the
-    post, and a single-step decoder cross-attends to produce the class —
-    T5's text-to-text framing reduced to classification."""
-
-    def __init__(
-        self,
-        vocab: Vocabulary,
-        *,
-        n_classes: int = len(DIMENSIONS),
-        config: ModelConfig | None = None,
-    ) -> None:
-        super().__init__(config or FLAN_T5_CONFIG, vocab, n_classes)
+FLAN_T5_CONFIG: ModelConfig = get_spec("Flan-T5").config
+FlanT5Classifier = transformer_class("Flan-T5")

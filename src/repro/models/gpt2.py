@@ -1,27 +1,16 @@
-"""GPT-2 baseline: causal decoder with last-token pooling."""
+"""GPT-2 baseline: causal decoder, last-token pooling, CLM pretraining.
+
+The class is generated from the :mod:`repro.engine.registry` entry; this
+module re-exports it (and the published config) under its stable public
+name.
+"""
 
 from __future__ import annotations
 
-from repro.core.labels import DIMENSIONS
-from repro.models.classifier import TransformerClassifier
-from repro.models.config import MODEL_CONFIGS, ModelConfig
-from repro.text.vocab import Vocabulary
+from repro.engine.registry import get_spec, transformer_class
+from repro.models.config import ModelConfig
 
 __all__ = ["Gpt2Classifier", "GPT2_CONFIG"]
 
-GPT2_CONFIG: ModelConfig = MODEL_CONFIGS["GPT-2.0"]
-
-
-class Gpt2Classifier(TransformerClassifier):
-    """The autoregressive recipe: causal self-attention (every token sees
-    only its left context), causal language-model pretraining, and the
-    last non-pad token as the sequence summary."""
-
-    def __init__(
-        self,
-        vocab: Vocabulary,
-        *,
-        n_classes: int = len(DIMENSIONS),
-        config: ModelConfig | None = None,
-    ) -> None:
-        super().__init__(config or GPT2_CONFIG, vocab, n_classes)
+GPT2_CONFIG: ModelConfig = get_spec("GPT-2.0").config
+Gpt2Classifier = transformer_class("GPT-2.0")

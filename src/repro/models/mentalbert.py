@@ -1,28 +1,16 @@
-"""MentalBERT baseline: BERT pretrained on the mental-health domain."""
+"""MentalBERT baseline: BERT pretrained longer on in-domain text.
+
+The class is generated from the :mod:`repro.engine.registry` entry; this
+module re-exports it (and the published config) under its stable public
+name.
+"""
 
 from __future__ import annotations
 
-from repro.core.labels import DIMENSIONS
-from repro.models.classifier import TransformerClassifier
-from repro.models.config import MODEL_CONFIGS, ModelConfig
-from repro.text.vocab import Vocabulary
+from repro.engine.registry import get_spec, transformer_class
+from repro.models.config import ModelConfig
 
 __all__ = ["MentalBertClassifier", "MENTALBERT_CONFIG"]
 
-MENTALBERT_CONFIG: ModelConfig = MODEL_CONFIGS["MentalBERT"]
-
-
-class MentalBertClassifier(TransformerClassifier):
-    """BERT's architecture with *domain* pretraining: twice the MLM steps
-    on an all-mental-health corpus.  This is the mechanism behind
-    MentalBERT's lead in Table IV — better in-domain representations
-    before any labelled data is seen."""
-
-    def __init__(
-        self,
-        vocab: Vocabulary,
-        *,
-        n_classes: int = len(DIMENSIONS),
-        config: ModelConfig | None = None,
-    ) -> None:
-        super().__init__(config or MENTALBERT_CONFIG, vocab, n_classes)
+MENTALBERT_CONFIG: ModelConfig = get_spec("MentalBERT").config
+MentalBertClassifier = transformer_class("MentalBERT")

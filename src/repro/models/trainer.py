@@ -66,6 +66,28 @@ class Trainer:
         self.use_pretraining_cache = use_pretraining_cache
         self.model = TransformerClassifier(config, vocab, n_classes)
         self.result = TrainResult()
+        self._engine = None
+
+    @property
+    def engine(self):
+        """Batched, cached inference engine over the trainer's model.
+
+        Built lazily; ``fit`` invalidates its cache whenever the weights
+        change so mid-training evaluation never sees stale predictions.
+        """
+        if self._engine is None:
+            from repro.engine.engine import PredictionEngine
+
+            self._engine = PredictionEngine.for_transformer(
+                self.model,
+                model_id=f"trainer:{self.config.name}:{id(self.model):x}",
+                batch_size=64,
+            )
+        return self._engine
+
+    def _invalidate_engine(self) -> None:
+        if self._engine is not None:
+            self._engine.invalidate()
 
     # ------------------------------------------------------------------
     def maybe_pretrain(self) -> None:
@@ -84,6 +106,7 @@ class Trainer:
         )
         if self.use_pretraining_cache and cache_key in _PRETRAINED_CACHE:
             self.model.load_state_dict(_PRETRAINED_CACHE[cache_key])
+            self._invalidate_engine()
             return
         corpus = build_pretraining_corpus(config.pretrain_domain, seed=101)
         losses = pretrain(
@@ -96,6 +119,7 @@ class Trainer:
             seed=config.seed,
         )
         self.result.pretrain_losses = losses
+        self._invalidate_engine()
         if self.use_pretraining_cache:
             _PRETRAINED_CACHE[cache_key] = self.model.state_dict()
 
@@ -145,6 +169,7 @@ class Trainer:
                 schedule.step()
                 optimizer.step()
                 self.result.train_losses.append(loss.item())
+            self._invalidate_engine()
             if val_texts and val_labels:
                 self.result.val_accuracies.append(
                     self.score(val_texts, val_labels)
@@ -153,8 +178,8 @@ class Trainer:
 
     # ------------------------------------------------------------------
     def predict(self, texts: list[str]) -> list[WellnessDimension]:
-        """Predicted wellness dimensions for raw texts."""
-        ids = self.model.predict(texts)
+        """Predicted wellness dimensions, via the prediction engine."""
+        ids = self.engine.predict_ids(texts)
         return [DIMENSIONS[int(i)] for i in ids]
 
     def score(self, texts: list[str], labels: list[WellnessDimension]) -> float:

@@ -1,27 +1,16 @@
-"""XLNet baseline: relative-position attention, permutation-style LM."""
+"""XLNet baseline: relative positions, permutation-style pretraining.
+
+The class is generated from the :mod:`repro.engine.registry` entry; this
+module re-exports it (and the published config) under its stable public
+name.
+"""
 
 from __future__ import annotations
 
-from repro.core.labels import DIMENSIONS
-from repro.models.classifier import TransformerClassifier
-from repro.models.config import MODEL_CONFIGS, ModelConfig
-from repro.text.vocab import Vocabulary
+from repro.engine.registry import get_spec, transformer_class
+from repro.models.config import ModelConfig
 
 __all__ = ["XLNetClassifier", "XLNET_CONFIG"]
 
-XLNET_CONFIG: ModelConfig = MODEL_CONFIGS["XLNet"]
-
-
-class XLNetClassifier(TransformerClassifier):
-    """The Transformer-XL inheritance: no absolute position table —
-    position information flows only through learned relative-position
-    biases — trained with a permutation-style masked objective."""
-
-    def __init__(
-        self,
-        vocab: Vocabulary,
-        *,
-        n_classes: int = len(DIMENSIONS),
-        config: ModelConfig | None = None,
-    ) -> None:
-        super().__init__(config or XLNET_CONFIG, vocab, n_classes)
+XLNET_CONFIG: ModelConfig = get_spec("XLNet").config
+XLNetClassifier = transformer_class("XLNet")

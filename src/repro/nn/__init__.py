@@ -24,7 +24,14 @@ from repro.nn.optim import (
     WarmupLinearSchedule,
     clip_grad_norm,
 )
-from repro.nn.serialization import load_weights, save_weights
+from repro.nn.serialization import (
+    collect_array_state,
+    load_checkpoint,
+    load_weights,
+    restore_array_state,
+    save_checkpoint,
+    save_weights,
+)
 from repro.nn.tensor import Tensor, is_grad_enabled, no_grad
 from repro.nn.transformer import (
     DecoderBlock,
@@ -55,10 +62,14 @@ __all__ = [
     "WarmupLinearSchedule",
     "attention_mask_from_padding",
     "clip_grad_norm",
+    "collect_array_state",
     "cross_entropy",
     "dropout",
     "is_grad_enabled",
+    "load_checkpoint",
     "load_weights",
     "no_grad",
+    "restore_array_state",
+    "save_checkpoint",
     "save_weights",
 ]

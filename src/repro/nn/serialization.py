@@ -1,14 +1,41 @@
-"""Weight persistence: save/load a module's state dict as ``.npz``."""
+"""Model persistence: state dicts and full checkpoints on disk.
+
+Two layers:
+
+* ``save_weights`` / ``load_weights`` — a module's named parameters as a
+  single compressed ``.npz`` (the original minimal API, kept as-is).
+* ``save_checkpoint`` / ``load_checkpoint`` — a checkpoint *directory*
+  holding ``weights.npz`` (arbitrary named arrays) plus ``config.json``
+  (JSON-serialisable metadata), which is what
+  ``WellnessClassifier.save``/``load`` round-trips through for both the
+  traditional and transformer baselines.
+
+``collect_array_state`` / ``restore_array_state`` capture the fitted
+sklearn-style ``*_`` attributes of the classical ML models so they can
+ride in the same checkpoint format as the neural state dicts.
+"""
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import numpy as np
 
 from repro.nn.layers import Module
 
-__all__ = ["save_weights", "load_weights"]
+__all__ = [
+    "save_weights",
+    "load_weights",
+    "save_checkpoint",
+    "load_checkpoint",
+    "collect_array_state",
+    "restore_array_state",
+]
+
+CHECKPOINT_FORMAT_VERSION = 1
+_WEIGHTS_NAME = "weights.npz"
+_CONFIG_NAME = "config.json"
 
 
 def save_weights(module: Module, path: str | Path) -> None:
@@ -25,3 +52,80 @@ def load_weights(module: Module, path: str | Path) -> None:
     with np.load(str(path)) as archive:
         state = {name: archive[name] for name in archive.files}
     module.load_state_dict(state)
+
+
+# ----------------------------------------------------------------------
+# Checkpoint directories: arrays + JSON config
+# ----------------------------------------------------------------------
+def save_checkpoint(
+    path: str | Path,
+    *,
+    arrays: dict[str, np.ndarray],
+    config: dict,
+) -> Path:
+    """Write a checkpoint directory: ``weights.npz`` + ``config.json``.
+
+    ``path`` is created (parents included) if missing; an existing
+    checkpoint at the same path is overwritten.
+    """
+    target = Path(path)
+    target.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(str(target / _WEIGHTS_NAME), **arrays)
+    payload = {"format_version": CHECKPOINT_FORMAT_VERSION, **config}
+    (target / _CONFIG_NAME).write_text(
+        json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8"
+    )
+    return target
+
+
+def load_checkpoint(path: str | Path) -> tuple[dict[str, np.ndarray], dict]:
+    """Read a checkpoint directory back as ``(arrays, config)``."""
+    target = Path(path)
+    weights_path = target / _WEIGHTS_NAME
+    config_path = target / _CONFIG_NAME
+    if not weights_path.is_file() or not config_path.is_file():
+        raise FileNotFoundError(
+            f"{target} is not a checkpoint directory "
+            f"(expected {_WEIGHTS_NAME} and {_CONFIG_NAME})"
+        )
+    with np.load(str(weights_path)) as archive:
+        arrays = {name: archive[name] for name in archive.files}
+    config = json.loads(config_path.read_text(encoding="utf-8"))
+    version = config.pop("format_version", None)
+    if version != CHECKPOINT_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported checkpoint format_version {version!r} "
+            f"(this build reads {CHECKPOINT_FORMAT_VERSION})"
+        )
+    return arrays, config
+
+
+# ----------------------------------------------------------------------
+# sklearn-style estimator state
+# ----------------------------------------------------------------------
+def collect_array_state(estimator: object) -> dict[str, np.ndarray]:
+    """Fitted ``*_`` attributes of a classical model, as named arrays.
+
+    Scalars (``n_classes_``, ``n_iter_``) are stored as 0-d arrays so
+    everything fits one ``.npz``; private and unfitted (``None``)
+    attributes are skipped.
+    """
+    state: dict[str, np.ndarray] = {}
+    for name, value in vars(estimator).items():
+        if not name.endswith("_") or name.startswith("_") or value is None:
+            continue
+        state[name] = np.asarray(value)
+    return state
+
+
+def restore_array_state(estimator: object, state: dict[str, np.ndarray]) -> None:
+    """Set fitted attributes captured by :func:`collect_array_state`.
+
+    0-d integer/float arrays are unwrapped back to Python scalars so the
+    estimator sees the same types it produced during ``fit``.
+    """
+    for name, value in state.items():
+        if value.ndim == 0:
+            setattr(estimator, name, value.item())
+        else:
+            setattr(estimator, name, value)

@@ -145,6 +145,49 @@ class TfidfVectorizer:
         return matrix
 
     # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def get_state(self) -> tuple[dict, np.ndarray]:
+        """Fitted state as ``(json-safe config, idf array)``.
+
+        The config carries the constructor parameters plus the learned
+        terms in column order; together with the idf vector it fully
+        reconstructs the vectoriser via :meth:`from_state`.
+        """
+        if self._vocab is None or self._idf is None:
+            raise RuntimeError("TfidfVectorizer must be fitted first")
+        config = {
+            "max_features": self.max_features,
+            "min_df": self.min_df,
+            "max_df": self.max_df,
+            "sublinear_tf": self.sublinear_tf,
+            "remove_stopwords": self.remove_stopwords,
+            "ngram_range": list(self.ngram_range),
+            "terms": self.feature_names,
+        }
+        return config, self._idf.copy()
+
+    @classmethod
+    def from_state(cls, config: dict, idf: np.ndarray) -> "TfidfVectorizer":
+        """Rebuild a fitted vectoriser from :meth:`get_state` output."""
+        terms = list(config["terms"])
+        if len(terms) != idf.shape[0]:
+            raise ValueError(
+                f"terms/idf length mismatch: {len(terms)} vs {idf.shape[0]}"
+            )
+        vectorizer = cls(
+            max_features=config["max_features"],
+            min_df=config["min_df"],
+            max_df=config["max_df"],
+            sublinear_tf=config["sublinear_tf"],
+            remove_stopwords=config["remove_stopwords"],
+            ngram_range=tuple(config["ngram_range"]),
+        )
+        vectorizer._vocab = Vocabulary(terms, specials=False)
+        vectorizer._idf = np.asarray(idf, dtype=np.float64).copy()
+        return vectorizer
+
+    # ------------------------------------------------------------------
     @property
     def feature_names(self) -> list[str]:
         """Terms in column order."""

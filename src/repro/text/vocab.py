@@ -105,6 +105,15 @@ class Vocabulary:
         return self._specials
 
     @property
+    def num_specials(self) -> int:
+        """How many reserved special-token ids precede ordinary tokens."""
+        return len((PAD, UNK, CLS, SEP, MASK)) if self._specials else 0
+
+    def ordinary_tokens(self) -> list[str]:
+        """The non-special tokens in id order (what :meth:`save` persists)."""
+        return self._itos[self.num_specials :]
+
+    @property
     def pad_id(self) -> int:
         return self._require_special(PAD)
 
@@ -171,7 +180,7 @@ class Vocabulary:
         """Write the vocabulary to a JSON file."""
         payload = {
             "specials": self._specials,
-            "tokens": self._itos[5:] if self._specials else self._itos,
+            "tokens": self.ordinary_tokens(),
         }
         Path(path).write_text(json.dumps(payload), encoding="utf-8")
 

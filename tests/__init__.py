@@ -1,0 +1,1 @@
+"""Tier-1 test suite (package so module basenames never clash with benchmarks/)."""

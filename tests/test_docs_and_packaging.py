@@ -48,6 +48,7 @@ class TestPublicApi:
         "repro.ml",
         "repro.nn",
         "repro.models",
+        "repro.engine",
         "repro.explain",
         "repro.experiments",
     ]

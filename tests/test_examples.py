@@ -62,3 +62,9 @@ class TestExamples:
         assert "micro F1" in out
         assert "ROUGE-1" in out
         assert "most central dimension" in out
+
+    def test_serve_and_persist(self):
+        out = _run("serve_and_persist.py")
+        assert "Reloaded model predictions identical: True" in out
+        assert "throughput" in out
+        assert "engine cache" in out
