@@ -2,9 +2,21 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.core.dataset import HolistixDataset
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_pretrain_cache(tmp_path_factory):
+    """Point the on-disk pretraining cache at a per-session scratch dir."""
+    os.environ["REPRO_PRETRAIN_CACHE"] = str(
+        tmp_path_factory.mktemp("pretrain-cache")
+    )
+    yield
+    os.environ.pop("REPRO_PRETRAIN_CACHE", None)
 
 
 @pytest.fixture(scope="session")

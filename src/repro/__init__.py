@@ -25,11 +25,13 @@ from repro.core import (
     WellnessDimension,
 )
 from repro.engine import InferenceServer, PredictionEngine
+from repro.sparse import CSRMatrix
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AnnotatedInstance",
+    "CSRMatrix",
     "DIMENSIONS",
     "HolistixDataset",
     "InferenceServer",

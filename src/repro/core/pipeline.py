@@ -106,7 +106,9 @@ class WellnessClassifier:
     def _fit_traditional(
         self, texts: list[str], labels: list[WellnessDimension]
     ) -> None:
-        self._vectorizer = TfidfVectorizer(max_features=self.max_features)
+        self._vectorizer = TfidfVectorizer(
+            max_features=self.max_features, sparse_output=True
+        )
         features = self._vectorizer.fit_transform(texts)
         targets = np.asarray([DIMENSIONS.index(label) for label in labels])
         self._model = create_traditional_model(self.baseline, seed=self.seed)

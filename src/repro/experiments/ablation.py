@@ -108,7 +108,7 @@ def _lr_report(dataset: HolistixDataset):
         - int(len(dataset) * 0.7)
         - int(len(dataset) * 0.15),
     )
-    vectorizer = TfidfVectorizer(max_features=3000)
+    vectorizer = TfidfVectorizer(max_features=3000, sparse_output=True)
     train_matrix = vectorizer.fit_transform(split.train.texts)
     test_matrix = vectorizer.transform(split.test.texts)
     targets = np.asarray([DIMENSIONS.index(l) for l in split.train.labels])

@@ -4,17 +4,32 @@
 experiments run E1 E5`` (or ``all``) executes them and prints the
 paper-vs-measured comparisons.  The heavy experiments respect the
 ``REPRO_FULL`` protocol switch.
+
+Independent experiments can run concurrently: ``--jobs N`` executes up
+to ``N`` experiments at once in worker processes (falling back to
+threads where subprocesses are unavailable).  Reports are printed in
+the requested order regardless of completion order, so parallel output
+is byte-identical to serial output apart from the timing lines, and
+every experiment reports its own wall-clock time.
 """
 
 from __future__ import annotations
 
 import argparse
+import concurrent.futures
 import sys
 import time
 from dataclasses import dataclass
-from collections.abc import Callable
+from collections.abc import Callable, Sequence
 
-__all__ = ["EXPERIMENTS", "ExperimentSpec", "run_experiment", "main"]
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentSpec",
+    "ExperimentResult",
+    "run_experiment",
+    "run_many",
+    "main",
+]
 
 
 @dataclass(frozen=True)
@@ -25,6 +40,15 @@ class ExperimentSpec:
     paper_artifact: str
     description: str
     run: Callable[[], str]
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """A finished experiment: its report text and wall-clock seconds."""
+
+    experiment_id: str
+    report: str
+    seconds: float
 
 
 def _e1() -> str:
@@ -108,6 +132,74 @@ def run_experiment(experiment_id: str) -> str:
     return spec.run()
 
 
+def _timed_run(experiment_id: str) -> ExperimentResult:
+    """Worker body: run one experiment and time it (picklable)."""
+    started = time.perf_counter()
+    report = run_experiment(experiment_id)
+    return ExperimentResult(
+        experiment_id, report, time.perf_counter() - started
+    )
+
+
+def run_many(
+    experiment_ids: Sequence[str], *, jobs: int = 1
+) -> list[ExperimentResult]:
+    """Run several experiments, optionally concurrently.
+
+    Parameters
+    ----------
+    experiment_ids:
+        Ids to run (``E1`` .. ``E8``).  Unknown ids raise ``KeyError``
+        before anything executes.
+    jobs:
+        Maximum experiments in flight at once.  ``1`` (the default) runs
+        serially in-process; higher values use a process pool so the
+        heavyweight experiments genuinely overlap, falling back to a
+        thread pool when the platform cannot spawn subprocesses.
+
+    Returns
+    -------
+    list[ExperimentResult]
+        One result per requested id, **in the requested order** —
+        independent of completion order, so results are reproducible
+        under any ``jobs``.
+    """
+    for experiment_id in experiment_ids:
+        if experiment_id not in EXPERIMENTS:
+            valid = ", ".join(EXPERIMENTS)
+            raise KeyError(
+                f"unknown experiment {experiment_id!r}; expected {valid}"
+            )
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    if jobs == 1 or len(experiment_ids) <= 1:
+        return [_timed_run(experiment_id) for experiment_id in experiment_ids]
+
+    workers = min(jobs, len(experiment_ids))
+    try:
+        executor: concurrent.futures.Executor = (
+            concurrent.futures.ProcessPoolExecutor(max_workers=workers)
+        )
+    except (OSError, NotImplementedError):  # pragma: no cover - platform quirk
+        executor = concurrent.futures.ThreadPoolExecutor(max_workers=workers)
+    try:
+        with executor:
+            futures = [
+                executor.submit(_timed_run, experiment_id)
+                for experiment_id in experiment_ids
+            ]
+            return [future.result() for future in futures]
+    except concurrent.futures.process.BrokenProcessPool:
+        # Subprocesses were killed under us (restricted sandbox); redo
+        # the whole batch with threads rather than losing the run.
+        with concurrent.futures.ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_timed_run, experiment_id)
+                for experiment_id in experiment_ids
+            ]
+            return [future.result() for future in futures]
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="holistix-experiments",
@@ -121,6 +213,13 @@ def main(argv: list[str] | None = None) -> int:
         nargs="*",
         help="experiment ids (E1..E8) or 'all'",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run up to N experiments concurrently (default: 1, serial)",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -131,11 +230,14 @@ def main(argv: list[str] | None = None) -> int:
     requested = args.experiments or ["all"]
     if requested == ["all"]:
         requested = list(EXPERIMENTS)
-    for experiment_id in requested:
-        started = time.time()
-        print(f"=== {experiment_id} ===")
-        print(run_experiment(experiment_id))
-        print(f"[{experiment_id} took {time.time() - started:.1f}s]\n")
+    started = time.perf_counter()
+    results = run_many(requested, jobs=args.jobs)
+    for result in results:
+        print(f"=== {result.experiment_id} ===")
+        print(result.report)
+        print(f"[{result.experiment_id} took {result.seconds:.1f}s]\n")
+    total = time.perf_counter() - started
+    print(f"[{len(results)} experiments in {total:.1f}s with --jobs {args.jobs}]")
     return 0
 
 

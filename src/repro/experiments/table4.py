@@ -5,10 +5,20 @@ overall accuracy for three traditional ML baselines and six transformers,
 averaged over (stratified) K folds.  The reduced protocol (3 folds,
 shorter fine-tuning) keeps wall-clock reasonable on a numpy substrate;
 ``REPRO_FULL=1`` selects the paper's 10-fold protocol.
+
+The traditional baselines run on sparse (CSR) TF-IDF features, and
+``run_table4(jobs=N)`` evaluates their cross-validation folds
+concurrently (each fold owns its vectoriser and model, so folds are
+independent).  Transformer folds stay serial within one process: the
+autograd layer keeps per-process global state (``no_grad``), which is
+process-safe but not thread-safe — cross-experiment parallelism for the
+heavy runs comes from ``holistix-experiments --jobs``, which uses worker
+processes.
 """
 
 from __future__ import annotations
 
+import concurrent.futures
 from dataclasses import dataclass, field
 from collections.abc import Sequence
 
@@ -89,13 +99,15 @@ def _evaluate_traditional(
     dataset: HolistixDataset,
     folds: Sequence[tuple[list[int], list[int]]],
     seed: int,
+    jobs: int = 1,
 ) -> BaselineScores:
     texts = dataset.texts
     labels = dataset.labels
     max_features = get_spec(name).max_features
-    reports: list[ClassificationReport] = []
-    for train_idx, eval_idx in folds:
-        vectorizer = TfidfVectorizer(max_features=max_features)
+
+    def one_fold(fold: tuple[list[int], list[int]]) -> ClassificationReport:
+        train_idx, eval_idx = fold
+        vectorizer = TfidfVectorizer(max_features=max_features, sparse_output=True)
         train_matrix = vectorizer.fit_transform([texts[i] for i in train_idx])
         eval_matrix = vectorizer.transform([texts[i] for i in eval_idx])
         targets = np.asarray(
@@ -105,7 +117,17 @@ def _evaluate_traditional(
         model.fit(train_matrix, targets)
         predicted = [DIMENSIONS[int(i)] for i in model.predict(eval_matrix)]
         gold = [labels[i] for i in eval_idx]
-        reports.append(classification_report(gold, predicted, list(DIMENSIONS)))
+        return classification_report(gold, predicted, list(DIMENSIONS))
+
+    if jobs > 1 and len(folds) > 1:
+        # Each fold owns its vectoriser and model, so folds can run on a
+        # thread pool; map() keeps report order identical to serial.
+        with concurrent.futures.ThreadPoolExecutor(
+            max_workers=min(jobs, len(folds))
+        ) as pool:
+            reports = list(pool.map(one_fold, folds))
+    else:
+        reports = [one_fold(fold) for fold in folds]
     per_class, accuracy = _average_reports(reports)
     return BaselineScores(
         name=name,
@@ -150,11 +172,15 @@ def run_table4(
     *,
     protocol: Protocol | None = None,
     baselines: Sequence[str] | None = None,
+    jobs: int = 1,
 ) -> Table4Result:
     """Run the Table IV comparison.
 
     ``baselines`` restricts the run (e.g. traditional only for a quick
-    look); the default runs all nine.
+    look); the default runs all nine.  ``jobs`` parallelises the
+    cross-validation folds of the traditional baselines (results are
+    identical to a serial run; see the module docstring for why
+    transformer folds stay serial).
     """
     from repro.models.pretrain import build_pretraining_corpus
 
@@ -172,7 +198,7 @@ def run_table4(
     for name in names:
         if name in TRADITIONAL_NAMES:
             scores[name] = _evaluate_traditional(
-                name, dataset, folds, protocol.seed
+                name, dataset, folds, protocol.seed, jobs
             )
         elif name in TRANSFORMER_NAMES:
             assert vocab is not None

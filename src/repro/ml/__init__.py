@@ -1,4 +1,10 @@
-"""Classic ML substrate: estimators, metrics, model selection."""
+"""Classic ML substrate: estimators, metrics, model selection.
+
+The estimators accept either dense numpy features or the CSR matrices
+produced by ``TfidfVectorizer(sparse_output=True)``
+(:class:`repro.sparse.CSRMatrix`); both paths produce identical
+predictions.
+"""
 
 from repro.ml.logistic import LogisticRegression, softmax
 from repro.ml.metrics import (

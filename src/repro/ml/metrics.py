@@ -65,7 +65,23 @@ class ClassificationReport:
 
 
 def accuracy(y_true: Sequence[Hashable], y_pred: Sequence[Hashable]) -> float:
-    """Fraction of exact label matches."""
+    """Fraction of exact label matches.
+
+    Parameters
+    ----------
+    y_true / y_pred:
+        Equal-length label sequences (any hashable labels).
+
+    Returns
+    -------
+    float
+        Matches divided by total, in ``[0, 1]``.
+
+    Example
+    -------
+    >>> accuracy(["a", "b", "b"], ["a", "b", "a"])
+    0.6666666666666666
+    """
     _check_lengths(y_true, y_pred)
     return sum(t == p for t, p in zip(y_true, y_pred)) / len(y_true)
 
@@ -75,7 +91,26 @@ def confusion_matrix(
     y_pred: Sequence[Hashable],
     labels: Sequence[Hashable],
 ) -> np.ndarray:
-    """Counts matrix with rows = true labels, columns = predictions."""
+    """Counts matrix with rows = true labels, columns = predictions.
+
+    Parameters
+    ----------
+    y_true / y_pred:
+        Equal-length label sequences; every label must appear in
+        ``labels`` (unknown labels raise ``ValueError``).
+    labels:
+        Label universe fixing the row/column order.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(len(labels), len(labels))`` integer counts.
+
+    Example
+    -------
+    >>> confusion_matrix(["a", "b"], ["a", "a"], ["a", "b"]).tolist()
+    [[1, 0], [1, 0]]
+    """
     _check_lengths(y_true, y_pred)
     index = {label: i for i, label in enumerate(labels)}
     matrix = np.zeros((len(labels), len(labels)), dtype=np.int64)
@@ -93,7 +128,25 @@ def precision_recall_f1(
     y_pred: Sequence[Hashable],
     label: Hashable,
 ) -> ClassMetrics:
-    """One-vs-rest precision/recall/F1 for ``label``."""
+    """One-vs-rest precision/recall/F1 for ``label``.
+
+    Parameters
+    ----------
+    y_true / y_pred:
+        Equal-length label sequences.
+    label:
+        The positive class; every other label counts as negative.
+
+    Returns
+    -------
+    ClassMetrics
+        Precision, recall, F1 (0.0 on zero division) and support.
+
+    Example
+    -------
+    >>> precision_recall_f1(["a", "a", "b"], ["a", "b", "b"], "a").recall
+    0.5
+    """
     _check_lengths(y_true, y_pred)
     tp = sum(t == label and p == label for t, p in zip(y_true, y_pred))
     fp = sum(t != label and p == label for t, p in zip(y_true, y_pred))
@@ -114,7 +167,27 @@ def classification_report(
     y_pred: Sequence[Hashable],
     labels: Sequence[Hashable],
 ) -> ClassificationReport:
-    """Per-class metrics for every label plus overall accuracy."""
+    """Per-class metrics for every label plus overall accuracy.
+
+    Parameters
+    ----------
+    y_true / y_pred:
+        Equal-length label sequences.
+    labels:
+        Labels to report on (fixes the ``per_class`` key order).
+
+    Returns
+    -------
+    ClassificationReport
+        Per-class :class:`ClassMetrics` plus accuracy and the macro /
+        weighted aggregates as properties.
+
+    Example
+    -------
+    >>> report = classification_report(["a", "b"], ["a", "b"], ["a", "b"])
+    >>> (report.accuracy, report.macro_f1)
+    (1.0, 1.0)
+    """
     per_class = {
         label: precision_recall_f1(y_true, y_pred, label) for label in labels
     }

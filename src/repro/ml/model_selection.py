@@ -14,14 +14,40 @@ __all__ = ["KFold", "StratifiedKFold", "train_test_split", "cross_validate"]
 
 @dataclass(frozen=True)
 class KFold:
-    """Plain K-fold: contiguous blocks after an optional shuffle."""
+    """Plain K-fold: contiguous blocks after an optional shuffle.
+
+    Parameters
+    ----------
+    n_splits:
+        Number of folds (>= 2).
+    shuffle / seed:
+        Permute sample order first (deterministic given ``seed``).
+
+    Example
+    -------
+    >>> folds = KFold(n_splits=2, shuffle=False).split(4)
+    >>> [eval_idx.tolist() for _, eval_idx in folds]
+    [[0, 1], [2, 3]]
+    """
 
     n_splits: int = 10
     shuffle: bool = True
     seed: int = 7
 
     def split(self, n_samples: int) -> list[tuple[np.ndarray, np.ndarray]]:
-        """(train_idx, eval_idx) pairs covering every sample exactly once."""
+        """(train_idx, eval_idx) pairs covering every sample exactly once.
+
+        Parameters
+        ----------
+        n_samples:
+            Dataset size; must be >= ``n_splits``.
+
+        Returns
+        -------
+        list[tuple[numpy.ndarray, numpy.ndarray]]
+            ``n_splits`` sorted index pairs; every sample appears in
+            exactly one evaluation part.
+        """
         if self.n_splits < 2:
             raise ValueError("n_splits must be >= 2")
         if n_samples < self.n_splits:
@@ -45,7 +71,22 @@ class KFold:
 
 @dataclass(frozen=True)
 class StratifiedKFold:
-    """K-fold preserving class proportions in every evaluation part."""
+    """K-fold preserving class proportions in every evaluation part.
+
+    Parameters
+    ----------
+    n_splits:
+        Number of folds; every class needs at least ``n_splits`` samples.
+    seed:
+        Per-class shuffle seed (deterministic splits).
+
+    Example
+    -------
+    >>> labels = ["a"] * 4 + ["b"] * 2
+    >>> folds = StratifiedKFold(n_splits=2, seed=0).split(labels)
+    >>> [len(eval_idx) for _, eval_idx in folds]
+    [3, 3]
+    """
 
     n_splits: int = 10
     seed: int = 7
@@ -53,7 +94,19 @@ class StratifiedKFold:
     def split(
         self, labels: Sequence[Hashable]
     ) -> list[tuple[np.ndarray, np.ndarray]]:
-        """(train_idx, eval_idx) pairs with per-class round-robin assignment."""
+        """(train_idx, eval_idx) pairs with per-class round-robin assignment.
+
+        Parameters
+        ----------
+        labels:
+            One label per sample; stratification follows these.
+
+        Returns
+        -------
+        list[tuple[numpy.ndarray, numpy.ndarray]]
+            ``n_splits`` sorted index pairs whose evaluation parts keep
+            each class's overall proportion (within rounding).
+        """
         if self.n_splits < 2:
             raise ValueError("n_splits must be >= 2")
         rng = np.random.default_rng(self.seed)
@@ -85,7 +138,28 @@ class StratifiedKFold:
 def train_test_split(
     n_samples: int, *, test_fraction: float = 0.2, seed: int = 7
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Shuffled (train_idx, test_idx) partition."""
+    """Shuffled (train_idx, test_idx) partition.
+
+    Parameters
+    ----------
+    n_samples:
+        Dataset size to partition.
+    test_fraction:
+        Fraction (0, 1) of samples in the test part (at least one).
+    seed:
+        Shuffle seed.
+
+    Returns
+    -------
+    tuple[numpy.ndarray, numpy.ndarray]
+        Sorted, disjoint ``(train_idx, test_idx)`` covering all samples.
+
+    Example
+    -------
+    >>> train, test = train_test_split(10, test_fraction=0.3, seed=0)
+    >>> (len(train), len(test))
+    (7, 3)
+    """
     if not 0.0 < test_fraction < 1.0:
         raise ValueError("test_fraction must be in (0, 1)")
     order = np.random.default_rng(seed).permutation(n_samples)

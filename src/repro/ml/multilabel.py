@@ -20,6 +20,7 @@ from collections.abc import Hashable, Sequence
 import numpy as np
 
 from repro.ml.logistic import LogisticRegression
+from repro.sparse import is_sparse
 
 __all__ = [
     "MultiLabelMetrics",
@@ -40,6 +41,14 @@ class OneVsRestClassifier:
     always_predict_top:
         Guarantee a non-empty prediction by always including the
         highest-scoring label (the dominant dimension always exists).
+
+    Example
+    -------
+    >>> x = np.array([[0.0], [0.0], [5.0], [5.0]])
+    >>> sets = [{"calm"}, {"calm"}, {"calm", "tired"}, {"tired"}]
+    >>> clf = OneVsRestClassifier(["calm", "tired"]).fit(x, sets)
+    >>> clf.predict(np.array([[0.0]])) == [{"calm"}]
+    True
     """
 
     def __init__(
@@ -61,10 +70,15 @@ class OneVsRestClassifier:
         self._heads: list[LogisticRegression] | None = None
 
     def fit(
-        self, features: np.ndarray, label_sets: Sequence[set[Hashable]]
+        self, features, label_sets: Sequence[set[Hashable]]
     ) -> "OneVsRestClassifier":
-        """Fit one binary head per label on ``(features, label_sets)``."""
-        x = np.asarray(features, dtype=np.float64)
+        """Fit one binary head per label on ``(features, label_sets)``.
+
+        ``features`` may be a dense array or a
+        :class:`~repro.sparse.CSRMatrix`; each logistic head consumes
+        either form natively.
+        """
+        x = features if is_sparse(features) else np.asarray(features, dtype=np.float64)
         if x.shape[0] != len(label_sets):
             raise ValueError("features and label sets length mismatch")
         if x.shape[0] == 0:
@@ -85,11 +99,11 @@ class OneVsRestClassifier:
             self._heads.append(head)
         return self
 
-    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+    def predict_proba(self, features) -> np.ndarray:
         """Per-label probabilities, shape ``(n, n_labels)``."""
         if self._heads is None:
             raise RuntimeError("OneVsRestClassifier must be fitted first")
-        x = np.asarray(features, dtype=np.float64)
+        x = features if is_sparse(features) else np.asarray(features, dtype=np.float64)
         columns = []
         for head in self._heads:
             probs = head.predict_proba(x)
@@ -116,8 +130,8 @@ class _ConstantHead:
     def __init__(self, value: int) -> None:
         self._value = float(value)
 
-    def predict_proba(self, features: np.ndarray) -> np.ndarray:
-        n = np.asarray(features).shape[0]
+    def predict_proba(self, features) -> np.ndarray:
+        n = features.shape[0] if is_sparse(features) else np.asarray(features).shape[0]
         positive = np.full(n, self._value)
         return np.column_stack([1.0 - positive, positive])
 
@@ -137,7 +151,27 @@ def multilabel_metrics(
     predicted: Sequence[set[Hashable]],
     labels: Sequence[Hashable],
 ) -> MultiLabelMetrics:
-    """Score predicted label sets against gold label sets."""
+    """Score predicted label sets against gold label sets.
+
+    Parameters
+    ----------
+    gold / predicted:
+        Equal-length sequences of label sets.
+    labels:
+        Full label universe (denominator of the Hamming loss and the
+        per-label F1 average).
+
+    Returns
+    -------
+    MultiLabelMetrics
+        Subset accuracy, Hamming loss, micro and macro F1.
+
+    Example
+    -------
+    >>> m = multilabel_metrics([{"a"}, {"a", "b"}], [{"a"}, {"b"}], ["a", "b"])
+    >>> (m.subset_accuracy, m.hamming_loss)
+    (0.5, 0.25)
+    """
     if len(gold) != len(predicted):
         raise ValueError("gold and predicted length mismatch")
     if not gold:

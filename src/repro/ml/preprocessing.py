@@ -1,4 +1,12 @@
-"""Feature/label preprocessing shared by the classic ML baselines."""
+"""Feature/label preprocessing shared by the classic ML baselines.
+
+``StandardScaler`` accepts either dense arrays or
+:class:`repro.sparse.CSRMatrix` features: statistics are computed from
+the sparse column moments without densifying.  Mean-centering destroys
+sparsity by construction, so ``transform`` of a CSR input returns a
+dense array (documented on the method); pass ``with_mean=False`` to
+keep the output sparse.
+"""
 
 from __future__ import annotations
 
@@ -6,11 +14,22 @@ from collections.abc import Hashable, Sequence
 
 import numpy as np
 
+from repro.sparse import CSRMatrix, is_sparse
+
 __all__ = ["LabelEncoder", "StandardScaler"]
 
 
 class LabelEncoder:
-    """Map hashable labels to contiguous integer ids and back."""
+    """Map hashable labels to contiguous integer ids and back.
+
+    Example
+    -------
+    >>> encoder = LabelEncoder().fit(["b", "a", "b"])
+    >>> encoder.transform(["a", "b"]).tolist()
+    [0, 1]
+    >>> encoder.inverse_transform([1, 0])
+    ['b', 'a']
+    """
 
     def __init__(self) -> None:
         self._classes: list[Hashable] | None = None
@@ -56,26 +75,62 @@ class LabelEncoder:
 
 
 class StandardScaler:
-    """Zero-mean, unit-variance feature scaling (variance floor 1e-12)."""
+    """Zero-mean, unit-variance feature scaling (variance floor 1e-12).
 
-    def __init__(self) -> None:
+    Parameters
+    ----------
+    with_mean:
+        Subtract the per-feature mean.  Disable for CSR inputs whose
+        sparsity must survive the transform (centering fills in zeros).
+
+    Example
+    -------
+    >>> x = np.array([[0.0, 10.0], [2.0, 30.0]])
+    >>> StandardScaler().fit_transform(x).tolist()
+    [[-1.0, -1.0], [1.0, 1.0]]
+    """
+
+    def __init__(self, *, with_mean: bool = True) -> None:
+        self.with_mean = with_mean
         self.mean_: np.ndarray | None = None
         self.scale_: np.ndarray | None = None
 
-    def fit(self, features: np.ndarray) -> "StandardScaler":
-        matrix = np.asarray(features, dtype=np.float64)
-        if matrix.ndim != 2 or matrix.shape[0] == 0:
-            raise ValueError("features must be a non-empty 2-D array")
-        self.mean_ = matrix.mean(axis=0)
-        std = matrix.std(axis=0)
+    def fit(self, features) -> "StandardScaler":
+        """Learn per-feature mean and scale from dense or CSR features."""
+        if is_sparse(features):
+            if features.shape[0] == 0:
+                raise ValueError("features must be a non-empty 2-D array")
+            mean, var = features.column_moments()
+            std = np.sqrt(var)
+        else:
+            matrix = np.asarray(features, dtype=np.float64)
+            if matrix.ndim != 2 or matrix.shape[0] == 0:
+                raise ValueError("features must be a non-empty 2-D array")
+            mean = matrix.mean(axis=0)
+            std = matrix.std(axis=0)
         std[std < 1e-12] = 1.0
+        self.mean_ = mean
         self.scale_ = std
         return self
 
-    def transform(self, features: np.ndarray) -> np.ndarray:
+    def transform(self, features) -> "np.ndarray | CSRMatrix":
+        """Scale (and optionally centre) ``features``.
+
+        Dense input stays dense.  CSR input stays CSR when
+        ``with_mean=False`` (pure column scaling); with centering the
+        result is necessarily dense, so the matrix is densified first.
+        """
         if self.mean_ is None or self.scale_ is None:
             raise RuntimeError("StandardScaler must be fitted first")
-        return (np.asarray(features, dtype=np.float64) - self.mean_) / self.scale_
+        if is_sparse(features):
+            if not self.with_mean:
+                return features.scale_columns(1.0 / self.scale_)
+            features = features.toarray()
+        matrix = np.asarray(features, dtype=np.float64)
+        if self.with_mean:
+            matrix = matrix - self.mean_
+        return matrix / self.scale_
 
-    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+    def fit_transform(self, features) -> "np.ndarray | CSRMatrix":
+        """:meth:`fit` then :meth:`transform` on the same features."""
         return self.fit(features).transform(features)

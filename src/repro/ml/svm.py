@@ -5,11 +5,19 @@ max-margin separator trained with the Pegasos algorithm
 (Shalev-Shwartz et al., 2011): stochastic sub-gradient steps with the
 1/(lambda * t) schedule and the optional projection onto the
 1/sqrt(lambda) ball.  Multi-class prediction takes the argmax margin.
+
+Features may be dense arrays or :class:`repro.sparse.CSRMatrix`
+instances.  The sparse path keeps the weight vector dense (it fills in
+during training) but computes each example's margin and sub-gradient
+update from the example's stored non-zeros only, which is where a
+TF-IDF row with ~25 active terms out of thousands wins big.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from repro.sparse import CSRMatrix, is_sparse
 
 __all__ = ["LinearSVM"]
 
@@ -28,6 +36,15 @@ class LinearSVM:
         Shuffling seed (Pegasos samples uniformly; we shuffle per epoch).
     project:
         Apply the norm-ball projection step from the Pegasos paper.
+    fit_intercept:
+        Learn a bias term by appending a constant-1 feature.
+
+    Example
+    -------
+    >>> x = np.array([[0.0, 1.0], [0.0, 2.0], [3.0, 0.0], [4.0, 0.0]])
+    >>> y = np.array([0, 0, 1, 1])
+    >>> LinearSVM(epochs=20, seed=0).fit(x, y).predict(x).tolist()
+    [0, 0, 1, 1]
     """
 
     def __init__(
@@ -53,10 +70,10 @@ class LinearSVM:
         self.n_classes_: int | None = None
 
     # ------------------------------------------------------------------
-    def _fit_binary(
+    def _fit_binary_dense(
         self, x: np.ndarray, sign: np.ndarray, rng: np.random.Generator
     ) -> np.ndarray:
-        """Pegasos on one binary problem; returns the weight vector."""
+        """Pegasos on one binary problem over dense rows."""
         n, d = x.shape
         lam = 1.0 / (self.c * n)
         weights = np.zeros(d)
@@ -76,25 +93,87 @@ class LinearSVM:
                         weights *= bound / norm
         return weights
 
-    def fit(self, features: np.ndarray, targets: np.ndarray) -> "LinearSVM":
-        """Fit OvR separators on ``features`` (n, d), integer ``targets``."""
-        x = np.asarray(features, dtype=np.float64)
+    def _fit_binary_sparse(
+        self, x: CSRMatrix, sign: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Pegasos over CSR rows: margins/updates touch non-zeros only.
+
+        The per-step shrink ``w *= (1 - eta * lam)`` is folded into a
+        scalar so each iteration costs O(nnz(row)) instead of O(d); the
+        squared norm is maintained incrementally for the projection.
+        """
+        n, d = x.shape
+        lam = 1.0 / (self.c * n)
+        weights = np.zeros(d)
+        scale = 1.0  # effective w = scale * weights
+        sq_norm = 0.0  # ||effective w||^2
+        bound = 1.0 / np.sqrt(lam)
+        t = 0
+        for _ in range(self.epochs):
+            for i in rng.permutation(n):
+                t += 1
+                eta = 1.0 / (lam * t)
+                cols, vals = x.row(i)
+                margin = sign[i] * scale * float(vals @ weights[cols])
+                shrink = 1.0 - eta * lam
+                scale *= shrink
+                sq_norm *= shrink * shrink
+                if scale < 1e-9:
+                    # Re-materialise before the scale underflows.
+                    weights *= scale
+                    scale = 1.0
+                if margin < 1.0 and len(cols):
+                    step = eta * sign[i] / scale
+                    touched = weights[cols]
+                    sq_norm += scale * scale * (
+                        2.0 * step * float(vals @ touched)
+                        + step * step * float(vals @ vals)
+                    )
+                    weights[cols] = touched + step * vals
+                if self.project and sq_norm > bound * bound:
+                    factor = bound / np.sqrt(sq_norm)
+                    scale *= factor
+                    sq_norm = bound * bound
+        return scale * weights
+
+    def fit(self, features, targets: np.ndarray) -> "LinearSVM":
+        """Fit OvR separators on ``features`` (n, d), integer ``targets``.
+
+        Parameters
+        ----------
+        features:
+            Dense ``(n, d)`` array or :class:`~repro.sparse.CSRMatrix`.
+        targets:
+            Integer class ids ``0 .. K-1``, shape ``(n,)``.
+
+        Returns
+        -------
+        LinearSVM
+            ``self`` (fitted), for chaining.
+        """
+        sparse = is_sparse(features)
+        x = features if sparse else np.asarray(features, dtype=np.float64)
         y = np.asarray(targets, dtype=np.int64)
-        if x.ndim != 2:
+        if not sparse and x.ndim != 2:
             raise ValueError("features must be 2-D")
         if x.shape[0] != y.shape[0]:
             raise ValueError("features and targets length mismatch")
         if x.shape[0] == 0:
             raise ValueError("cannot fit on an empty dataset")
         if self.fit_intercept:
-            x = np.hstack([x, np.ones((x.shape[0], 1))])
+            x = (
+                x.with_intercept_column()
+                if sparse
+                else np.hstack([x, np.ones((x.shape[0], 1))])
+            )
         n_classes = int(y.max()) + 1
         self.n_classes_ = n_classes
         rng = np.random.default_rng(self.seed)
+        fit_binary = self._fit_binary_sparse if sparse else self._fit_binary_dense
         stacked = np.zeros((x.shape[1], n_classes))
         for k in range(n_classes):
             sign = np.where(y == k, 1.0, -1.0)
-            stacked[:, k] = self._fit_binary(x, sign, rng)
+            stacked[:, k] = fit_binary(x, sign, rng)
         if self.fit_intercept:
             self.coef_ = stacked[:-1, :]
             self.intercept_ = stacked[-1, :]
@@ -104,11 +183,14 @@ class LinearSVM:
         return self
 
     # ------------------------------------------------------------------
-    def decision_function(self, features: np.ndarray) -> np.ndarray:
+    def decision_function(self, features) -> np.ndarray:
+        """One-vs-rest margins, shape ``(n, n_classes)``."""
         if self.coef_ is None or self.intercept_ is None:
             raise RuntimeError("LinearSVM must be fitted first")
+        if is_sparse(features):
+            return features @ self.coef_ + self.intercept_
         return np.asarray(features, dtype=np.float64) @ self.coef_ + self.intercept_
 
-    def predict(self, features: np.ndarray) -> np.ndarray:
+    def predict(self, features) -> np.ndarray:
         """Class with the largest one-vs-rest margin."""
         return self.decision_function(features).argmax(axis=1)

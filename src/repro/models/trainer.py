@@ -5,11 +5,23 @@ a vocabulary, optionally pretrain with the model's objective and domain
 corpus, then fine-tune on labelled posts with the paper's hyperparameters
 (learning rate / batch size / epochs per model), tracking validation
 accuracy.
+
+Pretraining is deterministic given its config and vocabulary, so the
+pretrained checkpoint is cached twice over: an in-process dict (folds of
+one cross-validation share it for free) and an on-disk store shared by
+parallel experiment workers and later runs (``--jobs N`` processes each
+fine-tune from the same checkpoint instead of re-pretraining; a second
+``run all`` skips pretraining entirely).  Set ``REPRO_PRETRAIN_CACHE``
+to a directory to relocate the disk store, or to ``0`` to disable it.
 """
 
 from __future__ import annotations
 
+import hashlib
+import os
+import tempfile
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -23,6 +35,42 @@ from repro.text.vocab import Vocabulary
 __all__ = ["TrainResult", "Trainer"]
 
 _PRETRAINED_CACHE: dict[tuple, dict[str, np.ndarray]] = {}
+
+
+def _disk_cache_dir() -> Path | None:
+    """Directory of the on-disk pretraining cache (None = disabled)."""
+    raw = os.environ.get("REPRO_PRETRAIN_CACHE")
+    if raw == "0":
+        return None
+    if raw:
+        return Path(raw)
+    return Path.home() / ".cache" / "holistix-repro" / "pretrain"
+
+
+def _disk_cache_load(path: Path) -> dict[str, np.ndarray] | None:
+    try:
+        with np.load(path) as payload:
+            return {name: payload[name] for name in payload.files}
+    except (OSError, ValueError, EOFError):
+        return None  # missing or half-written file: just re-pretrain
+
+
+def _disk_cache_store(path: Path, state: dict[str, np.ndarray]) -> None:
+    """Write atomically so concurrent workers never read a torn file."""
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez_compressed(handle, **state)
+            os.replace(tmp_name, path)
+        except BaseException:
+            os.unlink(tmp_name)
+            raise
+    except OSError:
+        pass  # read-only filesystem etc.: caching is best-effort
 
 
 @dataclass
@@ -90,12 +138,18 @@ class Trainer:
             self._engine.invalidate()
 
     # ------------------------------------------------------------------
-    def maybe_pretrain(self) -> None:
-        """Run (or restore from cache) the model's pretraining phase."""
+    def _pretrain_cache_key(self) -> tuple:
+        """Everything the pretrained weights depend on.
+
+        The vocabulary is keyed by content (not just size): two vocabs
+        of equal length map tokens to different embedding rows, so their
+        checkpoints must never be shared.
+        """
         config = self.config
-        if config.pretrain_objective is None or config.pretrain_steps <= 0:
-            return
-        cache_key = (
+        vocab_fingerprint = hashlib.sha256(
+            "\n".join(self.vocab.ordinary_tokens()).encode("utf-8")
+        ).hexdigest()
+        return (
             config.name,
             config.pretrain_objective,
             config.pretrain_domain,
@@ -103,11 +157,38 @@ class Trainer:
             config.dim,
             config.n_layers,
             len(self.vocab),
+            vocab_fingerprint,
         )
-        if self.use_pretraining_cache and cache_key in _PRETRAINED_CACHE:
-            self.model.load_state_dict(_PRETRAINED_CACHE[cache_key])
-            self._invalidate_engine()
+
+    def maybe_pretrain(self) -> None:
+        """Run (or restore from cache) the model's pretraining phase.
+
+        Restore order: in-process dict, then the on-disk store, then a
+        real pretraining run (which populates both).  All three paths
+        leave the model with identical weights; ``fit`` reseeds the
+        stochastic streams afterwards, so downstream results do not
+        depend on which path was taken.
+        """
+        config = self.config
+        if config.pretrain_objective is None or config.pretrain_steps <= 0:
             return
+        cache_key = self._pretrain_cache_key()
+        if self.use_pretraining_cache:
+            state = _PRETRAINED_CACHE.get(cache_key)
+            if state is not None:
+                self.model.load_state_dict(state)
+                self._invalidate_engine()
+                return
+            disk_dir = _disk_cache_dir()
+            if disk_dir is not None:
+                digest = hashlib.sha256(repr(cache_key).encode()).hexdigest()[:32]
+                disk_path = disk_dir / f"{digest}.npz"
+                state = _disk_cache_load(disk_path)
+                if state is not None:
+                    _PRETRAINED_CACHE[cache_key] = state
+                    self.model.load_state_dict(state)
+                    self._invalidate_engine()
+                    return
         corpus = build_pretraining_corpus(config.pretrain_domain, seed=101)
         losses = pretrain(
             self.model,
@@ -121,7 +202,12 @@ class Trainer:
         self.result.pretrain_losses = losses
         self._invalidate_engine()
         if self.use_pretraining_cache:
-            _PRETRAINED_CACHE[cache_key] = self.model.state_dict()
+            state = self.model.state_dict()
+            _PRETRAINED_CACHE[cache_key] = state
+            disk_dir = _disk_cache_dir()
+            if disk_dir is not None:
+                digest = hashlib.sha256(repr(cache_key).encode()).hexdigest()[:32]
+                _disk_cache_store(disk_dir / f"{digest}.npz", state)
 
     # ------------------------------------------------------------------
     def fit(
@@ -138,6 +224,9 @@ class Trainer:
         if not train_texts:
             raise ValueError("cannot fine-tune on an empty training set")
         self.maybe_pretrain()
+        # Fine-tuning must not depend on whether pretraining ran here or
+        # was restored from cache, so restart the stochastic streams.
+        self.model.reseed_rngs(self.config.seed + 500)
 
         config = self.config
         label_ids = np.asarray(

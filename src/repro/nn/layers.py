@@ -41,6 +41,26 @@ class Module:
         for mod_name, module in self._modules.items():
             yield from module.named_parameters(f"{prefix}{mod_name}.")
 
+    def modules(self) -> Iterator["Module"]:
+        """This module and every sub-module, depth-first, stable order."""
+        yield self
+        for module in self._modules.values():
+            yield from module.modules()
+
+    def reseed_rngs(self, seed: int) -> None:
+        """Reset every stochastic sub-module's stream deterministically.
+
+        Stateful streams (dropout) otherwise make training depend on how
+        many draws earlier phases consumed — e.g. fine-tuning after an
+        in-process pretraining run would differ from fine-tuning after
+        restoring the same weights from the pretraining cache.  Each
+        stochastic module gets a distinct, position-derived seed.
+        """
+        for offset, module in enumerate(self.modules()):
+            reset = getattr(module, "reset_stream", None)
+            if reset is not None:
+                reset(seed + offset)
+
     def zero_grad(self) -> None:
         for param in self.parameters():
             param.zero_grad()
@@ -151,6 +171,10 @@ class Dropout(Module):
         if not 0.0 <= p < 1.0:
             raise ValueError("dropout probability must be in [0, 1)")
         self.p = p
+        self._rng = np.random.default_rng(seed)
+
+    def reset_stream(self, seed: int) -> None:
+        """Restart the dropout stream (see :meth:`Module.reseed_rngs`)."""
         self._rng = np.random.default_rng(seed)
 
     def forward(self, x: Tensor) -> Tensor:

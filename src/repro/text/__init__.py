@@ -1,4 +1,10 @@
-"""Text-processing substrate: tokenisation, vocabulary, n-grams, TF-IDF."""
+"""Text-processing substrate: tokenisation, vocabulary, n-grams, TF-IDF.
+
+The TF-IDF vectoriser assembles its matrix in sparse CSR form (see
+:mod:`repro.sparse`) with a shared per-document tokenisation cache;
+``sparse_output=True`` hands the CSR matrix straight to the classical
+classifiers in :mod:`repro.ml`.
+"""
 
 from repro.text.ngrams import ngram_counts, ngrams, skipgrams
 from repro.text.stopwords import FUNCTION_WORDS, STOPWORDS, is_stopword

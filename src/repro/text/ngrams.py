@@ -20,7 +20,11 @@ def ngrams(tokens: Sequence[str], n: int) -> list[tuple[str, ...]]:
 
 
 def ngram_counts(tokens: Sequence[str], n: int) -> Counter[tuple[str, ...]]:
-    """Multiset of ``n``-grams — the object BLEU's clipped precision needs."""
+    """Multiset of ``n``-grams — the object BLEU's clipped precision needs.
+
+    >>> ngram_counts(["a", "a", "a"], 2)[("a", "a")]
+    2
+    """
     return Counter(ngrams(tokens, n))
 
 
@@ -29,6 +33,9 @@ def skipgrams(tokens: Sequence[str], n: int, k: int) -> list[tuple[str, ...]]:
 
     Only ``n=2`` is needed by ROUGE-S; the general recursion is provided for
     completeness and tested for small ``n``.
+
+    >>> skipgrams(["a", "b", "c"], 2, 1)
+    [('a', 'b'), ('a', 'c'), ('b', 'c')]
     """
     if n < 1:
         raise ValueError(f"n must be >= 1, got {n}")

@@ -53,6 +53,11 @@ def is_stopword(token: str, *, full: bool = True) -> bool:
 
     ``full`` selects between :data:`STOPWORDS` (feature extraction) and
     :data:`FUNCTION_WORDS` (Table III profiles).
+
+    >>> is_stopword("The")
+    True
+    >>> is_stopword("me", full=False)  # kept as Table III signal
+    False
     """
     words = STOPWORDS if full else FUNCTION_WORDS
     return token.lower() in words

@@ -1,4 +1,4 @@
-"""TF-IDF vectoriser built from scratch.
+"""TF-IDF vectoriser built from scratch, with sparse (CSR) output.
 
 The paper's traditional ML baselines "convert text data into numerical
 representation using Term Frequency-Inverse Document Frequency (TF-IDF)".
@@ -9,6 +9,30 @@ This implementation mirrors scikit-learn's ``TfidfVectorizer`` defaults:
 * L2 row normalisation
 
 so the downstream classifiers see features with the familiar scaling.
+
+Two performance properties matter on the hot path:
+
+* **Sparse assembly** — the matrix is always built in CSR form
+  (:class:`repro.sparse.CSRMatrix`); ``sparse_output=True`` returns it
+  directly, the default densifies for backward compatibility.  The
+  classical classifiers in :mod:`repro.ml` consume the CSR form natively.
+* **Shared tokenisation cache** — term counts are cached per training
+  document, so ``fit_transform`` tokenises each document exactly once
+  and a later ``transform`` over text seen during ``fit``
+  (cross-validation folds, repeated experiment passes) skips
+  tokenisation entirely.  Only ``fit`` populates the cache, keeping it
+  bounded by the training corpus rather than by inference traffic.
+
+Example
+-------
+>>> from repro.text.tfidf import TfidfVectorizer
+>>> docs = ["the cat sat", "the dog sat"]
+>>> vec = TfidfVectorizer(sparse_output=True)
+>>> matrix = vec.fit_transform(docs)
+>>> matrix.shape == (2, 4) and matrix.nnz == 6
+True
+>>> vec.feature_names
+['cat', 'dog', 'sat', 'the']
 """
 
 from __future__ import annotations
@@ -19,11 +43,18 @@ from collections.abc import Iterable, Sequence
 
 import numpy as np
 
+from repro.sparse import CSRMatrix
 from repro.text.stopwords import STOPWORDS
 from repro.text.tokenize import word_tokenize
 from repro.text.vocab import Vocabulary
 
 __all__ = ["TfidfVectorizer"]
+
+# Training documents whose analysed term counts we keep around.  Only
+# ``fit`` stores entries, but the limit still guards against a
+# pathological multi-million-document corpus; 100k entries comfortably
+# covers every experiment corpus.
+_COUNT_CACHE_LIMIT = 100_000
 
 
 class TfidfVectorizer:
@@ -44,6 +75,20 @@ class TfidfVectorizer:
     ngram_range:
         Inclusive ``(lo, hi)`` range of word n-gram lengths; unigrams only
         by default, matching the paper's frequency-based features.
+    sparse_output:
+        When True, :meth:`transform` / :meth:`fit_transform` return a
+        :class:`~repro.sparse.CSRMatrix` instead of a dense array.  The
+        matrix is assembled sparsely either way; this flag only controls
+        whether it is densified before returning.
+
+    Example
+    -------
+    >>> vec = TfidfVectorizer()
+    >>> matrix = vec.fit_transform(["good sleep", "bad sleep"])
+    >>> matrix.shape
+    (2, 3)
+    >>> round(float(np.linalg.norm(matrix[0])), 9)  # rows are L2-normalised
+    1.0
     """
 
     def __init__(
@@ -55,6 +100,7 @@ class TfidfVectorizer:
         sublinear_tf: bool = False,
         remove_stopwords: bool = False,
         ngram_range: tuple[int, int] = (1, 1),
+        sparse_output: bool = False,
     ) -> None:
         if min_df < 1:
             raise ValueError("min_df must be >= 1")
@@ -69,8 +115,11 @@ class TfidfVectorizer:
         self.sublinear_tf = sublinear_tf
         self.remove_stopwords = remove_stopwords
         self.ngram_range = ngram_range
+        self.sparse_output = sparse_output
         self._vocab: Vocabulary | None = None
         self._idf: np.ndarray | None = None
+        self._index: dict[str, int] = {}
+        self._count_cache: dict[str, Counter[str]] = {}
 
     # ------------------------------------------------------------------
     def _analyze(self, text: str) -> list[str]:
@@ -88,18 +137,51 @@ class TfidfVectorizer:
             )
         return terms
 
+    def _count_cached(self, text: str, *, store: bool = False) -> Counter[str]:
+        """Term counts of ``text``, memoised per document.
+
+        The analyser's behaviour is fixed at construction time (the
+        parameters are never mutated) and term counts are independent of
+        the fitted vocabulary, so a document's counts can be reused
+        across ``fit`` and ``transform`` — ``fit_transform`` tokenises
+        each document exactly once, and a later ``transform`` over text
+        seen during ``fit`` (cross-validation folds, LIME's base text)
+        skips tokenisation entirely.
+
+        Only ``fit`` stores (``store=True``): the cache stays bounded by
+        the training corpus instead of growing with every inference
+        request a long-lived serving vectoriser ever sees.
+        """
+        counts = self._count_cache.get(text)
+        if counts is None:
+            counts = Counter(self._analyze(text))
+            if store and len(self._count_cache) < _COUNT_CACHE_LIMIT:
+                self._count_cache[text] = counts
+        return counts
+
     # ------------------------------------------------------------------
     def fit(self, documents: Sequence[str]) -> "TfidfVectorizer":
-        """Learn vocabulary and idf weights from ``documents``."""
+        """Learn vocabulary and idf weights from ``documents``.
+
+        Parameters
+        ----------
+        documents:
+            Non-empty sequence of raw text documents.
+
+        Returns
+        -------
+        TfidfVectorizer
+            ``self`` (fitted), for chaining.
+        """
         if not documents:
             raise ValueError("cannot fit TfidfVectorizer on an empty corpus")
         collection: Counter[str] = Counter()
         doc_freq: Counter[str] = Counter()
         n_docs = len(documents)
         for doc in documents:
-            terms = self._analyze(doc)
-            collection.update(terms)
-            doc_freq.update(set(terms))
+            counts = self._count_cached(doc, store=True)
+            collection.update(counts)
+            doc_freq.update(counts.keys())
 
         max_df_count = self.max_df * n_docs
         eligible = [
@@ -114,35 +196,68 @@ class TfidfVectorizer:
         eligible.sort()
 
         self._vocab = Vocabulary(eligible, specials=False)
+        self._index = {term: j for j, term in enumerate(eligible)}
         idf = np.empty(len(eligible), dtype=np.float64)
         for j, term in enumerate(eligible):
             idf[j] = math.log((1.0 + n_docs) / (1.0 + doc_freq[term])) + 1.0
         self._idf = idf
         return self
 
-    def fit_transform(self, documents: Sequence[str]) -> np.ndarray:
-        """Fit on ``documents`` and return their TF-IDF matrix."""
+    def fit_transform(self, documents: Sequence[str]) -> np.ndarray | CSRMatrix:
+        """Fit on ``documents`` and return their TF-IDF matrix.
+
+        Thanks to the shared tokenisation cache this analyses each
+        document once, not once for ``fit`` and again for ``transform``.
+        """
         return self.fit(documents).transform(documents)
 
-    def transform(self, documents: Iterable[str]) -> np.ndarray:
+    def transform(self, documents: Iterable[str]) -> np.ndarray | CSRMatrix:
         """TF-IDF matrix of shape ``(n_docs, n_features)``.
 
-        Unknown terms are ignored; all-zero rows stay zero after the L2
-        normalisation (no division by zero).
+        Parameters
+        ----------
+        documents:
+            Raw texts; unknown terms are ignored, and all-zero rows stay
+            zero after the L2 normalisation (no division by zero).
+
+        Returns
+        -------
+        numpy.ndarray or CSRMatrix
+            Dense array by default; :class:`~repro.sparse.CSRMatrix`
+            when the vectoriser was built with ``sparse_output=True``.
         """
+        matrix = self.transform_sparse(documents)
+        return matrix if self.sparse_output else matrix.toarray()
+
+    def transform_sparse(self, documents: Iterable[str]) -> CSRMatrix:
+        """The CSR TF-IDF matrix, regardless of ``sparse_output``."""
         if self._vocab is None or self._idf is None:
             raise RuntimeError("TfidfVectorizer must be fitted before transform")
-        docs = list(documents)
-        matrix = np.zeros((len(docs), len(self._vocab)), dtype=np.float64)
-        for i, doc in enumerate(docs):
-            counts = Counter(t for t in self._analyze(doc) if t in self._vocab)
-            for term, tf in counts.items():
-                weight = 1.0 + math.log(tf) if self.sublinear_tf else float(tf)
-                matrix[i, self._vocab[term]] = weight
-        matrix *= self._idf
-        norms = np.linalg.norm(matrix, axis=1, keepdims=True)
-        np.divide(matrix, norms, out=matrix, where=norms > 0)
-        return matrix
+        index = self._index
+        flat_cols: list[int] = []
+        flat_tf: list[float] = []
+        lengths: list[int] = []
+        for doc in documents:
+            before = len(flat_cols)
+            for term, count in self._count_cached(doc).items():
+                j = index.get(term)
+                if j is not None:
+                    flat_cols.append(j)
+                    flat_tf.append(count)
+            lengths.append(len(flat_cols) - before)
+        indptr = np.zeros(len(lengths) + 1, dtype=np.int64)
+        np.cumsum(lengths, out=indptr[1:])
+        indices = np.asarray(flat_cols, dtype=np.int64)
+        tf = np.asarray(flat_tf, dtype=np.float64)
+        if self.sublinear_tf:
+            tf = 1.0 + np.log(tf)
+        matrix = CSRMatrix(
+            tf * self._idf[indices],
+            indices,
+            indptr,
+            (len(lengths), len(self._idf)),
+        )
+        return matrix.normalized_rows()
 
     # ------------------------------------------------------------------
     # Persistence
@@ -163,6 +278,7 @@ class TfidfVectorizer:
             "sublinear_tf": self.sublinear_tf,
             "remove_stopwords": self.remove_stopwords,
             "ngram_range": list(self.ngram_range),
+            "sparse_output": self.sparse_output,
             "terms": self.feature_names,
         }
         return config, self._idf.copy()
@@ -182,8 +298,11 @@ class TfidfVectorizer:
             sublinear_tf=config["sublinear_tf"],
             remove_stopwords=config["remove_stopwords"],
             ngram_range=tuple(config["ngram_range"]),
+            # Checkpoints written before the sparse pipeline carry no flag.
+            sparse_output=config.get("sparse_output", False),
         )
         vectorizer._vocab = Vocabulary(terms, specials=False)
+        vectorizer._index = {term: j for j, term in enumerate(terms)}
         vectorizer._idf = np.asarray(idf, dtype=np.float64).copy()
         return vectorizer
 
@@ -204,6 +323,7 @@ class TfidfVectorizer:
 
     @property
     def n_features(self) -> int:
+        """Vocabulary size (number of matrix columns)."""
         if self._vocab is None:
             raise RuntimeError("TfidfVectorizer must be fitted first")
         return len(self._vocab)

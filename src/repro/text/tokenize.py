@@ -44,7 +44,11 @@ def word_tokenize(text: str) -> list[str]:
 
 
 def iter_tokens(texts: Iterable[str]) -> Iterator[str]:
-    """Stream tokens from many documents without materialising lists."""
+    """Stream tokens from many documents without materialising lists.
+
+    >>> list(iter_tokens(["one two", "three"]))
+    ['one', 'two', 'three']
+    """
     for text in texts:
         yield from word_tokenize(text)
 

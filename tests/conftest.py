@@ -7,11 +7,27 @@ uncalibrated 10x-smaller corpus for tests that train models.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.core.dataset import HolistixDataset
 from repro.core.labels import WellnessDimension
 from repro.corpus.generator import GeneratorConfig
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_pretrain_cache(tmp_path_factory):
+    """Keep the on-disk pretraining cache out of the user's home.
+
+    The disk path is still exercised, just against a per-session
+    scratch directory that pytest cleans up.
+    """
+    os.environ["REPRO_PRETRAIN_CACHE"] = str(
+        tmp_path_factory.mktemp("pretrain-cache")
+    )
+    yield
+    os.environ.pop("REPRO_PRETRAIN_CACHE", None)
 
 SMALL_CLASS_COUNTS = {
     WellnessDimension.INTELLECTUAL: 16,

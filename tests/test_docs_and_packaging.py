@@ -10,7 +10,14 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 class TestDocumentation:
     def test_required_files_exist(self):
-        for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md", "pyproject.toml"):
+        for name in (
+            "README.md",
+            "DESIGN.md",
+            "EXPERIMENTS.md",
+            "pyproject.toml",
+            "docs/ARCHITECTURE.md",
+            "docs/BENCHMARKING.md",
+        ):
             assert (REPO_ROOT / name).is_file(), name
 
     def test_design_covers_every_experiment(self):
@@ -29,6 +36,55 @@ class TestDocumentation:
         # documented paths.
         from repro import HolistixDataset, WellnessClassifier  # noqa: F401
 
+    def test_architecture_doc_covers_every_package(self):
+        text = (REPO_ROOT / "docs" / "ARCHITECTURE.md").read_text(encoding="utf-8")
+        for package in (
+            "repro.corpus",
+            "repro.annotation",
+            "repro.core",
+            "repro.text",
+            "repro.sparse",
+            "repro.ml",
+            "repro.nn",
+            "repro.models",
+            "repro.engine",
+            "repro.explain",
+            "repro.experiments",
+        ):
+            assert package in text, package
+        assert "prediction" in text.lower()  # the walkthrough section
+
+    def test_architecture_doc_linked_from_readme_and_design(self):
+        for name in ("README.md", "DESIGN.md"):
+            text = (REPO_ROOT / name).read_text(encoding="utf-8")
+            assert "docs/ARCHITECTURE.md" in text, name
+
+    def test_benchmarking_doc_covers_harness(self):
+        text = (REPO_ROOT / "docs" / "BENCHMARKING.md").read_text(encoding="utf-8")
+        for needle in (
+            "benchmarks.harness",
+            "BENCH_",
+            "--quick",
+            "--check",
+            "git_sha",
+            "timings",
+            "metrics",
+        ):
+            assert needle in text, needle
+        from benchmarks.harness import SCENARIOS
+
+        for scenario in SCENARIOS:
+            assert scenario in text, scenario
+
+    def test_benchmark_records_committed(self):
+        records = REPO_ROOT / "benchmarks" / "records"
+        for name in ("BENCH_tfidf.json", "BENCH_table4.json"):
+            assert (records / name).is_file(), name
+
+    def test_experiments_md_has_performance_section(self):
+        text = (REPO_ROOT / "EXPERIMENTS.md").read_text(encoding="utf-8")
+        assert "## Performance" in text
+
     def test_examples_exist_and_have_mains(self):
         examples = sorted((REPO_ROOT / "examples").glob("*.py"))
         assert len(examples) >= 3
@@ -44,6 +100,7 @@ class TestPublicApi:
         "repro.core",
         "repro.corpus",
         "repro.annotation",
+        "repro.sparse",
         "repro.text",
         "repro.ml",
         "repro.nn",

@@ -228,6 +228,48 @@ class TestTrainer:
         for key in state_a:
             np.testing.assert_array_equal(state_a[key], state_b[key])
 
+    def test_pretraining_disk_cache_roundtrip(
+        self, vocab, monkeypatch, tmp_path
+    ):
+        from dataclasses import replace
+
+        import repro.models.trainer as trainer_module
+
+        config = replace(
+            _tiny("BERT"), pretrain_objective="mlm", pretrain_steps=5
+        )
+        monkeypatch.setenv("REPRO_PRETRAIN_CACHE", str(tmp_path))
+        monkeypatch.setattr(trainer_module, "_PRETRAINED_CACHE", {})
+        first = Trainer(config, vocab, use_pretraining_cache=True)
+        first.maybe_pretrain()
+        assert list(tmp_path.glob("*.npz")), "checkpoint not written to disk"
+
+        # A fresh process is simulated by clearing the in-memory cache;
+        # the second trainer must restore identical weights from disk.
+        monkeypatch.setattr(trainer_module, "_PRETRAINED_CACHE", {})
+        second = Trainer(config, vocab, use_pretraining_cache=True)
+        second.maybe_pretrain()
+        assert not second.result.pretrain_losses  # no re-pretraining
+        state_a = first.model.state_dict()
+        state_b = second.model.state_dict()
+        for key in state_a:
+            np.testing.assert_array_equal(state_a[key], state_b[key])
+
+    def test_pretraining_disk_cache_disabled(self, vocab, monkeypatch, tmp_path):
+        from dataclasses import replace
+
+        import repro.models.trainer as trainer_module
+
+        config = replace(
+            _tiny("BERT"), pretrain_objective="mlm", pretrain_steps=5
+        )
+        monkeypatch.setenv("REPRO_PRETRAIN_CACHE", "0")
+        monkeypatch.setattr(trainer_module, "_PRETRAINED_CACHE", {})
+        trainer = Trainer(config, vocab, use_pretraining_cache=True)
+        trainer.maybe_pretrain()
+        assert trainer.result.pretrain_losses  # really pretrained
+        assert not list(tmp_path.glob("*.npz"))
+
 
 class TestModelPersistence:
     def test_classifier_weights_roundtrip(self, vocab, small_dataset, tmp_path):
