@@ -20,8 +20,9 @@ from repro.corpus.generator import GeneratorConfig, assemble, generate_drafts
 from repro.corpus.templates import FILLER_SENTENCES, OFFTOPIC_SENTENCES
 from repro.core.labels import DIMENSIONS
 from repro.models.classifier import TransformerClassifier
+from repro.nn.batching import window_bucketed_batches
 from repro.nn.functional import cross_entropy
-from repro.nn.optim import Adam, clip_grad_norm
+from repro.nn.optim import Adam
 
 __all__ = [
     "build_pretraining_corpus",
@@ -134,12 +135,18 @@ def pretrain(
     batch_size: int = 16,
     learning_rate: float = 1e-3,
     seed: int = 0,
+    bucket_window: int = 8,
 ) -> list[float]:
     """Run the pretraining objective; returns the per-step loss trace.
 
     PLM shares the masked-prediction step with MLM — the permutation
     flavour lives in the model's relative-position attention, which is
     what the objective trains.
+
+    ``bucket_window > 1`` draws that many batches' worth of sample ids
+    at once and sorts them by token count before slicing into batches,
+    so each batch pads to near-uniform lengths; ``<= 1`` restores one
+    independent uniform draw per step.
     """
     if objective not in ("mlm", "clm", "plm"):
         raise ValueError(f"unknown objective {objective!r}")
@@ -150,16 +157,30 @@ def pretrain(
     step_fn = _clm_step if objective == "clm" else _mlm_step
     losses: list[float] = []
     n = len(texts)
+    # Tokenise the corpus once; every step then only gathers and pads.
+    rows = [model.encode_ids(text) for text in texts]
+    lengths = [len(row) for row in rows]
+    queue: list[list[int]] = []
     for step in range(steps):
-        picks = rng.integers(0, n, size=batch_size)
-        batch_texts = [texts[int(i)] for i in picks]
-        token_ids = model.encode_batch(batch_texts)
+        if bucket_window > 1:
+            if not queue:
+                block = rng.integers(0, n, size=batch_size * bucket_window)
+                queue = list(
+                    window_bucketed_batches(
+                        block.tolist(), lengths, batch_size, window=bucket_window
+                    )
+                )
+                queue.reverse()  # pop() consumes in sorted order
+            picks = queue.pop()
+        else:
+            picks = rng.integers(0, n, size=batch_size).tolist()
+        token_ids = model.pad_rows([rows[i] for i in picks])
         loss = step_fn(model, token_ids, rng)
         if loss is None:  # pragma: no cover - requires degenerate batch
             continue
         optimizer.zero_grad()
         loss.backward()
-        clip_grad_norm(model.parameters(), 1.0)
+        optimizer.clip_grad_norm(1.0)
         optimizer.step()
         losses.append(loss.item())
     return losses

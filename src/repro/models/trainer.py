@@ -29,7 +29,8 @@ from repro.core.labels import DIMENSIONS, WellnessDimension
 from repro.models.classifier import TransformerClassifier
 from repro.models.config import ModelConfig
 from repro.models.pretrain import build_pretraining_corpus, pretrain
-from repro.nn.optim import Adam, WarmupLinearSchedule, clip_grad_norm
+from repro.nn.batching import window_bucketed_batches
+from repro.nn.optim import Adam, WarmupLinearSchedule
 from repro.text.vocab import Vocabulary
 
 __all__ = ["TrainResult", "Trainer"]
@@ -98,6 +99,12 @@ class Trainer:
         — each fold starts from the same pretrained checkpoint and only
         fine-tuning differs, exactly like fine-tuning a published
         checkpoint per fold.
+    bucket_window:
+        Length-bucketing window for training minibatches (see
+        :func:`repro.nn.batching.window_bucketed_batches`): every
+        ``bucket_window`` batches' worth of the shuffled epoch order is
+        sorted by token count so batches pad to near-uniform lengths.
+        ``0`` or ``1`` restores plain shuffled slicing.
     """
 
     def __init__(
@@ -107,11 +114,13 @@ class Trainer:
         *,
         n_classes: int = len(DIMENSIONS),
         use_pretraining_cache: bool = True,
+        bucket_window: int = 8,
     ) -> None:
         self.config = config
         self.vocab = vocab
         self.n_classes = n_classes
         self.use_pretraining_cache = use_pretraining_cache
+        self.bucket_window = bucket_window
         self.model = TransformerClassifier(config, vocab, n_classes)
         self.result = TrainResult()
         self._engine = None
@@ -158,6 +167,9 @@ class Trainer:
             config.n_layers,
             len(self.vocab),
             vocab_fingerprint,
+            # Batch composition is part of the pretraining trajectory:
+            # checkpoints from different bucketing windows must not mix.
+            ("bucket_window", self.bucket_window),
         )
 
     def maybe_pretrain(self) -> None:
@@ -198,6 +210,7 @@ class Trainer:
             batch_size=16,
             learning_rate=1e-3,
             seed=config.seed,
+            bucket_window=self.bucket_window,
         )
         self.result.pretrain_losses = losses
         self._invalidate_engine()
@@ -243,18 +256,22 @@ class Trainer:
         )
         rng = np.random.default_rng(config.seed + 1000)
 
+        # Tokenise once up front; epochs only re-shuffle and re-pad.
+        rows = [self.model.encode_ids(text) for text in train_texts]
+        lengths = [len(row) for row in rows]
+
         for _epoch in range(config.epochs):
-            order = rng.permutation(n)
-            for start in range(0, steps_per_epoch * config.batch_size, config.batch_size):
-                picks = order[start : start + config.batch_size]
-                if picks.size == 0:
-                    continue
-                batch_texts = [train_texts[int(i)] for i in picks]
-                token_ids = self.model.encode_batch(batch_texts)
-                loss = self.model.classification_loss(token_ids, label_ids[picks])
+            order = rng.permutation(n)[: steps_per_epoch * config.batch_size]
+            for picks in window_bucketed_batches(
+                order, lengths, config.batch_size, window=self.bucket_window, rng=rng
+            ):
+                token_ids = self.model.pad_rows([rows[i] for i in picks])
+                loss = self.model.classification_loss(
+                    token_ids, label_ids[np.asarray(picks)]
+                )
                 optimizer.zero_grad()
                 loss.backward()
-                clip_grad_norm(self.model.parameters(), 1.0)
+                optimizer.clip_grad_norm(1.0)
                 schedule.step()
                 optimizer.step()
                 self.result.train_losses.append(loss.item())

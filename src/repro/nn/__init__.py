@@ -1,10 +1,16 @@
 """Numpy autograd engine: tensors, layers, attention, optimisers."""
 
 from repro.nn.attention import MultiHeadAttention
+from repro.nn.batching import padded_token_count, window_bucketed_batches
 from repro.nn.functional import (
     attention_mask_from_padding,
     cross_entropy,
     dropout,
+    fused_ops_enabled,
+    layer_norm,
+    linear,
+    scaled_dot,
+    use_fused_ops,
 )
 from repro.nn.layers import (
     Dropout,
@@ -32,7 +38,7 @@ from repro.nn.serialization import (
     save_checkpoint,
     save_weights,
 )
-from repro.nn.tensor import Tensor, is_grad_enabled, no_grad
+from repro.nn.tensor import Tensor, is_grad_enabled, no_grad, tape_node_count
 from repro.nn.transformer import (
     DecoderBlock,
     EncoderBlock,
@@ -65,11 +71,19 @@ __all__ = [
     "collect_array_state",
     "cross_entropy",
     "dropout",
+    "fused_ops_enabled",
     "is_grad_enabled",
+    "layer_norm",
+    "linear",
     "load_checkpoint",
     "load_weights",
     "no_grad",
+    "padded_token_count",
     "restore_array_state",
     "save_checkpoint",
     "save_weights",
+    "scaled_dot",
+    "tape_node_count",
+    "use_fused_ops",
+    "window_bucketed_batches",
 ]

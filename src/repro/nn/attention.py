@@ -4,18 +4,68 @@ One implementation serves all six baselines: BERT-family encoders use
 bidirectional attention with padding masks, GPT-2 adds the causal mask,
 the T5 decoder adds cross-attention, and the XLNet variant switches on
 the learned relative-position bias (its Transformer-XL inheritance).
+
+Attention *geometry* — the causal mask and the relative-position bucket
+indices — depends only on ``(t_query, t_key)``, not on the batch, so it
+is computed once per shape and cached process-wide instead of being
+rebuilt every forward of every layer every training step.  The
+``1/sqrt(head_dim)`` score scale is folded into the fused score kernel
+(:func:`repro.nn.functional.scaled_dot`) rather than spent on a separate
+tape node.
 """
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
+from repro.nn.functional import scaled_dot
 from repro.nn.layers import Dropout, Linear, Module
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, is_grad_enabled
 
 __all__ = ["MultiHeadAttention"]
 
 _NEG_INF = -1e9
+
+
+@lru_cache(maxsize=256)
+def _causal_mask(t_query: int, t_key: int) -> np.ndarray:
+    """Cached ``(1, 1, Tq, Tk)`` boolean mask, True on future positions."""
+    future = np.triu(np.ones((t_query, t_key), dtype=bool), k=1)
+    mask = future[None, None, :, :]
+    mask.setflags(write=False)
+    return mask
+
+
+@lru_cache(maxsize=256)
+def _relative_buckets(
+    t_query: int, t_key: int, max_distance: int
+) -> np.ndarray:
+    """Cached flat ``(Tq*Tk,)`` bucket ids of clipped relative distances."""
+    positions = np.arange(t_key)[None, :] - np.arange(t_query)[:, None]
+    clipped = np.clip(positions, -max_distance, max_distance)
+    buckets = (clipped + max_distance).astype(np.int64).reshape(-1)
+    buckets.setflags(write=False)
+    return buckets
+
+
+def _gather_bias(rel_bias: Tensor, buckets: np.ndarray, t_query: int, t_key: int) -> Tensor:
+    """Fused gather ``rel_bias[:, buckets] -> (H, Tq, Tk)`` in one node."""
+    n_heads = rel_bias.data.shape[0]
+    data = rel_bias.data[:, buckets].reshape(n_heads, t_query, t_key)
+    if not (is_grad_enabled() and rel_bias.requires_grad):
+        return Tensor(data)
+
+    def backward(grad: np.ndarray) -> None:
+        # Scatter-add per bucket: accumulate over (head-major) columns.
+        full = np.zeros(
+            (rel_bias.data.shape[1], n_heads), dtype=np.float32
+        )
+        np.add.at(full, buckets, grad.reshape(n_heads, -1).T)
+        rel_bias._accumulate(np.ascontiguousarray(full.T), owned=True)
+
+    return Tensor._node(data, (rel_bias,), backward)
 
 
 class MultiHeadAttention(Module):
@@ -52,6 +102,7 @@ class MultiHeadAttention(Module):
         self.dim = dim
         self.n_heads = n_heads
         self.head_dim = dim // n_heads
+        self.scale = 1.0 / float(np.sqrt(self.head_dim))
         self.causal = causal
         self.relative_positions = relative_positions
         self.max_relative_distance = max_relative_distance
@@ -78,16 +129,9 @@ class MultiHeadAttention(Module):
         return x.transpose(0, 2, 1, 3).reshape(b, t, h * d)
 
     def _relative_bias(self, t_query: int, t_key: int) -> Tensor:
-        """Per-head bias ``(H, Tq, Tk)`` from clipped relative distances."""
-        positions = np.arange(t_key)[None, :] - np.arange(t_query)[:, None]
-        clipped = np.clip(
-            positions, -self.max_relative_distance, self.max_relative_distance
-        )
-        buckets = (clipped + self.max_relative_distance).astype(np.int64)
-        # Gather (H, Tq, Tk) from (H, n_buckets) via fancy indexing.
-        return self.rel_bias[:, buckets.reshape(-1)].reshape(
-            self.n_heads, t_query, t_key
-        )
+        """Per-head bias ``(H, Tq, Tk)`` from cached bucket indices."""
+        buckets = _relative_buckets(t_query, t_key, self.max_relative_distance)
+        return _gather_bias(self.rel_bias, buckets, t_query, t_key)
 
     # ------------------------------------------------------------------
     def forward(
@@ -109,13 +153,12 @@ class MultiHeadAttention(Module):
         k = self._split_heads(self.k_proj(key))
         v = self._split_heads(self.v_proj(value))
 
-        scores = (q @ k.swapaxes(-1, -2)) * (1.0 / np.sqrt(self.head_dim))
         t_query, t_key = q.shape[2], k.shape[2]
+        scores = scaled_dot(q, k, self.scale)
         if self.relative_positions:
             scores = scores + self._relative_bias(t_query, t_key)
         if self.causal:
-            future = np.triu(np.ones((t_query, t_key), dtype=bool), k=1)
-            scores = scores.masked_fill(future[None, None, :, :], _NEG_INF)
+            scores = scores.masked_fill(_causal_mask(t_query, t_key), _NEG_INF)
         if padding_mask is not None:
             scores = scores.masked_fill(padding_mask, _NEG_INF)
 

@@ -1,0 +1,84 @@
+"""Length-bucketed minibatch scheduling shared by the training loops.
+
+The prediction engine already sorts inference requests by token count so
+each batch pads only to its own longest row.  This module brings the
+same idea to *training* without giving up shuffling: the epoch's random
+order is kept, but consecutive *windows* of ``window × batch_size``
+indices are sorted by length before being sliced into batches.  Batches
+therefore contain near-uniform lengths (little padding) while batch
+composition still changes every epoch with the shuffle.
+
+``window=1`` (or ``0``) disables bucketing and reproduces plain
+sequential slicing of the shuffled order exactly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["window_bucketed_batches", "padded_token_count"]
+
+
+def window_bucketed_batches(
+    order: Sequence[int],
+    lengths: Sequence[int],
+    batch_size: int,
+    *,
+    window: int = 8,
+    rng: "np.random.Generator | None" = None,
+) -> Iterator[list[int]]:
+    """Yield index batches from ``order``, locally sorted by length.
+
+    Parameters
+    ----------
+    order:
+        The epoch's (shuffled) sample indices; consumed left to right.
+    lengths:
+        ``lengths[i]`` is the token count of sample ``i``.
+    batch_size:
+        Samples per batch; the final batch of a window may be shorter.
+    window:
+        How many batches' worth of indices are sorted together.  Larger
+        windows pack lengths tighter but localise samples of similar
+        length to the same training steps; ``<= 1`` disables sorting.
+    rng:
+        When given, the order of batches *within* each window is
+        shuffled.  The sort is stable on length alone, so equal-length
+        samples keep their shuffled order — together these keep batch
+        composition and visit order stochastic across epochs even when
+        one window spans the whole epoch.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    if window <= 1:
+        for start in range(0, len(order), batch_size):
+            picks = list(order[start : start + batch_size])
+            if picks:
+                yield picks
+        return
+    span = batch_size * window
+    for window_start in range(0, len(order), span):
+        chunk = sorted(
+            order[window_start : window_start + span],
+            key=lengths.__getitem__,
+        )
+        batches = [
+            chunk[start : start + batch_size]
+            for start in range(0, len(chunk), batch_size)
+        ]
+        if rng is not None and len(batches) > 1:
+            for pick in rng.permutation(len(batches)):
+                yield batches[int(pick)]
+        else:
+            yield from batches
+
+
+def padded_token_count(lengths: Sequence[int], batches: Iterator[list[int]]) -> int:
+    """Total token slots (incl. padding) the given batches would cost."""
+    total = 0
+    for batch in batches:
+        width = max(lengths[i] for i in batch)
+        total += width * len(batch)
+    return total

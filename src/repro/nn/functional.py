@@ -1,12 +1,62 @@
-"""Loss functions and stateless neural helpers."""
+"""Loss functions, fused composite kernels, and stateless neural helpers.
+
+The fused ops (:func:`layer_norm`, :func:`linear`, :func:`scaled_dot`)
+collapse multi-node sub-graphs into a single tape node with a
+hand-written backward rule.  On a numpy substrate the tape bookkeeping
+of a composed op chain costs as much as the arithmetic, so fusing is
+the main forward/backward speed lever.  :func:`use_fused_ops` toggles
+the fused kernels off globally; the composed fallbacks are kept both as
+the reference implementation for equivalence tests and as the baseline
+the ``transformer`` benchmark scenario measures against.
+"""
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+
 import numpy as np
 
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, is_grad_enabled
 
-__all__ = ["cross_entropy", "dropout", "attention_mask_from_padding"]
+__all__ = [
+    "cross_entropy",
+    "dropout",
+    "attention_mask_from_padding",
+    "layer_norm",
+    "linear",
+    "scaled_dot",
+    "fused_ops_enabled",
+    "use_fused_ops",
+]
+
+_FUSED_ENABLED = True
+
+
+def fused_ops_enabled() -> bool:
+    """True unless inside a :func:`use_fused_ops` ``False`` block."""
+    return _FUSED_ENABLED
+
+
+@contextmanager
+def use_fused_ops(enabled: bool):
+    """Context manager selecting fused kernels vs composed fallbacks.
+
+    The composed path builds the same computation from primitive tensor
+    ops; results agree with the fused kernels to float32 round-off.
+    Used by the equivalence tests and the ``transformer`` benchmark.
+    """
+    global _FUSED_ENABLED
+    previous = _FUSED_ENABLED
+    _FUSED_ENABLED = bool(enabled)
+    try:
+        yield
+    finally:
+        _FUSED_ENABLED = previous
+
+
+def _tape_live(*tensors: Tensor) -> bool:
+    """True when an op over ``tensors`` must record a tape node."""
+    return is_grad_enabled() and any(t.requires_grad for t in tensors)
 
 
 def cross_entropy(
@@ -37,8 +87,8 @@ def cross_entropy(
         raise ValueError("no targets left after ignore_index masking")
 
     shifted = flat_logits - flat_logits.max(axis=1, keepdims=True)
-    exp = np.exp(shifted)
-    probs = exp / exp.sum(axis=1, keepdims=True)
+    probs = np.exp(shifted, out=shifted)
+    probs /= probs.sum(axis=1, keepdims=True)
     safe_targets = np.where(keep, flat_targets, 0)
     picked = probs[np.arange(flat_targets.shape[0]), safe_targets]
     losses = -np.log(picked + 1e-12)
@@ -51,18 +101,24 @@ def cross_entropy(
         delta = probs.copy()
         delta[np.arange(flat_targets.shape[0]), safe_targets] -= 1.0
         delta[~keep] = 0.0
-        logits._accumulate((delta * scale).reshape(logits.shape))
+        delta *= np.float32(scale)
+        logits._accumulate(delta.reshape(logits.shape), owned=True)
 
     return Tensor._make(np.asarray(loss_value, dtype=np.float32), (logits,), backward)
 
 
 def dropout(x: Tensor, p: float, rng: np.random.Generator, *, training: bool) -> Tensor:
-    """Inverted dropout: scales kept activations by ``1/(1-p)``."""
+    """Inverted dropout: scales kept activations by ``1/(1-p)``.
+
+    When ``p == 0`` or outside training, the input is returned untouched
+    — no RNG draw, no tape node.
+    """
     if not 0.0 <= p < 1.0:
         raise ValueError("dropout probability must be in [0, 1)")
     if not training or p == 0.0:
         return x
-    mask = (rng.random(x.shape) >= p).astype(np.float32) / (1.0 - p)
+    mask = (rng.random(x.shape, dtype=np.float32) >= p).astype(np.float32)
+    mask *= np.float32(1.0 / (1.0 - p))
     return x * Tensor(mask)
 
 
@@ -74,3 +130,117 @@ def attention_mask_from_padding(token_ids: np.ndarray, pad_id: int) -> np.ndarra
     """
     ids = np.asarray(token_ids)
     return (ids == pad_id)[:, None, None, :]
+
+
+# ----------------------------------------------------------------------
+# Fused composite kernels
+# ----------------------------------------------------------------------
+def layer_norm(x: Tensor, gain: Tensor, shift: Tensor, eps: float = 1e-5) -> Tensor:
+    """Layer normalisation over the last axis — one tape node.
+
+    The composed version builds ~10 nodes (two means, a centring, a
+    rsqrt, scale, shift); this kernel does the same arithmetic with one
+    node, reusing the normalised activations in the analytic backward.
+    """
+    if not _FUSED_ENABLED:
+        mu = x.mean(axis=-1, keepdims=True)
+        centred = x - mu
+        var = (centred * centred).mean(axis=-1, keepdims=True)
+        inv = (var + eps) ** -0.5
+        return centred * inv * gain + shift
+
+    xd = x.data
+    dim = xd.shape[-1]
+    mu = xd.mean(axis=-1, keepdims=True, dtype=np.float32)
+    centred = xd - mu
+    var = np.mean(centred * centred, axis=-1, keepdims=True, dtype=np.float32)
+    inv = var + np.float32(eps)
+    np.sqrt(inv, out=inv)
+    np.divide(1.0, inv, out=inv)
+    normed = centred
+    normed *= inv
+    data = normed * gain.data
+    data += shift.data
+    if not _tape_live(x, gain, shift):
+        return Tensor(data)
+
+    def backward(grad: np.ndarray) -> None:
+        flat = grad.reshape(-1, dim)
+        if shift.requires_grad:
+            shift._accumulate(flat.sum(axis=0), owned=True)
+        if gain.requires_grad:
+            gain._accumulate(
+                (flat * normed.reshape(-1, dim)).sum(axis=0), owned=True
+            )
+        if x.requires_grad:
+            g = grad * gain.data
+            g_mean = g.mean(axis=-1, keepdims=True, dtype=np.float32)
+            gn_mean = np.mean(
+                g * normed, axis=-1, keepdims=True, dtype=np.float32
+            )
+            dx = g - g_mean
+            dx -= normed * gn_mean
+            dx *= inv
+            x._accumulate(dx, owned=True)
+
+    return Tensor._node(data, (x, gain, shift), backward)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """Affine map ``x @ W (+ b)`` — one tape node (addmm-style).
+
+    The weight gradient is computed as a single 2-D GEMM over the
+    flattened batch instead of a batched matmul followed by an axis sum.
+    Inputs with fewer than two dims fall back to the composed path.
+    """
+    if not _FUSED_ENABLED or x.data.ndim < 2:
+        out = x @ weight
+        if bias is not None:
+            out = out + bias
+        return out
+
+    in_features = weight.data.shape[0]
+    data = x.data @ weight.data
+    if bias is not None:
+        data += bias.data
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    if not _tape_live(*parents):
+        return Tensor(data)
+
+    def backward(grad: np.ndarray) -> None:
+        flat_grad = grad.reshape(-1, grad.shape[-1])
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(flat_grad.sum(axis=0), owned=True)
+        if weight.requires_grad:
+            flat_x = x.data.reshape(-1, in_features)
+            weight._accumulate(flat_x.T @ flat_grad, owned=True)
+        if x.requires_grad:
+            x._accumulate(grad @ weight.data.T, owned=True)
+
+    return Tensor._node(data, parents, backward)
+
+
+def scaled_dot(q: Tensor, k: Tensor, scale: float) -> Tensor:
+    """Attention scores ``(q @ k^T) * scale`` — one tape node.
+
+    Folds the key transpose and the ``1/sqrt(head_dim)`` scale into the
+    score kernel, instead of a swapaxes node, a matmul node, and a
+    scalar-multiply node each carrying a ``(B, H, Tq, Tk)`` temporary.
+    """
+    if not _FUSED_ENABLED:
+        return (q @ k.swapaxes(-1, -2)) * scale
+
+    s = np.float32(scale)
+    data = q.data @ np.swapaxes(k.data, -1, -2)
+    data *= s
+    if not _tape_live(q, k):
+        return Tensor(data)
+
+    def backward(grad: np.ndarray) -> None:
+        gs = grad * s
+        if q.requires_grad:
+            q._accumulate(gs @ k.data, owned=True)
+        if k.requires_grad:
+            k._accumulate(np.swapaxes(gs, -1, -2) @ q.data, owned=True)
+
+    return Tensor._node(data, (q, k), backward)

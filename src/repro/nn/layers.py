@@ -6,7 +6,7 @@ from collections.abc import Iterator
 
 import numpy as np
 
-from repro.nn.functional import dropout
+from repro.nn.functional import dropout, layer_norm, linear
 from repro.nn.tensor import Tensor
 
 __all__ = ["Module", "Linear", "Embedding", "LayerNorm", "Dropout", "Sequential"]
@@ -126,10 +126,7 @@ class Linear(Module):
             self.bias = Tensor(np.zeros(out_features), requires_grad=True)
 
     def forward(self, x: Tensor) -> Tensor:
-        out = x @ self.weight
-        if self.has_bias:
-            out = out + self.bias
-        return out
+        return linear(x, self.weight, self.bias if self.has_bias else None)
 
 
 class Embedding(Module):
@@ -156,11 +153,7 @@ class LayerNorm(Module):
         self.shift = Tensor(np.zeros(dim), requires_grad=True)
 
     def forward(self, x: Tensor) -> Tensor:
-        mu = x.mean(axis=-1, keepdims=True)
-        centred = x - mu
-        var = (centred * centred).mean(axis=-1, keepdims=True)
-        inv = (var + self.eps) ** -0.5
-        return centred * inv * self.gain + self.shift
+        return layer_norm(x, self.gain, self.shift, self.eps)
 
 
 class Dropout(Module):
@@ -178,7 +171,9 @@ class Dropout(Module):
         self._rng = np.random.default_rng(seed)
 
     def forward(self, x: Tensor) -> Tensor:
-        return dropout(x, self.p, self._rng, training=self.training)
+        if not self.training or self.p == 0.0:
+            return x  # untouched: no RNG draw, no tape node
+        return dropout(x, self.p, self._rng, training=True)
 
 
 class Sequential(Module):

@@ -9,6 +9,19 @@ of broadcast operands are summed back to the original shape.
 Only the operations the models need are implemented, each with an exact
 (not numerical) backward rule; the test suite checks every rule against
 finite differences.
+
+Two performance properties hold throughout:
+
+* **Zero-tape inference.**  Every op checks whether a tape node is
+  actually needed *before* building one.  Inside :class:`no_grad` (or
+  when no input requires grad) an op allocates only its result array —
+  no closure, no parent tuple, no node bookkeeping.  The debug counter
+  :func:`tape_node_count` makes this testable.
+* **Copy-free accumulation.**  Backward rules that hand over a freshly
+  allocated array mark it *owned*, and :meth:`Tensor._accumulate`
+  adopts it as the gradient buffer instead of copying.  Only gradients
+  that alias upstream storage (pass-throughs and views) are copied on
+  first accumulation.
 """
 
 from __future__ import annotations
@@ -17,9 +30,11 @@ from collections.abc import Callable, Sequence
 
 import numpy as np
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "tape_node_count"]
 
 _GRAD_ENABLED = True
+_TAPE_NODES = 0
+_F32 = np.dtype(np.float32)
 
 
 class no_grad:
@@ -38,6 +53,15 @@ class no_grad:
 def is_grad_enabled() -> bool:
     """True unless inside a :class:`no_grad` block."""
     return _GRAD_ENABLED
+
+
+def tape_node_count() -> int:
+    """Total tape nodes built since import (debug/testing aid).
+
+    Ops executed under :class:`no_grad`, or whose inputs don't require
+    grad, must leave this counter untouched.
+    """
+    return _TAPE_NODES
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -64,7 +88,10 @@ class Tensor:
         *,
         requires_grad: bool = False,
     ) -> None:
-        array = np.asarray(data, dtype=np.float32)
+        if type(data) is np.ndarray and data.dtype is _F32:
+            array = data
+        else:
+            array = np.asarray(data, dtype=np.float32)
         self.data: np.ndarray = array
         self.grad: np.ndarray | None = None
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
@@ -75,22 +102,45 @@ class Tensor:
     # Graph helpers
     # ------------------------------------------------------------------
     @classmethod
+    def _node(
+        cls,
+        data: np.ndarray,
+        parents: tuple["Tensor", ...],
+        backward_fn: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        """Build a tape node.  Callers must have checked :func:`_tape`."""
+        global _TAPE_NODES
+        out = cls(data)
+        out.requires_grad = True
+        out._parents = parents
+        out._backward_fn = backward_fn
+        _TAPE_NODES += 1
+        return out
+
+    @classmethod
     def _make(
         cls,
         data: np.ndarray,
         parents: tuple["Tensor", ...],
         backward_fn: Callable[[np.ndarray], None],
     ) -> "Tensor":
-        out = cls(data)
+        """Compatibility helper: node if the tape is live, else plain tensor."""
         if _GRAD_ENABLED and any(p.requires_grad for p in parents):
-            out.requires_grad = True
-            out._parents = parents
-            out._backward_fn = backward_fn
-        return out
+            return cls._node(data, parents, backward_fn)
+        return cls(data)
 
-    def _accumulate(self, grad: np.ndarray) -> None:
+    def _accumulate(self, grad: np.ndarray, *, owned: bool = False) -> None:
+        """Add ``grad`` into this tensor's gradient buffer.
+
+        ``owned=True`` promises the array is freshly allocated, float32,
+        and aliased nowhere else, so it can be adopted as the buffer
+        directly instead of copied.
+        """
         if self.grad is None:
-            self.grad = grad.astype(np.float32, copy=True)
+            if owned and grad.dtype is _F32:
+                self.grad = grad
+            else:
+                self.grad = grad.astype(np.float32, copy=True)
         else:
             self.grad += grad
 
@@ -170,23 +220,29 @@ class Tensor:
     def __add__(self, other: "Tensor | float | int") -> "Tensor":
         other = self._coerce(other)
         data = self.data + other.data
+        if not _GRAD_ENABLED or not (self.requires_grad or other.requires_grad):
+            return Tensor(data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(_unbroadcast(grad, self.data.shape))
+                g = _unbroadcast(grad, self.data.shape)
+                self._accumulate(g, owned=g is not grad)
             if other.requires_grad:
-                other._accumulate(_unbroadcast(grad, other.data.shape))
+                g = _unbroadcast(grad, other.data.shape)
+                other._accumulate(g, owned=g is not grad)
 
-        return Tensor._make(data, (self, other), backward)
+        return Tensor._node(data, (self, other), backward)
 
     __radd__ = __add__
 
     def __neg__(self) -> "Tensor":
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(-grad)
+        if not _GRAD_ENABLED or not self.requires_grad:
+            return Tensor(-self.data)
 
-        return Tensor._make(-self.data, (self,), backward)
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(-grad, owned=True)
+
+        return Tensor._node(-self.data, (self,), backward)
 
     def __sub__(self, other: "Tensor | float | int") -> "Tensor":
         return self + (-self._coerce(other))
@@ -197,47 +253,63 @@ class Tensor:
     def __mul__(self, other: "Tensor | float | int") -> "Tensor":
         other = self._coerce(other)
         data = self.data * other.data
+        if not _GRAD_ENABLED or not (self.requires_grad or other.requires_grad):
+            return Tensor(data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(_unbroadcast(grad * other.data, self.data.shape))
+                self._accumulate(
+                    _unbroadcast(grad * other.data, self.data.shape), owned=True
+                )
             if other.requires_grad:
-                other._accumulate(_unbroadcast(grad * self.data, other.data.shape))
+                other._accumulate(
+                    _unbroadcast(grad * self.data, other.data.shape), owned=True
+                )
 
-        return Tensor._make(data, (self, other), backward)
+        return Tensor._node(data, (self, other), backward)
 
     __rmul__ = __mul__
 
     def __truediv__(self, other: "Tensor | float | int") -> "Tensor":
         other = self._coerce(other)
         data = self.data / other.data
+        if not _GRAD_ENABLED or not (self.requires_grad or other.requires_grad):
+            return Tensor(data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(_unbroadcast(grad / other.data, self.data.shape))
+                self._accumulate(
+                    _unbroadcast(grad / other.data, self.data.shape), owned=True
+                )
             if other.requires_grad:
                 other._accumulate(
                     _unbroadcast(
                         -grad * self.data / (other.data**2), other.data.shape
-                    )
+                    ),
+                    owned=True,
                 )
 
-        return Tensor._make(data, (self, other), backward)
+        return Tensor._node(data, (self, other), backward)
 
     def __pow__(self, exponent: float) -> "Tensor":
         if not isinstance(exponent, (int, float)):
             raise TypeError("only scalar exponents are supported")
         data = self.data**exponent
+        if not _GRAD_ENABLED or not self.requires_grad:
+            return Tensor(data)
 
         def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad * exponent * self.data ** (exponent - 1))
+            self._accumulate(
+                grad * exponent * self.data ** (exponent - 1), owned=True
+            )
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._node(data, (self,), backward)
 
     def __matmul__(self, other: "Tensor") -> "Tensor":
         other = self._coerce(other)
         data = self.data @ other.data
+        if not _GRAD_ENABLED or not (self.requires_grad or other.requires_grad):
+            return Tensor(data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -245,7 +317,9 @@ class Tensor:
                     grad_self = np.expand_dims(grad, -1) * other.data
                 else:
                     grad_self = grad @ np.swapaxes(other.data, -1, -2)
-                self._accumulate(_unbroadcast(grad_self, self.data.shape))
+                self._accumulate(
+                    _unbroadcast(grad_self, self.data.shape), owned=True
+                )
             if other.requires_grad:
                 if self.data.ndim == 1:
                     grad_other = np.expand_dims(self.data, -1) * np.expand_dims(
@@ -253,73 +327,103 @@ class Tensor:
                     )
                 else:
                     grad_other = np.swapaxes(self.data, -1, -2) @ grad
-                other._accumulate(_unbroadcast(grad_other, other.data.shape))
+                other._accumulate(
+                    _unbroadcast(grad_other, other.data.shape), owned=True
+                )
 
-        return Tensor._make(data, (self, other), backward)
+        return Tensor._node(data, (self, other), backward)
 
     # ------------------------------------------------------------------
     # Elementwise nonlinearities
     # ------------------------------------------------------------------
     def exp(self) -> "Tensor":
         data = np.exp(self.data)
+        if not _GRAD_ENABLED or not self.requires_grad:
+            return Tensor(data)
 
         def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad * data)
+            self._accumulate(grad * data, owned=True)
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._node(data, (self,), backward)
 
     def log(self) -> "Tensor":
         data = np.log(self.data)
+        if not _GRAD_ENABLED or not self.requires_grad:
+            return Tensor(data)
 
         def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad / self.data)
+            self._accumulate(grad / self.data, owned=True)
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._node(data, (self,), backward)
 
     def tanh(self) -> "Tensor":
         data = np.tanh(self.data)
+        if not _GRAD_ENABLED or not self.requires_grad:
+            return Tensor(data)
 
         def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad * (1.0 - data**2))
+            self._accumulate(grad * (1.0 - data * data), owned=True)
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._node(data, (self,), backward)
 
     def relu(self) -> "Tensor":
         data = np.maximum(self.data, 0.0)
+        if not _GRAD_ENABLED or not self.requires_grad:
+            return Tensor(data)
 
         def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad * (self.data > 0))
+            self._accumulate(grad * (self.data > 0), owned=True)
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._node(data, (self,), backward)
 
     def gelu(self) -> "Tensor":
-        """Gaussian error linear unit (tanh approximation)."""
+        """Gaussian error linear unit (tanh approximation), fused.
+
+        Forward keeps only ``tanh(inner)`` for backward; the cubic term
+        is built from multiplies (``x*x*x``) rather than ``np.power``,
+        which is an order of magnitude slower on float32.
+        """
         c = np.float32(np.sqrt(2.0 / np.pi))
-        inner = c * (self.data + 0.044715 * self.data**3)
+        x = self.data
+        inner = x * x
+        inner *= np.float32(0.044715)
+        inner += 1.0
+        inner *= x  # x + 0.044715 x^3
+        inner *= c
         tanh_inner = np.tanh(inner)
-        data = 0.5 * self.data * (1.0 + tanh_inner)
+        data = tanh_inner + 1.0
+        data *= x
+        data *= 0.5  # 0.5 x (1 + tanh(inner))
+        if not _GRAD_ENABLED or not self.requires_grad:
+            return Tensor(data)
 
         def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                sech2 = 1.0 - tanh_inner**2
-                d_inner = c * (1.0 + 3 * 0.044715 * self.data**2)
-                local = 0.5 * (1.0 + tanh_inner) + 0.5 * self.data * sech2 * d_inner
-                self._accumulate(grad * local)
+            x2 = x * x
+            sech2 = 1.0 - tanh_inner * tanh_inner
+            d_inner = x2
+            d_inner *= np.float32(3 * 0.044715)
+            d_inner += 1.0
+            d_inner *= c  # c (1 + 3*0.044715 x^2)
+            local = sech2
+            local *= d_inner
+            local *= x
+            local += tanh_inner
+            local += 1.0
+            local *= np.float32(0.5)
+            local *= grad
+            self._accumulate(local, owned=True)
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._node(data, (self,), backward)
 
     def sigmoid(self) -> "Tensor":
         data = 1.0 / (1.0 + np.exp(-self.data))
+        if not _GRAD_ENABLED or not self.requires_grad:
+            return Tensor(data)
 
         def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad * data * (1.0 - data))
+            self._accumulate(grad * data * (1.0 - data), owned=True)
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._node(data, (self,), backward)
 
     # ------------------------------------------------------------------
     # Reductions and shape ops
@@ -328,18 +432,18 @@ class Tensor:
         self, axis: "int | tuple[int, ...] | None" = None, keepdims: bool = False
     ) -> "Tensor":
         data = self.data.sum(axis=axis, keepdims=keepdims)
+        if not _GRAD_ENABLED or not self.requires_grad:
+            return Tensor(data)
 
         def backward(grad: np.ndarray) -> None:
-            if not self.requires_grad:
-                return
             g = grad
             if axis is not None and not keepdims:
                 axes = (axis,) if isinstance(axis, int) else axis
                 for a in sorted(a % self.data.ndim for a in axes):
                     g = np.expand_dims(g, a)
-            self._accumulate(np.broadcast_to(g, self.data.shape).copy())
+            self._accumulate(np.broadcast_to(g, self.data.shape).copy(), owned=True)
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._node(data, (self,), backward)
 
     def mean(
         self, axis: "int | tuple[int, ...] | None" = None, keepdims: bool = False
@@ -353,91 +457,102 @@ class Tensor:
 
     def max(self, axis: int, keepdims: bool = False) -> "Tensor":
         data = self.data.max(axis=axis, keepdims=keepdims)
+        if not _GRAD_ENABLED or not self.requires_grad:
+            return Tensor(data)
 
         def backward(grad: np.ndarray) -> None:
-            if not self.requires_grad:
-                return
             g = grad if keepdims else np.expand_dims(grad, axis)
             full = data if keepdims else np.expand_dims(data, axis)
             mask = self.data == full
             counts = mask.sum(axis=axis, keepdims=True)
-            self._accumulate(mask * g / counts)
+            self._accumulate(mask * g / counts, owned=True)
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._node(data, (self,), backward)
 
     def reshape(self, *shape: int) -> "Tensor":
         data = self.data.reshape(shape)
+        if not _GRAD_ENABLED or not self.requires_grad:
+            return Tensor(data)
 
         def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad.reshape(self.data.shape))
+            # reshape may return a view of the upstream grad: never owned.
+            self._accumulate(grad.reshape(self.data.shape))
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._node(data, (self,), backward)
 
     def transpose(self, *axes: int) -> "Tensor":
         order = axes or tuple(reversed(range(self.data.ndim)))
         data = self.data.transpose(order)
+        if not _GRAD_ENABLED or not self.requires_grad:
+            return Tensor(data)
         inverse = np.argsort(order)
 
         def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad.transpose(inverse))
+            self._accumulate(grad.transpose(inverse))
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._node(data, (self,), backward)
 
     def swapaxes(self, a: int, b: int) -> "Tensor":
         data = np.swapaxes(self.data, a, b)
+        if not _GRAD_ENABLED or not self.requires_grad:
+            return Tensor(data)
 
         def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(np.swapaxes(grad, a, b))
+            self._accumulate(np.swapaxes(grad, a, b))
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._node(data, (self,), backward)
 
     def __getitem__(self, index) -> "Tensor":
         data = self.data[index]
+        if not _GRAD_ENABLED or not self.requires_grad:
+            return Tensor(data)
 
         def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                full = np.zeros_like(self.data)
-                np.add.at(full, index, grad)
-                self._accumulate(full)
+            full = np.zeros_like(self.data)
+            np.add.at(full, index, grad)
+            self._accumulate(full, owned=True)
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._node(data, (self,), backward)
 
     # ------------------------------------------------------------------
     # Composite ops with fused backwards
     # ------------------------------------------------------------------
     def softmax(self, axis: int = -1) -> "Tensor":
         shifted = self.data - self.data.max(axis=axis, keepdims=True)
-        exp = np.exp(shifted)
-        data = exp / exp.sum(axis=axis, keepdims=True)
+        data = np.exp(shifted, out=shifted)
+        data /= data.sum(axis=axis, keepdims=True)
+        if not _GRAD_ENABLED or not self.requires_grad:
+            return Tensor(data)
 
         def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                dot = (grad * data).sum(axis=axis, keepdims=True)
-                self._accumulate(data * (grad - dot))
+            # Reuse the forward output: dL/dx = p * (g - <g, p>).
+            dot = (grad * data).sum(axis=axis, keepdims=True)
+            out = grad - dot
+            out *= data
+            self._accumulate(out, owned=True)
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._node(data, (self,), backward)
 
     def masked_fill(self, mask: np.ndarray, value: float) -> "Tensor":
         """Replace entries where ``mask`` is True with ``value``."""
         data = np.where(mask, np.float32(value), self.data)
+        if not _GRAD_ENABLED or not self.requires_grad:
+            return Tensor(data)
 
         def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(
-                    _unbroadcast(
-                        np.where(mask, np.float32(0.0), grad), self.data.shape
-                    )
-                )
+            self._accumulate(
+                _unbroadcast(np.where(mask, np.float32(0.0), grad), self.data.shape),
+                owned=True,
+            )
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._node(data, (self,), backward)
 
     @staticmethod
     def concatenate(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
         arrays = [t.data for t in tensors]
         data = np.concatenate(arrays, axis=axis)
+        if not _GRAD_ENABLED or not any(t.requires_grad for t in tensors):
+            return Tensor(data)
         sizes = [a.shape[axis] for a in arrays]
         offsets = np.cumsum([0] + sizes)
 
@@ -448,18 +563,19 @@ class Tensor:
                     slicer[axis] = slice(int(start), int(end))
                     t._accumulate(grad[tuple(slicer)])
 
-        return Tensor._make(data, tuple(tensors), backward)
+        return Tensor._node(data, tuple(tensors), backward)
 
     @staticmethod
     def embedding(weight: "Tensor", ids: np.ndarray) -> "Tensor":
         """Row lookup ``weight[ids]`` with scatter-add backward."""
         ids = np.asarray(ids, dtype=np.int64)
         data = weight.data[ids]
+        if not _GRAD_ENABLED or not weight.requires_grad:
+            return Tensor(data)
 
         def backward(grad: np.ndarray) -> None:
-            if weight.requires_grad:
-                full = np.zeros_like(weight.data)
-                np.add.at(full, ids, grad)
-                weight._accumulate(full)
+            full = np.zeros_like(weight.data)
+            np.add.at(full, ids, grad)
+            weight._accumulate(full, owned=True)
 
-        return Tensor._make(data, (weight,), backward)
+        return Tensor._node(data, (weight,), backward)

@@ -1,0 +1,447 @@
+"""Tests for the fused kernels, flat optimiser, and bucketed batching.
+
+Every fused op gets (a) a finite-difference gradient check, in the same
+style as ``test_nn_tensor``, and (b) a fused-vs-composed equivalence
+check on random shapes — ``use_fused_ops(False)`` routes the exact same
+module code through the primitive-op fallback, so forward outputs and
+input/parameter gradients must agree to float32 round-off.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.attention import MultiHeadAttention, _causal_mask, _relative_buckets
+from repro.nn.batching import padded_token_count, window_bucketed_batches
+from repro.nn.functional import (
+    dropout,
+    fused_ops_enabled,
+    layer_norm,
+    linear,
+    scaled_dot,
+    use_fused_ops,
+)
+from repro.nn.layers import Dropout, LayerNorm, Linear
+from repro.nn.optim import Adam, AdamW, clip_grad_norm
+from repro.nn.tensor import Tensor, no_grad, tape_node_count
+
+
+def numeric_gradient(fn, x0, eps=1e-3):
+    grad = np.zeros_like(x0)
+    it = np.nditer(x0, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        plus = x0.copy()
+        plus[idx] += eps
+        minus = x0.copy()
+        minus[idx] -= eps
+        grad[idx] = (fn(Tensor(plus)).item() - fn(Tensor(minus)).item()) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def check_gradient(fn, shape, seed=0, tol=5e-2):
+    rng = np.random.default_rng(seed)
+    x0 = rng.normal(size=shape).astype(np.float32)
+    x = Tensor(x0, requires_grad=True)
+    fn(x).backward()
+    numeric = numeric_gradient(fn, x0)
+    np.testing.assert_allclose(x.grad, numeric, atol=tol, rtol=tol)
+
+
+class TestFusedGradients:
+    """Finite differences against every fused backward rule."""
+
+    def test_layer_norm_input(self):
+        gain = Tensor(np.linspace(0.5, 1.5, 6).astype(np.float32))
+        shift = Tensor(np.linspace(-1, 1, 6).astype(np.float32))
+        check_gradient(
+            lambda x: (layer_norm(x, gain, shift) ** 2).sum(), (3, 6)
+        )
+
+    def test_layer_norm_gain_and_shift(self):
+        rng = np.random.default_rng(3)
+        x = Tensor(rng.normal(size=(4, 5)).astype(np.float32))
+        c = Tensor(rng.normal(size=(4, 5)).astype(np.float32))
+        check_gradient(
+            lambda g: (layer_norm(x, g, Tensor(np.zeros(5))) * c).sum(), (5,)
+        )
+        check_gradient(
+            lambda s: (layer_norm(x, Tensor(np.ones(5)), s) * c).sum(), (5,)
+        )
+
+    def test_linear_input_2d(self):
+        w = Tensor(np.random.default_rng(4).normal(size=(4, 3)).astype(np.float32))
+        b = Tensor(np.ones(3, dtype=np.float32))
+        check_gradient(lambda x: (linear(x, w, b) ** 2).sum(), (2, 4))
+
+    def test_linear_input_3d(self):
+        w = Tensor(np.random.default_rng(5).normal(size=(4, 3)).astype(np.float32))
+        check_gradient(lambda x: (linear(x, w) ** 2).sum(), (2, 3, 4))
+
+    def test_linear_weight_and_bias(self):
+        rng = np.random.default_rng(6)
+        x = Tensor(rng.normal(size=(2, 3, 4)).astype(np.float32))
+        check_gradient(lambda w: (linear(x, w) ** 2).sum(), (4, 2))
+        w = Tensor(rng.normal(size=(4, 2)).astype(np.float32))
+        check_gradient(lambda b: (linear(x, w, b) ** 2).sum(), (2,))
+
+    def test_scaled_dot_query_and_key(self):
+        rng = np.random.default_rng(7)
+        k = Tensor(rng.normal(size=(2, 2, 5, 3)).astype(np.float32))
+        check_gradient(
+            lambda q: (scaled_dot(q, k, 0.57) ** 2).sum(), (2, 2, 4, 3), tol=0.1
+        )
+        q = Tensor(rng.normal(size=(2, 2, 4, 3)).astype(np.float32))
+        check_gradient(
+            lambda kk: (scaled_dot(q, kk, 0.57) ** 2).sum(), (2, 2, 5, 3), tol=0.1
+        )
+
+    def test_relative_bias_gather(self):
+        attn = MultiHeadAttention(8, 2, relative_positions=True, seed=0)
+
+        def fn(bias):
+            attn.rel_bias = bias
+            return (attn._relative_bias(4, 5) ** 2).sum()
+
+        check_gradient(fn, attn.rel_bias.data.shape)
+
+
+class TestFusedEquivalence:
+    """Fused kernels and composed fallbacks agree on random shapes."""
+
+    @pytest.mark.parametrize("shape", [(2, 6), (3, 4, 8), (1, 1, 5)])
+    def test_layer_norm(self, shape):
+        rng = np.random.default_rng(hash(shape) % 2**31)
+        x0 = rng.normal(1.0, 2.0, size=shape).astype(np.float32)
+        dim = shape[-1]
+        outs, grads = [], []
+        for fused in (True, False):
+            with use_fused_ops(fused):
+                ln = LayerNorm(dim)
+                x = Tensor(x0, requires_grad=True)
+                out = ln(x)
+                (out * out).sum().backward()
+                outs.append(out.data)
+                grads.append((x.grad, ln.gain.grad, ln.shift.grad))
+        np.testing.assert_allclose(outs[0], outs[1], atol=1e-5)
+        for fused_grad, composed_grad in zip(*grads):
+            np.testing.assert_allclose(fused_grad, composed_grad, atol=1e-4)
+
+    @pytest.mark.parametrize("shape", [(3, 5), (2, 4, 5), (1, 7, 5)])
+    def test_linear(self, shape):
+        rng = np.random.default_rng(sum(shape))
+        x0 = rng.normal(size=shape).astype(np.float32)
+        outs, grads = [], []
+        for fused in (True, False):
+            with use_fused_ops(fused):
+                layer = Linear(shape[-1], 3, seed=9)
+                x = Tensor(x0, requires_grad=True)
+                out = layer(x)
+                (out * out).sum().backward()
+                outs.append(out.data)
+                grads.append((x.grad, layer.weight.grad, layer.bias.grad))
+        np.testing.assert_allclose(outs[0], outs[1], atol=1e-5)
+        for fused_grad, composed_grad in zip(*grads):
+            np.testing.assert_allclose(
+                fused_grad, composed_grad, atol=1e-4, rtol=1e-4
+            )
+
+    @pytest.mark.parametrize("causal,relative", [(False, False), (True, False), (False, True)])
+    def test_attention_forward_and_grads(self, causal, relative):
+        rng = np.random.default_rng(11)
+        x0 = rng.normal(size=(2, 6, 8)).astype(np.float32)
+        outs, grads = [], []
+        for fused in (True, False):
+            with use_fused_ops(fused):
+                attn = MultiHeadAttention(
+                    8, 2, causal=causal, relative_positions=relative, seed=3
+                )
+                x = Tensor(x0, requires_grad=True)
+                out = attn(x)
+                (out * out).sum().backward()
+                outs.append(out.data)
+                grads.append(x.grad)
+        np.testing.assert_allclose(outs[0], outs[1], atol=1e-5)
+        np.testing.assert_allclose(grads[0], grads[1], atol=1e-4, rtol=1e-4)
+
+    def test_toggle_restores(self):
+        assert fused_ops_enabled()
+        with use_fused_ops(False):
+            assert not fused_ops_enabled()
+            with use_fused_ops(True):
+                assert fused_ops_enabled()
+            assert not fused_ops_enabled()
+        assert fused_ops_enabled()
+
+
+class TestInferenceFastPath:
+    def test_no_grad_builds_zero_tape_nodes(self):
+        attn = MultiHeadAttention(8, 2, causal=True, relative_positions=True, seed=0)
+        ln = LayerNorm(8)
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 5, 8)).astype(np.float32))
+        before = tape_node_count()
+        with no_grad():
+            out = ln(attn(x))
+        assert tape_node_count() == before
+        assert out._parents == () and out._backward_fn is None
+
+    def test_training_path_still_tapes(self):
+        ln = LayerNorm(4)
+        x = Tensor(np.ones((2, 4), dtype=np.float32), requires_grad=True)
+        before = tape_node_count()
+        ln(x)
+        assert tape_node_count() > before
+
+    def test_dropout_identity_paths_return_same_object(self):
+        x = Tensor(np.ones((3, 3), dtype=np.float32), requires_grad=True)
+        module = Dropout(0.0, seed=0)
+        assert module(x) is x
+        module = Dropout(0.5, seed=0)
+        module.eval()
+        assert module(x) is x
+        rng = np.random.default_rng(0)
+        assert dropout(x, 0.0, rng, training=True) is x
+
+    def test_active_dropout_still_masks(self):
+        x = Tensor(np.ones((64, 64), dtype=np.float32))
+        module = Dropout(0.5, seed=0)
+        out = module(x)
+        assert out is not x
+        assert (out.data == 0.0).any()
+
+
+class TestAttentionGeometryCache:
+    def test_causal_mask_cached_and_immutable(self):
+        a = _causal_mask(7, 7)
+        b = _causal_mask(7, 7)
+        assert a is b
+        assert not a.flags.writeable
+        assert a.shape == (1, 1, 7, 7)
+        assert a[0, 0, 0, 1] and not a[0, 0, 1, 0]
+
+    def test_relative_buckets_cached(self):
+        a = _relative_buckets(5, 6, 4)
+        assert a is _relative_buckets(5, 6, 4)
+        assert a.shape == (30,)
+        assert a.min() >= 0 and a.max() <= 8
+
+    def test_scale_folded_into_scores(self):
+        attn = MultiHeadAttention(8, 4, seed=0)
+        assert attn.scale == pytest.approx(1.0 / np.sqrt(2.0))
+
+
+class _ReferenceAdam:
+    """The pre-flat per-parameter Adam loop, kept verbatim as the oracle."""
+
+    def __init__(self, parameters, lr, betas=(0.9, 0.999), eps=1e-8,
+                 weight_decay=None):
+        self.parameters = list(parameters)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self.t = 0
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self):
+        self.t += 1
+        for p, m, v in zip(self.parameters, self._m, self._v):
+            if p.grad is None:
+                continue
+            if self.weight_decay is not None:
+                p.data -= self.lr * self.weight_decay * p.data
+            m *= self.beta1
+            m += (1 - self.beta1) * p.grad
+            v *= self.beta2
+            v += (1 - self.beta2) * p.grad**2
+            m_hat = m / (1 - self.beta1**self.t)
+            v_hat = v / (1 - self.beta2**self.t)
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+def _make_params(seed, shapes=((4, 3), (3,), (2, 2, 2))):
+    rng = np.random.default_rng(seed)
+    return [
+        Tensor(rng.normal(size=s).astype(np.float32), requires_grad=True)
+        for s in shapes
+    ]
+
+
+def _random_grads(params, rng):
+    for p in params:
+        p.grad = rng.normal(size=p.data.shape).astype(np.float32)
+
+
+class TestFlatOptimizers:
+    def test_adam_matches_reference_loop(self):
+        flat_params = _make_params(0)
+        ref_params = _make_params(0)
+        flat = Adam(flat_params, 0.01)
+        ref = _ReferenceAdam(ref_params, 0.01)
+        rng_a, rng_b = np.random.default_rng(5), np.random.default_rng(5)
+        for _ in range(20):
+            _random_grads(flat_params, rng_a)
+            _random_grads(ref_params, rng_b)
+            flat.step()
+            ref.step()
+        for fp, rp in zip(flat_params, ref_params):
+            np.testing.assert_allclose(fp.data, rp.data, atol=1e-6, rtol=1e-5)
+
+    def test_adamw_matches_reference_loop(self):
+        flat_params = _make_params(1)
+        ref_params = _make_params(1)
+        flat = AdamW(flat_params, 0.01, weight_decay=0.1)
+        ref = _ReferenceAdam(ref_params, 0.01, weight_decay=0.1)
+        rng_a, rng_b = np.random.default_rng(6), np.random.default_rng(6)
+        for _ in range(10):
+            _random_grads(flat_params, rng_a)
+            _random_grads(ref_params, rng_b)
+            flat.step()
+            ref.step()
+        for fp, rp in zip(flat_params, ref_params):
+            np.testing.assert_allclose(fp.data, rp.data, atol=1e-5, rtol=1e-4)
+
+    def test_gradless_parameters_untouched(self):
+        params = _make_params(2)
+        frozen = params[1].data.copy()
+        opt = Adam(params, 0.05)
+        rng = np.random.default_rng(7)
+        for _ in range(5):
+            params[0].grad = rng.normal(size=params[0].shape).astype(np.float32)
+            params[2].grad = rng.normal(size=params[2].shape).astype(np.float32)
+            params[1].grad = None
+            opt.step()
+        np.testing.assert_array_equal(params[1].data, frozen)
+
+    def test_live_set_change_migrates_moments(self):
+        params = _make_params(3)
+        opt = Adam(params, 0.01)
+        ref_params = _make_params(3)
+        ref = _ReferenceAdam(ref_params, 0.01)
+        rng_a, rng_b = np.random.default_rng(8), np.random.default_rng(8)
+        # Phase 1: only the first two params receive grads.
+        for _ in range(4):
+            for group in (params, ref_params):
+                rng = rng_a if group is params else rng_b
+                group[0].grad = rng.normal(size=group[0].shape).astype(np.float32)
+                group[1].grad = rng.normal(size=group[1].shape).astype(np.float32)
+                group[2].grad = None
+            opt.step()
+            ref.step()
+        # Phase 2: all three — moments of 0 and 1 must carry over.
+        for _ in range(4):
+            _random_grads(params, rng_a)
+            _random_grads(ref_params, rng_b)
+            opt.step()
+            ref.step()
+        for fp, rp in zip(params, ref_params):
+            np.testing.assert_allclose(fp.data, rp.data, atol=1e-6, rtol=1e-5)
+
+    def test_intermittent_grads_keep_moments(self):
+        # A param that misses a step must resume from its accumulated
+        # moments (like the classic skip-if-None loop), not restart at 0.
+        params = _make_params(11)
+        ref_params = _make_params(11)
+        opt = Adam(params, 0.01)
+        ref = _ReferenceAdam(ref_params, 0.01)
+        rng_a, rng_b = np.random.default_rng(12), np.random.default_rng(12)
+        for step in range(6):
+            for group, rng in ((params, rng_a), (ref_params, rng_b)):
+                for i, p in enumerate(group):
+                    skip = step == 2 and i == 1  # param 1 misses step 2
+                    p.grad = (
+                        None
+                        if skip
+                        else rng.normal(size=p.data.shape).astype(np.float32)
+                    )
+            opt.step()
+            ref.step()
+        for fp, rp in zip(params, ref_params):
+            np.testing.assert_allclose(fp.data, rp.data, atol=1e-6, rtol=1e-5)
+
+    def test_flat_clip_scales_param_grads(self):
+        params = _make_params(12)
+        _random_grads(params, np.random.default_rng(13))
+        opt = Adam(params, 0.01)
+        norm = opt.clip_grad_norm(0.5)
+        assert norm > 0.5
+        clipped = np.sqrt(sum(float((p.grad**2).sum()) for p in params))
+        assert clipped == pytest.approx(0.5, rel=1e-4)
+
+    def test_flat_clip_matches_function(self):
+        params_a = _make_params(4)
+        params_b = _make_params(4)
+        rng_a, rng_b = np.random.default_rng(9), np.random.default_rng(9)
+        _random_grads(params_a, rng_a)
+        _random_grads(params_b, rng_b)
+        opt = Adam(params_a, 0.01)
+        norm_flat = opt.clip_grad_norm(0.5)
+        norm_fn = clip_grad_norm(params_b, 0.5)
+        assert norm_flat == pytest.approx(norm_fn, rel=1e-5)
+        opt.step()  # consumes the clipped flat buffer
+        ref = _ReferenceAdam(params_b, 0.01)
+        ref.step()
+        for fp, rp in zip(params_a, params_b):
+            np.testing.assert_allclose(fp.data, rp.data, atol=1e-6)
+
+    def test_zero_grad_discards_gathered_buffer(self):
+        params = _make_params(5)
+        opt = Adam(params, 0.01)
+        _random_grads(params, np.random.default_rng(10))
+        opt.clip_grad_norm(1.0)
+        before = [p.data.copy() for p in params]
+        opt.zero_grad()
+        opt.step()  # no grads: must be a no-op, not a stale-buffer update
+        for p, prior in zip(params, before):
+            np.testing.assert_array_equal(p.data, prior)
+
+
+class TestWindowBucketedBatches:
+    def test_covers_order_exactly_once(self):
+        rng = np.random.default_rng(0)
+        lengths = rng.integers(3, 40, size=100).tolist()
+        order = rng.permutation(96)
+        batches = list(window_bucketed_batches(order, lengths, 8, window=4))
+        flat = [i for b in batches for i in b]
+        assert sorted(flat) == sorted(order.tolist())
+        assert all(len(b) == 8 for b in batches)
+
+    def test_window_one_is_plain_slicing(self):
+        order = list(range(10))
+        lengths = [5] * 10
+        batches = list(window_bucketed_batches(order, lengths, 4, window=1))
+        assert batches == [[0, 1, 2, 3], [4, 5, 6, 7], [8, 9]]
+
+    def test_bucketing_reduces_padding(self):
+        rng = np.random.default_rng(1)
+        lengths = rng.integers(4, 64, size=256).tolist()
+        order = rng.permutation(256)
+        plain = padded_token_count(
+            lengths, window_bucketed_batches(order, lengths, 16, window=1)
+        )
+        bucketed = padded_token_count(
+            lengths, window_bucketed_batches(order, lengths, 16, window=8)
+        )
+        assert bucketed < plain * 0.85
+
+    def test_stable_on_equal_lengths(self):
+        # Equal lengths: sorting must preserve the shuffled order.
+        order = [5, 2, 9, 1, 7, 0]
+        lengths = [3] * 10
+        batches = list(window_bucketed_batches(order, lengths, 2, window=3))
+        assert [i for b in batches for i in b] == order
+
+    def test_rng_shuffles_batch_order_not_membership(self):
+        rng = np.random.default_rng(2)
+        lengths = list(range(64))
+        order = list(range(64))
+        plain = list(window_bucketed_batches(order, lengths, 8, window=8))
+        shuffled = list(
+            window_bucketed_batches(order, lengths, 8, window=8, rng=rng)
+        )
+        assert sorted(map(tuple, plain)) == sorted(map(tuple, shuffled))
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            list(window_bucketed_batches([1], [1, 1], 0))
