@@ -33,6 +33,12 @@ Scenarios
     the fused autograd kernels vs the composed-op fallback
     (``use_fused_ops(False)``), plus p50 single-text inference latency
     and padding saved by length-bucketed training batches.
+``serving_load``
+    Closed-loop concurrent clients against the replicated
+    ``InferenceServer`` over a fixed-service-time backend: throughput
+    and p50/p95/p99 at 1 vs 4 workers (primary metric: the 4-worker
+    scaling ratio), plus shed rate when a burst overloads an
+    undersized shed-mode server.
 
 Timings come from ``_timeit_median``: every measured callable gets
 discarded warm-up iterations followed by median-of-k timing, so
@@ -52,6 +58,7 @@ import os
 import statistics
 import subprocess
 import sys
+import threading
 import time
 from collections import Counter
 from datetime import datetime, timezone
@@ -423,6 +430,177 @@ def scenario_transformer(quick: bool) -> dict:
     }
 
 
+def scenario_serving_load(quick: bool) -> dict:
+    """Closed-loop load generation against the replicated InferenceServer.
+
+    Concurrent clients each submit one request, wait for the result, and
+    repeat; the server coalesces the backlog into batches across its
+    worker replicas.  The backend is a fixed-service-time stub (a
+    ``time.sleep`` per batch plus a per-item cost) so the measurement
+    isolates the serving layer — admission, batching, dispatch, stats —
+    from model speed, and models the GIL-releasing inference kernels
+    (BLAS matmuls, native backends) real traffic runs on.  The primary
+    metric is ``worker_scaling``: throughput with 4 workers over
+    throughput with 1, which must stay ≥ 2× (4 concurrent batches amortise
+    per-batch overhead that a single worker pays serially).
+
+    A second, deliberately undersized server is then driven past
+    saturation in shed mode to record the load-shedding behaviour
+    (``shed_rate``, p99 under overload), and in full mode a real fitted
+    LR baseline is served end to end for an absolute docs/sec reference.
+    """
+    import numpy as np
+
+    from repro.engine.engine import PredictionEngine
+    from repro.engine.server import InferenceServer, ServerOverloaded
+
+    class FixedServiceBackend:
+        """2 ms per batch + 0.25 ms per item, probabilities uniform."""
+
+        n_classes = 6
+
+        def __init__(self, per_batch_ms=2.0, per_item_ms=0.25):
+            self.per_batch_ms = per_batch_ms
+            self.per_item_ms = per_item_ms
+
+        def proba_batch(self, texts):
+            time.sleep(
+                (self.per_batch_ms + self.per_item_ms * len(texts)) / 1000.0
+            )
+            return np.full((len(texts), 6), 1.0 / 6.0)
+
+    n_clients = 24 if quick else 32
+    warmup_s = 0.15 if quick else 0.5
+    measure_s = 0.6 if quick else 3.0
+
+    def run_closed_loop(workers: int) -> dict:
+        engine = PredictionEngine(
+            FixedServiceBackend(), model_id="bench", cache_size=0
+        )
+        server = InferenceServer(
+            engine,
+            workers=workers,
+            max_batch_size=8,
+            max_wait_ms=0.5,
+            max_queue=256,
+            overload="block",
+        )
+        done = threading.Event()
+
+        def client(i: int) -> None:
+            n = 0
+            while not done.is_set():
+                server.submit(f"client {i} request {n}").result(timeout=30)
+                n += 1
+
+        with server:
+            threads = [
+                threading.Thread(target=client, args=(i,), daemon=True)
+                for i in range(n_clients)
+            ]
+            for t in threads:
+                t.start()
+            time.sleep(warmup_s)
+            before = server.stats.snapshot()
+            started = time.perf_counter()
+            time.sleep(measure_s)
+            after = server.stats.snapshot()
+            elapsed = time.perf_counter() - started
+            done.set()
+            for t in threads:
+                t.join(timeout=10)
+        return {
+            "throughput": (after.requests - before.requests) / elapsed,
+            "p50_ms": after.latency_percentile(50),
+            "p95_ms": after.latency_percentile(95),
+            "p99_ms": after.latency_percentile(99),
+            "mean_batch": after.mean_batch_size,
+            "requests": after.requests,
+        }
+
+    single = run_closed_loop(1)
+    scaled = run_closed_loop(4)
+
+    # Overload: an open-loop burst against an undersized shed-mode server.
+    shed_server = InferenceServer(
+        PredictionEngine(
+            FixedServiceBackend(per_batch_ms=5.0), model_id="shed", cache_size=0
+        ),
+        workers=1,
+        max_batch_size=4,
+        max_wait_ms=0.0,
+        max_queue=8,
+        overload="shed",
+    )
+    burst = 200 if quick else 1000
+    admitted = []
+    with shed_server:
+        for i in range(burst):
+            try:
+                admitted.append(shed_server.submit(f"burst {i}"))
+            except ServerOverloaded:
+                pass
+            if i % 20 == 19:
+                time.sleep(0.005)  # drip so the worker drains a little
+        for f in admitted:
+            f.result(timeout=30)
+    shed_snap = shed_server.stats.snapshot()
+
+    result = {
+        "n_clients": n_clients,
+        "timings": {
+            "measure_window_s": measure_s,
+            "workers1_p50_ms": single["p50_ms"],
+            "workers1_p95_ms": single["p95_ms"],
+            "workers4_p50_ms": scaled["p50_ms"],
+            "workers4_p95_ms": scaled["p95_ms"],
+            "workers4_p99_ms": scaled["p99_ms"],
+            "overload_p99_ms": shed_snap.latency_percentile(99),
+        },
+        "metrics": {
+            "worker_scaling": scaled["throughput"] / single["throughput"],
+            "workers1_req_per_sec": single["throughput"],
+            "workers4_req_per_sec": scaled["throughput"],
+            "workers1_mean_batch": single["mean_batch"],
+            "workers4_mean_batch": scaled["mean_batch"],
+            "shed_rate": shed_snap.shed_rate,
+            "shed_requests": shed_snap.shed,
+            "overload_served": shed_snap.requests,
+        },
+    }
+
+    if not quick:
+        # Absolute end-to-end reference: a real fitted baseline served
+        # through 2 worker replicas (cache disabled so every request
+        # pays the TF-IDF + linear-model cost).
+        from repro.core.dataset import HolistixDataset
+        from repro.core.pipeline import WellnessClassifier
+
+        dataset = HolistixDataset.build()
+        split = dataset.fixed_split()
+        classifier = WellnessClassifier("LR").fit(split.train)
+        engine = classifier.engine.replicate()
+        engine.cache_size = 0
+        texts = split.test.texts
+        server = InferenceServer(engine, workers=2, max_batch_size=32)
+        with server:
+            started = time.perf_counter()
+            chunks = [texts[i::8] for i in range(8)]
+            threads = [
+                threading.Thread(target=server.predict, args=(chunk,))
+                for chunk in chunks
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            lr_elapsed = time.perf_counter() - started
+        result["timings"]["real_lr_serve_s"] = lr_elapsed
+        result["metrics"]["real_lr_req_per_sec"] = len(texts) / lr_elapsed
+
+    return result
+
+
 # name -> (runner, primary metric key, higher is better).  Primary
 # metrics are ratios measured within one run, so the regression check
 # stays meaningful when the committed record and CI run on different
@@ -433,6 +611,7 @@ SCENARIOS: dict[str, tuple] = {
     "engine": (scenario_engine, "cache_speedup", True),
     "table4": (scenario_table4, "jobs4_speedup", True),
     "transformer": (scenario_transformer, "fused_speedup", True),
+    "serving_load": (scenario_serving_load, "worker_scaling", True),
 }
 
 

@@ -1,4 +1,4 @@
-"""Persist a fitted classifier and serve it with micro-batching.
+"""Persist a fitted classifier and serve it with replicated workers.
 
 Run with::
 
@@ -6,9 +6,13 @@ Run with::
 
 Trains a baseline on the paper's fixed split, saves it as a checkpoint
 directory, loads it back into a fresh classifier (verifying the
-predictions are identical), then stands up the stdlib micro-batching
-``InferenceServer`` and pushes concurrent traffic through it, printing
-the throughput/latency counters and the engine's cache statistics.
+predictions are identical), then stands up the replicated micro-batching
+``InferenceServer`` — four worker threads over private engine replicas
+behind a bounded admission queue — and pushes concurrent traffic through
+it, printing a consistent stats snapshot (throughput, latency
+percentiles, per-worker load) and the aggregated replica cache
+statistics.  Finally it overloads a deliberately undersized shed-mode
+server to show typed load shedding.
 """
 
 from __future__ import annotations
@@ -19,7 +23,7 @@ import threading
 from pathlib import Path
 
 from repro import HolistixDataset, WellnessClassifier
-from repro.engine import InferenceServer
+from repro.engine import InferenceServer, ServerOverloaded
 
 
 def main(baseline: str = "LR") -> None:
@@ -42,36 +46,65 @@ def main(baseline: str = "LR") -> None:
         if not match:
             raise SystemExit("round-trip mismatch")
 
-    print("\nServing the test split through the micro-batching server...")
-    server = InferenceServer(classifier.engine, max_batch_size=32, max_wait_ms=2.0)
+    print("\nServing the test split through 4 replicated workers...")
+    server = InferenceServer(
+        classifier.engine,
+        workers=4,
+        max_batch_size=32,
+        max_wait_ms=2.0,
+        max_queue=512,
+        overload="block",
+    )
     with server:
-        chunks = [texts[i::4] for i in range(4)]
-        outputs: list = [None] * 4
+        chunks = [texts[i::8] for i in range(8)]
+        outputs: list = [None] * 8
 
         def client(i: int) -> None:
-            outputs[i] = server.predict(chunks[i])
+            outputs[i] = server.predict(chunks[i], timeout=60.0)
 
-        threads = [threading.Thread(target=client, args=(i,)) for i in range(4)]
+        threads = [threading.Thread(target=client, args=(i,)) for i in range(8)]
         for t in threads:
             t.start()
         for t in threads:
             t.join()
 
-    stats = server.stats
+    snap = server.stats.snapshot()
     print(
-        f"  served {stats.requests} requests in {stats.batches} batches "
-        f"(mean batch {stats.mean_batch_size:.1f}, largest {stats.largest_batch})"
+        f"  served {snap.requests} requests in {snap.batches} batches "
+        f"(mean batch {snap.mean_batch_size:.1f}, largest {snap.largest_batch})"
     )
+    print(f"  per-worker requests: {list(snap.per_worker_requests)}")
     print(
-        f"  throughput {stats.throughput():,.0f} req/s; latency "
-        f"mean {stats.mean_latency_ms:.2f} ms, p95 "
-        f"{stats.latency_percentile(95):.2f} ms"
+        f"  throughput {snap.throughput():,.0f} req/s; latency "
+        f"mean {snap.mean_latency_ms:.2f} ms, p95 "
+        f"{snap.latency_percentile(95):.2f} ms, p99 "
+        f"{snap.latency_percentile(99):.2f} ms"
     )
-    engine_stats = classifier.engine.stats
+    engine_stats = server.engine_stats()
     print(
-        f"  engine cache: {engine_stats.cache_hits} hits / "
+        f"  replica caches: {engine_stats.cache_hits} hits / "
         f"{engine_stats.cache_misses} misses "
         f"(hit rate {engine_stats.hit_rate:.0%})"
+    )
+
+    print("\nOverloading an undersized shed-mode server (max_queue=8)...")
+    shed_server = InferenceServer(
+        classifier.engine,
+        workers=1,
+        max_batch_size=4,
+        max_queue=8,
+        overload="shed",
+    )
+    with shed_server:
+        for text in texts[:200]:
+            try:
+                shed_server.submit(text)
+            except ServerOverloaded:
+                pass
+    overload = shed_server.stats.snapshot()
+    print(
+        f"  offered 200 requests: served {overload.requests}, "
+        f"shed {overload.shed} (shed rate {overload.shed_rate:.0%})"
     )
 
 

@@ -19,8 +19,9 @@ import numpy as np
 
 from repro.core.dataset import HolistixDataset
 from repro.core.labels import DIMENSIONS, WellnessDimension
-from repro.engine.engine import PredictionEngine
+from repro.engine.engine import PredictionEngine, bump_weights_version
 from repro.engine.registry import (
+    build_engine,
     create_traditional_model,
     get_spec,
     traditional_baselines,
@@ -101,6 +102,10 @@ class WellnessClassifier:
             self._fit_transformer(texts, labels, validation)
         else:
             self._fit_traditional(texts, labels)
+        # Belt and braces with the engine rebuild above: refitting is a
+        # weight change, so any engine still holding the model (a
+        # serving replica, a caller's reference) must miss its cache.
+        bump_weights_version(self._model)
         return self
 
     def _fit_traditional(
@@ -151,15 +156,9 @@ class WellnessClassifier:
         if self._engine is None:
             if self._model is None:
                 raise RuntimeError("classifier must be fitted before predict")
-            model_id = f"{self.baseline}#{id(self._model):x}"
-            if self.is_transformer:
-                self._engine = PredictionEngine.for_transformer(
-                    self._model, model_id=model_id
-                )
-            else:
-                self._engine = PredictionEngine.for_traditional(
-                    self._vectorizer, self._model, model_id=model_id
-                )
+            self._engine = build_engine(
+                self.baseline, model=self._model, vectorizer=self._vectorizer
+            )
         return self._engine
 
     def predict(self, texts: Sequence[str]) -> list[WellnessDimension]:
@@ -272,4 +271,8 @@ class WellnessClassifier:
             )
             restore_array_state(model, model_arrays)
             classifier._model = model
+        # load_state_dict/restore_array_state already bumped, but keep
+        # the invariant explicit: restoring a checkpoint is a weight
+        # change, so cached predictions from before it must not serve.
+        bump_weights_version(classifier._model)
         return classifier

@@ -5,11 +5,12 @@ The three pieces every prediction path shares:
 * :mod:`repro.engine.registry` — one declarative table of the nine
   Table IV baselines (name → kind, factory, config).
 * :mod:`repro.engine.engine` — :class:`PredictionEngine`: tokenisation,
-  length-bucketed batching, an LRU prediction cache, and vectorised
-  softmax/argmax.
-* :mod:`repro.engine.server` — a stdlib micro-batching front-end that
-  coalesces concurrent requests into engine batches and tracks
-  throughput/latency.
+  length-bucketed batching, a weights-versioned LRU prediction cache,
+  and vectorised softmax/argmax.
+* :mod:`repro.engine.server` — a stdlib replicated micro-batching
+  front-end: N worker threads over engine replicas, a bounded admission
+  queue with block/shed backpressure, graceful drain, and thread-safe
+  throughput/latency stats snapshots.
 """
 
 from repro.engine.engine import (
@@ -17,12 +18,15 @@ from repro.engine.engine import (
     PredictionEngine,
     TraditionalBackend,
     TransformerBackend,
+    bump_weights_version,
     softmax_rows,
+    weights_version,
 )
 from repro.engine.registry import (
     REGISTRY,
     BaselineSpec,
     available_baselines,
+    build_engine,
     create_traditional_model,
     create_transformer,
     get_spec,
@@ -31,7 +35,14 @@ from repro.engine.registry import (
     transformer_baselines,
     transformer_class,
 )
-from repro.engine.server import InferenceServer, PredictionResult, ServerStats
+from repro.engine.server import (
+    InferenceServer,
+    PredictionResult,
+    ServerClosed,
+    ServerOverloaded,
+    ServerStats,
+    StatsSnapshot,
+)
 
 __all__ = [
     "BaselineSpec",
@@ -40,10 +51,15 @@ __all__ = [
     "PredictionEngine",
     "PredictionResult",
     "REGISTRY",
+    "ServerClosed",
+    "ServerOverloaded",
     "ServerStats",
+    "StatsSnapshot",
     "TraditionalBackend",
     "TransformerBackend",
     "available_baselines",
+    "build_engine",
+    "bump_weights_version",
     "create_traditional_model",
     "create_transformer",
     "get_spec",

@@ -4,7 +4,8 @@
 probabilities: it owns tokenisation, length-bucketed batching (texts are
 sorted by token count so each batch pads only to its own longest row
 instead of the global maximum), an LRU cache keyed on ``(model-id,
-text)``, and vectorised softmax/argmax post-processing.
+weights-version, text)`` — so in-place weight changes auto-invalidate
+cached predictions — and vectorised softmax/argmax post-processing.
 ``WellnessClassifier``, ``Trainer.predict``, the LIME callback, and the
 serving front-end all route through it, so padding waste is paid once
 and repeated texts (LIME perturbations, hot traffic) are served from
@@ -13,6 +14,7 @@ cache.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from collections.abc import Sequence
@@ -26,8 +28,35 @@ __all__ = [
     "PredictionEngine",
     "TraditionalBackend",
     "TransformerBackend",
+    "bump_weights_version",
     "softmax_rows",
+    "weights_version",
 ]
+
+
+def weights_version(model) -> int:
+    """Monotonic count of in-place weight mutations on ``model``.
+
+    Zero for a model that has never been mutated after construction.
+    The counter is mixed into every prediction-cache key, so bumping it
+    (see :func:`bump_weights_version`) makes every engine over the model
+    — including serving replicas — miss its cache instead of serving
+    predictions computed with the old weights.
+    """
+    return int(getattr(model, "_weights_version", 0))
+
+
+def bump_weights_version(model) -> int:
+    """Mark ``model``'s weights as changed; returns the new version.
+
+    Called whenever fitted state mutates in place: ``Module.
+    load_state_dict`` (checkpoint restore, pretraining-cache restore),
+    ``restore_array_state`` (classical estimators), ``Trainer.fit``
+    epoch boundaries, and ``WellnessClassifier.fit``/``load``.
+    """
+    version = weights_version(model) + 1
+    model._weights_version = version
+    return version
 
 
 def softmax_rows(logits: np.ndarray) -> np.ndarray:
@@ -60,6 +89,16 @@ class EngineStats:
             return 0.0
         return 1.0 - self.padded_tokens / self.padded_tokens_naive
 
+    def merge(self, other: "EngineStats") -> "EngineStats":
+        """Add ``other``'s counters into this one (replica aggregation)."""
+        self.requests += other.requests
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.batches += other.batches
+        self.padded_tokens += other.padded_tokens
+        self.padded_tokens_naive += other.padded_tokens_naive
+        return self
+
 
 class TraditionalBackend:
     """TF-IDF + classical-ML probability backend.
@@ -76,6 +115,11 @@ class TraditionalBackend:
     def n_classes(self) -> int:
         return int(self.model.n_classes_)
 
+    @property
+    def weights_version(self) -> int:
+        """Combined mutation count of the model and the vectorizer."""
+        return weights_version(self.model) + weights_version(self.vectorizer)
+
     def proba_batch(self, texts: list[str]) -> np.ndarray:
         features = self.vectorizer.transform(texts)
         if hasattr(self.model, "predict_proba"):
@@ -88,15 +132,29 @@ class TransformerBackend:
     """Token-id probability backend over a :class:`TransformerClassifier`.
 
     Exposes per-text encoding so the engine can sort by length and pad
-    per bucket instead of per call.
+    per bucket instead of per call.  Forward passes are serialised with
+    a per-backend lock: ``no_grad()`` toggles a process-global autograd
+    flag and ``eval()``/``train()`` flip shared module state, so
+    interleaved calls from server worker threads (replicas share this
+    backend) could strand the process with gradients disabled or build
+    tape mid-inference.  The numpy forward is GIL-bound anyway, so the
+    lock does not cost the multi-worker path real parallelism.
     """
 
     def __init__(self, model) -> None:
         self.model = model
+        self._forward_lock = threading.Lock()
 
     @property
     def n_classes(self) -> int:
         return int(self.model.n_classes)
+
+    @property
+    def weights_version(self) -> int:
+        # TransformerClassifier exposes the version as a property; bare
+        # modules fall back to the raw-attribute helper.
+        version = getattr(self.model, "weights_version", None)
+        return int(version) if version is not None else weights_version(self.model)
 
     def encode(self, text: str) -> list[int]:
         return self.model.encode_ids(text)
@@ -105,15 +163,16 @@ class TransformerBackend:
         from repro.nn.tensor import no_grad
 
         model = self.model
-        was_training = model.training
-        model.eval()
-        try:
-            with no_grad():
-                batch = model.pad_rows(rows)
-                logits = model.forward(batch).data
-        finally:
-            if was_training:
-                model.train()
+        with self._forward_lock:
+            was_training = model.training
+            model.eval()
+            try:
+                with no_grad():
+                    batch = model.pad_rows(rows)
+                    logits = model.forward(batch).data
+            finally:
+                if was_training:
+                    model.train()
         return softmax_rows(np.asarray(logits, dtype=np.float64))
 
 
@@ -150,7 +209,8 @@ class PredictionEngine:
         self.batch_size = batch_size
         self.cache_size = cache_size
         self.stats = EngineStats()
-        self._cache: OrderedDict[tuple[str, str], np.ndarray] = OrderedDict()
+        self._cache: OrderedDict[tuple, np.ndarray] = OrderedDict()
+        self._cached_version: int | None = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -165,6 +225,20 @@ class PredictionEngine:
     def for_transformer(cls, model, *, model_id: str, **kwargs) -> "PredictionEngine":
         return cls(TransformerBackend(model), model_id=model_id, **kwargs)
 
+    def replicate(self) -> "PredictionEngine":
+        """A new engine over the same fitted backend.
+
+        The replica shares the read-only fitted state (model weights,
+        vectorizer) but owns a private cache and private stats, so each
+        serving worker can run lock-free against its own replica.
+        """
+        return PredictionEngine(
+            self.backend,
+            model_id=self.model_id,
+            batch_size=self.batch_size,
+            cache_size=self.cache_size,
+        )
+
     @property
     def n_classes(self) -> int:
         return self.backend.n_classes
@@ -172,24 +246,34 @@ class PredictionEngine:
     # ------------------------------------------------------------------
     # Cache
     # ------------------------------------------------------------------
-    def _cache_get(self, text: str) -> np.ndarray | None:
-        key = (self.model_id, text)
+    @property
+    def weights_version(self) -> int:
+        """The backend's current weights version (0 when untracked)."""
+        return int(getattr(self.backend, "weights_version", 0))
+
+    def _cache_get(self, text: str, version: int) -> np.ndarray | None:
+        key = (self.model_id, version, text)
         row = self._cache.get(key)
         if row is not None:
             self._cache.move_to_end(key)
         return row
 
-    def _cache_put(self, text: str, row: np.ndarray) -> None:
+    def _cache_put(self, text: str, row: np.ndarray, version: int) -> None:
         if self.cache_size == 0:
             return
-        key = (self.model_id, text)
+        key = (self.model_id, version, text)
         self._cache[key] = row
         self._cache.move_to_end(key)
         while len(self._cache) > self.cache_size:
             self._cache.popitem(last=False)
 
     def invalidate(self) -> None:
-        """Drop every cached prediction (call after weights change)."""
+        """Drop every cached prediction immediately.
+
+        Weight changes are already handled by the versioned cache keys
+        (see :func:`bump_weights_version`); call this only to release
+        memory or force recomputation at the current version.
+        """
         self._cache.clear()
 
     def __len__(self) -> int:
@@ -234,10 +318,18 @@ class PredictionEngine:
         """Probability matrix ``(n, n_classes)``, cache-aware and batched."""
         texts = [str(t) for t in texts]
         self.stats.requests += len(texts)
+        # One version for the whole call: keys written here are readable
+        # until the next weight mutation, never a mix of two versions.
+        version = self.weights_version
+        if version != self._cached_version:
+            # Entries keyed on a superseded version are unreachable —
+            # drop them now instead of letting dead rows hold LRU slots.
+            self._cache.clear()
+            self._cached_version = version
         out = np.empty((len(texts), self.n_classes), dtype=np.float64)
         pending: dict[str, list[int]] = {}
         for i, text in enumerate(texts):
-            row = self._cache_get(text)
+            row = self._cache_get(text, version)
             if row is not None:
                 self.stats.cache_hits += 1
                 out[i] = row
@@ -249,7 +341,7 @@ class PredictionEngine:
             unique = list(pending)
             computed = self._compute(unique)
             for text, row in zip(unique, computed):
-                self._cache_put(text, row)
+                self._cache_put(text, row, version)
                 for i in pending[text]:
                     out[i] = row
         return out

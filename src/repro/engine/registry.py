@@ -32,6 +32,7 @@ __all__ = [
     "available_baselines",
     "traditional_baselines",
     "transformer_baselines",
+    "build_engine",
     "create_traditional_model",
     "create_transformer",
     "transformer_class",
@@ -150,6 +151,36 @@ def create_transformer(
 ) -> "TransformerClassifier":
     """Unfitted :class:`TransformerClassifier` subclass instance for ``name``."""
     return transformer_class(name)(vocab, n_classes=n_classes, config=config)
+
+
+def build_engine(
+    name: str,
+    *,
+    model,
+    vectorizer=None,
+    model_id: str | None = None,
+    **kwargs,
+):
+    """Registry-built :class:`~repro.engine.engine.PredictionEngine`.
+
+    The single construction path for engines over a fitted baseline:
+    the spec's ``kind`` picks the backend, so callers (the classifier
+    front door, the serving layer's replicas) never hard-code the
+    traditional/transformer split.  ``kwargs`` pass through to the
+    engine (``batch_size``, ``cache_size``).
+    """
+    from repro.engine.engine import PredictionEngine
+
+    spec = get_spec(name)
+    if model_id is None:
+        model_id = f"{name}#{id(model):x}"
+    if spec.is_transformer:
+        return PredictionEngine.for_transformer(model, model_id=model_id, **kwargs)
+    if vectorizer is None:
+        raise ValueError(f"traditional baseline {name!r} needs a fitted vectorizer")
+    return PredictionEngine.for_traditional(
+        vectorizer, model, model_id=model_id, **kwargs
+    )
 
 
 _TRANSFORMER_CLASSES: dict[str, type] = {}

@@ -1,29 +1,61 @@
-"""Micro-batching serving front-end over a :class:`PredictionEngine`.
+"""Replicated micro-batching serving front-end over ``PredictionEngine``.
 
 Stdlib-only: callers submit single texts from any thread and get a
-:class:`concurrent.futures.Future`; a worker thread coalesces whatever
-has queued up (up to ``max_batch_size``, waiting at most
-``max_wait_ms``) into one engine call, so concurrent traffic is served
-at batch throughput instead of one forward pass per request.  The
-server keeps throughput and latency counters for capacity planning.
+:class:`concurrent.futures.Future`; ``workers`` serving threads — each
+owning its own :class:`PredictionEngine` replica over the shared
+read-only fitted model — pull from one bounded admission queue and
+coalesce whatever has queued up (up to ``max_batch_size``, waiting at
+most ``max_wait_ms``) into batched engine calls, so concurrent traffic
+is served at batch throughput instead of one forward pass per request.
+
+The admission queue is bounded (``max_queue``) and the overload policy
+is configurable: ``"block"`` applies backpressure by making ``submit``
+wait for queue space, ``"shed"`` fails fast with a typed
+:class:`ServerOverloaded` so the caller can retry or degrade.  ``stop``
+drains gracefully — every admitted request's future still resolves,
+while late ``submit`` calls fail fast with :class:`ServerClosed`.
+
+All serving counters live in a self-locking :class:`ServerStats`;
+readers take an immutable :meth:`ServerStats.snapshot` instead of racing
+the serving threads.
 """
 
 from __future__ import annotations
 
-import queue
 import threading
 import time
 from collections import deque
 from concurrent.futures import Future
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from collections.abc import Sequence
 
-from repro.core.labels import WellnessDimension
-from repro.engine.engine import PredictionEngine
+from repro.core.labels import DIMENSIONS, WellnessDimension
+from repro.engine.engine import EngineStats, PredictionEngine
 
-__all__ = ["InferenceServer", "PredictionResult", "ServerStats"]
+__all__ = [
+    "InferenceServer",
+    "PredictionResult",
+    "ServerClosed",
+    "ServerOverloaded",
+    "ServerStats",
+    "StatsSnapshot",
+]
 
 _STOP = object()
+
+
+class ServerClosed(RuntimeError):
+    """``submit()`` on a server that is not accepting requests."""
+
+
+class ServerOverloaded(RuntimeError):
+    """Shed-mode admission rejection: the bounded queue is full.
+
+    Raised by ``submit``/``predict`` when ``overload="shed"`` and the
+    admission queue holds ``max_queue`` requests.  The request was never
+    admitted; the caller can back off and retry, degrade, or route
+    elsewhere.
+    """
 
 
 @dataclass(frozen=True)
@@ -36,24 +68,27 @@ class PredictionResult:
     latency_ms: float
 
 
-@dataclass
-class ServerStats:
-    """Aggregate serving counters (guarded by the server's lock).
+@dataclass(frozen=True)
+class StatsSnapshot:
+    """Immutable, internally consistent copy of the serving counters.
 
-    Percentiles are computed over a bounded window of the most recent
-    requests so a long-running server's memory stays constant.
+    Taken under the stats lock, so every field belongs to the same
+    instant and the percentile window cannot mutate mid-``sorted``.
+    ``latencies_ms`` is the bounded recent-request window the
+    percentiles are computed over.
     """
 
-    requests: int = 0
-    batches: int = 0
-    total_latency_ms: float = 0.0
-    max_latency_ms: float = 0.0
-    largest_batch: int = 0
-    started_at: float | None = None
-    stopped_at: float | None = None
-    _latencies_ms: deque = field(
-        default_factory=lambda: deque(maxlen=10_000), repr=False
-    )
+    epoch: int
+    requests: int
+    batches: int
+    shed: int
+    total_latency_ms: float
+    max_latency_ms: float
+    largest_batch: int
+    started_at: float | None
+    stopped_at: float | None
+    per_worker_requests: tuple[int, ...]
+    latencies_ms: tuple[float, ...]
 
     @property
     def mean_batch_size(self) -> float:
@@ -63,16 +98,22 @@ class ServerStats:
     def mean_latency_ms(self) -> float:
         return self.total_latency_ms / self.requests if self.requests else 0.0
 
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of offered requests rejected by shed-mode admission."""
+        offered = self.requests + self.shed
+        return self.shed / offered if offered else 0.0
+
     def latency_percentile(self, q: float) -> float:
         """Latency at percentile ``q`` in [0, 100] over recent requests."""
-        if not self._latencies_ms:
+        if not self.latencies_ms:
             return 0.0
-        ranked = sorted(self._latencies_ms)
+        ranked = sorted(self.latencies_ms)
         idx = min(len(ranked) - 1, int(round(q / 100.0 * (len(ranked) - 1))))
         return ranked[idx]
 
     def throughput(self) -> float:
-        """Served requests per second of server uptime."""
+        """Served requests per second of this epoch's uptime."""
         if self.started_at is None:
             return 0.0
         end = self.stopped_at if self.stopped_at is not None else time.perf_counter()
@@ -80,76 +121,304 @@ class ServerStats:
         return self.requests / elapsed if elapsed > 0 else 0.0
 
 
+class ServerStats:
+    """Thread-safe aggregate serving counters.
+
+    All mutation happens under an internal lock; readers call
+    :meth:`snapshot` for an immutable, consistent view.  The legacy
+    attribute API (``stats.requests``, ``stats.mean_latency_ms``,
+    ``stats.latency_percentile(95)``, ``stats.throughput()``) is kept as
+    lock-taking delegates to a fresh snapshot.
+
+    Counters are *epoched*: every ``InferenceServer.start()`` after a
+    ``stop()`` resets them and bumps ``epoch``, so ``throughput()``
+    never mixes a previous epoch's requests (or inter-epoch downtime)
+    into the current denominator.  Percentiles are computed over a
+    bounded window of the most recent requests so a long-running
+    server's memory stays constant.
+    """
+
+    def __init__(self, *, n_workers: int = 1, window: int = 10_000) -> None:
+        self._lock = threading.Lock()
+        self._window = window
+        self._epoch = 0
+        self._n_workers = n_workers
+        self._reset_locked()
+
+    def _reset_locked(self) -> None:
+        self._requests = 0
+        self._batches = 0
+        self._shed = 0
+        self._total_latency_ms = 0.0
+        self._max_latency_ms = 0.0
+        self._largest_batch = 0
+        self._started_at: float | None = None
+        self._stopped_at: float | None = None
+        self._per_worker = [0] * self._n_workers
+        self._latencies_ms: deque = deque(maxlen=self._window)
+
+    # ------------------------------------------------------------------
+    # Writers (called by the server under no other lock)
+    # ------------------------------------------------------------------
+    def mark_started(self) -> None:
+        """New epoch: reset counters on restart, stamp the start time."""
+        with self._lock:
+            if self._epoch > 0:
+                self._reset_locked()
+            self._epoch += 1
+            self._started_at = time.perf_counter()
+            self._stopped_at = None
+
+    def mark_stopped(self) -> None:
+        with self._lock:
+            self._stopped_at = time.perf_counter()
+
+    def record_batch(self, latencies_ms: Sequence[float], *, worker: int = 0) -> None:
+        with self._lock:
+            self._batches += 1
+            self._largest_batch = max(self._largest_batch, len(latencies_ms))
+            self._requests += len(latencies_ms)
+            self._per_worker[worker] += len(latencies_ms)
+            for latency in latencies_ms:
+                self._total_latency_ms += latency
+                self._max_latency_ms = max(self._max_latency_ms, latency)
+                self._latencies_ms.append(latency)
+
+    def record_shed(self, n: int = 1) -> None:
+        with self._lock:
+            self._shed += n
+
+    # ------------------------------------------------------------------
+    # Readers
+    # ------------------------------------------------------------------
+    def snapshot(self) -> StatsSnapshot:
+        """Consistent copy of every counter, taken under the lock."""
+        with self._lock:
+            return StatsSnapshot(
+                epoch=self._epoch,
+                requests=self._requests,
+                batches=self._batches,
+                shed=self._shed,
+                total_latency_ms=self._total_latency_ms,
+                max_latency_ms=self._max_latency_ms,
+                largest_batch=self._largest_batch,
+                started_at=self._started_at,
+                stopped_at=self._stopped_at,
+                per_worker_requests=tuple(self._per_worker),
+                latencies_ms=tuple(self._latencies_ms),
+            )
+
+    @property
+    def epoch(self) -> int:
+        with self._lock:
+            return self._epoch
+
+    @property
+    def requests(self) -> int:
+        with self._lock:
+            return self._requests
+
+    @property
+    def batches(self) -> int:
+        with self._lock:
+            return self._batches
+
+    @property
+    def shed(self) -> int:
+        with self._lock:
+            return self._shed
+
+    @property
+    def largest_batch(self) -> int:
+        with self._lock:
+            return self._largest_batch
+
+    @property
+    def max_latency_ms(self) -> float:
+        with self._lock:
+            return self._max_latency_ms
+
+    @property
+    def started_at(self) -> float | None:
+        with self._lock:
+            return self._started_at
+
+    @property
+    def stopped_at(self) -> float | None:
+        with self._lock:
+            return self._stopped_at
+
+    @property
+    def mean_batch_size(self) -> float:
+        # Scalar reads take the lock directly; only the percentile path
+        # needs the O(window) latency copy a snapshot makes.
+        with self._lock:
+            return self._requests / self._batches if self._batches else 0.0
+
+    @property
+    def mean_latency_ms(self) -> float:
+        with self._lock:
+            if not self._requests:
+                return 0.0
+            return self._total_latency_ms / self._requests
+
+    def latency_percentile(self, q: float) -> float:
+        """Latency at percentile ``q`` in [0, 100] over recent requests."""
+        with self._lock:
+            window = tuple(self._latencies_ms)
+        if not window:
+            return 0.0
+        ranked = sorted(window)
+        idx = min(len(ranked) - 1, int(round(q / 100.0 * (len(ranked) - 1))))
+        return ranked[idx]
+
+    def throughput(self) -> float:
+        """Served requests per second of the current epoch's uptime."""
+        with self._lock:
+            started, stopped = self._started_at, self._stopped_at
+            requests = self._requests
+        if started is None:
+            return 0.0
+        end = stopped if stopped is not None else time.perf_counter()
+        elapsed = end - started
+        return requests / elapsed if elapsed > 0 else 0.0
+
+
 class InferenceServer:
-    """Coalesce single-text requests into batched engine calls.
+    """Coalesce single-text requests into batched calls on engine replicas.
 
     Parameters
     ----------
     engine:
-        A fitted :class:`PredictionEngine`.
+        A fitted :class:`PredictionEngine`.  The server never mutates it;
+        each worker thread serves through its own
+        :meth:`PredictionEngine.replicate` replica (private cache and
+        stats over the shared read-only fitted backend).
+    workers:
+        Number of serving threads (and engine replicas).
     max_batch_size:
         Hard cap on texts per coalesced batch.
     max_wait_ms:
-        How long the worker holds an open batch hoping for more traffic;
+        How long a worker holds an open batch hoping for more traffic;
         the first request in a batch never waits longer than this before
         inference starts.
+    max_queue:
+        Bound on requests admitted but not yet picked up by a worker.
+    overload:
+        ``"block"`` — ``submit`` waits for queue space (backpressure);
+        ``"shed"`` — ``submit`` raises :class:`ServerOverloaded`
+        immediately when the queue is full (load shedding).
     """
 
     def __init__(
         self,
         engine: PredictionEngine,
         *,
+        workers: int = 1,
         max_batch_size: int = 32,
         max_wait_ms: float = 2.0,
+        max_queue: int = 1024,
+        overload: str = "block",
     ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         if max_wait_ms < 0:
             raise ValueError("max_wait_ms must be >= 0")
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        if overload not in ("block", "shed"):
+            raise ValueError('overload must be "block" or "shed"')
         self.engine = engine
+        self.workers = workers
         self.max_batch_size = max_batch_size
         self.max_wait_ms = max_wait_ms
-        self.stats = ServerStats()
-        self._queue: queue.Queue = queue.Queue()
-        self._lock = threading.Lock()
-        # Guards the accepting flag: submissions and the stop sentinel are
-        # enqueued under it, so FIFO order guarantees every accepted
-        # request precedes the sentinel and is served before shutdown.
-        self._state_lock = threading.Lock()
+        self.max_queue = max_queue
+        self.overload = overload
+        self.stats = ServerStats(n_workers=workers)
+        self._engines = tuple(engine.replicate() for _ in range(workers))
+        # One mutex guards the deque, the accepting flag, and the thread
+        # list; two conditions on it separate consumer wake-ups
+        # (_not_empty) from producer wake-ups (_not_full).  Submissions
+        # and the stop sentinels are appended under the same mutex, so
+        # FIFO order guarantees every admitted request precedes every
+        # sentinel and is served before a worker exits.
+        self._mutex = threading.Lock()
+        self._not_empty = threading.Condition(self._mutex)
+        self._not_full = threading.Condition(self._mutex)
+        self._items: deque = deque()
         self._accepting = False
-        self._worker: threading.Thread | None = None
+        self._stopping = False
+        self._threads: list[threading.Thread] = []
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     @property
+    def engines(self) -> tuple[PredictionEngine, ...]:
+        """The per-worker engine replicas (index == worker index)."""
+        return self._engines
+
+    @property
     def running(self) -> bool:
-        return self._worker is not None and self._worker.is_alive()
+        return any(t.is_alive() for t in self._threads)
 
     def start(self) -> "InferenceServer":
-        with self._state_lock:
-            if self.running:
+        with self._mutex:
+            # _stopping covers the window where an in-flight stop() has
+            # released the mutex to join workers that already exited;
+            # starting there would let stop() finish against the wrong
+            # thread list and leave _stopping latched True forever.
+            if self.running or self._stopping:
                 raise RuntimeError("server is already running")
-            self.stats.started_at = time.perf_counter()
-            self.stats.stopped_at = None
-            self._worker = threading.Thread(
-                target=self._serve_loop, name="inference-server", daemon=True
-            )
-            self._worker.start()
+            self.stats.mark_started()
+            self._threads = [
+                threading.Thread(
+                    target=self._serve_loop,
+                    args=(i,),
+                    name=f"inference-server-{i}",
+                    daemon=True,
+                )
+                for i in range(self.workers)
+            ]
+            for thread in self._threads:
+                thread.start()
             self._accepting = True
         return self
 
     def stop(self) -> None:
-        """Drain outstanding requests, then stop the worker."""
-        with self._state_lock:
-            if not self.running:
-                return
-            self._accepting = False
-            worker = self._worker
-            self._queue.put(_STOP)
-        worker.join()
-        self._worker = None
-        self.stats.stopped_at = time.perf_counter()
+        """Drain admitted requests, then stop every worker.
+
+        Every future returned by ``submit`` before this call resolves;
+        ``submit`` calls from here on (including ones blocked waiting
+        for queue space) fail fast with :class:`ServerClosed`.
+        """
+        with self._mutex:
+            threads = self._threads
+            if threads and not self._stopping:
+                # Exactly one stop() plants the sentinels; a concurrent
+                # second call must not add more (leftovers would make a
+                # later start()'s workers exit immediately).
+                self._stopping = True
+                self._accepting = False
+                for _ in threads:
+                    self._items.append(_STOP)
+                self._not_empty.notify_all()
+                self._not_full.notify_all()  # blocked submitters fail fast
+        for thread in threads:
+            thread.join()
+        with self._mutex:
+            if bool(threads) and self._threads is threads:
+                # Stamp the stop inside the mutex: once _stopping drops,
+                # a racing start() may open a new epoch, and a late
+                # mark_stopped() would freeze that epoch's throughput
+                # denominator.  (Lock order server mutex -> stats lock
+                # matches start()'s mark_started(); stats methods never
+                # take the server mutex, so no inversion.)
+                self.stats.mark_stopped()
+                self._threads = []
+                self._stopping = False
 
     def __enter__(self) -> "InferenceServer":
         return self.start()
@@ -161,56 +430,110 @@ class InferenceServer:
     # Client API
     # ------------------------------------------------------------------
     def submit(self, text: str) -> "Future[PredictionResult]":
-        """Enqueue one text; the future resolves to a PredictionResult."""
+        """Enqueue one text; the future resolves to a PredictionResult.
+
+        Raises :class:`ServerClosed` if the server is not accepting
+        (never started, stopped, or stopped while this call was blocked
+        on a full queue) and :class:`ServerOverloaded` when
+        ``overload="shed"`` and the queue is full.
+        """
         future: "Future[PredictionResult]" = Future()
-        with self._state_lock:
+        with self._mutex:
             if not self._accepting:
-                raise RuntimeError("server is not running (call start())")
-            self._queue.put((text, future, time.perf_counter()))
+                raise ServerClosed("server is not running (call start())")
+            if len(self._items) >= self.max_queue:
+                if self.overload == "shed":
+                    self.stats.record_shed()
+                    raise ServerOverloaded(
+                        f"admission queue full ({self.max_queue} pending)"
+                    )
+                while len(self._items) >= self.max_queue and self._accepting:
+                    self._not_full.wait()
+                if not self._accepting:
+                    raise ServerClosed("server stopped while awaiting queue space")
+            self._items.append((text, future, time.perf_counter()))
+            self._not_empty.notify()
         return future
 
     def predict(
         self, texts: Sequence[str], *, timeout: float | None = 30.0
     ) -> list[PredictionResult]:
-        """Submit many texts and block until all are served."""
-        futures = [self.submit(t) for t in texts]
-        return [f.result(timeout=timeout) for f in futures]
+        """Submit many texts and block until all are served.
+
+        ``timeout`` is one shared deadline for the whole call, not a
+        per-future allowance: with ``n`` texts the worst case is
+        ``timeout`` seconds, never ``n × timeout``.
+
+        If admission fails partway (shed or stop), the already-queued
+        futures are cancelled best-effort before the error propagates.
+        """
+        futures: list["Future[PredictionResult]"] = []
+        try:
+            for t in texts:
+                futures.append(self.submit(t))
+        except (ServerClosed, ServerOverloaded):
+            for f in futures:
+                f.cancel()
+            raise
+        if timeout is None:
+            return [f.result() for f in futures]
+        deadline = time.perf_counter() + timeout
+        return [
+            f.result(timeout=max(0.0, deadline - time.perf_counter()))
+            for f in futures
+        ]
+
+    def engine_stats(self) -> EngineStats:
+        """Aggregate :class:`EngineStats` across every worker replica."""
+        total = EngineStats()
+        for engine in self._engines:
+            total.merge(engine.stats)
+        return total
 
     # ------------------------------------------------------------------
-    # Worker
+    # Workers
     # ------------------------------------------------------------------
     def _collect_batch(self) -> tuple[list, bool]:
         """Block for one request, then coalesce briefly. -> (batch, stop)"""
-        first = self._queue.get()
-        if first is _STOP:
-            return [], True
-        batch = [first]
-        deadline = time.perf_counter() + self.max_wait_ms / 1000.0
-        while len(batch) < self.max_batch_size:
-            remaining = deadline - time.perf_counter()
-            try:
-                item = self._queue.get(timeout=max(remaining, 0.0))
-            except queue.Empty:
-                break
-            if item is _STOP:
-                return batch, True
-            batch.append(item)
-        return batch, False
+        batch: list = []
+        stop = False
+        with self._mutex:
+            while not self._items:
+                self._not_empty.wait()
+            deadline = time.perf_counter() + self.max_wait_ms / 1000.0
+            while len(batch) < self.max_batch_size and not stop:
+                if self._items:
+                    item = self._items.popleft()
+                    if item is _STOP:
+                        stop = True
+                    else:
+                        batch.append(item)
+                    continue
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    break
+                self._not_empty.wait(remaining)
+            if batch:
+                self._not_full.notify(len(batch))
+        return batch, stop
 
-    def _serve_batch(self, batch: list) -> None:
-        texts = [text for text, _, _ in batch]
+    def _serve_batch(self, engine: PredictionEngine, batch: list, worker: int) -> None:
+        # Honour client-side cancellation; a cancelled future must not
+        # be set_result (InvalidStateError) and needs no inference.
+        live = [item for item in batch if item[1].set_running_or_notify_cancel()]
+        if not live:
+            return
+        texts = [text for text, _, _ in live]
         try:
-            probs = self.engine.predict_proba(texts)
+            probs = engine.predict_proba(texts)
             ids = probs.argmax(axis=1)
         except BaseException as error:  # propagate to every waiting caller
-            for _, future, _ in batch:
+            for _, future, _ in live:
                 future.set_exception(error)
             return
-        from repro.core.labels import DIMENSIONS
-
         now = time.perf_counter()
         results = []
-        for (text, future, enqueued), row, class_id in zip(batch, probs, ids):
+        for (text, future, enqueued), row, class_id in zip(live, probs, ids):
             latency_ms = (now - enqueued) * 1000.0
             results.append(
                 (
@@ -223,25 +546,21 @@ class InferenceServer:
                     ),
                 )
             )
-        with self._lock:
-            stats = self.stats
-            stats.batches += 1
-            stats.largest_batch = max(stats.largest_batch, len(batch))
-            for _, result in results:
-                stats.requests += 1
-                stats.total_latency_ms += result.latency_ms
-                stats.max_latency_ms = max(stats.max_latency_ms, result.latency_ms)
-                stats._latencies_ms.append(result.latency_ms)
+        self.stats.record_batch(
+            [result.latency_ms for _, result in results], worker=worker
+        )
         for future, result in results:
             future.set_result(result)
 
-    def _serve_loop(self) -> None:
-        # No drain needed after the sentinel: submissions and the sentinel
-        # share the state lock, so FIFO order puts every accepted request
-        # ahead of _STOP and _collect_batch has already served them.
+    def _serve_loop(self, worker: int) -> None:
+        # No drain pass needed after a sentinel: submissions and the
+        # sentinels share the mutex, so FIFO order puts every admitted
+        # request ahead of every _STOP, and each worker consumes at most
+        # one sentinel (it stops collecting the moment it sees one).
+        engine = self._engines[worker]
         while True:
             batch, stop = self._collect_batch()
             if batch:
-                self._serve_batch(batch)
+                self._serve_batch(engine, batch, worker)
             if stop:
                 return

@@ -63,6 +63,17 @@ class TransformerClassifier(Module):
         self.lm_head = Linear(config.dim, len(vocab), seed=config.seed + 9)
         self._prefix_ids = self._encode_prefix()
 
+    @property
+    def weights_version(self) -> int:
+        """Monotonic count of in-place weight mutations on this model.
+
+        Bumped by ``Module.load_state_dict`` (checkpoint / pretraining-
+        cache restore) and by ``Trainer.fit`` at epoch boundaries; the
+        ``PredictionEngine`` mixes it into cache keys so stale cached
+        predictions are never served after the weights change.
+        """
+        return int(getattr(self, "_weights_version", 0))
+
     # ------------------------------------------------------------------
     # Tokenisation
     # ------------------------------------------------------------------

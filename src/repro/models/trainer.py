@@ -143,6 +143,14 @@ class Trainer:
         return self._engine
 
     def _invalidate_engine(self) -> None:
+        from repro.engine.engine import bump_weights_version
+
+        # Optimiser steps mutate parameters in place without going
+        # through load_state_dict, so bump the weights version here;
+        # any engine over this model (including serving replicas built
+        # elsewhere) stops hitting stale cache entries.  Our own
+        # engine's cache is also cleared to release the dead rows.
+        bump_weights_version(self.model)
         if self._engine is not None:
             self._engine.invalidate()
 

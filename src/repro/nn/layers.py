@@ -100,6 +100,10 @@ class Module:
                     f"{param.data.shape} vs {state[name].shape}"
                 )
             param.data = state[name].astype(np.float32).copy()
+        # Restoring weights mutates fitted state in place: bump the
+        # version so prediction caches keyed on it stop serving rows
+        # computed with the old weights (see repro.engine.engine).
+        self._weights_version = getattr(self, "_weights_version", 0) + 1
 
     def __call__(self, *args, **kwargs):
         return self.forward(*args, **kwargs)

@@ -129,3 +129,7 @@ def restore_array_state(estimator: object, state: dict[str, np.ndarray]) -> None
             setattr(estimator, name, value.item())
         else:
             setattr(estimator, name, value)
+    # In-place fitted-state mutation: bump the weights version so
+    # prediction caches keyed on it miss instead of serving rows
+    # computed with the previous weights (see repro.engine.engine).
+    estimator._weights_version = getattr(estimator, "_weights_version", 0) + 1

@@ -9,7 +9,12 @@ from repro.core.pipeline import (
     TRANSFORMER_BASELINES,
     WellnessClassifier,
 )
-from repro.engine.engine import PredictionEngine, softmax_rows
+from repro.engine.engine import (
+    PredictionEngine,
+    bump_weights_version,
+    softmax_rows,
+    weights_version,
+)
 from repro.engine.registry import (
     BaselineSpec,
     available_baselines,
@@ -144,6 +149,16 @@ class TestPredictionCache:
         engine.predict_proba(["a", "b", "c"])
         assert len(engine) == 2
 
+    def test_replicate_shares_backend_with_private_cache(self, fitted_lr):
+        engine = fitted_lr.engine
+        replica = engine.replicate()
+        assert replica.backend is engine.backend
+        assert replica.model_id == engine.model_id
+        replica.predict_proba(["replica only"])
+        assert len(replica) == 1
+        # The template engine's cache and stats are untouched.
+        assert ("replica only" not in {k[-1] for k in engine._cache})
+
     def test_trainer_cache_invalidated_between_epochs(self, small_dataset):
         # Validation accuracy is computed via the engine after each epoch;
         # a stale cache would freeze it at the epoch-1 value.
@@ -151,6 +166,88 @@ class TestPredictionCache:
         clf.fit(small_dataset, validation=small_dataset)
         trainer = clf._trainer
         assert trainer.result.val_accuracies  # engine served mid-training
+
+
+class TestVersionedCache:
+    """Weight changes must auto-invalidate cached predictions.
+
+    Regression tests for the stale-cache-after-reload bug: the cache
+    used to key on ``(model_id, text)`` only, so restoring a checkpoint
+    into (or re-fitting) a model an engine already wrapped kept serving
+    probabilities computed with the old weights.
+    """
+
+    def test_weights_version_helpers(self):
+        class Anything:
+            pass
+
+        model = Anything()
+        assert weights_version(model) == 0
+        assert bump_weights_version(model) == 1
+        assert bump_weights_version(model) == 2
+        assert weights_version(model) == 2
+
+    def test_transformer_load_state_dict_invalidates_cache(
+        self, fitted_transformer, small_dataset
+    ):
+        model = fitted_transformer._model
+        engine = PredictionEngine.for_transformer(model, model_id="versioned")
+        text = small_dataset.texts[0]
+        original_state = model.state_dict()
+        try:
+            before = engine.predict_proba([text]).copy()
+            assert engine.stats.cache_misses == 1
+            perturbed = dict(original_state)
+            bias = original_state["classifier.bias"].copy()
+            bias[0] += 3.0  # asymmetric: softmax is shift-invariant
+            perturbed["classifier.bias"] = bias
+            model.load_state_dict(perturbed)
+            after = engine.predict_proba([text])
+            # Pre-fix this was a cache hit returning `before` verbatim.
+            assert engine.stats.cache_misses == 2
+            assert not np.allclose(before, after)
+        finally:
+            model.load_state_dict(original_state)
+
+    def test_traditional_restore_array_state_invalidates_cache(
+        self, fitted_lr, small_dataset
+    ):
+        from repro.nn.serialization import collect_array_state, restore_array_state
+
+        model = fitted_lr._model
+        engine = PredictionEngine.for_traditional(
+            fitted_lr._vectorizer, model, model_id="versioned-lr"
+        )
+        text = small_dataset.texts[0]
+        original_state = collect_array_state(model)
+        try:
+            before = engine.predict_proba([text]).copy()
+            perturbed = dict(original_state)
+            intercept = np.array(original_state["intercept_"], dtype=np.float64)
+            intercept[0] += 5.0  # asymmetric: softmax is shift-invariant
+            perturbed["intercept_"] = intercept
+            restore_array_state(model, perturbed)
+            after = engine.predict_proba([text])
+            assert engine.stats.cache_misses == 2
+            assert not np.allclose(before, after)
+        finally:
+            restore_array_state(model, original_state)
+
+    def test_classifier_fit_and_load_bump_version(self, small_dataset, tmp_path):
+        clf = WellnessClassifier("LR").fit(small_dataset)
+        assert weights_version(clf._model) >= 1
+        clf.save(tmp_path / "ckpt")
+        restored = WellnessClassifier.load(tmp_path / "ckpt")
+        assert weights_version(restored._model) >= 1
+
+    def test_version_bump_without_invalidate_recomputes(self, fitted_lr):
+        engine = fitted_lr.engine.replicate()
+        probs = engine.predict_proba(["same text"])
+        bump_weights_version(fitted_lr._model)
+        again = engine.predict_proba(["same text"])
+        # Same weights in practice, but the bump must force a recompute.
+        assert engine.stats.cache_misses == 2
+        np.testing.assert_allclose(probs, again)
 
 
 class TestBatchedInference:
@@ -260,3 +357,37 @@ class TestInferenceServer:
         server.stop()
         for future in futures:
             assert future.result(timeout=5).label in DIMENSIONS
+
+    def test_concurrent_transformer_serving_preserves_grad_mode(
+        self, fitted_transformer, small_dataset
+    ):
+        # no_grad() toggles a process-global flag; unserialised worker
+        # threads interleaving enter/exit could strand it False (training
+        # would silently stop learning) or build tape mid-inference.
+        # TransformerBackend serialises forwards to keep this invariant.
+        from repro.nn.tensor import is_grad_enabled
+
+        texts = small_dataset.texts[:24]
+        direct = fitted_transformer.predict(texts)
+        server = InferenceServer(
+            fitted_transformer.engine, workers=3, max_batch_size=4
+        )
+        with server:
+            results = server.predict(texts, timeout=60)
+        assert [r.label for r in results] == direct
+        assert is_grad_enabled()
+        assert fitted_transformer._model.training  # eval/train restored
+
+    def test_multi_worker_replicas_match_direct_predict(
+        self, fitted_lr, small_dataset
+    ):
+        texts = small_dataset.texts[:40]
+        direct = fitted_lr.predict(texts)
+        server = InferenceServer(fitted_lr.engine, workers=4, max_batch_size=8)
+        with server:
+            results = server.predict(texts)
+        assert [r.label for r in results] == direct
+        snap = server.stats.snapshot()
+        assert snap.requests == len(texts)
+        assert sum(snap.per_worker_requests) == len(texts)
+        assert server.engine_stats().requests == len(texts)

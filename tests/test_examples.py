@@ -67,4 +67,6 @@ class TestExamples:
         out = _run("serve_and_persist.py")
         assert "Reloaded model predictions identical: True" in out
         assert "throughput" in out
-        assert "engine cache" in out
+        assert "per-worker requests" in out
+        assert "replica caches" in out
+        assert "shed rate" in out
