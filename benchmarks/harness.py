@@ -39,6 +39,11 @@ Scenarios
     and p50/p95/p99 at 1 vs 4 workers (primary metric: the 4-worker
     scaling ratio), plus shed rate when a burst overloads an
     undersized shed-mode server.
+``serving_http``
+    The same closed-loop workload driven through the HTTP
+    ``ServingGateway`` on loopback vs straight in-process
+    ``InferenceServer`` calls; primary metric is the HTTP/in-process
+    throughput ratio (the cost of the network boundary).
 
 Timings come from ``_timeit_median``: every measured callable gets
 discarded warm-up iterations followed by median-of-k timing, so
@@ -430,17 +435,107 @@ def scenario_transformer(quick: bool) -> dict:
     }
 
 
+class FixedServiceBackend:
+    """2 ms per batch + 0.25 ms per item, probabilities uniform.
+
+    The fixed-service-time stub both serving scenarios measure against:
+    it isolates the serving layer — admission, batching, dispatch,
+    stats, and (for ``serving_http``) the HTTP hop — from model speed,
+    and models the GIL-releasing inference kernels (BLAS matmuls,
+    native backends) real traffic runs on.
+    """
+
+    n_classes = 6
+
+    def __init__(self, per_batch_ms=2.0, per_item_ms=0.25):
+        self.per_batch_ms = per_batch_ms
+        self.per_item_ms = per_item_ms
+
+    def proba_batch(self, texts):
+        time.sleep((self.per_batch_ms + self.per_item_ms * len(texts)) / 1000.0)
+        return np.full((len(texts), 6), 1.0 / 6.0)
+
+
+def _closed_loop_measure(
+    server, one_request, *, n_clients: int, warmup_s: float, measure_s: float
+) -> dict:
+    """Closed-loop clients calling ``one_request`` until time is up.
+
+    Shared by the ``serving_load`` and ``serving_http`` scenarios so the
+    measurement methodology (warm-up, snapshot-delta throughput, the
+    measurement window) cannot drift between them.  Throughput comes
+    from the server's stats delta; the latency percentiles come from
+    the *caller's* clock around each request, so for the HTTP scenario
+    they include everything the client pays (connection, JSON, parsing,
+    response write), not just the engine-internal queue time.
+    """
+    done = threading.Event()
+    client_errors: list[Exception] = []
+    all_latencies: list[tuple[float, float]] = []  # (completed_at, seconds)
+    collect_lock = threading.Lock()
+
+    def client(i: int) -> None:
+        n = 0
+        local: list[tuple[float, float]] = []
+        try:
+            while not done.is_set():
+                started = time.perf_counter()
+                one_request(f"client {i} request {n}")
+                finished = time.perf_counter()
+                local.append((finished, finished - started))
+                n += 1
+        except Exception as error:  # noqa: BLE001 - recorded, fails the run
+            client_errors.append(error)
+        finally:
+            with collect_lock:
+                all_latencies.extend(local)
+
+    threads = [
+        threading.Thread(target=client, args=(i,), daemon=True)
+        for i in range(n_clients)
+    ]
+    for t in threads:
+        t.start()
+    time.sleep(warmup_s)
+    before = server.stats.snapshot()
+    started = time.perf_counter()
+    time.sleep(measure_s)
+    after = server.stats.snapshot()
+    elapsed = time.perf_counter() - started
+    done.set()
+    for t in threads:
+        t.join(timeout=10)
+    if client_errors:
+        raise AssertionError(f"closed-loop client failed: {client_errors[0]!r}")
+    window = sorted(
+        seconds
+        for completed_at, seconds in all_latencies
+        if started <= completed_at <= started + elapsed
+    )
+
+    def percentile_ms(q: float) -> float:
+        if not window:
+            return 0.0
+        idx = min(len(window) - 1, int(round(q / 100.0 * (len(window) - 1))))
+        return 1000.0 * window[idx]
+
+    return {
+        "throughput": (after.requests - before.requests) / elapsed,
+        "p50_ms": percentile_ms(50),
+        "p95_ms": percentile_ms(95),
+        "p99_ms": percentile_ms(99),
+        "mean_batch": after.mean_batch_size,
+        "requests": after.requests,
+    }
+
+
 def scenario_serving_load(quick: bool) -> dict:
     """Closed-loop load generation against the replicated InferenceServer.
 
     Concurrent clients each submit one request, wait for the result, and
     repeat; the server coalesces the backlog into batches across its
-    worker replicas.  The backend is a fixed-service-time stub (a
-    ``time.sleep`` per batch plus a per-item cost) so the measurement
-    isolates the serving layer — admission, batching, dispatch, stats —
-    from model speed, and models the GIL-releasing inference kernels
-    (BLAS matmuls, native backends) real traffic runs on.  The primary
-    metric is ``worker_scaling``: throughput with 4 workers over
+    worker replicas over the :class:`FixedServiceBackend` stub.  The
+    primary metric is ``worker_scaling``: throughput with 4 workers over
     throughput with 1, which must stay ≥ 2× (4 concurrent batches amortise
     per-batch overhead that a single worker pays serially).
 
@@ -449,25 +544,8 @@ def scenario_serving_load(quick: bool) -> dict:
     (``shed_rate``, p99 under overload), and in full mode a real fitted
     LR baseline is served end to end for an absolute docs/sec reference.
     """
-    import numpy as np
-
     from repro.engine.engine import PredictionEngine
     from repro.engine.server import InferenceServer, ServerOverloaded
-
-    class FixedServiceBackend:
-        """2 ms per batch + 0.25 ms per item, probabilities uniform."""
-
-        n_classes = 6
-
-        def __init__(self, per_batch_ms=2.0, per_item_ms=0.25):
-            self.per_batch_ms = per_batch_ms
-            self.per_item_ms = per_item_ms
-
-        def proba_batch(self, texts):
-            time.sleep(
-                (self.per_batch_ms + self.per_item_ms * len(texts)) / 1000.0
-            )
-            return np.full((len(texts), 6), 1.0 / 6.0)
 
     n_clients = 24 if quick else 32
     warmup_s = 0.15 if quick else 0.5
@@ -485,38 +563,14 @@ def scenario_serving_load(quick: bool) -> dict:
             max_queue=256,
             overload="block",
         )
-        done = threading.Event()
-
-        def client(i: int) -> None:
-            n = 0
-            while not done.is_set():
-                server.submit(f"client {i} request {n}").result(timeout=30)
-                n += 1
-
         with server:
-            threads = [
-                threading.Thread(target=client, args=(i,), daemon=True)
-                for i in range(n_clients)
-            ]
-            for t in threads:
-                t.start()
-            time.sleep(warmup_s)
-            before = server.stats.snapshot()
-            started = time.perf_counter()
-            time.sleep(measure_s)
-            after = server.stats.snapshot()
-            elapsed = time.perf_counter() - started
-            done.set()
-            for t in threads:
-                t.join(timeout=10)
-        return {
-            "throughput": (after.requests - before.requests) / elapsed,
-            "p50_ms": after.latency_percentile(50),
-            "p95_ms": after.latency_percentile(95),
-            "p99_ms": after.latency_percentile(99),
-            "mean_batch": after.mean_batch_size,
-            "requests": after.requests,
-        }
+            return _closed_loop_measure(
+                server,
+                lambda text: server.submit(text).result(timeout=30),
+                n_clients=n_clients,
+                warmup_s=warmup_s,
+                measure_s=measure_s,
+            )
 
     single = run_closed_loop(1)
     scaled = run_closed_loop(4)
@@ -601,6 +655,94 @@ def scenario_serving_load(quick: bool) -> dict:
     return result
 
 
+def scenario_serving_http(quick: bool) -> dict:
+    """HTTP gateway overhead versus the in-process serving baseline.
+
+    The same closed-loop workload (concurrent clients, one request in
+    flight each, :class:`FixedServiceBackend` underneath) is driven two
+    ways against identically configured 2-worker servers: in-process
+    ``InferenceServer.submit().result()`` calls, and real loopback HTTP
+    ``POST /v1/predict`` requests through the ``ServingGateway`` (JSON
+    encode/decode, a TCP connection per request — the worst, naive
+    client — request parsing, and the response write all included).
+
+    The primary metric is ``http_vs_inprocess_throughput``: HTTP
+    requests/sec over in-process requests/sec.  It is a ratio within
+    one run, so the regression gate holds across hardware; a drop means
+    the gateway hot path (handler routing, protocol validation,
+    counters) got more expensive relative to the engine underneath.
+    Latency percentiles are measured at the caller (the HTTP side pays
+    the full network round trip, not just engine queue time).
+    """
+    from repro.engine.engine import PredictionEngine
+    from repro.engine.server import InferenceServer
+    from repro.serving.client import ServingClient
+    from repro.serving.gateway import ServingGateway
+
+    n_clients = 12 if quick else 24
+    warmup_s = 0.15 if quick else 0.5
+    measure_s = 0.6 if quick else 3.0
+
+    def make_server() -> InferenceServer:
+        return InferenceServer(
+            PredictionEngine(
+                FixedServiceBackend(), model_id="bench-http", cache_size=0
+            ),
+            workers=2,
+            max_batch_size=8,
+            max_wait_ms=0.5,
+            max_queue=256,
+            overload="block",
+        )
+
+    inprocess_server = make_server()
+    with inprocess_server:
+        inprocess = _closed_loop_measure(
+            inprocess_server,
+            lambda text: inprocess_server.submit(text).result(timeout=30),
+            n_clients=n_clients,
+            warmup_s=warmup_s,
+            measure_s=measure_s,
+        )
+
+    http_server = make_server()
+    with ServingGateway(http_server) as gateway:
+        serving_client = ServingClient(gateway.url, deadline_s=30)
+        http = _closed_loop_measure(
+            http_server,
+            serving_client.predict,
+            n_clients=n_clients,
+            warmup_s=warmup_s,
+            measure_s=measure_s,
+        )
+        health = serving_client.healthz()
+        assert health["status"] == "ok", health
+        scraped = serving_client.metrics()
+        served = scraped[("holistix_server_requests_total", frozenset())]
+
+    return {
+        "n_clients": n_clients,
+        "timings": {
+            "measure_window_s": measure_s,
+            "inprocess_p50_ms": inprocess["p50_ms"],
+            "inprocess_p95_ms": inprocess["p95_ms"],
+            "http_p50_ms": http["p50_ms"],
+            "http_p95_ms": http["p95_ms"],
+            "http_p99_ms": http["p99_ms"],
+        },
+        "metrics": {
+            "http_vs_inprocess_throughput": (
+                http["throughput"] / inprocess["throughput"]
+            ),
+            "inprocess_req_per_sec": inprocess["throughput"],
+            "http_req_per_sec": http["throughput"],
+            "inprocess_mean_batch": inprocess["mean_batch"],
+            "http_mean_batch": http["mean_batch"],
+            "http_requests_served_total": served,
+        },
+    }
+
+
 # name -> (runner, primary metric key, higher is better).  Primary
 # metrics are ratios measured within one run, so the regression check
 # stays meaningful when the committed record and CI run on different
@@ -612,6 +754,7 @@ SCENARIOS: dict[str, tuple] = {
     "table4": (scenario_table4, "jobs4_speedup", True),
     "transformer": (scenario_transformer, "fused_speedup", True),
     "serving_load": (scenario_serving_load, "worker_scaling", True),
+    "serving_http": (scenario_serving_http, "http_vs_inprocess_throughput", True),
 }
 
 
@@ -700,7 +843,27 @@ def run_scenario(scenario: str, *, quick: bool, out_dir: Path) -> tuple[dict, bo
         encoding="utf-8",
     )
     print(summary)
+    if regressed:
+        _annotate_regression(scenario, summary)
     return result_record, regressed
+
+
+def _annotate_regression(scenario: str, summary: str) -> None:
+    """Make a regression visible on GitHub, not just a red cron run.
+
+    Scheduled workflow failures notify nobody by default; a
+    ``::error`` workflow command surfaces the regression as an
+    annotation on the run summary page (and on the PR's checks tab for
+    pull-request runs).  The ``benchmark-table4`` job additionally
+    opens/updates a pinned tracking issue from this annotation's text.
+    """
+    if os.environ.get("GITHUB_ACTIONS") != "true":
+        return
+    message = summary.replace("%", "%25").replace("\n", "%0A")
+    print(
+        f"::error title=Benchmark regression ({scenario})::{message}",
+        flush=True,
+    )
 
 
 def main(argv: list[str] | None = None) -> int:

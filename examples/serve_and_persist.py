@@ -11,8 +11,11 @@ predictions are identical), then stands up the replicated micro-batching
 behind a bounded admission queue — and pushes concurrent traffic through
 it, printing a consistent stats snapshot (throughput, latency
 percentiles, per-worker load) and the aggregated replica cache
-statistics.  Finally it overloads a deliberately undersized shed-mode
-server to show typed load shedding.
+statistics.  It then overloads a deliberately undersized shed-mode
+server to show typed load shedding, and finally exposes the model over
+HTTP with the ``ServingGateway`` — real loopback requests through the
+``ServingClient``, a 429 observed under forced shed, a Prometheus
+``/metrics`` scrape, and a graceful drain.
 """
 
 from __future__ import annotations
@@ -24,6 +27,7 @@ from pathlib import Path
 
 from repro import HolistixDataset, WellnessClassifier
 from repro.engine import InferenceServer, ServerOverloaded
+from repro.serving import GatewayOverloaded, ServingClient, ServingGateway
 
 
 def main(baseline: str = "LR") -> None:
@@ -105,6 +109,57 @@ def main(baseline: str = "LR") -> None:
     print(
         f"  offered 200 requests: served {overload.requests}, "
         f"shed {overload.shed} (shed rate {overload.shed_rate:.0%})"
+    )
+
+    print("\nExposing the model over HTTP (ephemeral loopback port)...")
+    http_server = InferenceServer(
+        classifier.engine, workers=2, max_batch_size=16, max_queue=64
+    )
+    with ServingGateway(http_server, baseline=baseline) as gateway:
+        client = ServingClient(gateway.url, deadline_s=15)
+        health = client.healthz()
+        print(f"  {gateway.url}/healthz -> {health}")
+        response = client.predict(texts[0], top_k=2)
+        print(f"  POST /v1/predict top_k=2 -> {response['top_k']}")
+        batch = client.predict_batch(texts[:12])
+        print(f"  POST /v1/predict_batch -> {len(batch['predictions'])} results")
+        loaded = [m["name"] for m in client.models()["models"] if m["loaded"]]
+        print(f"  GET /v1/models -> loaded={loaded}")
+        scraped = client.metrics()
+        served = scraped[("holistix_server_requests_total", frozenset())]
+        print(f"  GET /metrics -> holistix_server_requests_total {served:.0f}")
+    print("  gateway drained and stopped; port released")
+
+    print("\nForcing a 429 through an undersized shed-mode gateway...")
+    tiny = InferenceServer(
+        classifier.engine,
+        workers=1,
+        max_batch_size=1,
+        max_wait_ms=0.0,
+        max_queue=1,
+        overload="shed",
+    )
+    with ServingGateway(tiny, baseline=baseline) as gateway:
+        burst_client = ServingClient(gateway.url, deadline_s=5)
+        outcomes: list[bool] = []  # list.append is atomic under the GIL
+
+        def burst(i: int) -> None:
+            try:
+                burst_client.predict(f"burst {i}", retry_on_overload=False)
+                outcomes.append(True)
+            except GatewayOverloaded:
+                outcomes.append(False)
+
+        burst_threads = [
+            threading.Thread(target=burst, args=(i,)) for i in range(16)
+        ]
+        for t in burst_threads:
+            t.start()
+        for t in burst_threads:
+            t.join()
+    print(
+        f"  burst of 16 over HTTP: {outcomes.count(True)} served, "
+        f"{outcomes.count(False)} answered 429 (typed GatewayOverloaded)"
     )
 
 

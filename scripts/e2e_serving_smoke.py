@@ -1,0 +1,306 @@
+"""End-to-end smoke test for ``holistix-serve`` — the CI e2e job driver.
+
+Unlike the loopback tests (which run the gateway in-process), this
+drives the real deployment shape: it trains a tiny LR checkpoint, boots
+``holistix-serve`` as a subprocess on a free port, and talks to it over
+real HTTP — readiness, concurrent traffic, metrics/client-count
+consistency, a forced 429 under shed, and graceful SIGTERM drain with
+exit code 0.  On any failure the server log is dumped to stdout (inside
+``::group::`` markers so Actions folds it) before the non-zero exit.
+
+Run locally from the repo root::
+
+    python scripts/e2e_serving_smoke.py --log-dir /tmp/e2e-logs
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.dataset import HolistixDataset  # noqa: E402
+from repro.core.labels import DIMENSIONS  # noqa: E402
+from repro.core.pipeline import WellnessClassifier  # noqa: E402
+from repro.corpus.generator import GeneratorConfig  # noqa: E402
+from repro.serving.client import GatewayOverloaded, ServingClient  # noqa: E402
+
+LABEL_CODES = {d.code for d in DIMENSIONS}
+
+# The machine-readable line holistix-serve prints once the gateway is
+# bound; with --port 0 the kernel picks a free port race-free and this
+# is how the driver learns it.
+READY_LINE = re.compile(r"holistix-serve ready on (http://[0-9.]+:[0-9]+)")
+
+
+def train_checkpoint(path: Path) -> None:
+    print("[e2e] training a tiny LR checkpoint...")
+    config = GeneratorConfig(
+        class_counts={d: 24 for d in DIMENSIONS},
+        seed=13,
+        target_total_words=None,
+        target_total_sentences=None,
+    )
+    dataset = HolistixDataset.build(config)
+    WellnessClassifier("LR").fit(list(dataset)).save(path)
+
+
+class ServeProcess:
+    """One ``holistix-serve`` subprocess with its log captured to disk."""
+
+    def __init__(self, name: str, args: list[str], log_dir: Path) -> None:
+        self.name = name
+        self.log_path = log_dir / f"{name}.log"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        self._log_file = self.log_path.open("wb")
+        self.process = subprocess.Popen(
+            [sys.executable, "-m", "repro.serving.cli", *args],
+            stdout=self._log_file,
+            stderr=subprocess.STDOUT,
+            env=env,
+            cwd=REPO_ROOT,
+        )
+
+    def wait_ready_url(self, timeout_s: float = 60.0) -> str:
+        """Poll the log for the ready line; returns the bound base URL."""
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            if self.process.poll() is not None:
+                raise AssertionError(
+                    f"[{self.name}] exited early with {self.process.returncode}"
+                )
+            try:
+                text = self.log_path.read_text(encoding="utf-8", errors="replace")
+            except OSError:
+                text = ""
+            match = READY_LINE.search(text)
+            if match:
+                return match.group(1)
+            time.sleep(0.05)
+        raise AssertionError(f"[{self.name}] no ready line within {timeout_s}s")
+
+    def terminate_gracefully(self, timeout_s: float = 30.0) -> int:
+        self.process.send_signal(signal.SIGTERM)
+        try:
+            code = self.process.wait(timeout=timeout_s)
+        except subprocess.TimeoutExpired:
+            self.process.kill()
+            self.process.wait(timeout=10)
+            raise AssertionError(
+                f"[{self.name}] did not drain within {timeout_s}s of SIGTERM"
+            )
+        finally:
+            self._log_file.close()
+        return code
+
+    def kill(self) -> None:
+        if self.process.poll() is None:
+            self.process.kill()
+            self.process.wait(timeout=10)
+        self._log_file.close()
+
+    def dump_log(self) -> None:
+        print(f"::group::server log [{self.name}] ({self.log_path})")
+        try:
+            print(self.log_path.read_text(encoding="utf-8", errors="replace"))
+        except OSError as error:
+            print(f"(log unreadable: {error})")
+        print("::endgroup::")
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        raise AssertionError(message)
+
+
+def phase_happy_path(checkpoint: Path, log_dir: Path) -> None:
+    server = ServeProcess(
+        "happy-path",
+        [
+            "--checkpoint",
+            str(checkpoint),
+            "--port",
+            "0",
+            "--workers",
+            "2",
+            "--max-queue",
+            "64",
+            "--overload",
+            "shed",
+        ],
+        log_dir,
+    )
+    try:
+        url = server.wait_ready_url()
+        client = ServingClient(url, deadline_s=15)
+        health = client.wait_ready(deadline_s=30)
+        check(health["status"] == "ok", f"unexpected health: {health}")
+        check(health["workers"] == 2, f"unexpected worker count: {health}")
+        print(f"[e2e] ready at {url}: {health}")
+
+        n_threads, per_thread, batch_size = 8, 5, 6
+        errors: list[Exception] = []
+
+        def client_loop(i: int) -> None:
+            try:
+                for n in range(per_thread):
+                    response = client.predict(f"client {i} message {n}")
+                    check(
+                        response["label"] in LABEL_CODES,
+                        f"bad label: {response}",
+                    )
+            except Exception as error:  # noqa: BLE001 - surfaced below
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=client_loop, args=(i,))
+            for i in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        check(not errors, f"concurrent clients failed: {errors[:3]}")
+
+        batch = client.predict_batch(
+            [f"batch item {j}" for j in range(batch_size)], top_k=2
+        )
+        check(
+            len(batch["predictions"]) == batch_size,
+            f"batch size mismatch: {batch}",
+        )
+
+        n_single = n_threads * per_thread
+        samples = client.metrics()
+
+        def metric(name: str, **labels: str) -> float:
+            return samples[(name, frozenset(labels.items()))]
+
+        check(
+            metric(
+                "holistix_http_requests_total",
+                endpoint="/v1/predict",
+                status="200",
+            )
+            == n_single,
+            "HTTP predict counter != client-side request count",
+        )
+        check(
+            metric(
+                "holistix_http_requests_total",
+                endpoint="/v1/predict_batch",
+                status="200",
+            )
+            == 1,
+            "HTTP batch counter != 1",
+        )
+        check(
+            metric("holistix_server_requests_total") == n_single + batch_size,
+            "server text counter != texts sent",
+        )
+        check(metric("holistix_server_shed_total") == 0, "unexpected sheds")
+        print(f"[e2e] metrics consistent after {n_single} + {batch_size} texts")
+
+        code = server.terminate_gracefully()
+        check(code == 0, f"graceful drain exited {code}, expected 0")
+        print("[e2e] SIGTERM drain exited 0")
+    except BaseException:
+        server.dump_log()
+        server.kill()
+        raise
+
+
+def phase_forced_shed(checkpoint: Path, log_dir: Path) -> None:
+    server = ServeProcess(
+        "forced-shed",
+        [
+            "--checkpoint",
+            str(checkpoint),
+            "--port",
+            "0",
+            "--workers",
+            "1",
+            "--max-batch-size",
+            "1",
+            "--max-wait-ms",
+            "0",
+            "--max-queue",
+            "1",
+            "--overload",
+            "shed",
+            "--inject-latency-ms",
+            "300",
+        ],
+        log_dir,
+    )
+    try:
+        client = ServingClient(server.wait_ready_url(), deadline_s=30)
+        client.wait_ready(deadline_s=30)
+        statuses: list[int] = []
+        lock = threading.Lock()
+
+        def fire(i: int) -> None:
+            try:
+                client.predict(f"burst {i}", retry_on_overload=False)
+                status = 200
+            except GatewayOverloaded:
+                status = 429
+            with lock:
+                statuses.append(status)
+
+        threads = [threading.Thread(target=fire, args=(i,)) for i in range(12)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        shed, served = statuses.count(429), statuses.count(200)
+        print(f"[e2e] burst of 12: {served} served, {shed} shed")
+        check(shed >= 1, f"expected at least one 429, got statuses {statuses}")
+        check(served >= 1, f"expected at least one 200, got {statuses}")
+        check(
+            client.metrics()[("holistix_server_shed_total", frozenset())]
+            == shed,
+            "shed counter != client-observed 429s",
+        )
+        code = server.terminate_gracefully()
+        check(code == 0, f"graceful drain exited {code}, expected 0")
+    except BaseException:
+        server.dump_log()
+        server.kill()
+        raise
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--log-dir",
+        type=Path,
+        default=REPO_ROOT / "e2e-logs",
+        help="where server logs and the scratch checkpoint go",
+    )
+    args = parser.parse_args(argv)
+    args.log_dir.mkdir(parents=True, exist_ok=True)
+
+    started = time.perf_counter()
+    checkpoint = args.log_dir / "checkpoint"
+    train_checkpoint(checkpoint)
+    phase_happy_path(checkpoint, args.log_dir)
+    phase_forced_shed(checkpoint, args.log_dir)
+    print(f"[e2e] OK in {time.perf_counter() - started:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

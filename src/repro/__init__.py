@@ -25,6 +25,7 @@ from repro.core import (
     WellnessDimension,
 )
 from repro.engine import InferenceServer, PredictionEngine
+from repro.serving import ServingClient, ServingGateway
 from repro.sparse import CSRMatrix
 
 __version__ = "1.0.0"
@@ -37,6 +38,8 @@ __all__ = [
     "InferenceServer",
     "Post",
     "PredictionEngine",
+    "ServingClient",
+    "ServingGateway",
     "Span",
     "WellnessClassifier",
     "WellnessDimension",

@@ -82,6 +82,21 @@ class WellnessClassifier:
     def is_fitted(self) -> bool:
         return self._model is not None
 
+    @property
+    def model(self):
+        """The fitted underlying model (``None`` before :meth:`fit`).
+
+        Exposed read-only so out-of-process servers (``holistix-serve``)
+        can hand the fitted state to :func:`repro.engine.registry.
+        build_engine` with their own engine settings.
+        """
+        return self._model
+
+    @property
+    def vectorizer(self) -> TfidfVectorizer | None:
+        """The fitted TF-IDF vectorizer (traditional baselines only)."""
+        return self._vectorizer
+
     # ------------------------------------------------------------------
     # Training
     # ------------------------------------------------------------------

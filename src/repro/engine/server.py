@@ -387,6 +387,27 @@ class InferenceServer:
             self._accepting = True
         return self
 
+    @property
+    def accepting(self) -> bool:
+        """Whether ``submit`` is currently admitting new requests."""
+        with self._mutex:
+            return self._accepting
+
+    def drain(self) -> None:
+        """Close admission without stopping the workers.
+
+        The graceful-shutdown hook (SIGTERM in the HTTP gateway): after
+        ``drain()`` every new ``submit`` — including calls already
+        blocked waiting for queue space — fails fast with
+        :class:`ServerClosed`, while every admitted request keeps being
+        served and its future still resolves.  Follow with :meth:`stop`
+        once in-flight callers have collected their results.  Idempotent
+        and a no-op on a server that never started.
+        """
+        with self._mutex:
+            self._accepting = False
+            self._not_full.notify_all()  # blocked submitters fail fast
+
     def stop(self) -> None:
         """Drain admitted requests, then stop every worker.
 

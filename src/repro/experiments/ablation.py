@@ -52,7 +52,6 @@ def run_pretraining_ablation(
     protocol: Protocol | None = None,
 ) -> PretrainingAblation:
     """Train BERT-architecture models with 0 / generic / domain MLM."""
-    from repro.models.config import MODEL_CONFIGS
     from repro.models.pretrain import build_pretraining_corpus
     from repro.models.trainer import Trainer
     from repro.text.vocab import Vocabulary
@@ -111,7 +110,9 @@ def _lr_report(dataset: HolistixDataset):
     vectorizer = TfidfVectorizer(max_features=3000, sparse_output=True)
     train_matrix = vectorizer.fit_transform(split.train.texts)
     test_matrix = vectorizer.transform(split.test.texts)
-    targets = np.asarray([DIMENSIONS.index(l) for l in split.train.labels])
+    targets = np.asarray(
+        [DIMENSIONS.index(label) for label in split.train.labels]
+    )
     model = LogisticRegression(max_iter=300).fit(train_matrix, targets)
     predicted = [DIMENSIONS[int(i)] for i in model.predict(test_matrix)]
     return classification_report(split.test.labels, predicted, list(DIMENSIONS))

@@ -225,7 +225,7 @@ def format_table4(result: Table4Result) -> str:
             row += [f"{precision:.2f}", f"{recall:.2f}", f"{f1:.2f}"]
         row.append(f"{scores.accuracy:.2f}")
         rows.append(row)
-        paper_row: list[object] = [f"  (paper)"]
+        paper_row: list[object] = ["  (paper)"]
         for dim in DIMENSIONS:
             precision, recall, f1 = PAPER_TABLE4[name][dim]
             paper_row += [f"{precision:.2f}", f"{recall:.2f}", f"{f1:.2f}"]

@@ -24,7 +24,7 @@ the paper's §III-A table verbatim.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 __all__ = ["ModelConfig", "MODEL_CONFIGS", "scaled_for_tests"]
 

@@ -1,0 +1,45 @@
+"""HTTP serving layer: the network boundary over the inference engine.
+
+The stack, bottom-up:
+
+* :mod:`repro.engine.server` — in-process replicated
+  :class:`InferenceServer` (workers, admission queue, backpressure).
+* :mod:`repro.serving.protocol` — the JSON wire contract (request
+  validation, response shaping, typed error payloads).
+* :mod:`repro.serving.gateway` — :class:`ServingGateway`, a stdlib
+  ``ThreadingHTTPServer`` speaking that contract, with Prometheus
+  ``/metrics`` (:mod:`repro.serving.metrics`) and graceful drain.
+* :mod:`repro.serving.client` — :class:`ServingClient`, a stdlib
+  ``urllib`` client with retry-on-429 + deadline semantics.
+* :mod:`repro.serving.cli` — the ``holistix-serve`` console script.
+
+See ``docs/SERVING.md`` for the wire protocol reference and deployment
+notes.
+"""
+
+from repro.serving.client import (
+    GatewayOverloaded,
+    GatewayUnavailable,
+    ServingClient,
+    ServingError,
+)
+from repro.serving.gateway import ServingGateway
+from repro.serving.metrics import parse_metrics, render_metrics
+from repro.serving.protocol import (
+    MAX_BATCH_TEXTS,
+    MAX_BODY_BYTES,
+    ProtocolError,
+)
+
+__all__ = [
+    "GatewayOverloaded",
+    "GatewayUnavailable",
+    "MAX_BATCH_TEXTS",
+    "MAX_BODY_BYTES",
+    "ProtocolError",
+    "ServingClient",
+    "ServingError",
+    "ServingGateway",
+    "parse_metrics",
+    "render_metrics",
+]

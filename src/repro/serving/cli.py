@@ -1,0 +1,192 @@
+"""``holistix-serve`` — serve a saved checkpoint over HTTP.
+
+Loads a :meth:`~repro.core.pipeline.WellnessClassifier.save` checkpoint
+directory, builds a :class:`PredictionEngine` for it through the model
+registry (:func:`repro.engine.registry.build_engine` — the same single
+construction path every in-process caller uses), wraps it in the
+replicated :class:`InferenceServer`, and exposes it through
+:class:`~repro.serving.gateway.ServingGateway`::
+
+    holistix-serve --checkpoint /path/to/checkpoint --port 8420 \\
+        --workers 4 --max-queue 512 --overload shed
+
+SIGTERM and SIGINT trigger a graceful drain: readiness flips to 503,
+in-flight requests finish, the admitted backlog resolves, and the
+process exits 0 — the contract the ``e2e-serving-smoke`` CI job and any
+rolling-restart deployment rely on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import logging
+import signal
+import sys
+import threading
+import time
+from pathlib import Path
+
+from repro.core.pipeline import WellnessClassifier
+from repro.engine.registry import build_engine
+from repro.engine.server import InferenceServer
+from repro.serving.gateway import ServingGateway
+
+__all__ = ["main"]
+
+log = logging.getLogger("repro.serving.cli")
+
+
+class _LatencyInjectedBackend:
+    """Delegating backend wrapper that adds fixed per-batch latency.
+
+    Load-testing aid (``--inject-latency-ms``): makes a fast model
+    behave like a slow one so overload behaviour (queue growth, 429s,
+    drain timing) can be exercised deterministically — the e2e smoke
+    job uses it to force a real shed through HTTP.
+    """
+
+    def __init__(self, inner, delay_s: float) -> None:
+        self._inner = inner
+        self._delay_s = delay_s
+
+    def __getattr__(self, name: str):
+        # Everything not overridden (n_classes, weights_version, encode
+        # when the inner backend has one) passes straight through, so
+        # the engine sees the inner backend's capabilities unchanged.
+        return getattr(self._inner, name)
+
+    def proba_batch(self, texts):
+        time.sleep(self._delay_s)
+        return self._inner.proba_batch(texts)
+
+    def proba_rows(self, rows):
+        time.sleep(self._delay_s)
+        return self._inner.proba_rows(rows)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="holistix-serve",
+        description="Serve a saved WellnessClassifier checkpoint over HTTP.",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        required=True,
+        type=Path,
+        help="checkpoint directory written by WellnessClassifier.save()",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=8420, help="bind port (0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, help="serving threads / engine replicas"
+    )
+    parser.add_argument(
+        "--max-batch-size", type=int, default=32, help="texts per coalesced batch"
+    )
+    parser.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=2.0,
+        help="how long a worker holds an open batch for more traffic",
+    )
+    parser.add_argument(
+        "--max-queue", type=int, default=512, help="admission queue bound"
+    )
+    parser.add_argument(
+        "--overload",
+        choices=("block", "shed"),
+        default="shed",
+        help="full-queue policy: block submitters or shed with HTTP 429",
+    )
+    parser.add_argument(
+        "--cache-size",
+        type=int,
+        default=2048,
+        help="per-replica prediction LRU capacity (0 disables caching)",
+    )
+    parser.add_argument(
+        "--request-timeout-s",
+        type=float,
+        default=30.0,
+        help="shared engine deadline per HTTP request",
+    )
+    parser.add_argument(
+        "--inject-latency-ms",
+        type=float,
+        default=0.0,
+        help="testing aid: add fixed latency to every inference batch",
+    )
+    parser.add_argument(
+        "--log-level",
+        default="INFO",
+        choices=("DEBUG", "INFO", "WARNING", "ERROR"),
+        help="stderr log verbosity",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    logging.basicConfig(
+        level=getattr(logging, args.log_level),
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+        stream=sys.stderr,
+    )
+
+    log.info("loading checkpoint %s", args.checkpoint)
+    classifier = WellnessClassifier.load(args.checkpoint)
+    engine = build_engine(
+        classifier.baseline,
+        model=classifier.model,
+        vectorizer=classifier.vectorizer,
+        model_id=f"{classifier.baseline}@{args.checkpoint.name}",
+        cache_size=args.cache_size,
+    )
+    if args.inject_latency_ms > 0:
+        engine.backend = _LatencyInjectedBackend(
+            engine.backend, args.inject_latency_ms / 1000.0
+        )
+    server = InferenceServer(
+        engine,
+        workers=args.workers,
+        max_batch_size=args.max_batch_size,
+        max_wait_ms=args.max_wait_ms,
+        max_queue=args.max_queue,
+        overload=args.overload,
+    )
+    gateway = ServingGateway(
+        server,
+        baseline=classifier.baseline,
+        host=args.host,
+        port=args.port,
+        request_timeout_s=args.request_timeout_s,
+    )
+
+    stop_event = threading.Event()
+
+    def request_shutdown(signum, frame) -> None:
+        log.info("received signal %s; draining", signal.Signals(signum).name)
+        stop_event.set()
+
+    signal.signal(signal.SIGTERM, request_shutdown)
+    signal.signal(signal.SIGINT, request_shutdown)
+
+    gateway.start()
+    # The ready line is machine-readable: the e2e smoke driver and any
+    # process supervisor can parse the bound port from it.
+    print(
+        f"holistix-serve ready on {gateway.url} "
+        f"(model_id={gateway.model_id}, workers={server.workers}, "
+        f"overload={server.overload})",
+        flush=True,
+    )
+    stop_event.wait()
+    gateway.stop()
+    log.info("drained and stopped")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,249 @@
+"""Stdlib HTTP client for the serving gateway.
+
+``ServingClient`` wraps :mod:`urllib.request` (no third-party
+dependencies) around the wire protocol in :mod:`repro.serving.protocol`
+with production retry semantics:
+
+* **Retry on 429** — a shed-mode admission rejection is transient by
+  contract, so the client backs off (honouring the server's
+  ``Retry-After`` hint, capped exponential otherwise) and retries until
+  the deadline runs out.
+* **Deadline, not attempts** — every call takes an overall ``deadline_s``
+  budget covering connection time, all retries, and backoff sleeps; the
+  per-request socket timeout is always clipped to what remains.
+
+Typed failures: :class:`GatewayOverloaded` (deadline exhausted while the
+server kept shedding), :class:`GatewayUnavailable` (503 — draining or
+stopped), :class:`ServingError` (any other non-2xx, with the decoded
+error payload attached).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from collections.abc import Sequence
+
+from repro.serving.metrics import parse_metrics
+
+__all__ = [
+    "GatewayOverloaded",
+    "GatewayUnavailable",
+    "ServingClient",
+    "ServingError",
+]
+
+
+class ServingError(RuntimeError):
+    """A non-2xx gateway response (the decoded error payload attached)."""
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(f"HTTP {status} [{code}]: {message}")
+        self.status = status
+        self.code = code
+        self.message = message
+
+
+class GatewayOverloaded(ServingError):
+    """Every attempt within the deadline was answered 429."""
+
+
+class GatewayUnavailable(ServingError):
+    """The gateway answered 503: draining, stopped, or not ready."""
+
+
+def _error_from_response(status: int, body: bytes) -> ServingError:
+    code, message = "unknown", body.decode("utf-8", "replace")[:200]
+    try:
+        payload = json.loads(body.decode("utf-8"))
+        code = payload["error"]["code"]
+        message = payload["error"]["message"]
+    except (ValueError, KeyError, TypeError, UnicodeDecodeError):
+        pass
+    if status == 429:
+        return GatewayOverloaded(status, code, message)
+    if status == 503:
+        return GatewayUnavailable(status, code, message)
+    return ServingError(status, code, message)
+
+
+class ServingClient:
+    """Client for one gateway base URL.
+
+    Parameters
+    ----------
+    base_url:
+        E.g. ``"http://127.0.0.1:8420"`` (no trailing slash needed).
+    deadline_s:
+        Default overall budget per call: connection + retries + backoff.
+    retry_base_s / retry_max_s:
+        Capped exponential backoff schedule used when a 429 carries no
+        usable ``Retry-After`` hint.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        deadline_s: float = 30.0,
+        retry_base_s: float = 0.05,
+        retry_max_s: float = 2.0,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.deadline_s = deadline_s
+        self.retry_base_s = retry_base_s
+        self.retry_max_s = retry_max_s
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def predict(
+        self,
+        text: str,
+        *,
+        top_k: int | None = None,
+        deadline_s: float | None = None,
+        retry_on_overload: bool = True,
+    ) -> dict:
+        """``POST /v1/predict`` -> decoded response object.
+
+        ``retry_on_overload=False`` surfaces the first 429 as
+        :class:`GatewayOverloaded` immediately — for callers that
+        implement their own backoff (or count sheds, like the e2e smoke
+        driver).
+        """
+        body: dict = {"text": text}
+        if top_k is not None:
+            body["top_k"] = top_k
+        return self._call(
+            "POST", "/v1/predict", body, deadline_s, retry_429=retry_on_overload
+        )
+
+    def predict_batch(
+        self,
+        texts: Sequence[str],
+        *,
+        top_k: int | None = None,
+        deadline_s: float | None = None,
+        retry_on_overload: bool = True,
+    ) -> dict:
+        """``POST /v1/predict_batch`` -> decoded response object."""
+        body: dict = {"texts": list(texts)}
+        if top_k is not None:
+            body["top_k"] = top_k
+        return self._call(
+            "POST",
+            "/v1/predict_batch",
+            body,
+            deadline_s,
+            retry_429=retry_on_overload,
+        )
+
+    def healthz(self, *, deadline_s: float | None = None) -> dict:
+        """``GET /healthz`` (raises :class:`GatewayUnavailable` on 503)."""
+        return self._call("GET", "/healthz", None, deadline_s, retry_429=False)
+
+    def models(self, *, deadline_s: float | None = None) -> dict:
+        """``GET /v1/models`` -> the registry listing."""
+        return self._call("GET", "/v1/models", None, deadline_s)
+
+    def metrics_text(self, *, deadline_s: float | None = None) -> str:
+        """``GET /metrics`` -> raw Prometheus exposition text."""
+        return self._request_once(
+            "GET", "/metrics", None, self._resolve(deadline_s)
+        )[1].decode("utf-8")
+
+    def metrics(self, *, deadline_s: float | None = None) -> dict:
+        """``GET /metrics`` parsed to ``{(name, labelset): value}``."""
+        return parse_metrics(self.metrics_text(deadline_s=deadline_s))
+
+    def wait_ready(self, *, deadline_s: float | None = None) -> dict:
+        """Poll ``/healthz`` until ready or the deadline expires."""
+        deadline = time.monotonic() + self._resolve(deadline_s)
+        while True:
+            try:
+                return self.healthz(deadline_s=1.0)
+            except (ServingError, OSError) as error:
+                if time.monotonic() >= deadline:
+                    raise GatewayUnavailable(
+                        503, "not_ready", f"gateway not ready in time: {error}"
+                    )
+            time.sleep(0.05)
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _resolve(self, deadline_s: float | None) -> float:
+        return self.deadline_s if deadline_s is None else deadline_s
+
+    def _call(
+        self,
+        method: str,
+        path: str,
+        body: dict | None,
+        deadline_s: float | None,
+        *,
+        retry_429: bool = True,
+    ) -> dict:
+        budget = self._resolve(deadline_s)
+        deadline = time.monotonic() + budget
+        attempt = 0
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise GatewayOverloaded(
+                    429, "deadline_exceeded", f"no capacity within {budget}s"
+                )
+            status, raw, headers = self._request_full(method, path, body, remaining)
+            if 200 <= status < 300:
+                return json.loads(raw.decode("utf-8"))
+            error = _error_from_response(status, raw)
+            if status != 429 or not retry_429:
+                raise error
+            backoff = self._backoff_s(attempt, headers.get("Retry-After"))
+            attempt += 1
+            remaining = deadline - time.monotonic()
+            if remaining <= backoff:
+                raise error
+            time.sleep(backoff)
+
+    def _backoff_s(self, attempt: int, retry_after: str | None) -> float:
+        backoff = min(self.retry_max_s, self.retry_base_s * (2**attempt))
+        if retry_after is not None:
+            try:
+                # Honour the server's hint, but never beyond our cap —
+                # the deadline budget, not the server, bounds waiting.
+                backoff = min(float(retry_after), self.retry_max_s)
+            except ValueError:
+                pass
+        return backoff
+
+    def _request_once(
+        self, method: str, path: str, body: dict | None, timeout_s: float
+    ) -> tuple[int, bytes]:
+        status, raw, _ = self._request_full(method, path, body, timeout_s)
+        if not 200 <= status < 300:
+            raise _error_from_response(status, raw)
+        return status, raw
+
+    def _request_full(
+        self, method: str, path: str, body: dict | None, timeout_s: float
+    ) -> tuple[int, bytes, dict]:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=max(0.001, timeout_s)
+            ) as response:
+                return response.status, response.read(), dict(response.headers)
+        except urllib.error.HTTPError as error:
+            with error:
+                return error.code, error.read(), dict(error.headers)

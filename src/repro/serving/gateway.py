@@ -1,0 +1,438 @@
+"""Threaded HTTP gateway over the replicated :class:`InferenceServer`.
+
+``ServingGateway`` binds a stdlib :class:`http.server.ThreadingHTTPServer`
+(no third-party dependencies) in front of a running
+:class:`~repro.engine.server.InferenceServer` and speaks the JSON wire
+protocol defined in :mod:`repro.serving.protocol`:
+
+* ``POST /v1/predict`` — one text in, label + probabilities out.
+* ``POST /v1/predict_batch`` — up to ``MAX_BATCH_TEXTS`` texts at once.
+* ``GET /healthz`` — readiness (workers started, model loaded, not
+  draining); load balancers should route on this.
+* ``GET /metrics`` — Prometheus text format from one consistent
+  ``ServerStats.snapshot()`` + aggregated replica ``engine_stats()``.
+* ``GET /v1/models`` — the model registry listing and which entry is
+  currently being served.
+
+Engine-level backpressure maps onto HTTP retry semantics: a shed-mode
+admission rejection (:class:`ServerOverloaded`) answers ``429`` with a
+``Retry-After`` hint, and a stopped or draining server answers ``503``.
+Shutdown is graceful: :meth:`ServingGateway.stop` flips readiness,
+closes engine admission via :meth:`InferenceServer.drain` (the SIGTERM
+hook), finishes in-flight HTTP responses, then drains the admitted
+backlog with :meth:`InferenceServer.stop`.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.engine.registry import REGISTRY
+from repro.engine.server import InferenceServer, ServerClosed, ServerOverloaded
+from repro.serving.metrics import HttpCounters, render_metrics
+from repro.serving.protocol import (
+    MAX_BODY_BYTES,
+    ProtocolError,
+    error_body,
+    format_prediction,
+    parse_predict_batch_request,
+    parse_predict_request,
+)
+
+__all__ = ["ServingGateway"]
+
+log = logging.getLogger("repro.serving")
+
+# Advisory backoff (seconds) sent with every 429; clients that honour
+# Retry-After spread their retries instead of hammering a full queue.
+RETRY_AFTER_S = 1
+
+
+class _GatewayHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that joins handler threads on close.
+
+    ``daemon_threads = False`` + ``block_on_close = True`` means
+    ``server_close()`` waits for in-flight responses — the HTTP half of
+    graceful drain.  Idle keep-alive connections cannot block shutdown
+    because the handler carries a socket timeout.
+    """
+
+    daemon_threads = False
+    block_on_close = True
+    allow_reuse_address = True
+
+    def __init__(self, address, handler, gateway: "ServingGateway") -> None:
+        self.gateway = gateway
+        super().__init__(address, handler)
+
+
+class _GatewayRequestHandler(BaseHTTPRequestHandler):
+    # HTTP/1.1 keep-alive: closed-loop clients reuse one connection per
+    # request stream instead of paying a TCP handshake per predict.
+    protocol_version = "HTTP/1.1"
+    # Socket timeout: an idle or stalled connection drops out of the
+    # keep-alive loop so server_close() can finish the drain.
+    timeout = 10
+
+    server: _GatewayHTTPServer
+
+    @property
+    def gateway(self) -> "ServingGateway":
+        return self.server.gateway
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        route = self.path.split("?", 1)[0]
+        if route == "/healthz":
+            self._handle_healthz()
+        elif route == "/metrics":
+            self._handle_metrics()
+        elif route == "/v1/models":
+            self._handle_models()
+        else:
+            self._send_error(404, "not_found", f"unknown path {route!r}", route="*")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        route = self.path.split("?", 1)[0]
+        if route == "/v1/predict":
+            self._handle_predict(batch=False)
+        elif route == "/v1/predict_batch":
+            self._handle_predict(batch=True)
+        else:
+            self._send_error(404, "not_found", f"unknown path {route!r}", route="*")
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def _handle_healthz(self) -> None:
+        gateway = self.gateway
+        if gateway.ready:
+            self._send_json(
+                200,
+                {
+                    "status": "ok",
+                    "model_id": gateway.model_id,
+                    "workers": gateway.server.workers,
+                },
+                route="/healthz",
+            )
+        else:
+            status = "draining" if gateway.draining else "starting"
+            self._send_json(503, {"status": status}, route="/healthz")
+
+    def _handle_metrics(self) -> None:
+        gateway = self.gateway
+        body = render_metrics(
+            gateway.server.stats.snapshot(),
+            gateway.server.engine_stats(),
+            gateway.http_counters.snapshot(),
+            ready=gateway.ready,
+            model_id=gateway.model_id,
+        ).encode("utf-8")
+        self._send_bytes(
+            200,
+            body,
+            content_type="text/plain; version=0.0.4; charset=utf-8",
+            route="/metrics",
+        )
+
+    def _handle_models(self) -> None:
+        gateway = self.gateway
+        self._send_json(
+            200,
+            {
+                "model_id": gateway.model_id,
+                "baseline": gateway.baseline,
+                "models": [
+                    {
+                        "name": spec.name,
+                        "kind": spec.kind,
+                        "description": spec.description,
+                        "loaded": spec.name == gateway.baseline,
+                    }
+                    for spec in REGISTRY.values()
+                ],
+            },
+            route="/v1/models",
+        )
+
+    def _handle_predict(self, *, batch: bool) -> None:
+        route = "/v1/predict_batch" if batch else "/v1/predict"
+        gateway = self.gateway
+        try:
+            raw = self._read_body()
+            if batch:
+                texts, top_k = parse_predict_batch_request(raw)
+            else:
+                text, top_k = parse_predict_request(raw)
+        except ProtocolError as error:
+            self._send_error(error.status, error.code, error.message, route=route)
+            return
+        try:
+            if batch:
+                results = gateway.server.predict(
+                    texts, timeout=gateway.request_timeout_s
+                )
+                body = {
+                    "model_id": gateway.model_id,
+                    "predictions": [
+                        format_prediction(r, top_k=top_k) for r in results
+                    ],
+                }
+            else:
+                result = gateway.server.submit(text).result(
+                    timeout=gateway.request_timeout_s
+                )
+                body = {
+                    "model_id": gateway.model_id,
+                    **format_prediction(result, top_k=top_k),
+                }
+        except ServerOverloaded:
+            self._send_error(
+                429,
+                "overloaded",
+                "admission queue full; retry after backoff",
+                route=route,
+                headers={"Retry-After": str(RETRY_AFTER_S)},
+            )
+            return
+        except ServerClosed:
+            self._send_error(
+                503,
+                "unavailable",
+                "server is draining or stopped",
+                route=route,
+            )
+            return
+        except FutureTimeoutError:
+            self._send_error(
+                504,
+                "deadline_exceeded",
+                f"request did not complete within {gateway.request_timeout_s}s",
+                route=route,
+            )
+            return
+        except Exception:
+            log.exception("unhandled error serving %s", route)
+            self._send_error(500, "internal", "internal server error", route=route)
+            return
+        self._send_json(200, body, route=route)
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def _read_body(self) -> bytes:
+        length_header = self.headers.get("Content-Length")
+        if length_header is None:
+            raise ProtocolError(411, "length_required", "Content-Length required")
+        try:
+            length = int(length_header)
+        except ValueError:
+            raise ProtocolError(400, "bad_request", "malformed Content-Length")
+        if length < 0:
+            raise ProtocolError(400, "bad_request", "malformed Content-Length")
+        if length > MAX_BODY_BYTES:
+            raise ProtocolError(
+                413,
+                "payload_too_large",
+                f"request body exceeds {MAX_BODY_BYTES} bytes",
+            )
+        return self.rfile.read(length)
+
+    def _send_json(
+        self,
+        status: int,
+        body: dict,
+        *,
+        route: str,
+        headers: dict[str, str] | None = None,
+    ) -> None:
+        payload = json.dumps(body).encode("utf-8")
+        self._send_bytes(
+            status,
+            payload,
+            content_type="application/json",
+            route=route,
+            headers=headers,
+        )
+
+    def _send_error(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        *,
+        route: str,
+        headers: dict[str, str] | None = None,
+    ) -> None:
+        self._send_json(status, error_body(code, message), route=route, headers=headers)
+
+    def _send_bytes(
+        self,
+        status: int,
+        payload: bytes,
+        *,
+        content_type: str,
+        route: str,
+        headers: dict[str, str] | None = None,
+    ) -> None:
+        self.gateway.http_counters.record(route, status)
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        if self.gateway.draining:
+            # Ask keep-alive clients to reconnect elsewhere so the
+            # handler thread can exit and server_close() can join it.
+            self.send_header("Connection", "close")
+            self.close_connection = True
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def log_message(self, format: str, *args) -> None:
+        log.debug("%s %s", self.address_string(), format % args)
+
+
+class ServingGateway:
+    """HTTP front door for one :class:`InferenceServer`.
+
+    Parameters
+    ----------
+    server:
+        The inference server to front.  If it is not running when
+        :meth:`start` is called the gateway starts it and owns its
+        lifecycle (stops it on :meth:`stop`).
+    model_id:
+        Identifier reported in responses and metrics; defaults to the
+        first engine replica's ``model_id``.
+    baseline:
+        Registry name of the served model, used by ``/v1/models`` to
+        mark the loaded entry.  Optional — a gateway over a stub engine
+        (tests, benchmarks) has no registry entry.
+    host / port:
+        Bind address.  ``port=0`` binds an ephemeral free port; read
+        :attr:`port` after :meth:`start` for the real one.
+    request_timeout_s:
+        Shared deadline for each predict request's engine futures.
+    """
+
+    def __init__(
+        self,
+        server: InferenceServer,
+        *,
+        model_id: str | None = None,
+        baseline: str | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        request_timeout_s: float = 30.0,
+    ) -> None:
+        self.server = server
+        self.model_id = model_id or server.engines[0].model_id
+        self.baseline = baseline
+        self.host = host
+        self.requested_port = port
+        self.request_timeout_s = request_timeout_s
+        self.http_counters = HttpCounters()
+        self._httpd: _GatewayHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+        self._draining = False
+        self._owns_server = False
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def ready(self) -> bool:
+        """Readiness: HTTP bound, workers started, admission open."""
+        return (
+            self._httpd is not None
+            and not self._draining
+            and self.server.running
+            and self.server.accepting
+        )
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` after :meth:`start`)."""
+        if self._httpd is None:
+            raise RuntimeError("gateway is not started")
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ServingGateway":
+        with self._lock:
+            if self._httpd is not None:
+                raise RuntimeError("gateway is already running")
+            if not self.server.running:
+                self.server.start()
+                self._owns_server = True
+            self._draining = False
+            self._httpd = _GatewayHTTPServer(
+                (self.host, self.requested_port), _GatewayRequestHandler, self
+            )
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="serving-gateway",
+                daemon=True,
+            )
+            self._thread.start()
+        log.info("serving %s on %s", self.model_id, self.url)
+        return self
+
+    def stop(self) -> None:
+        """Graceful drain: finish in-flight work, refuse new work.
+
+        Order matters: readiness flips first (load balancers stop
+        routing here), then engine admission closes
+        (:meth:`InferenceServer.drain` — requests that already submitted
+        still resolve; new ones get a typed 503), then the HTTP listener
+        shuts down and waits for in-flight handler threads, and finally
+        the inference server's admitted backlog drains to completion.
+
+        Draining and stopping only apply to a server this gateway
+        started.  A caller-managed server (already running when
+        :meth:`start` was called) is left untouched and fully usable —
+        the gateway detaches; in-flight HTTP requests still finish
+        because the listener close joins the handler threads.
+        """
+        with self._lock:
+            httpd, thread = self._httpd, self._thread
+            if httpd is None:
+                return
+            self._draining = True
+            self._httpd = None
+            self._thread = None
+            owns = self._owns_server
+        if owns:
+            self.server.drain()
+        httpd.shutdown()
+        httpd.server_close()
+        if thread is not None:
+            thread.join()
+        if owns:
+            self.server.stop()
+            self._owns_server = False
+
+    def __enter__(self) -> "ServingGateway":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,242 @@
+"""Prometheus text-format metrics for the serving gateway.
+
+:func:`render_metrics` turns one consistent
+:class:`~repro.engine.server.StatsSnapshot`, the aggregated
+:class:`~repro.engine.engine.EngineStats`, and the gateway's HTTP
+counters into Prometheus exposition text (version 0.0.4 — the format
+every Prometheus scraper and ``promtool`` accepts).  :func:`parse_metrics`
+is the inverse used by the tests, the e2e smoke job, and the benchmark
+harness to read counters back without a Prometheus dependency.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Iterable
+
+from repro.engine.engine import EngineStats
+from repro.engine.server import StatsSnapshot
+
+__all__ = ["HttpCounters", "parse_metrics", "render_metrics"]
+
+
+class HttpCounters:
+    """Thread-safe per-endpoint/status HTTP request counters."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts: dict[tuple[str, int], int] = {}
+
+    def record(self, endpoint: str, status: int) -> None:
+        with self._lock:
+            key = (endpoint, status)
+            self._counts[key] = self._counts.get(key, 0) + 1
+
+    def snapshot(self) -> dict[tuple[str, int], int]:
+        with self._lock:
+            return dict(self._counts)
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _sample(name: str, value: float, labels: dict[str, str] | None = None) -> str:
+    if labels:
+        rendered = ",".join(
+            f'{k}="{_escape_label_value(v)}"' for k, v in sorted(labels.items())
+        )
+        return f"{name}{{{rendered}}} {value}"
+    return f"{name} {value}"
+
+
+def render_metrics(
+    snapshot: StatsSnapshot,
+    engine_stats: EngineStats,
+    http_counts: dict[tuple[str, int], int],
+    *,
+    ready: bool,
+    model_id: str,
+) -> str:
+    """Prometheus exposition text for one scrape.
+
+    All inputs are immutable copies taken before rendering, so every
+    sample in one scrape belongs to the same instant.
+    """
+    lines: list[str] = []
+
+    def family(name: str, kind: str, help_text: str, samples: Iterable[str]):
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        lines.extend(samples)
+
+    family(
+        "holistix_ready",
+        "gauge",
+        "1 when the gateway is accepting traffic, 0 while starting or draining.",
+        [_sample("holistix_ready", 1 if ready else 0, {"model_id": model_id})],
+    )
+    family(
+        "holistix_http_requests_total",
+        "counter",
+        "HTTP requests answered, by endpoint and status code.",
+        [
+            _sample(
+                "holistix_http_requests_total",
+                count,
+                {"endpoint": endpoint, "status": str(status)},
+            )
+            for (endpoint, status), count in sorted(http_counts.items())
+        ],
+    )
+    family(
+        "holistix_server_requests_total",
+        "counter",
+        "Texts served by the inference server this epoch.",
+        [_sample("holistix_server_requests_total", snapshot.requests)],
+    )
+    family(
+        "holistix_server_batches_total",
+        "counter",
+        "Coalesced inference batches executed this epoch.",
+        [_sample("holistix_server_batches_total", snapshot.batches)],
+    )
+    family(
+        "holistix_server_shed_total",
+        "counter",
+        "Requests rejected by shed-mode admission this epoch.",
+        [_sample("holistix_server_shed_total", snapshot.shed)],
+    )
+    family(
+        "holistix_server_shed_rate",
+        "gauge",
+        "Fraction of offered requests shed this epoch.",
+        [_sample("holistix_server_shed_rate", snapshot.shed_rate)],
+    )
+    latency_samples = [
+        _sample(
+            "holistix_server_latency_ms",
+            snapshot.latency_percentile(q),
+            {"quantile": str(q / 100.0)},
+        )
+        for q in (50, 95, 99)
+    ]
+    latency_samples.append(
+        _sample("holistix_server_latency_ms_sum", snapshot.total_latency_ms)
+    )
+    latency_samples.append(
+        _sample("holistix_server_latency_ms_count", snapshot.requests)
+    )
+    family(
+        "holistix_server_latency_ms",
+        "summary",
+        "Queue-to-response latency quantiles over the recent-request window.",
+        latency_samples,
+    )
+    family(
+        "holistix_worker_requests_total",
+        "counter",
+        "Texts served per worker replica this epoch.",
+        [
+            _sample("holistix_worker_requests_total", count, {"worker": str(i)})
+            for i, count in enumerate(snapshot.per_worker_requests)
+        ],
+    )
+    family(
+        "holistix_engine_cache_hits_total",
+        "counter",
+        "Prediction-cache hits across worker engine replicas.",
+        [_sample("holistix_engine_cache_hits_total", engine_stats.cache_hits)],
+    )
+    family(
+        "holistix_engine_cache_misses_total",
+        "counter",
+        "Prediction-cache misses across worker engine replicas.",
+        [_sample("holistix_engine_cache_misses_total", engine_stats.cache_misses)],
+    )
+    family(
+        "holistix_engine_cache_hit_rate",
+        "gauge",
+        "Prediction-cache hit rate across worker engine replicas.",
+        [_sample("holistix_engine_cache_hit_rate", engine_stats.hit_rate)],
+    )
+    return "\n".join(lines) + "\n"
+
+
+def _parse_label_block(block: str) -> frozenset[tuple[str, str]]:
+    """Parse ``key="value",...`` honouring the exposition-format escapes.
+
+    Values may contain commas, escaped quotes (``\\"``), escaped
+    backslashes, and ``\\n`` — everything :func:`_escape_label_value`
+    can emit — so a naive comma split would corrupt them.
+    """
+    pairs: list[tuple[str, str]] = []
+    i, n = 0, len(block)
+    while i < n:
+        eq = block.find("=", i)
+        if eq == -1:
+            raise ValueError(f"malformed label block: {block!r}")
+        key = block[i:eq]
+        if not key.replace("_", "").isalnum():
+            raise ValueError(f"malformed label name: {key!r}")
+        i = eq + 1
+        if i >= n or block[i] != '"':
+            raise ValueError(f"label {key!r} value is not quoted")
+        i += 1
+        value_chars: list[str] = []
+        while i < n and block[i] != '"':
+            ch = block[i]
+            if ch == "\\":
+                if i + 1 >= n:
+                    raise ValueError(f"dangling escape in label {key!r}")
+                nxt = block[i + 1]
+                unescaped = {"\\": "\\", '"': '"', "n": "\n"}.get(nxt, "\\" + nxt)
+                value_chars.append(unescaped)
+                i += 2
+            else:
+                value_chars.append(ch)
+                i += 1
+        if i >= n:
+            raise ValueError(f"unterminated value for label {key!r}")
+        i += 1  # closing quote
+        pairs.append((key, "".join(value_chars)))
+        if i < n:
+            if block[i] != ",":
+                raise ValueError(f"malformed label separator at {block[i:]!r}")
+            i += 1
+    return frozenset(pairs)
+
+
+def parse_metrics(text: str) -> dict[tuple[str, frozenset[tuple[str, str]]], float]:
+    """Parse exposition text -> ``{(name, labelset): value}``.
+
+    A deliberately small parser for the subset :func:`render_metrics`
+    emits (and that any conformant exporter produces for simple
+    counters/gauges): one sample per line, with full support for the
+    label-value escapes the renderer can produce.  Raises
+    ``ValueError`` on lines that fit neither a comment, a blank, nor a
+    sample — which is what makes it usable as a format check in the
+    tests.
+    """
+    samples: dict[tuple[str, frozenset[tuple[str, str]]], float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name_part, _, value_part = line.rpartition(" ")
+        if not name_part:
+            raise ValueError(f"malformed sample line: {line!r}")
+        value = float(value_part)  # raises ValueError on malformed values
+        labels: frozenset[tuple[str, str]] = frozenset()
+        if "{" in name_part:
+            if not name_part.endswith("}"):
+                raise ValueError(f"malformed label block: {line!r}")
+            name, _, label_block = name_part.partition("{")
+            if label_block[:-1]:
+                labels = _parse_label_block(label_block[:-1])
+        else:
+            name = name_part
+        if not name.replace("_", "").replace(":", "").isalnum():
+            raise ValueError(f"malformed metric name: {name!r}")
+        samples[(name, labels)] = value
+    return samples

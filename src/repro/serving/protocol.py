@@ -1,0 +1,157 @@
+"""Wire protocol for the HTTP serving gateway.
+
+One module owns everything about the JSON-over-HTTP contract — request
+validation, response shaping, and the typed error payloads — so the
+gateway handler, the :class:`~repro.serving.client.ServingClient`, and
+the tests all agree on byte-level details.  The schemas are documented
+in ``docs/SERVING.md``; keep the two in sync.
+
+Every error response has the shape::
+
+    {"error": {"code": "<machine-readable>", "message": "<human>"}}
+
+with the HTTP status carrying the retry semantics (429 = overloaded,
+retry after backoff; 503 = not ready / draining, retry elsewhere).
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+
+from repro.core.labels import DIMENSIONS
+from repro.engine.server import PredictionResult
+
+__all__ = [
+    "MAX_BODY_BYTES",
+    "MAX_BATCH_TEXTS",
+    "ProtocolError",
+    "error_body",
+    "format_prediction",
+    "parse_predict_request",
+    "parse_predict_batch_request",
+]
+
+# Hard cap on request body size; a gateway fronting the public internet
+# must bound memory per connection before json.loads sees the payload.
+MAX_BODY_BYTES = 1 << 20
+
+# Hard cap on texts per batch request, independent of the admission
+# queue bound (one giant batch request must not monopolise the queue).
+MAX_BATCH_TEXTS = 256
+
+LABEL_CODES: tuple[str, ...] = tuple(d.code for d in DIMENSIONS)
+
+
+class ProtocolError(Exception):
+    """A request the gateway rejects before it reaches the engine.
+
+    Parameters
+    ----------
+    status:
+        HTTP status code to answer with.
+    code:
+        Stable machine-readable error identifier (``"bad_request"``,
+        ``"payload_too_large"``, ...) for client dispatch.
+    message:
+        Human-readable explanation, safe to surface to callers.
+    """
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+
+
+def error_body(code: str, message: str) -> dict:
+    """The canonical error payload (also used for engine-level errors)."""
+    return {"error": {"code": code, "message": message}}
+
+
+def _parse_json_object(raw: bytes) -> dict:
+    if len(raw) > MAX_BODY_BYTES:
+        raise ProtocolError(
+            413,
+            "payload_too_large",
+            f"request body exceeds {MAX_BODY_BYTES} bytes",
+        )
+    try:
+        payload = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(400, "bad_json", f"body is not valid JSON: {error}")
+    if not isinstance(payload, dict):
+        raise ProtocolError(400, "bad_request", "body must be a JSON object")
+    return payload
+
+
+def _parse_top_k(payload: dict) -> int | None:
+    top_k = payload.get("top_k")
+    if top_k is None:
+        return None
+    if isinstance(top_k, bool) or not isinstance(top_k, int):
+        raise ProtocolError(400, "bad_request", "top_k must be an integer")
+    if not 1 <= top_k <= len(LABEL_CODES):
+        raise ProtocolError(
+            400,
+            "bad_request",
+            f"top_k must be between 1 and {len(LABEL_CODES)}",
+        )
+    return top_k
+
+
+def _require_text(value: object, *, what: str) -> str:
+    if not isinstance(value, str):
+        raise ProtocolError(400, "bad_request", f"{what} must be a string")
+    if not value.strip():
+        raise ProtocolError(400, "bad_request", f"{what} must not be empty")
+    return value
+
+
+def parse_predict_request(raw: bytes) -> tuple[str, int | None]:
+    """Validate a ``POST /v1/predict`` body -> ``(text, top_k)``."""
+    payload = _parse_json_object(raw)
+    if "text" not in payload:
+        raise ProtocolError(400, "bad_request", 'missing required field "text"')
+    return _require_text(payload["text"], what="text"), _parse_top_k(payload)
+
+
+def parse_predict_batch_request(raw: bytes) -> tuple[list[str], int | None]:
+    """Validate a ``POST /v1/predict_batch`` body -> ``(texts, top_k)``."""
+    payload = _parse_json_object(raw)
+    if "texts" not in payload:
+        raise ProtocolError(400, "bad_request", 'missing required field "texts"')
+    texts = payload["texts"]
+    if not isinstance(texts, list) or not texts:
+        raise ProtocolError(400, "bad_request", "texts must be a non-empty JSON array")
+    if len(texts) > MAX_BATCH_TEXTS:
+        raise ProtocolError(
+            413,
+            "payload_too_large",
+            f"texts has {len(texts)} entries; the limit is {MAX_BATCH_TEXTS}",
+        )
+    return (
+        [_require_text(t, what=f"texts[{i}]") for i, t in enumerate(texts)],
+        _parse_top_k(payload),
+    )
+
+
+def format_prediction(result: PredictionResult, *, top_k: int | None = None) -> dict:
+    """One served prediction as its JSON-ready response object.
+
+    Without ``top_k`` the full probability vector is returned as a
+    ``{label_code: probability}`` object in canonical ``DIMENSIONS``
+    order; with ``top_k`` it becomes a probability-descending list of
+    ``{"label": ..., "probability": ...}`` pairs (ties broken by
+    canonical label order, so responses are deterministic).
+    """
+    probs: Sequence[float] = result.probabilities
+    body: dict = {"label": result.label.code, "latency_ms": result.latency_ms}
+    if top_k is None:
+        body["probabilities"] = dict(zip(LABEL_CODES, probs))
+    else:
+        ranked = sorted(range(len(probs)), key=lambda i: (-probs[i], i))[:top_k]
+        body["top_k"] = [
+            {"label": LABEL_CODES[i], "probability": probs[i]} for i in ranked
+        ]
+    return body

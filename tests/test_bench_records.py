@@ -1,0 +1,105 @@
+"""Schema validation for every committed ``BENCH_*.json`` record.
+
+The benchmark harness persists one record per scenario and ``--check``
+compares fresh runs against them, so a harness refactor that silently
+changes the record shape (dropping ``git_sha``, renaming a primary
+metric, writing strings where numbers belong) would disarm the
+regression gate without failing anything.  These tests pin the contract
+documented in ``docs/BENCHMARKING.md``; the ``benchmark-harness-smoke``
+CI job runs them against the freshly rewritten records too.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from datetime import datetime
+from pathlib import Path
+
+import pytest
+
+from benchmarks.harness import SCENARIOS
+
+RECORDS_DIR = Path(__file__).resolve().parent.parent / "benchmarks" / "records"
+
+REQUIRED_KEYS = {
+    "scenario",
+    "timestamp",
+    "git_sha",
+    "quick",
+    "cpu_count",
+    "harness_wall_clock_s",
+    "timings",
+    "metrics",
+}
+
+
+def record_paths() -> list[Path]:
+    return sorted(RECORDS_DIR.glob("BENCH_*.json"))
+
+
+def load(path: Path) -> dict:
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def test_every_scenario_has_a_committed_record():
+    committed = {path.stem.removeprefix("BENCH_") for path in record_paths()}
+    assert committed == set(SCENARIOS), (
+        "every harness scenario must commit a BENCH_<scenario>.json record "
+        f"(missing: {set(SCENARIOS) - committed}, "
+        f"stale: {committed - set(SCENARIOS)})"
+    )
+
+
+@pytest.mark.parametrize("path", record_paths(), ids=lambda p: p.stem)
+class TestRecordSchema:
+    def test_required_keys_present(self, path: Path) -> None:
+        record = load(path)
+        missing = REQUIRED_KEYS - set(record)
+        assert not missing, f"{path.name} is missing {sorted(missing)}"
+
+    def test_scenario_matches_filename(self, path: Path) -> None:
+        record = load(path)
+        assert record["scenario"] == path.stem.removeprefix("BENCH_")
+        assert record["scenario"] in SCENARIOS
+
+    def test_timestamp_is_iso8601(self, path: Path) -> None:
+        parsed = datetime.fromisoformat(load(path)["timestamp"])
+        assert parsed.tzinfo is not None, "timestamps must carry a timezone"
+
+    def test_git_sha_and_counts(self, path: Path) -> None:
+        record = load(path)
+        assert isinstance(record["git_sha"], str) and record["git_sha"]
+        assert isinstance(record["quick"], bool)
+        assert isinstance(record["cpu_count"], int) and record["cpu_count"] >= 1
+        wall = record["harness_wall_clock_s"]
+        assert isinstance(wall, (int, float)) and wall > 0
+
+    def test_timings_are_finite_numbers(self, path: Path) -> None:
+        timings = load(path)["timings"]
+        assert isinstance(timings, dict) and timings
+        for key, value in timings.items():
+            assert isinstance(key, str)
+            assert isinstance(value, (int, float)) and math.isfinite(value), (
+                f"{path.name}: timing {key!r} is not a finite number: {value!r}"
+            )
+
+    def test_primary_metric_present_and_finite(self, path: Path) -> None:
+        record = load(path)
+        _, primary_key, _ = SCENARIOS[record["scenario"]]
+        metrics = record["metrics"]
+        assert isinstance(metrics, dict) and metrics
+        assert primary_key in metrics, (
+            f"{path.name}: primary metric {primary_key!r} missing "
+            f"(has {sorted(metrics)})"
+        )
+        value = metrics[primary_key]
+        assert isinstance(value, (int, float)) and not isinstance(value, bool)
+        assert math.isfinite(value) and value > 0
+
+    def test_previous_block_shape_when_present(self, path: Path) -> None:
+        previous = load(path).get("previous")
+        if previous is None:
+            return
+        assert isinstance(previous, dict)
+        assert {"git_sha", "timestamp", "metrics"} <= set(previous)

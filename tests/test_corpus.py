@@ -19,7 +19,6 @@ from repro.corpus.hardness import HARDNESS, TypeMixture, WEAK_PHRASES
 from repro.corpus.lexicon import SECONDARY_BLEED, all_dimension_words
 from repro.corpus.preprocess import is_on_topic, preprocess
 from repro.corpus.scraper import scrape_board, scrape_forum
-from repro.text.tokenize import count_sentences, count_words
 
 
 class TestGeneratorConfig:

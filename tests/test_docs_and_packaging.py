@@ -17,6 +17,7 @@ class TestDocumentation:
             "pyproject.toml",
             "docs/ARCHITECTURE.md",
             "docs/BENCHMARKING.md",
+            "docs/SERVING.md",
         ):
             assert (REPO_ROOT / name).is_file(), name
 
@@ -48,6 +49,7 @@ class TestDocumentation:
             "repro.nn",
             "repro.models",
             "repro.engine",
+            "repro.serving",
             "repro.explain",
             "repro.experiments",
         ):
@@ -58,6 +60,37 @@ class TestDocumentation:
         for name in ("README.md", "DESIGN.md"):
             text = (REPO_ROOT / name).read_text(encoding="utf-8")
             assert "docs/ARCHITECTURE.md" in text, name
+
+    def test_serving_doc_covers_wire_protocol(self):
+        text = (REPO_ROOT / "docs" / "SERVING.md").read_text(encoding="utf-8")
+        for needle in (
+            "/v1/predict",
+            "/v1/predict_batch",
+            "/healthz",
+            "/metrics",
+            "/v1/models",
+            "429",
+            "503",
+            "holistix-serve",
+            "curl",
+            "Retry-After",
+            "holistix_server_requests_total",
+        ):
+            assert needle in text, needle
+
+    def test_serving_doc_linked_from_readme_and_architecture(self):
+        for name in ("README.md", "docs/ARCHITECTURE.md"):
+            text = (REPO_ROOT / name).read_text(encoding="utf-8")
+            assert "SERVING.md" in text, name
+
+    def test_console_scripts_declared_and_resolve(self):
+        pyproject = (REPO_ROOT / "pyproject.toml").read_text(encoding="utf-8")
+        assert 'holistix-experiments = "repro.experiments.runner:main"' in pyproject
+        assert 'holistix-serve = "repro.serving.cli:main"' in pyproject
+        from repro.experiments.runner import main as experiments_main
+        from repro.serving.cli import main as serve_main
+
+        assert callable(experiments_main) and callable(serve_main)
 
     def test_benchmarking_doc_covers_harness(self):
         text = (REPO_ROOT / "docs" / "BENCHMARKING.md").read_text(encoding="utf-8")
@@ -106,6 +139,7 @@ class TestPublicApi:
         "repro.nn",
         "repro.models",
         "repro.engine",
+        "repro.serving",
         "repro.explain",
         "repro.experiments",
     ]

@@ -9,7 +9,6 @@ import pathlib
 import subprocess
 import sys
 
-import pytest
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 EXAMPLES = REPO_ROOT / "examples"
@@ -70,3 +69,8 @@ class TestExamples:
         assert "per-worker requests" in out
         assert "replica caches" in out
         assert "shed rate" in out
+        assert "/healthz -> {'status': 'ok'" in out
+        assert "POST /v1/predict top_k=2 ->" in out
+        assert "holistix_server_requests_total" in out
+        assert "gateway drained and stopped" in out
+        assert "answered 429" in out

@@ -10,7 +10,7 @@ from repro.experiments.paper_reference import (
     PAPER_TABLE4_ACCURACY,
     PAPER_TABLE5,
 )
-from repro.experiments.protocol import FULL, REDUCED, Protocol, current_protocol
+from repro.experiments.protocol import FULL, REDUCED, current_protocol
 from repro.experiments.reporting import format_float, render_table, side_by_side
 from repro.experiments.runner import EXPERIMENTS, run_experiment
 from repro.experiments.table2 import format_table2, run_table2

@@ -1,6 +1,5 @@
 """Additional forum, preprocessing and stopword tests."""
 
-import numpy as np
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st

@@ -84,7 +84,7 @@ class TestDeterminismAcrossTheBoard:
         a = HolistixDataset.build()
         b = HolistixDataset.build()
         assert a.texts == b.texts
-        assert [l.code for l in a.labels] == [l.code for l in b.labels]
+        assert [x.code for x in a.labels] == [x.code for x in b.labels]
 
     def test_classifier_deterministic(self, small_dataset):
         split = small_dataset.fixed_split(train=100, validation=20, test=22)

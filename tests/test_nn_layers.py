@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.nn.attention import MultiHeadAttention
-from repro.nn.functional import attention_mask_from_padding, cross_entropy
+from repro.nn.functional import attention_mask_from_padding
 from repro.nn.layers import Dropout, Embedding, LayerNorm, Linear, Module, Sequential
 from repro.nn.optim import (
     SGD,

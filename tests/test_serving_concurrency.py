@@ -429,3 +429,67 @@ class TestServerLifecycle:
             assert server.running  # workers did not eat stale sentinels
         finally:
             server.stop()
+
+
+class TestGracefulDrain:
+    """The SIGTERM hook: drain() closes admission but keeps serving."""
+
+    def test_drain_closes_admission_but_serves_admitted(self):
+        server = InferenceServer(
+            make_engine(SlowBackend(0.02)), workers=2, max_batch_size=2
+        )
+        with server:
+            assert server.accepting
+            admitted = [server.submit(f"admitted {i}") for i in range(8)]
+            server.drain()
+            assert not server.accepting
+            assert server.running  # workers stay up to drain the backlog
+            with pytest.raises(ServerClosed):
+                server.submit("late")
+            # Every admitted future still resolves with a real result.
+            oracle = make_engine().predict_proba(
+                [f"admitted {i}" for i in range(8)]
+            )
+            for future, expected in zip(admitted, oracle):
+                result = future.result(timeout=10)
+                assert result.probabilities == tuple(expected)
+        assert not server.running
+
+    def test_drain_wakes_blocked_submitters(self):
+        server = InferenceServer(
+            make_engine(SlowBackend(0.2)),
+            workers=1,
+            max_batch_size=1,
+            max_wait_ms=0.0,
+            max_queue=1,
+            overload="block",
+        )
+        errors: list[Exception] = []
+        with server:
+            server.submit("occupy")
+            time.sleep(0.05)
+            server.submit("fill queue")
+
+            def blocked_submit() -> None:
+                try:
+                    server.submit("blocked on a full queue")
+                except ServerClosed as error:
+                    errors.append(error)
+
+            thread = threading.Thread(target=blocked_submit)
+            thread.start()
+            time.sleep(0.05)  # the submitter is waiting on _not_full
+            server.drain()
+            thread.join(timeout=5)
+            assert len(errors) == 1  # failed fast, did not hang
+
+    def test_drain_is_idempotent_and_safe_before_start(self):
+        server = InferenceServer(make_engine())
+        server.drain()  # never started: no-op
+        with pytest.raises(ServerClosed):
+            server.submit("still closed")
+        server.start()
+        server.drain()
+        server.drain()
+        server.stop()
+        assert not server.running

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.text.vocab import CLS, MASK, PAD, SEP, UNK, Vocabulary
+from repro.text.vocab import PAD, UNK, Vocabulary
 
 
 class TestConstruction:
