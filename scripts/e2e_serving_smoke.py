@@ -282,6 +282,127 @@ def phase_forced_shed(checkpoint: Path, log_dir: Path) -> None:
         raise
 
 
+def shm_segments() -> list[str] | None:
+    """Names of live ``hx_*`` shared-memory segments (None off-Linux)."""
+    root = Path("/dev/shm")
+    if not root.is_dir():
+        return None
+    return sorted(p.name for p in root.glob("hx_*"))
+
+
+def pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except OSError:
+        return False
+    return True
+
+
+def phase_multiprocess(checkpoint: Path, log_dir: Path) -> None:
+    """The ``--worker-processes`` deployment shape, end to end.
+
+    Byte-identical predictions vs the threaded server (sequential
+    single requests pin batch composition to singletons — probabilities
+    are only bit-reproducible under identical batch shapes), per-process
+    health reporting, and the cleanup contract: SIGTERM drains with exit
+    0, every worker process dies, and no ``/dev/shm`` segment survives.
+    """
+    texts = [f"parity text {i} about sleep and worry" for i in range(10)]
+    segments_before = shm_segments()
+
+    threaded = ServeProcess(
+        "mp-parity-threads",
+        ["--checkpoint", str(checkpoint), "--port", "0", "--workers", "2"],
+        log_dir,
+    )
+    try:
+        client = ServingClient(threaded.wait_ready_url(), deadline_s=30)
+        client.wait_ready(deadline_s=30)
+        thread_probs = [client.predict(t)["probabilities"] for t in texts]
+        code = threaded.terminate_gracefully()
+        check(code == 0, f"threaded reference exited {code}, expected 0")
+    except BaseException:
+        threaded.dump_log()
+        threaded.kill()
+        raise
+
+    server = ServeProcess(
+        "mp-workers",
+        [
+            "--checkpoint",
+            str(checkpoint),
+            "--port",
+            "0",
+            "--worker-processes",
+            "2",
+            "--max-queue",
+            "64",
+            "--overload",
+            "shed",
+        ],
+        log_dir,
+    )
+    try:
+        url = server.wait_ready_url(timeout_s=120)
+        client = ServingClient(url, deadline_s=30)
+        health = client.wait_ready(deadline_s=60)
+        check(health["status"] == "ok", f"unexpected health: {health}")
+        processes = health.get("processes")
+        check(
+            isinstance(processes, list) and len(processes) == 2,
+            f"healthz did not report 2 worker processes: {health}",
+        )
+        check(
+            all(p["alive"] and isinstance(p["pid"], int) for p in processes),
+            f"worker processes not all alive: {processes}",
+        )
+        pids = [p["pid"] for p in processes]
+        print(f"[e2e] multi-process server ready at {url}, worker pids {pids}")
+
+        mp_probs = [client.predict(t)["probabilities"] for t in texts]
+        check(
+            mp_probs == thread_probs,
+            "process-served probabilities differ from the threaded server",
+        )
+        print(f"[e2e] {len(texts)} predictions byte-identical to threaded serving")
+
+        batch = client.predict_batch(texts[:4])
+        check(len(batch["predictions"]) == 4, f"batch mismatch: {batch}")
+        metrics_text = client.metrics_text()
+        check(
+            "holistix_worker_process_alive" in metrics_text
+            and "holistix_worker_process_restarts_total" in metrics_text,
+            "per-process metric families missing from /metrics",
+        )
+
+        segments_during = shm_segments()
+        if segments_during is not None and segments_before is not None:
+            new = set(segments_during) - set(segments_before)
+            check(
+                len(new) == 1,
+                f"expected exactly one new shm segment, saw {sorted(new)}",
+            )
+
+        code = server.terminate_gracefully()
+        check(code == 0, f"graceful drain exited {code}, expected 0")
+
+        deadline = time.monotonic() + 15
+        while time.monotonic() < deadline and any(pid_alive(p) for p in pids):
+            time.sleep(0.1)
+        orphans = [p for p in pids if pid_alive(p)]
+        check(not orphans, f"worker processes survived SIGTERM: {orphans}")
+
+        segments_after = shm_segments()
+        if segments_after is not None and segments_before is not None:
+            leaked = set(segments_after) - set(segments_before)
+            check(not leaked, f"leaked shm segments: {sorted(leaked)}")
+        print("[e2e] SIGTERM drained: exit 0, zero orphans, shm clean")
+    except BaseException:
+        server.dump_log()
+        server.kill()
+        raise
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -290,14 +411,23 @@ def main(argv: list[str] | None = None) -> int:
         default=REPO_ROOT / "e2e-logs",
         help="where server logs and the scratch checkpoint go",
     )
+    parser.add_argument(
+        "--mode",
+        choices=("threads", "processes", "both"),
+        default="both",
+        help="which serving backends to exercise (CI matrixes over these)",
+    )
     args = parser.parse_args(argv)
     args.log_dir.mkdir(parents=True, exist_ok=True)
 
     started = time.perf_counter()
     checkpoint = args.log_dir / "checkpoint"
     train_checkpoint(checkpoint)
-    phase_happy_path(checkpoint, args.log_dir)
-    phase_forced_shed(checkpoint, args.log_dir)
+    if args.mode in ("threads", "both"):
+        phase_happy_path(checkpoint, args.log_dir)
+        phase_forced_shed(checkpoint, args.log_dir)
+    if args.mode in ("processes", "both"):
+        phase_multiprocess(checkpoint, args.log_dir)
     print(f"[e2e] OK in {time.perf_counter() - started:.1f}s")
     return 0
 

@@ -254,10 +254,27 @@ class WellnessClassifier:
     @classmethod
     def load(cls, path: str | Path) -> "WellnessClassifier":
         """Rebuild a fitted classifier from a :meth:`save` checkpoint."""
-        from repro.models.config import ModelConfig
-        from repro.nn.serialization import load_checkpoint, restore_array_state
+        from repro.nn.serialization import load_checkpoint
 
         arrays, config = load_checkpoint(path)
+        return cls.from_state(arrays, config)
+
+    @classmethod
+    def from_state(cls, arrays: dict, config: dict) -> "WellnessClassifier":
+        """Rebuild a fitted classifier from in-memory checkpoint state.
+
+        ``arrays``/``config`` are exactly what :meth:`save` persists —
+        but they can come from anywhere: ``load_checkpoint`` (the
+        :meth:`load` path) or zero-copy shared-memory views published by
+        a :class:`~repro.nn.serialization.SharedCheckpoint` (worker
+        processes).  Read-only arrays are safe: transformer parameters
+        are copied once by ``load_state_dict``, while traditional models
+        hold the views by reference (``restore_array_state`` assigns,
+        inference never writes fitted state) — true zero-copy serving.
+        """
+        from repro.models.config import ModelConfig
+        from repro.nn.serialization import restore_array_state
+
         classifier = cls(
             config["baseline"],
             max_features=config["max_features"],

@@ -11,16 +11,27 @@ The three pieces every prediction path shares:
   front-end: N worker threads over engine replicas, a bounded admission
   queue with block/shed backpressure, graceful drain, and thread-safe
   throughput/latency stats snapshots.
+* :mod:`repro.engine.procserver` — the same admission core over worker
+  *processes* attached to shared-memory weights: GIL-free compute that
+  scales with cores, with dead-worker respawn and hot reload via the
+  ``weights_version`` token.
 """
 
 from repro.engine.engine import (
     EngineStats,
+    LatencyInjectedBackend,
     PredictionEngine,
     TraditionalBackend,
     TransformerBackend,
     bump_weights_version,
     softmax_rows,
     weights_version,
+)
+from repro.engine.procserver import (
+    FactoryEngineSpec,
+    ProcessInferenceServer,
+    RemoteWorkerError,
+    SharedCheckpointEngineSpec,
 )
 from repro.engine.registry import (
     REGISTRY,
@@ -36,6 +47,7 @@ from repro.engine.registry import (
     transformer_class,
 )
 from repro.engine.server import (
+    BatchingServerBase,
     InferenceServer,
     PredictionResult,
     ServerClosed,
@@ -46,14 +58,20 @@ from repro.engine.server import (
 
 __all__ = [
     "BaselineSpec",
+    "BatchingServerBase",
     "EngineStats",
+    "FactoryEngineSpec",
     "InferenceServer",
+    "LatencyInjectedBackend",
     "PredictionEngine",
     "PredictionResult",
+    "ProcessInferenceServer",
     "REGISTRY",
+    "RemoteWorkerError",
     "ServerClosed",
     "ServerOverloaded",
     "ServerStats",
+    "SharedCheckpointEngineSpec",
     "StatsSnapshot",
     "TraditionalBackend",
     "TransformerBackend",

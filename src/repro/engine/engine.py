@@ -15,6 +15,7 @@ cache.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from collections.abc import Sequence
@@ -25,6 +26,7 @@ from repro.core.labels import DIMENSIONS, WellnessDimension
 
 __all__ = [
     "EngineStats",
+    "LatencyInjectedBackend",
     "PredictionEngine",
     "TraditionalBackend",
     "TransformerBackend",
@@ -174,6 +176,36 @@ class TransformerBackend:
                 if was_training:
                     model.train()
         return softmax_rows(np.asarray(logits, dtype=np.float64))
+
+
+class LatencyInjectedBackend:
+    """Delegating backend wrapper that adds fixed per-batch latency.
+
+    Load-testing aid (``holistix-serve --inject-latency-ms``): makes a
+    fast model behave like a slow one so overload behaviour (queue
+    growth, 429s, drain timing) can be exercised deterministically —
+    the e2e smoke job uses it to force a real shed through HTTP.  Lives
+    at the engine layer so multi-process worker specs can rebuild the
+    wrapper inside each worker process.
+    """
+
+    def __init__(self, inner, delay_s: float) -> None:
+        self._inner = inner
+        self._delay_s = delay_s
+
+    def __getattr__(self, name: str):
+        # Everything not overridden (n_classes, weights_version, encode
+        # when the inner backend has one) passes straight through, so
+        # the engine sees the inner backend's capabilities unchanged.
+        return getattr(self._inner, name)
+
+    def proba_batch(self, texts):
+        time.sleep(self._delay_s)
+        return self._inner.proba_batch(texts)
+
+    def proba_rows(self, rows):
+        time.sleep(self._delay_s)
+        return self._inner.proba_rows(rows)
 
 
 class PredictionEngine:

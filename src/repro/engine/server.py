@@ -33,6 +33,7 @@ from repro.core.labels import DIMENSIONS, WellnessDimension
 from repro.engine.engine import EngineStats, PredictionEngine
 
 __all__ = [
+    "BatchingServerBase",
     "InferenceServer",
     "PredictionResult",
     "ServerClosed",
@@ -284,35 +285,34 @@ class ServerStats:
         return requests / elapsed if elapsed > 0 else 0.0
 
 
-class InferenceServer:
-    """Coalesce single-text requests into batched calls on engine replicas.
+class BatchingServerBase:
+    """Bounded-admission micro-batching core shared by every server.
 
-    Parameters
-    ----------
-    engine:
-        A fitted :class:`PredictionEngine`.  The server never mutates it;
-        each worker thread serves through its own
-        :meth:`PredictionEngine.replicate` replica (private cache and
-        stats over the shared read-only fitted backend).
-    workers:
-        Number of serving threads (and engine replicas).
-    max_batch_size:
-        Hard cap on texts per coalesced batch.
-    max_wait_ms:
-        How long a worker holds an open batch hoping for more traffic;
-        the first request in a batch never waits longer than this before
-        inference starts.
-    max_queue:
-        Bound on requests admitted but not yet picked up by a worker.
-    overload:
-        ``"block"`` — ``submit`` waits for queue space (backpressure);
-        ``"shed"`` — ``submit`` raises :class:`ServerOverloaded`
-        immediately when the queue is full (load shedding).
+    Owns everything about *admission and coalescing* — the bounded
+    FIFO queue, block/shed overload policy, batch collection, future
+    resolution, graceful drain/stop with per-worker sentinels, and the
+    epoched :class:`ServerStats` — while leaving *how a batch of texts
+    becomes probabilities* to subclasses via :meth:`_predict_probs`.
+
+    :class:`InferenceServer` plugs in per-thread engine replicas
+    (in-process, GIL-bound compute); :class:`~repro.engine.procserver.
+    ProcessInferenceServer` plugs in dispatch pipes to worker processes
+    holding shared-memory weights.  Both therefore share byte-identical
+    admission semantics, drain behaviour, and stats — the contract the
+    HTTP gateway and the oracle tests rely on.
+
+    Subclass hooks (all optional except :meth:`_predict_probs`):
+
+    * ``_before_start()`` — runs under the lifecycle mutex before the
+      serving threads launch (spawn worker processes here).
+    * ``_on_worker_start(worker)`` / ``_on_worker_exit(worker)`` — first
+      and last thing each serving thread does.
+    * ``_after_stop()`` — runs once per stop after every serving thread
+      joined (tear down processes / shared memory here).
     """
 
     def __init__(
         self,
-        engine: PredictionEngine,
         *,
         workers: int = 1,
         max_batch_size: int = 32,
@@ -330,14 +330,12 @@ class InferenceServer:
             raise ValueError("max_queue must be >= 1")
         if overload not in ("block", "shed"):
             raise ValueError('overload must be "block" or "shed"')
-        self.engine = engine
         self.workers = workers
         self.max_batch_size = max_batch_size
         self.max_wait_ms = max_wait_ms
         self.max_queue = max_queue
         self.overload = overload
         self.stats = ServerStats(n_workers=workers)
-        self._engines = tuple(engine.replicate() for _ in range(workers))
         # One mutex guards the deque, the accepting flag, and the thread
         # list; two conditions on it separate consumer wake-ups
         # (_not_empty) from producer wake-ups (_not_full).  Submissions
@@ -353,18 +351,36 @@ class InferenceServer:
         self._threads: list[threading.Thread] = []
 
     # ------------------------------------------------------------------
+    # Subclass hooks
+    # ------------------------------------------------------------------
+    def _predict_probs(self, worker: int, texts: list[str]):
+        """Probability matrix ``(len(texts), n_classes)`` for one batch."""
+        raise NotImplementedError
+
+    def engine_stats(self) -> EngineStats:
+        """Aggregate :class:`EngineStats` across every worker."""
+        raise NotImplementedError
+
+    def _before_start(self) -> None:
+        pass
+
+    def _on_worker_start(self, worker: int) -> None:
+        pass
+
+    def _on_worker_exit(self, worker: int) -> None:
+        pass
+
+    def _after_stop(self) -> None:
+        pass
+
+    # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
-    @property
-    def engines(self) -> tuple[PredictionEngine, ...]:
-        """The per-worker engine replicas (index == worker index)."""
-        return self._engines
-
     @property
     def running(self) -> bool:
         return any(t.is_alive() for t in self._threads)
 
-    def start(self) -> "InferenceServer":
+    def start(self) -> "BatchingServerBase":
         with self._mutex:
             # _stopping covers the window where an in-flight stop() has
             # released the mutex to join workers that already exited;
@@ -372,6 +388,7 @@ class InferenceServer:
             # thread list and leave _stopping latched True forever.
             if self.running or self._stopping:
                 raise RuntimeError("server is already running")
+            self._before_start()
             self.stats.mark_started()
             self._threads = [
                 threading.Thread(
@@ -438,10 +455,11 @@ class InferenceServer:
                 # matches start()'s mark_started(); stats methods never
                 # take the server mutex, so no inversion.)
                 self.stats.mark_stopped()
+                self._after_stop()
                 self._threads = []
                 self._stopping = False
 
-    def __enter__(self) -> "InferenceServer":
+    def __enter__(self) -> "BatchingServerBase":
         return self.start()
 
     def __exit__(self, *exc_info) -> None:
@@ -504,13 +522,6 @@ class InferenceServer:
             for f in futures
         ]
 
-    def engine_stats(self) -> EngineStats:
-        """Aggregate :class:`EngineStats` across every worker replica."""
-        total = EngineStats()
-        for engine in self._engines:
-            total.merge(engine.stats)
-        return total
-
     # ------------------------------------------------------------------
     # Workers
     # ------------------------------------------------------------------
@@ -538,7 +549,7 @@ class InferenceServer:
                 self._not_full.notify(len(batch))
         return batch, stop
 
-    def _serve_batch(self, engine: PredictionEngine, batch: list, worker: int) -> None:
+    def _serve_batch(self, batch: list, worker: int) -> None:
         # Honour client-side cancellation; a cancelled future must not
         # be set_result (InvalidStateError) and needs no inference.
         live = [item for item in batch if item[1].set_running_or_notify_cancel()]
@@ -546,7 +557,7 @@ class InferenceServer:
             return
         texts = [text for text, _, _ in live]
         try:
-            probs = engine.predict_proba(texts)
+            probs = self._predict_probs(worker, texts)
             ids = probs.argmax(axis=1)
         except BaseException as error:  # propagate to every waiting caller
             for _, future, _ in live:
@@ -578,10 +589,88 @@ class InferenceServer:
         # sentinels share the mutex, so FIFO order puts every admitted
         # request ahead of every _STOP, and each worker consumes at most
         # one sentinel (it stops collecting the moment it sees one).
-        engine = self._engines[worker]
-        while True:
-            batch, stop = self._collect_batch()
-            if batch:
-                self._serve_batch(engine, batch, worker)
-            if stop:
-                return
+        try:
+            self._on_worker_start(worker)
+            while True:
+                batch, stop = self._collect_batch()
+                if batch:
+                    self._serve_batch(batch, worker)
+                if stop:
+                    return
+        finally:
+            self._on_worker_exit(worker)
+
+
+class InferenceServer(BatchingServerBase):
+    """Coalesce single-text requests into batched calls on engine replicas.
+
+    The in-process (threaded) server: each serving thread owns a
+    :meth:`PredictionEngine.replicate` replica over the shared read-only
+    fitted backend.  Numpy forwards hold the GIL, so thread workers
+    overlap queue waits and batching overhead but not model compute —
+    for compute parallelism across cores see
+    :class:`repro.engine.procserver.ProcessInferenceServer`, which runs
+    the same admission core over worker processes.
+
+    Parameters
+    ----------
+    engine:
+        A fitted :class:`PredictionEngine`.  The server never mutates it;
+        each worker thread serves through its own
+        :meth:`PredictionEngine.replicate` replica (private cache and
+        stats over the shared read-only fitted backend).
+    workers:
+        Number of serving threads (and engine replicas).
+    max_batch_size:
+        Hard cap on texts per coalesced batch.
+    max_wait_ms:
+        How long a worker holds an open batch hoping for more traffic;
+        the first request in a batch never waits longer than this before
+        inference starts.
+    max_queue:
+        Bound on requests admitted but not yet picked up by a worker.
+    overload:
+        ``"block"`` — ``submit`` waits for queue space (backpressure);
+        ``"shed"`` — ``submit`` raises :class:`ServerOverloaded`
+        immediately when the queue is full (load shedding).
+    """
+
+    def __init__(
+        self,
+        engine: PredictionEngine,
+        *,
+        workers: int = 1,
+        max_batch_size: int = 32,
+        max_wait_ms: float = 2.0,
+        max_queue: int = 1024,
+        overload: str = "block",
+    ) -> None:
+        super().__init__(
+            workers=workers,
+            max_batch_size=max_batch_size,
+            max_wait_ms=max_wait_ms,
+            max_queue=max_queue,
+            overload=overload,
+        )
+        self.engine = engine
+        self._engines = tuple(engine.replicate() for _ in range(workers))
+
+    @property
+    def engines(self) -> tuple[PredictionEngine, ...]:
+        """The per-worker engine replicas (index == worker index)."""
+        return self._engines
+
+    @property
+    def model_id(self) -> str:
+        """The served model's identifier (from the underlying engine)."""
+        return self.engine.model_id
+
+    def _predict_probs(self, worker: int, texts: list[str]):
+        return self._engines[worker].predict_proba(texts)
+
+    def engine_stats(self) -> EngineStats:
+        """Aggregate :class:`EngineStats` across every worker replica."""
+        total = EngineStats()
+        for engine in self._engines:
+            total.merge(engine.stats)
+        return total

@@ -20,6 +20,7 @@ from __future__ import annotations
 import hashlib
 import os
 import tempfile
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -72,6 +73,72 @@ def _disk_cache_store(path: Path, state: dict[str, np.ndarray]) -> None:
             raise
     except OSError:
         pass  # read-only filesystem etc.: caching is best-effort
+
+
+# Single-flight coordination for the disk cache: with ``--jobs N`` every
+# worker process used to miss the cold cache simultaneously and pretrain
+# the same checkpoint N times — the pool ran no faster than one job.  The
+# first worker to create ``<path>.lock`` (O_CREAT|O_EXCL is atomic on
+# every filesystem we care about) pretrains; the rest poll for the stored
+# checkpoint instead of burning a core on duplicate work.
+_LOCK_POLL_S = 0.1
+_LOCK_STALE_S = 1800.0  # a healthy holder finishes well within this
+
+
+def _pretrain_lock_path(path: Path) -> Path:
+    return path.with_name(path.name + ".lock")
+
+
+def _try_acquire_pretrain_lock(lock_path: Path) -> bool:
+    """Atomically claim the single-flight lock (best-effort)."""
+    try:
+        lock_path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    except OSError:
+        # Unwritable cache dir: behave as if we hold the lock so the
+        # caller pretrains locally — caching stays best-effort.
+        return True
+    with os.fdopen(fd, "w") as handle:
+        handle.write(str(os.getpid()))
+    return True
+
+
+def _release_pretrain_lock(lock_path: Path) -> None:
+    try:
+        os.unlink(lock_path)
+    except OSError:
+        pass
+
+
+def _await_pretrain_cache(
+    path: Path,
+    lock_path: Path,
+    *,
+    poll_s: float = _LOCK_POLL_S,
+    stale_s: float = _LOCK_STALE_S,
+) -> dict[str, np.ndarray] | None:
+    """Wait for the lock holder's checkpoint; ``None`` = pretrain locally.
+
+    Returns as soon as the checkpoint lands.  Gives up when the lock
+    disappears without a checkpoint (the holder crashed or could not
+    write) or goes stale (the holder died without unlinking), so a
+    broken peer degrades to duplicate work, never to a hang.
+    """
+    while True:
+        state = _disk_cache_load(path)
+        if state is not None:
+            return state
+        try:
+            lock_age = time.time() - lock_path.stat().st_mtime
+        except OSError:
+            # Lock released: one final read catches the store/unlink
+            # race, then we fall back to pretraining ourselves.
+            return _disk_cache_load(path)
+        if lock_age > stale_s:
+            return None
+        time.sleep(poll_s)
 
 
 @dataclass
@@ -193,6 +260,8 @@ class Trainer:
         if config.pretrain_objective is None or config.pretrain_steps <= 0:
             return
         cache_key = self._pretrain_cache_key()
+        disk_path: Path | None = None
+        holds_lock = False
         if self.use_pretraining_cache:
             state = _PRETRAINED_CACHE.get(cache_key)
             if state is not None:
@@ -204,31 +273,41 @@ class Trainer:
                 digest = hashlib.sha256(repr(cache_key).encode()).hexdigest()[:32]
                 disk_path = disk_dir / f"{digest}.npz"
                 state = _disk_cache_load(disk_path)
+                if state is None:
+                    # Cold cache: elect one single-flight pretrainer;
+                    # everyone else waits for its checkpoint instead of
+                    # redundantly pretraining in parallel.
+                    lock_path = _pretrain_lock_path(disk_path)
+                    holds_lock = _try_acquire_pretrain_lock(lock_path)
+                    if not holds_lock:
+                        state = _await_pretrain_cache(disk_path, lock_path)
                 if state is not None:
                     _PRETRAINED_CACHE[cache_key] = state
                     self.model.load_state_dict(state)
                     self._invalidate_engine()
                     return
-        corpus = build_pretraining_corpus(config.pretrain_domain, seed=101)
-        losses = pretrain(
-            self.model,
-            corpus,
-            steps=config.pretrain_steps,
-            objective=config.pretrain_objective,
-            batch_size=16,
-            learning_rate=1e-3,
-            seed=config.seed,
-            bucket_window=self.bucket_window,
-        )
-        self.result.pretrain_losses = losses
-        self._invalidate_engine()
-        if self.use_pretraining_cache:
-            state = self.model.state_dict()
-            _PRETRAINED_CACHE[cache_key] = state
-            disk_dir = _disk_cache_dir()
-            if disk_dir is not None:
-                digest = hashlib.sha256(repr(cache_key).encode()).hexdigest()[:32]
-                _disk_cache_store(disk_dir / f"{digest}.npz", state)
+        try:
+            corpus = build_pretraining_corpus(config.pretrain_domain, seed=101)
+            losses = pretrain(
+                self.model,
+                corpus,
+                steps=config.pretrain_steps,
+                objective=config.pretrain_objective,
+                batch_size=16,
+                learning_rate=1e-3,
+                seed=config.seed,
+                bucket_window=self.bucket_window,
+            )
+            self.result.pretrain_losses = losses
+            self._invalidate_engine()
+            if self.use_pretraining_cache:
+                state = self.model.state_dict()
+                _PRETRAINED_CACHE[cache_key] = state
+                if disk_path is not None:
+                    _disk_cache_store(disk_path, state)
+        finally:
+            if holds_lock and disk_path is not None:
+                _release_pretrain_lock(_pretrain_lock_path(disk_path))
 
     # ------------------------------------------------------------------
     def fit(

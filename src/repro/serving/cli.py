@@ -23,10 +23,11 @@ import logging
 import signal
 import sys
 import threading
-import time
 from pathlib import Path
 
 from repro.core.pipeline import WellnessClassifier
+from repro.engine.engine import LatencyInjectedBackend
+from repro.engine.procserver import ProcessInferenceServer
 from repro.engine.registry import build_engine
 from repro.engine.server import InferenceServer
 from repro.serving.gateway import ServingGateway
@@ -35,33 +36,9 @@ __all__ = ["main"]
 
 log = logging.getLogger("repro.serving.cli")
 
-
-class _LatencyInjectedBackend:
-    """Delegating backend wrapper that adds fixed per-batch latency.
-
-    Load-testing aid (``--inject-latency-ms``): makes a fast model
-    behave like a slow one so overload behaviour (queue growth, 429s,
-    drain timing) can be exercised deterministically — the e2e smoke
-    job uses it to force a real shed through HTTP.
-    """
-
-    def __init__(self, inner, delay_s: float) -> None:
-        self._inner = inner
-        self._delay_s = delay_s
-
-    def __getattr__(self, name: str):
-        # Everything not overridden (n_classes, weights_version, encode
-        # when the inner backend has one) passes straight through, so
-        # the engine sees the inner backend's capabilities unchanged.
-        return getattr(self._inner, name)
-
-    def proba_batch(self, texts):
-        time.sleep(self._delay_s)
-        return self._inner.proba_batch(texts)
-
-    def proba_rows(self, rows):
-        time.sleep(self._delay_s)
-        return self._inner.proba_rows(rows)
+# Back-compat alias: the wrapper moved to the engine layer so
+# multi-process worker specs can rebuild it inside worker processes.
+_LatencyInjectedBackend = LatencyInjectedBackend
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -81,6 +58,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--workers", type=int, default=2, help="serving threads / engine replicas"
+    )
+    parser.add_argument(
+        "--worker-processes",
+        type=int,
+        default=0,
+        help=(
+            "serve from N worker processes over shared-memory weights "
+            "instead of threads (0 = threaded serving; GIL-bound compute)"
+        ),
+    )
+    parser.add_argument(
+        "--start-method",
+        choices=("fork", "spawn", "forkserver"),
+        default=None,
+        help="multiprocessing start method for --worker-processes "
+        "(default: the platform default)",
     )
     parser.add_argument(
         "--max-batch-size", type=int, default=32, help="texts per coalesced batch"
@@ -136,29 +129,47 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     log.info("loading checkpoint %s", args.checkpoint)
-    classifier = WellnessClassifier.load(args.checkpoint)
-    engine = build_engine(
-        classifier.baseline,
-        model=classifier.model,
-        vectorizer=classifier.vectorizer,
-        model_id=f"{classifier.baseline}@{args.checkpoint.name}",
-        cache_size=args.cache_size,
-    )
-    if args.inject_latency_ms > 0:
-        engine.backend = _LatencyInjectedBackend(
-            engine.backend, args.inject_latency_ms / 1000.0
+    if args.worker_processes > 0:
+        # Multi-process serving: the checkpoint is read once here and
+        # published to shared memory; each worker process attaches
+        # zero-copy views and computes outside this process's GIL.
+        server = ProcessInferenceServer.from_checkpoint(
+            args.checkpoint,
+            workers=args.worker_processes,
+            max_batch_size=args.max_batch_size,
+            max_wait_ms=args.max_wait_ms,
+            max_queue=args.max_queue,
+            overload=args.overload,
+            start_method=args.start_method,
+            cache_size=args.cache_size,
+            inject_latency_ms=args.inject_latency_ms,
         )
-    server = InferenceServer(
-        engine,
-        workers=args.workers,
-        max_batch_size=args.max_batch_size,
-        max_wait_ms=args.max_wait_ms,
-        max_queue=args.max_queue,
-        overload=args.overload,
-    )
+        baseline = server.model_id.split("@", 1)[0]
+    else:
+        classifier = WellnessClassifier.load(args.checkpoint)
+        baseline = classifier.baseline
+        engine = build_engine(
+            classifier.baseline,
+            model=classifier.model,
+            vectorizer=classifier.vectorizer,
+            model_id=f"{classifier.baseline}@{args.checkpoint.name}",
+            cache_size=args.cache_size,
+        )
+        if args.inject_latency_ms > 0:
+            engine.backend = LatencyInjectedBackend(
+                engine.backend, args.inject_latency_ms / 1000.0
+            )
+        server = InferenceServer(
+            engine,
+            workers=args.workers,
+            max_batch_size=args.max_batch_size,
+            max_wait_ms=args.max_wait_ms,
+            max_queue=args.max_queue,
+            overload=args.overload,
+        )
     gateway = ServingGateway(
         server,
-        baseline=classifier.baseline,
+        baseline=baseline,
         host=args.host,
         port=args.port,
         request_timeout_s=args.request_timeout_s,
@@ -174,11 +185,21 @@ def main(argv: list[str] | None = None) -> int:
     signal.signal(signal.SIGINT, request_shutdown)
 
     gateway.start()
+    if args.worker_processes > 0:
+        # Workers build their engines asynchronously; holding the ready
+        # line until every process answered keeps the contract that a
+        # parsed ready line means requests will actually be served.
+        server.wait_ready(timeout=120.0)
+    mode = (
+        f"worker_processes={server.workers}"
+        if args.worker_processes > 0
+        else f"workers={server.workers}"
+    )
     # The ready line is machine-readable: the e2e smoke driver and any
     # process supervisor can parse the bound port from it.
     print(
         f"holistix-serve ready on {gateway.url} "
-        f"(model_id={gateway.model_id}, workers={server.workers}, "
+        f"(model_id={gateway.model_id}, {mode}, "
         f"overload={server.overload})",
         flush=True,
     )

@@ -11,6 +11,10 @@ with production retry semantics:
 * **Deadline, not attempts** — every call takes an overall ``deadline_s``
   budget covering connection time, all retries, and backoff sleeps; the
   per-request socket timeout is always clipped to what remains.
+* **Jittered backoff** — each sleep is scaled by a random factor in
+  ``[1 - retry_jitter, 1.0]`` so a herd of clients shed at the same
+  instant desynchronises instead of retrying in lockstep and shedding
+  again together.
 
 Typed failures: :class:`GatewayOverloaded` (deadline exhausted while the
 server kept shedding), :class:`GatewayUnavailable` (503 — draining or
@@ -21,6 +25,7 @@ error payload attached).
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
@@ -81,6 +86,15 @@ class ServingClient:
     retry_base_s / retry_max_s:
         Capped exponential backoff schedule used when a 429 carries no
         usable ``Retry-After`` hint.
+    retry_jitter:
+        Fraction of each backoff randomly shaved off (multiplier drawn
+        uniformly from ``[1 - retry_jitter, 1.0]``).  ``0.0`` reproduces
+        the deterministic schedule exactly.
+    retry_seed:
+        Seeds the per-client jitter RNG for reproducible tests.  Each
+        client gets its own :class:`random.Random` either way, so
+        concurrent clients never contend on (or correlate through) the
+        global RNG.
     """
 
     def __init__(
@@ -90,11 +104,17 @@ class ServingClient:
         deadline_s: float = 30.0,
         retry_base_s: float = 0.05,
         retry_max_s: float = 2.0,
+        retry_jitter: float = 0.5,
+        retry_seed: int | None = None,
     ) -> None:
+        if not 0.0 <= retry_jitter <= 1.0:
+            raise ValueError(f"retry_jitter must be in [0, 1], got {retry_jitter}")
         self.base_url = base_url.rstrip("/")
         self.deadline_s = deadline_s
         self.retry_base_s = retry_base_s
         self.retry_max_s = retry_max_s
+        self.retry_jitter = retry_jitter
+        self._rng = random.Random(retry_seed)
 
     # ------------------------------------------------------------------
     # Endpoints
@@ -218,6 +238,11 @@ class ServingClient:
                 backoff = min(float(retry_after), self.retry_max_s)
             except ValueError:
                 pass
+        if self.retry_jitter > 0.0:
+            # Jitter applies to the Retry-After path too: the hint is
+            # the same constant for every shed client, which is exactly
+            # the synchronised-herd case jitter exists to break.
+            backoff *= self._rng.uniform(1.0 - self.retry_jitter, 1.0)
         return backoff
 
     def _request_once(

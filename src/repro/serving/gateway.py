@@ -1,9 +1,12 @@
-"""Threaded HTTP gateway over the replicated :class:`InferenceServer`.
+"""Threaded HTTP gateway over a replicated inference server.
 
 ``ServingGateway`` binds a stdlib :class:`http.server.ThreadingHTTPServer`
 (no third-party dependencies) in front of a running
-:class:`~repro.engine.server.InferenceServer` and speaks the JSON wire
-protocol defined in :mod:`repro.serving.protocol`:
+:class:`~repro.engine.server.InferenceServer` (threaded workers) or
+:class:`~repro.engine.procserver.ProcessInferenceServer` (worker
+processes over shared-memory weights) — any
+:class:`~repro.engine.server.BatchingServerBase` — and speaks the JSON
+wire protocol defined in :mod:`repro.serving.protocol`:
 
 * ``POST /v1/predict`` — one text in, label + probabilities out.
 * ``POST /v1/predict_batch`` — up to ``MAX_BATCH_TEXTS`` texts at once.
@@ -32,7 +35,7 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.engine.registry import REGISTRY
-from repro.engine.server import InferenceServer, ServerClosed, ServerOverloaded
+from repro.engine.server import BatchingServerBase, ServerClosed, ServerOverloaded
 from repro.serving.metrics import HttpCounters, render_metrics
 from repro.serving.protocol import (
     MAX_BODY_BYTES,
@@ -113,15 +116,21 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
     def _handle_healthz(self) -> None:
         gateway = self.gateway
         if gateway.ready:
-            self._send_json(
-                200,
-                {
-                    "status": "ok",
-                    "model_id": gateway.model_id,
-                    "workers": gateway.server.workers,
-                },
-                route="/healthz",
-            )
+            body = {
+                "status": "ok",
+                "model_id": gateway.model_id,
+                "workers": gateway.server.workers,
+            }
+            processes = gateway.worker_processes(revive=True)
+            if processes is not None:
+                # Multi-process backend: report per-worker-process
+                # liveness (dead workers were just respawned above; a
+                # worker that STAYS dead keeps alive=false so load
+                # balancers and operators can see it).
+                body["processes"] = processes
+                if not all(proc["alive"] for proc in processes):
+                    body["status"] = "degraded"
+            self._send_json(200, body, route="/healthz")
         else:
             status = "draining" if gateway.draining else "starting"
             self._send_json(503, {"status": status}, route="/healthz")
@@ -134,6 +143,7 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
             gateway.http_counters.snapshot(),
             ready=gateway.ready,
             model_id=gateway.model_id,
+            processes=gateway.worker_processes(),
         ).encode("utf-8")
         self._send_bytes(
             200,
@@ -301,7 +311,7 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
 
 
 class ServingGateway:
-    """HTTP front door for one :class:`InferenceServer`.
+    """HTTP front door for one inference server (threaded or process).
 
     Parameters
     ----------
@@ -325,7 +335,7 @@ class ServingGateway:
 
     def __init__(
         self,
-        server: InferenceServer,
+        server: BatchingServerBase,
         *,
         model_id: str | None = None,
         baseline: str | None = None,
@@ -334,7 +344,14 @@ class ServingGateway:
         request_timeout_s: float = 30.0,
     ) -> None:
         self.server = server
-        self.model_id = model_id or server.engines[0].model_id
+        if model_id is None:
+            # InferenceServer and ProcessInferenceServer both expose
+            # model_id directly; stub servers in tests may only carry
+            # engine replicas.
+            model_id = getattr(server, "model_id", None)
+        if model_id is None:
+            model_id = server.engines[0].model_id
+        self.model_id = model_id
         self.baseline = baseline
         self.host = host
         self.requested_port = port
@@ -362,6 +379,24 @@ class ServingGateway:
             and self.server.running
             and self.server.accepting
         )
+
+    def worker_processes(self, *, revive: bool = False) -> list[dict] | None:
+        """Per-worker-process liveness, or ``None`` for threaded servers.
+
+        With ``revive=True`` (the ``/healthz`` path) dead worker
+        processes are respawned first, so a transient worker crash heals
+        on the next health probe instead of waiting for traffic.
+        """
+        report = getattr(self.server, "worker_processes", None)
+        if not callable(report):
+            return None
+        if revive:
+            ensure = getattr(self.server, "ensure_workers", None)
+            if callable(ensure):
+                revived = ensure()
+                if revived:
+                    log.warning("healthz respawned %d dead worker(s)", revived)
+        return report()
 
     @property
     def port(self) -> int:

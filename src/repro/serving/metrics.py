@@ -57,11 +57,16 @@ def render_metrics(
     *,
     ready: bool,
     model_id: str,
+    processes: list[dict] | None = None,
 ) -> str:
     """Prometheus exposition text for one scrape.
 
     All inputs are immutable copies taken before rendering, so every
-    sample in one scrape belongs to the same instant.
+    sample in one scrape belongs to the same instant.  ``processes`` is
+    the multi-process server's :meth:`~repro.engine.procserver.
+    ProcessInferenceServer.worker_processes` report (``None`` for the
+    threaded server) — it adds per-worker-process liveness and restart
+    families.
     """
     lines: list[str] = []
 
@@ -160,6 +165,36 @@ def render_metrics(
         "Prediction-cache hit rate across worker engine replicas.",
         [_sample("holistix_engine_cache_hit_rate", engine_stats.hit_rate)],
     )
+    if processes is not None:
+        family(
+            "holistix_worker_process_alive",
+            "gauge",
+            "1 while the worker's serving process is alive, by worker and pid.",
+            [
+                _sample(
+                    "holistix_worker_process_alive",
+                    1 if proc["alive"] else 0,
+                    {
+                        "worker": str(proc["worker"]),
+                        "pid": str(proc["pid"] if proc["pid"] is not None else ""),
+                    },
+                )
+                for proc in processes
+            ],
+        )
+        family(
+            "holistix_worker_process_restarts_total",
+            "counter",
+            "Times each worker slot's process was respawned after dying.",
+            [
+                _sample(
+                    "holistix_worker_process_restarts_total",
+                    proc["restarts"],
+                    {"worker": str(proc["worker"])},
+                )
+                for proc in processes
+            ],
+        )
     return "\n".join(lines) + "\n"
 
 

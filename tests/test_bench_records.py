@@ -103,3 +103,28 @@ class TestRecordSchema:
             return
         assert isinstance(previous, dict)
         assert {"git_sha", "timestamp", "metrics"} <= set(previous)
+
+
+def test_serving_mp_record_carries_gil_context():
+    """The multi-process record must keep its interpretation context.
+
+    ``process_worker_scaling`` is the gated primary, but the record is
+    only honest alongside the ungated secondaries that say what the GIL
+    cost on this hardware (``spin_process_vs_thread`` needs spare cores
+    to exceed 1.0) and what the process boundary costs when the GIL is
+    not the bottleneck (``mp_vs_thread_throughput``).
+    """
+    record = load(RECORDS_DIR / "BENCH_serving_mp.json")
+    metrics = record["metrics"]
+    for key in (
+        "process_worker_scaling",
+        "mp_vs_thread_throughput",
+        "spin_process_vs_thread",
+        "spin_thread_req_per_sec",
+        "spin_process_req_per_sec",
+    ):
+        value = metrics.get(key)
+        assert isinstance(value, (int, float)) and math.isfinite(value), (
+            f"BENCH_serving_mp.json: {key!r} missing or non-finite: {value!r}"
+        )
+        assert value > 0

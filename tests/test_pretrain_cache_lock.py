@@ -1,0 +1,167 @@
+"""Single-flight coordination of the on-disk pretraining cache.
+
+With ``--jobs N`` the experiment pool's worker processes all used to
+miss the cold disk cache at the same instant and each re-pretrain the
+same checkpoint — N cores of duplicate work that flattened the pool's
+speedup.  The lock-file protocol in :mod:`repro.models.trainer` elects
+one pretrainer; these tests pin its three contractual behaviours:
+mutual exclusion, waiters loading the winner's checkpoint, and graceful
+degradation (a crashed or stale holder costs duplicate work, never a
+hang).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.models.trainer import (
+    Trainer,
+    _await_pretrain_cache,
+    _disk_cache_store,
+    _pretrain_lock_path,
+    _release_pretrain_lock,
+    _try_acquire_pretrain_lock,
+)
+
+
+@pytest.fixture
+def cache_path(tmp_path) -> Path:
+    return tmp_path / "cache" / "abc123.npz"
+
+
+class TestLockPrimitive:
+    def test_first_acquire_wins_second_loses(self, cache_path):
+        lock = _pretrain_lock_path(cache_path)
+        assert _try_acquire_pretrain_lock(lock)
+        assert not _try_acquire_pretrain_lock(lock)
+        _release_pretrain_lock(lock)
+        assert _try_acquire_pretrain_lock(lock)
+        _release_pretrain_lock(lock)
+
+    def test_release_is_idempotent(self, cache_path):
+        lock = _pretrain_lock_path(cache_path)
+        assert _try_acquire_pretrain_lock(lock)
+        _release_pretrain_lock(lock)
+        _release_pretrain_lock(lock)  # already gone: no error
+
+    def test_unwritable_dir_degrades_to_local_pretrain(self, tmp_path):
+        # Claiming "I hold the lock" on an unwritable cache dir makes the
+        # caller pretrain locally — caching stays best-effort.
+        blocked = tmp_path / "ro"
+        blocked.mkdir()
+        blocked.chmod(0o500)
+        try:
+            lock = _pretrain_lock_path(blocked / "key.npz")
+            assert _try_acquire_pretrain_lock(lock)
+        finally:
+            blocked.chmod(0o700)
+
+
+class TestAwaitCheckpoint:
+    def test_waiter_loads_checkpoint_when_holder_stores_it(self, cache_path):
+        lock = _pretrain_lock_path(cache_path)
+        assert _try_acquire_pretrain_lock(lock)
+        state = {"w": np.arange(4.0)}
+
+        def holder() -> None:
+            time.sleep(0.15)
+            _disk_cache_store(cache_path, state)
+            _release_pretrain_lock(lock)
+
+        thread = threading.Thread(target=holder)
+        thread.start()
+        loaded = _await_pretrain_cache(cache_path, lock, poll_s=0.02)
+        thread.join()
+        assert loaded is not None
+        np.testing.assert_array_equal(loaded["w"], state["w"])
+
+    def test_released_lock_without_checkpoint_means_pretrain_locally(
+        self, cache_path
+    ):
+        # Holder crashed (or its best-effort store failed) and the lock
+        # is gone: the waiter must fall back, not spin forever.
+        lock = _pretrain_lock_path(cache_path)
+        assert _await_pretrain_cache(cache_path, lock, poll_s=0.02) is None
+
+    def test_stale_lock_gives_up(self, cache_path):
+        lock = _pretrain_lock_path(cache_path)
+        assert _try_acquire_pretrain_lock(lock)
+        started = time.monotonic()
+        assert (
+            _await_pretrain_cache(cache_path, lock, poll_s=0.02, stale_s=0.1)
+            is None
+        )
+        assert time.monotonic() - started < 5.0
+        _release_pretrain_lock(lock)
+
+    def test_checkpoint_already_present_returns_immediately(self, cache_path):
+        _disk_cache_store(cache_path, {"w": np.ones(3)})
+        lock = _pretrain_lock_path(cache_path)
+        assert _try_acquire_pretrain_lock(lock)  # even with a held lock
+        loaded = _await_pretrain_cache(cache_path, lock, poll_s=0.02)
+        assert loaded is not None
+        _release_pretrain_lock(lock)
+
+
+class TestSingleFlightThroughTrainer:
+    def test_concurrent_cold_miss_pretrains_exactly_once(
+        self, tmp_path, monkeypatch, small_dataset
+    ):
+        """Two trainers racing a cold cache: one pretrains, one loads.
+
+        ``pretrain`` is stubbed (counted, slowed enough to guarantee
+        overlap); the in-process dict is cleared so both racers really
+        hit the disk path like separate ``--jobs`` worker processes do.
+        """
+        import repro.models.trainer as trainer_mod
+        from repro.models.config import MODEL_CONFIGS
+        from repro.text.vocab import Vocabulary
+
+        monkeypatch.setenv("REPRO_PRETRAIN_CACHE", str(tmp_path / "flight"))
+        monkeypatch.setattr(trainer_mod, "_PRETRAINED_CACHE", {})
+
+        calls: list[float] = []
+        call_lock = threading.Lock()
+
+        def fake_pretrain(model, corpus, **kwargs):
+            with call_lock:
+                calls.append(time.monotonic())
+            time.sleep(0.3)
+            return [1.0]
+
+        monkeypatch.setattr(trainer_mod, "pretrain", fake_pretrain)
+        monkeypatch.setattr(
+            trainer_mod, "build_pretraining_corpus", lambda *a, **k: ["text"]
+        )
+
+        config = MODEL_CONFIGS["BERT"]
+        vocab = Vocabulary.build(small_dataset.texts[:50], max_size=300)
+        errors: list[Exception] = []
+
+        def run_one() -> None:
+            try:
+                local = Trainer(config, vocab)
+                local.maybe_pretrain()
+                # The in-process dict was seeded by whichever path ran.
+                assert trainer_mod._PRETRAINED_CACHE
+            except Exception as error:  # noqa: BLE001 - surfaced below
+                errors.append(error)
+
+        threads = [threading.Thread(target=run_one) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not errors, errors
+        assert len(calls) == 1, (
+            f"single-flight failed: pretrain ran {len(calls)} times"
+        )
+        # The loser left no lock behind; a later cold start is unblocked.
+        cache_dir = Path(tmp_path / "flight")
+        assert not list(cache_dir.glob("*.lock"))
+        assert list(cache_dir.glob("*.npz"))

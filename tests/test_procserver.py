@@ -1,0 +1,476 @@
+"""Tests for the multi-process serving backend.
+
+The tentpole claims of :class:`ProcessInferenceServer`, each pinned
+here:
+
+* **Byte-identical predictions.**  Probabilities served through
+  worker processes + shared-memory weights equal the threaded server's
+  and the bare engine's *exactly* — under pinned batch composition
+  (``max_batch_size=1``): LR probabilities differ at ~1e-15 between
+  batch splits (BLAS GEMM accumulation is shape-dependent), so only
+  singleton batches make "byte-identical" a well-defined claim.  This
+  isolates what we actually assert: shared memory + pipe transport add
+  zero numerical drift.
+* **Shared-memory hygiene.**  The segment exists while serving, is
+  unlinked on clean ``stop()`` and on SIGTERM (subprocess test), and a
+  worker process dying mid-service leaks nothing.
+* **Worker supervision.**  Dead workers respawn (lazily on dispatch,
+  eagerly via ``ensure_workers``), restarts are counted, remote errors
+  surface as :class:`RemoteWorkerError` without killing the slot.
+* **The shared admission core.**  Shed/block overload and drain
+  semantics are inherited from ``BatchingServerBase`` unchanged.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import WellnessClassifier
+from repro.engine.engine import PredictionEngine
+from repro.engine.procserver import (
+    ProcessInferenceServer,
+    RemoteWorkerError,
+)
+from repro.engine.registry import build_engine
+from repro.engine.server import InferenceServer, ServerOverloaded
+from repro.nn.serialization import SharedCheckpoint, load_checkpoint
+from repro.serving.gateway import ServingGateway
+
+
+# ----------------------------------------------------------------------
+# Module-level engine factories (picklable across fork AND spawn)
+# ----------------------------------------------------------------------
+class _HashBackend:
+    """Deterministic pure function of the text — the cross-process oracle."""
+
+    n_classes = 6
+
+    def proba_batch(self, texts):
+        import hashlib
+
+        rows = np.empty((len(texts), 6), dtype=np.float64)
+        for i, text in enumerate(texts):
+            digest = hashlib.sha256(text.encode("utf-8")).digest()
+            vals = np.frombuffer(digest[:6], dtype=np.uint8).astype(np.float64)
+            rows[i] = (vals + 1.0) / (vals + 1.0).sum()
+        return rows
+
+
+class _BoomBackend(_HashBackend):
+    """Raises on texts containing ``BOOM`` — the remote-error path."""
+
+    def proba_batch(self, texts):
+        if any("BOOM" in t for t in texts):
+            raise ValueError("boom requested")
+        return super().proba_batch(texts)
+
+
+class _SlowBackend(_HashBackend):
+    def proba_batch(self, texts):
+        time.sleep(0.05)
+        return super().proba_batch(texts)
+
+
+def make_hash_engine():
+    return PredictionEngine(_HashBackend(), model_id="hash", cache_size=0)
+
+
+def make_boom_engine():
+    return PredictionEngine(_BoomBackend(), model_id="boom", cache_size=0)
+
+
+def make_slow_engine():
+    return PredictionEngine(_SlowBackend(), model_id="slow", cache_size=0)
+
+
+def make_broken_engine():
+    raise RuntimeError("this factory always fails")
+
+
+# ----------------------------------------------------------------------
+# Fixtures
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def lr_checkpoint(tmp_path_factory, small_dataset) -> Path:
+    """A real fitted LR checkpoint directory, built once per module."""
+    classifier = WellnessClassifier("LR").fit(small_dataset.instances)
+    path = tmp_path_factory.mktemp("ckpt") / "lr"
+    classifier.save(path)
+    return path
+
+
+def segment_gone(name: str) -> bool:
+    """True when the named shm segment no longer exists."""
+    from repro.nn.serialization import SharedManifest
+
+    probe = SharedManifest(shm_name=name, total_bytes=0, specs=())
+    try:
+        SharedCheckpoint.attach(probe).close()
+    except FileNotFoundError:
+        return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# Byte-identical predictions
+# ----------------------------------------------------------------------
+class TestByteIdenticalOracle:
+    def test_checkpoint_served_probs_equal_threaded_and_inprocess(
+        self, lr_checkpoint, small_dataset
+    ):
+        texts = small_dataset.texts[:20]
+        arrays, config = load_checkpoint(lr_checkpoint)
+
+        classifier = WellnessClassifier.load(lr_checkpoint)
+        engine = build_engine(
+            classifier.baseline,
+            model=classifier.model,
+            vectorizer=classifier.vectorizer,
+            model_id="oracle",
+            cache_size=0,
+        )
+        # Singleton batches everywhere: probabilities are only
+        # bit-reproducible under identical batch composition.
+        oracle = np.stack([engine.predict_proba([t])[0] for t in texts])
+
+        threaded = InferenceServer(engine, workers=1, max_batch_size=1)
+        with threaded:
+            thread_probs = np.stack(
+                [threaded.submit(t).result(timeout=30).probabilities for t in texts]
+            )
+
+        mp_server = ProcessInferenceServer(
+            arrays=arrays,
+            config=config,
+            workers=2,
+            max_batch_size=1,
+            cache_size=0,
+        )
+        with mp_server:
+            mp_server.wait_ready(timeout=120)
+            mp_probs = np.stack(
+                [
+                    mp_server.submit(t).result(timeout=30).probabilities
+                    for t in texts
+                ]
+            )
+
+        np.testing.assert_array_equal(thread_probs, oracle)
+        np.testing.assert_array_equal(mp_probs, oracle)
+
+    def test_factory_workers_match_local_engine(self):
+        texts = [f"text number {i}" for i in range(30)]
+        oracle = make_hash_engine().predict_proba(texts)
+        server = ProcessInferenceServer.from_factory(
+            make_hash_engine, workers=2, max_batch_size=1
+        )
+        with server:
+            server.wait_ready(timeout=120)
+            probs = np.stack(
+                [server.submit(t).result(timeout=30).probabilities for t in texts]
+            )
+        np.testing.assert_array_equal(probs, oracle)
+
+
+# ----------------------------------------------------------------------
+# Shared-memory lifecycle
+# ----------------------------------------------------------------------
+class TestSharedMemoryLifecycle:
+    def test_segment_exists_while_running_and_unlinked_on_stop(
+        self, lr_checkpoint
+    ):
+        server = ProcessInferenceServer.from_checkpoint(
+            lr_checkpoint, workers=1, max_batch_size=4
+        )
+        assert server.shared_segment_name is None
+        with server:
+            server.wait_ready(timeout=120)
+            name = server.shared_segment_name
+            assert name is not None and not segment_gone(name)
+            server.submit("a post about sleep").result(timeout=30)
+        assert server.shared_segment_name is None
+        assert segment_gone(name)
+
+    def test_segment_unlinked_when_worker_died_mid_service(self, lr_checkpoint):
+        server = ProcessInferenceServer.from_checkpoint(
+            lr_checkpoint, workers=1, max_batch_size=4
+        )
+        with server:
+            server.wait_ready(timeout=120)
+            name = server.shared_segment_name
+            pid = server.worker_processes()[0]["pid"]
+            os.kill(pid, signal.SIGKILL)
+            # The respawned worker serves through the same segment.
+            result = server.submit("an anxious evening").result(timeout=60)
+            assert len(result.probabilities) == 6
+        assert segment_gone(name)
+
+    def test_sigterm_unlinks_segment_and_exits_zero(
+        self, lr_checkpoint, tmp_path
+    ):
+        """A SIGTERM'd serving process must drain and clean its segment."""
+        script = tmp_path / "serve_until_sigterm.py"
+        script.write_text(
+            textwrap.dedent(
+                """
+                import signal, sys, threading
+                from repro.engine.procserver import ProcessInferenceServer
+
+                stop = threading.Event()
+                signal.signal(signal.SIGTERM, lambda *a: stop.set())
+                server = ProcessInferenceServer.from_checkpoint(
+                    sys.argv[1], workers=1, max_batch_size=4
+                )
+                server.start()
+                server.wait_ready(timeout=120)
+                server.submit("warm request").result(timeout=30)
+                print(server.shared_segment_name, flush=True)
+                stop.wait()
+                server.stop()
+                """
+            ),
+            encoding="utf-8",
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(
+            Path(__file__).resolve().parent.parent / "src"
+        ) + (os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+        proc = subprocess.Popen(
+            [sys.executable, str(script), str(lr_checkpoint)],
+            stdout=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        try:
+            name = proc.stdout.readline().strip()
+            assert name.startswith("hx_")
+            assert not segment_gone(name)
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=120) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        assert segment_gone(name)
+
+
+# ----------------------------------------------------------------------
+# Worker supervision
+# ----------------------------------------------------------------------
+class TestWorkerSupervision:
+    def test_wait_ready_across_start_methods(self):
+        for method in ("fork", "spawn"):
+            if method not in multiprocessing.get_all_start_methods():
+                continue
+            server = ProcessInferenceServer.from_factory(
+                make_hash_engine,
+                workers=2,
+                max_batch_size=2,
+                start_method=method,
+            )
+            with server:
+                server.wait_ready(timeout=120)
+                report = server.worker_processes()
+                assert [p["alive"] for p in report] == [True, True]
+                assert all(isinstance(p["pid"], int) for p in report)
+                result = server.submit(f"via {method}").result(timeout=30)
+                assert len(result.probabilities) == 6
+
+    def test_dead_worker_respawns_on_dispatch_and_counts_restart(self):
+        server = ProcessInferenceServer.from_factory(
+            make_hash_engine, workers=1, max_batch_size=2
+        )
+        with server:
+            server.wait_ready(timeout=120)
+            first_pid = server.worker_processes()[0]["pid"]
+            os.kill(first_pid, signal.SIGKILL)
+            oracle = make_hash_engine().predict_proba(["after the crash"])[0]
+            result = server.submit("after the crash").result(timeout=60)
+            np.testing.assert_array_equal(result.probabilities, oracle)
+            report = server.worker_processes()[0]
+            assert report["restarts"] >= 1
+            assert report["alive"] and report["pid"] != first_pid
+
+    def test_ensure_workers_revives_idle_dead_worker(self):
+        server = ProcessInferenceServer.from_factory(
+            make_hash_engine, workers=2, max_batch_size=2
+        )
+        with server:
+            server.wait_ready(timeout=120)
+            victim = server.worker_processes()[0]["pid"]
+            os.kill(victim, signal.SIGKILL)
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                if not server.worker_processes()[0]["alive"]:
+                    break
+                time.sleep(0.02)
+            assert server.ensure_workers() == 1
+            assert all(p["alive"] for p in server.worker_processes())
+            assert server.ensure_workers() == 0  # nothing left to revive
+
+    def test_remote_inference_error_surfaces_without_killing_worker(self):
+        server = ProcessInferenceServer.from_factory(
+            make_boom_engine, workers=1, max_batch_size=1
+        )
+        with server:
+            server.wait_ready(timeout=120)
+            with pytest.raises(RemoteWorkerError, match="boom requested"):
+                server.submit("BOOM please").result(timeout=30)
+            # The worker survived the exception and keeps serving.
+            result = server.submit("a calm follow-up").result(timeout=30)
+            assert len(result.probabilities) == 6
+            assert server.worker_processes()[0]["restarts"] == 0
+
+    def test_factory_failure_reported_by_wait_ready(self):
+        server = ProcessInferenceServer.from_factory(
+            make_broken_engine, workers=1, spawn_timeout_s=30
+        )
+        with server:
+            with pytest.raises(
+                RemoteWorkerError, match="this factory always fails"
+            ):
+                server.wait_ready(timeout=120)
+
+
+# ----------------------------------------------------------------------
+# Inherited admission semantics
+# ----------------------------------------------------------------------
+class TestAdmissionSemantics:
+    def test_shed_mode_raises_when_queue_full(self):
+        server = ProcessInferenceServer.from_factory(
+            make_slow_engine,
+            workers=1,
+            max_batch_size=1,
+            max_wait_ms=0.0,
+            max_queue=2,
+            overload="shed",
+        )
+        with server:
+            server.wait_ready(timeout=120)
+            futures = []
+            with pytest.raises(ServerOverloaded):
+                for i in range(200):
+                    futures.append(server.submit(f"burst {i}"))
+            for f in futures:
+                f.result(timeout=60)
+            assert server.stats.snapshot().shed >= 1
+
+    def test_drain_resolves_every_admitted_future(self):
+        server = ProcessInferenceServer.from_factory(
+            make_slow_engine, workers=2, max_batch_size=4, max_queue=64
+        )
+        server.start()
+        server.wait_ready(timeout=120)
+        futures = [server.submit(f"draining {i}") for i in range(24)]
+        server.stop()
+        for f in futures:
+            assert len(f.result(timeout=60).probabilities) == 6
+
+
+# ----------------------------------------------------------------------
+# Hot reload
+# ----------------------------------------------------------------------
+class TestHotReload:
+    def test_reload_weights_changes_predictions_and_bumps_version(
+        self, lr_checkpoint
+    ):
+        arrays, config = load_checkpoint(lr_checkpoint)
+        server = ProcessInferenceServer(
+            arrays=arrays,
+            config=config,
+            workers=1,
+            max_batch_size=1,
+            cache_size=64,
+        )
+        text = "a long walk cleared my head"
+        with server:
+            server.wait_ready(timeout=120)
+            assert server.weights_version == 1
+            before = server.submit(text).result(timeout=30).probabilities
+
+            reloaded = {
+                k: (np.zeros_like(v) if k == "model.coef_" else v)
+                for k, v in arrays.items()
+            }
+            assert server.reload_weights(reloaded) == 2
+            assert server.weights_version == 2
+            after = server.submit(text).result(timeout=30).probabilities
+            # Zeroed coefficients collapse the logits to the intercepts:
+            # the worker provably rebuilt (and un-cached) its engine.
+            assert not np.array_equal(before, after)
+
+    def test_reload_rejected_in_factory_mode(self):
+        server = ProcessInferenceServer.from_factory(make_hash_engine, workers=1)
+        with server:
+            server.wait_ready(timeout=120)
+            with pytest.raises(RuntimeError, match="factory mode"):
+                server.reload_weights({"coef_": np.zeros(3)})
+
+
+# ----------------------------------------------------------------------
+# Gateway integration
+# ----------------------------------------------------------------------
+class TestGatewayProcessAwareness:
+    def test_healthz_reports_processes_and_metrics_grow_families(self):
+        server = ProcessInferenceServer.from_factory(
+            make_hash_engine, workers=2, max_batch_size=2
+        )
+        with ServingGateway(server) as gateway:
+            server.wait_ready(timeout=120)
+            from repro.serving.client import ServingClient
+
+            client = ServingClient(gateway.url, deadline_s=30)
+            health = client.healthz()
+            assert health["status"] == "ok"
+            assert [p["worker"] for p in health["processes"]] == [0, 1]
+            assert all(p["alive"] for p in health["processes"])
+
+            client.predict("one request through http")
+            text = client.metrics_text()
+            assert "holistix_worker_process_alive" in text
+            assert "holistix_worker_process_restarts_total" in text
+            parsed = client.metrics()
+            alive = [
+                value
+                for (name, labels), value in parsed.items()
+                if name == "holistix_worker_process_alive"
+            ]
+            assert alive == [1.0, 1.0]
+
+    def test_healthz_revives_dead_worker(self):
+        server = ProcessInferenceServer.from_factory(
+            make_hash_engine, workers=2, max_batch_size=2
+        )
+        with ServingGateway(server) as gateway:
+            server.wait_ready(timeout=120)
+            from repro.serving.client import ServingClient
+
+            client = ServingClient(gateway.url, deadline_s=30)
+            victim = server.worker_processes()[1]["pid"]
+            os.kill(victim, signal.SIGKILL)
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                if not server.worker_processes()[1]["alive"]:
+                    break
+                time.sleep(0.02)
+            health = client.healthz()  # the probe itself heals the slot
+            assert health["status"] == "ok"
+            assert all(p["alive"] for p in health["processes"])
+            assert health["processes"][1]["restarts"] >= 1
+
+    def test_threaded_server_healthz_has_no_processes_key(self):
+        engine = make_hash_engine()
+        with ServingGateway(InferenceServer(engine, workers=1)) as gateway:
+            from repro.serving.client import ServingClient
+
+            health = ServingClient(gateway.url, deadline_s=30).healthz()
+            assert "processes" not in health

@@ -316,6 +316,104 @@ class TestBackpressureAndErrors:
             assert excinfo.value.code == "deadline_exceeded"
 
 
+class TestRetryJitter:
+    """Backoff jitter: desynchronise a shed herd without losing retries."""
+
+    def test_jitter_zero_reproduces_deterministic_schedule(self):
+        client = ServingClient(
+            "http://127.0.0.1:1",
+            retry_base_s=0.05,
+            retry_max_s=2.0,
+            retry_jitter=0.0,
+        )
+        for attempt in range(8):
+            expected = min(2.0, 0.05 * 2**attempt)
+            assert client._backoff_s(attempt, None) == expected
+        # The server's Retry-After hint is honoured exactly too.
+        assert client._backoff_s(0, "1.5") == 1.5
+        assert client._backoff_s(0, "10") == 2.0  # capped
+
+    def test_jitter_bounded_and_seed_reproducible(self):
+        def draws(seed: int) -> list[float]:
+            client = ServingClient(
+                "http://127.0.0.1:1",
+                retry_base_s=0.05,
+                retry_max_s=2.0,
+                retry_jitter=0.5,
+                retry_seed=seed,
+            )
+            return [client._backoff_s(a % 6, None) for a in range(50)]
+
+        first = draws(42)
+        for a, value in enumerate(first):
+            full = min(2.0, 0.05 * 2 ** (a % 6))
+            assert 0.5 * full <= value <= full
+        assert first == draws(42)  # seeded: reproducible
+        assert first != draws(43)  # distinct clients decorrelate
+
+    def test_unseeded_clients_do_not_retry_in_lockstep(self):
+        # The herd case: every client gets the same Retry-After hint,
+        # but their jittered sleeps must differ.
+        a = ServingClient("http://127.0.0.1:1", retry_jitter=0.5)
+        b = ServingClient("http://127.0.0.1:1", retry_jitter=0.5)
+        assert [a._backoff_s(0, "1") for _ in range(20)] != [
+            b._backoff_s(0, "1") for _ in range(20)
+        ]
+
+    def test_invalid_jitter_rejected(self):
+        with pytest.raises(ValueError):
+            ServingClient("http://127.0.0.1:1", retry_jitter=1.5)
+
+    def test_many_jittered_clients_all_survive_a_shedding_server(self):
+        """The regression this feature exists for: a herd of clients
+        against an undersized shed-mode server must all eventually get
+        served — sheds happen, retries (jittered, per-client RNG) drain
+        the herd within every client's deadline.
+        """
+        with gateway_over(
+            SlowBackend(0.02),
+            workers=1,
+            max_batch_size=1,
+            max_wait_ms=0.0,
+            max_queue=1,
+            overload="shed",
+        ) as (gateway, _):
+            results: list[dict] = []
+            errors: list[Exception] = []
+            lock = threading.Lock()
+
+            def one_client(i: int) -> None:
+                client = ServingClient(
+                    gateway.url,
+                    deadline_s=30,
+                    retry_base_s=0.01,
+                    retry_max_s=0.05,
+                    retry_jitter=0.5,
+                    retry_seed=i,
+                )
+                try:
+                    response = client.predict(f"herd member {i}")
+                    with lock:
+                        results.append(response)
+                except Exception as error:  # noqa: BLE001 - asserted below
+                    with lock:
+                        errors.append(error)
+
+            threads = [
+                threading.Thread(target=one_client, args=(i,)) for i in range(16)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors, errors
+            assert len(results) == 16
+            assert all("label" in r for r in results)
+            # The server really shed under this herd — the retries were
+            # load-bearing, not decorative.
+            assert gateway.server.stats.snapshot().shed > 0
+
+
 class TestLifecycle:
     def test_healthz_flips_to_503_after_drain(self):
         with gateway_over() as (gateway, server):

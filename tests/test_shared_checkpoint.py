@@ -1,0 +1,206 @@
+"""Lifecycle tests for the shared-memory checkpoint layer.
+
+``SharedCheckpoint`` is the zero-copy weight channel under the
+multi-process serving backend, so these tests pin the parts that are
+easy to silently break: exact round-trips (including 0-d scalars, which
+``ascontiguousarray`` likes to promote), read-only attacher views, the
+in-place ``update`` + ``weights_version`` hot-reload protocol, owner vs
+attacher cleanup responsibilities, and — the classic footgun — that an
+attaching *process* exiting does not let the resource tracker unlink a
+segment it never owned (cpython#82300).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.nn.serialization import (
+    SharedCheckpoint,
+    collect_array_state,
+    restore_array_state,
+)
+
+
+def sample_arrays() -> dict[str, np.ndarray]:
+    return {
+        "coef_": np.arange(12, dtype=np.float64).reshape(3, 4) / 7.0,
+        "intercept_": np.array([0.1, -0.2, 0.3]),
+        "classes_": np.arange(3, dtype=np.int64),
+        "n_iter_": np.asarray(17),  # 0-d: the promotion trap
+    }
+
+
+class TestPublishAttachRoundTrip:
+    def test_arrays_round_trip_exactly(self):
+        arrays = sample_arrays()
+        with SharedCheckpoint.publish(arrays) as owner:
+            attached = SharedCheckpoint.attach(owner.manifest)
+            try:
+                # Copy-compare without binding views: a view held past
+                # close() pins the buffer (the caveat the worker runtime
+                # honours by dropping its engine before closing).
+                for name, original in arrays.items():
+                    assert attached.arrays[name].dtype == original.dtype
+                    assert attached.arrays[name].shape == original.shape
+                    np.testing.assert_array_equal(attached.arrays[name], original)
+            finally:
+                attached.close()
+
+    def test_zero_d_arrays_keep_their_shape(self):
+        with SharedCheckpoint.publish({"n_classes_": np.asarray(6)}) as owner:
+            attached = SharedCheckpoint.attach(owner.manifest)
+            try:
+                assert attached.arrays["n_classes_"].shape == ()
+                # restore_array_state unwraps 0-d to a Python scalar;
+                # int() of a promoted (1,) vector would raise here.
+                assert int(attached.arrays["n_classes_"]) == 6
+            finally:
+                attached.close()
+
+    def test_estimator_state_round_trips_through_shared_memory(self):
+        class Stub:
+            pass
+
+        fitted = Stub()
+        fitted.coef_ = np.ones((2, 3))
+        fitted.n_classes_ = 6
+        state = collect_array_state(fitted)
+        with SharedCheckpoint.publish(state) as owner:
+            attached = SharedCheckpoint.attach(owner.manifest)
+            try:
+                restored = Stub()
+                restore_array_state(restored, attached.arrays)
+                assert restored.n_classes_ == 6
+                assert isinstance(restored.n_classes_, int)
+                np.testing.assert_array_equal(restored.coef_, fitted.coef_)
+                # restore assigns the views by reference (that IS the
+                # zero-copy contract) — release them before close().
+                del restored
+            finally:
+                attached.close()
+
+    def test_attacher_views_are_read_only(self):
+        with SharedCheckpoint.publish(sample_arrays()) as owner:
+            attached = SharedCheckpoint.attach(owner.manifest)
+            try:
+                with pytest.raises(ValueError):
+                    attached.arrays["coef_"][0, 0] = 99.0
+            finally:
+                attached.close()
+
+    def test_publish_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SharedCheckpoint.publish({})
+
+
+class TestHotReloadProtocol:
+    def test_update_bumps_version_and_attacher_sees_new_bytes(self):
+        arrays = sample_arrays()
+        with SharedCheckpoint.publish(arrays, weights_version=5) as owner:
+            attached = SharedCheckpoint.attach(owner.manifest)
+            try:
+                assert attached.weights_version == 5
+                new_arrays = {k: v * 2.0 if k == "coef_" else v for k, v in arrays.items()}
+                assert owner.update(new_arrays) == 6
+                # No re-attach: the same views show the new bytes.
+                assert attached.weights_version == 6
+                np.testing.assert_array_equal(
+                    attached.arrays["coef_"], arrays["coef_"] * 2.0
+                )
+            finally:
+                attached.close()
+
+    def test_update_rejects_name_mismatch(self):
+        with SharedCheckpoint.publish(sample_arrays()) as owner:
+            with pytest.raises(ValueError, match="array-name mismatch"):
+                owner.update({"coef_": np.zeros((3, 4))})
+
+    def test_update_rejects_layout_mismatch(self):
+        arrays = sample_arrays()
+        with SharedCheckpoint.publish(arrays) as owner:
+            wrong = dict(arrays)
+            wrong["coef_"] = np.zeros((4, 3))
+            with pytest.raises(ValueError, match="layout mismatch"):
+                owner.update(wrong)
+
+    def test_attacher_may_not_update_or_unlink(self):
+        arrays = sample_arrays()
+        with SharedCheckpoint.publish(arrays) as owner:
+            attached = SharedCheckpoint.attach(owner.manifest)
+            try:
+                with pytest.raises(PermissionError):
+                    attached.update(arrays)
+                with pytest.raises(PermissionError):
+                    attached.unlink()
+            finally:
+                attached.close()
+
+
+def _attach_and_exit(manifest, ok_queue) -> None:
+    """Child-process body: attach, read, close, exit.
+
+    Run in a separate process so its interpreter exit (where the
+    resource tracker fires) happens while the parent still needs the
+    segment.
+    """
+    attached = SharedCheckpoint.attach(manifest)
+    total = float(sum(view.sum() for view in attached.arrays.values()))
+    attached.close()
+    ok_queue.put(total)
+
+
+class TestCleanupOwnership:
+    def test_unlink_destroys_segment_and_is_idempotent(self):
+        owner = SharedCheckpoint.publish(sample_arrays())
+        manifest = owner.manifest
+        owner.unlink()
+        owner.unlink()  # second unlink is a no-op, not an error
+        with pytest.raises(FileNotFoundError):
+            SharedCheckpoint.attach(manifest)
+
+    def test_attacher_close_leaves_segment_alive(self):
+        with SharedCheckpoint.publish(sample_arrays()) as owner:
+            attached = SharedCheckpoint.attach(owner.manifest)
+            attached.close()
+            attached.close()  # idempotent
+            # The segment must still be attachable after an attacher left.
+            again = SharedCheckpoint.attach(owner.manifest)
+            again.close()
+
+    @pytest.mark.parametrize(
+        "start_method",
+        [
+            m
+            for m in ("fork", "spawn")
+            if m in multiprocessing.get_all_start_methods()
+        ],
+    )
+    def test_attaching_process_exit_does_not_unlink(self, start_method):
+        """cpython#82300: an exiting attacher must not reap the segment.
+
+        Two sequential attacher processes also exercise the fork-shared
+        resource-tracker cache — with tracked attachments the second
+        registration/unregistration pair races the tracker daemon into a
+        KeyError and the segment vanishes under the owner.
+        """
+        ctx = multiprocessing.get_context(start_method)
+        arrays = sample_arrays()
+        expected = float(sum(np.asarray(v).sum() for v in arrays.values()))
+        with SharedCheckpoint.publish(arrays) as owner:
+            for _ in range(2):
+                ok_queue = ctx.Queue()
+                child = ctx.Process(
+                    target=_attach_and_exit, args=(owner.manifest, ok_queue)
+                )
+                child.start()
+                total = ok_queue.get(timeout=60)
+                child.join(timeout=60)
+                assert child.exitcode == 0
+                assert total == pytest.approx(expected)
+                # The owner's mapping must still be intact and attachable.
+                assert owner.weights_version == 1
+                probe = SharedCheckpoint.attach(owner.manifest)
+                probe.close()
