@@ -222,6 +222,82 @@ def phase_happy_path(checkpoint: Path, log_dir: Path) -> None:
         raise
 
 
+def phase_open_loop(checkpoint: Path, log_dir: Path) -> None:
+    """Drive the gateway with the real ``holistix-loadgen`` CLI.
+
+    Exercises the operator path end to end: open-loop Poisson schedule
+    against a live server, trace file saved and replayable, JSON report
+    written, exit code 0 with zero failures.
+    """
+    import json
+
+    from repro.loadgen.cli import main as loadgen_main
+
+    server = ServeProcess(
+        "open-loop",
+        [
+            "--checkpoint",
+            str(checkpoint),
+            "--port",
+            "0",
+            "--workers",
+            "2",
+            "--max-queue",
+            "256",
+            "--overload",
+            "block",
+        ],
+        log_dir,
+    )
+    try:
+        url = server.wait_ready_url()
+        trace = log_dir / "loadgen-trace.json"
+        report_path = log_dir / "loadgen-report.json"
+        code = loadgen_main(
+            [
+                "--url",
+                url,
+                "--rate",
+                "40",
+                "--duration",
+                "2",
+                "--seed",
+                "5",
+                "--save-trace",
+                str(trace),
+                "--out",
+                str(report_path),
+            ]
+        )
+        check(code == 0, f"holistix-loadgen exited {code}")
+        report = json.loads(report_path.read_text(encoding="utf-8"))
+        summary = report["summary"]
+        check(summary["mode"] == "open", f"unexpected mode: {summary}")
+        check(
+            summary["scheduled"] == summary["completed"]
+            and summary["failed"] == 0
+            and summary["dropped"] == 0,
+            f"open-loop run lost requests: {summary}",
+        )
+        check(summary["p99_ms"] > 0, f"empty histogram: {summary}")
+        check(trace.is_file(), "trace file was not written")
+        # Replaying the saved trace must offer the same schedule.
+        code = loadgen_main(
+            ["--url", url, "--trace", str(trace), "--corpus-size", "100"]
+        )
+        check(code == 0, f"trace replay exited {code}")
+        print(
+            f"[e2e] open-loop {summary['offered_rate_rps']:.0f} rps: "
+            f"p99 {summary['p99_ms']:.1f} ms over {summary['completed']} reqs"
+        )
+        code = server.terminate_gracefully()
+        check(code == 0, f"graceful drain exited {code}, expected 0")
+    except BaseException:
+        server.dump_log()
+        server.kill()
+        raise
+
+
 def phase_forced_shed(checkpoint: Path, log_dir: Path) -> None:
     server = ServeProcess(
         "forced-shed",
@@ -425,6 +501,7 @@ def main(argv: list[str] | None = None) -> int:
     train_checkpoint(checkpoint)
     if args.mode in ("threads", "both"):
         phase_happy_path(checkpoint, args.log_dir)
+        phase_open_loop(checkpoint, args.log_dir)
         phase_forced_shed(checkpoint, args.log_dir)
     if args.mode in ("processes", "both"):
         phase_multiprocess(checkpoint, args.log_dir)

@@ -6,6 +6,12 @@ III, a post generator calibrated to Table II, a simulated forum with the
 """
 
 from repro.corpus.calibrate import CalibrationError, calibrate
+from repro.corpus.factory import (
+    DEFAULT_PERSONAS,
+    CorpusFactory,
+    PersonaSpec,
+    SyntheticDocument,
+)
 from repro.corpus.forum import JunkProfile, RawForumPost, SimulatedForum
 from repro.corpus.generator import (
     FORUM_CATEGORIES,
@@ -30,6 +36,8 @@ from repro.corpus.scraper import ForumPageParser, scrape_board, scrape_forum
 __all__ = [
     "CORE_LEXICON",
     "CalibrationError",
+    "CorpusFactory",
+    "DEFAULT_PERSONAS",
     "DraftPost",
     "FORUM_CATEGORIES",
     "ForumPageParser",
@@ -37,11 +45,13 @@ __all__ = [
     "GeneratorConfig",
     "JunkProfile",
     "PAPER_CLASS_COUNTS",
+    "PersonaSpec",
     "RawForumPost",
     "SECONDARY_BLEED",
     "SHARED_DISTRESS_WORDS",
     "SUPPORT_LEXICON",
     "SimulatedForum",
+    "SyntheticDocument",
     "TABLE3_EXPECTED_WORDS",
     "all_dimension_words",
     "assemble",

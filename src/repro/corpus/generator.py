@@ -6,6 +6,13 @@ generator works in drafts — a post is a list of tagged sentences plus the
 location of the explanation span — so the calibration pass
 (:mod:`repro.corpus.calibrate`) can add or remove filler material to hit
 the published word and sentence totals exactly before final assembly.
+
+This generator is deliberately *materialising*: it holds every draft to
+calibrate totals and enforce global uniqueness, which is right for the
+1,420-post paper corpus and wrong for load testing.  For an unbounded,
+constant-memory stream of labelled documents over the same template
+banks (millions of posts for the serving benchmarks), use the
+persona-swept :class:`repro.corpus.factory.CorpusFactory`.
 """
 
 from __future__ import annotations
@@ -36,6 +43,7 @@ from repro.text.tokenize import count_words
 __all__ = [
     "PAPER_CLASS_COUNTS",
     "FORUM_CATEGORIES",
+    "LEAD_INS",
     "GeneratorConfig",
     "DraftPost",
     "draft_post",
@@ -107,8 +115,9 @@ _EXTRA_SENTENCE_PMF: tuple[float, ...] = (0.88, 0.08, 0.025, 0.008, 0.004, 0.003
 
 # Short lead-ins prepended to the span sentence (outside the span).  They
 # multiply surface variety so single-sentence posts stay unique without the
-# retry loop biasing the corpus toward long posts.
-_LEAD_INS: tuple[str, ...] = (
+# retry loop biasing the corpus toward long posts.  Public because the
+# streaming corpus factory reuses the same bank.
+LEAD_INS: tuple[str, ...] = (
     "These days",
     "Right now",
     "For months now",
@@ -293,7 +302,7 @@ def _lead_in(
     uniqueness retry loop must not bias the corpus toward long posts.
     """
     if rng.random() < probability:
-        lead = str(_LEAD_INS[rng.integers(len(_LEAD_INS))])
+        lead = str(LEAD_INS[rng.integers(len(LEAD_INS))])
         return f"{lead} {sentence[0].lower()}{sentence[1:]}"
     return sentence
 

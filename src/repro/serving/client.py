@@ -126,6 +126,7 @@ class ServingClient:
         top_k: int | None = None,
         deadline_s: float | None = None,
         retry_on_overload: bool = True,
+        intended_at: float | None = None,
     ) -> dict:
         """``POST /v1/predict`` -> decoded response object.
 
@@ -133,12 +134,24 @@ class ServingClient:
         :class:`GatewayOverloaded` immediately — for callers that
         implement their own backoff (or count sheds, like the e2e smoke
         driver).
+
+        ``intended_at`` (a ``time.monotonic`` timestamp) anchors the
+        deadline budget at the request's *intended* send time instead of
+        now.  Open-loop load generators pass the scheduled arrival time
+        so a request that left the pacer late does not get extra retry
+        budget — time already lost in the client queue counts against
+        the deadline, exactly as the latency histogram counts it.
         """
         body: dict = {"text": text}
         if top_k is not None:
             body["top_k"] = top_k
         return self._call(
-            "POST", "/v1/predict", body, deadline_s, retry_429=retry_on_overload
+            "POST",
+            "/v1/predict",
+            body,
+            deadline_s,
+            retry_429=retry_on_overload,
+            intended_at=intended_at,
         )
 
     def predict_batch(
@@ -148,6 +161,7 @@ class ServingClient:
         top_k: int | None = None,
         deadline_s: float | None = None,
         retry_on_overload: bool = True,
+        intended_at: float | None = None,
     ) -> dict:
         """``POST /v1/predict_batch`` -> decoded response object."""
         body: dict = {"texts": list(texts)}
@@ -159,6 +173,7 @@ class ServingClient:
             body,
             deadline_s,
             retry_429=retry_on_overload,
+            intended_at=intended_at,
         )
 
     def healthz(self, *, deadline_s: float | None = None) -> dict:
@@ -206,9 +221,11 @@ class ServingClient:
         deadline_s: float | None,
         *,
         retry_429: bool = True,
+        intended_at: float | None = None,
     ) -> dict:
         budget = self._resolve(deadline_s)
-        deadline = time.monotonic() + budget
+        anchor = time.monotonic() if intended_at is None else intended_at
+        deadline = anchor + budget
         attempt = 0
         while True:
             remaining = deadline - time.monotonic()

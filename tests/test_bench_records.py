@@ -105,6 +105,67 @@ class TestRecordSchema:
         assert {"git_sha", "timestamp", "metrics"} <= set(previous)
 
 
+def test_serving_tail_record_is_open_loop_honest():
+    """The tail-latency record must carry its methodology, not just a p99.
+
+    ``open_loop_p99_ms`` is only meaningful at a stated offered rate
+    with nothing dropped silently, and the record must demonstrate the
+    coordinated-omission gap (closed-loop p99 under-reporting an
+    injected stall by >= 2x) that justifies gating on the open-loop
+    number in the first place.
+    """
+    record = load(RECORDS_DIR / "BENCH_serving_tail.json")
+    metrics = record["metrics"]
+    assert metrics["offered_rate_rps"] > 0
+    assert metrics["achieved_rate_rps"] > 0
+    assert metrics["completed"] > 0
+    assert metrics["failed"] == 0 and metrics["dropped"] == 0
+    assert metrics["coordinated_omission_p99_gap"] >= 2.0
+    timings = record["timings"]
+    for key in (
+        "open_loop_p50_ms",
+        "open_loop_p95_ms",
+        "open_loop_p999_ms",
+        "http_open_p99_ms",
+        "closed_stall_p99_ms",
+        "open_stall_p99_ms",
+    ):
+        assert timings[key] > 0, key
+    # The gap in the record matches its own stall-leg percentiles.
+    gap = timings["open_stall_p99_ms"] / timings["closed_stall_p99_ms"]
+    assert metrics["coordinated_omission_p99_gap"] == pytest.approx(gap)
+
+
+def test_serving_tail_histogram_sidecar_round_trips():
+    """The full histograms ride along as a sidecar, outside BENCH_*.json.
+
+    The record stays a small reviewable summary; the sidecar carries
+    the bucket-level distributions CI uploads as an artifact.  Every
+    leg must deserialise into a usable ``LatencyHistogram`` whose
+    contents agree with the record.
+    """
+    from repro.loadgen import LatencyHistogram
+
+    record = load(RECORDS_DIR / "BENCH_serving_tail.json")
+    assert record.get("artifacts") == ["serving_tail_histogram.json"]
+    sidecar = load(RECORDS_DIR / "serving_tail_histogram.json")
+    assert set(sidecar["legs"]) == {
+        "open_clean",
+        "open_http",
+        "closed_stall",
+        "open_stall",
+    }
+    for leg, payload in sidecar["legs"].items():
+        histogram = LatencyHistogram.from_dict(payload)
+        assert histogram.count > 0, leg
+        assert histogram.max_ms > 0, leg
+    clean = LatencyHistogram.from_dict(sidecar["legs"]["open_clean"])
+    assert clean.count == record["metrics"]["completed"]
+    assert clean.percentile(99) == pytest.approx(
+        record["metrics"]["open_loop_p99_ms"]
+    )
+
+
 def test_serving_mp_record_carries_gil_context():
     """The multi-process record must keep its interpretation context.
 

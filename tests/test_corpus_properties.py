@@ -1,11 +1,16 @@
 """Property-based tests on the corpus generator's invariants."""
 
+import itertools
+import tracemalloc
+from collections import Counter
+
 import numpy as np
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core.dataset import HolistixDataset
-from repro.core.labels import DIMENSIONS
+from repro.core.labels import DIMENSIONS, WellnessDimension
+from repro.corpus.factory import CorpusFactory, PersonaSpec
 from repro.corpus.generator import GeneratorConfig, assemble, draft_post
 from repro.text.tokenize import count_sentences, count_words
 
@@ -99,3 +104,125 @@ class TestBuildProperties:
         )
         dataset = HolistixDataset.build(config)
         assert len({i.text for i in dataset}) == len(dataset)
+
+
+class TestFactoryProperties:
+    """The streaming corpus factory's contract (``repro.corpus.factory``).
+
+    Determinism, prefix stability, cross-seed id disjointness, label
+    marginals matching the persona bank, and the constant-memory claim
+    at a million documents — the properties the load-generation
+    benchmarks lean on.
+    """
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_same_seed_is_byte_identical(self, seed):
+        factory = CorpusFactory()
+        assert factory.sample(seed, 150) == factory.sample(seed, 150)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_short_stream_is_prefix_of_long_stream(self, seed):
+        factory = CorpusFactory()
+        short = factory.sample(seed, 25)
+        long_prefix = list(
+            itertools.islice(factory.iter_documents(seed, 500), 25)
+        )
+        assert short == long_prefix
+
+    @given(
+        seeds=st.lists(
+            st.integers(0, 10_000), min_size=2, max_size=3, unique=True
+        )
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_disjoint_seeds_yield_disjoint_ids(self, seeds):
+        factory = CorpusFactory()
+        id_sets = [
+            {doc.doc_id for doc in factory.iter_documents(seed, 100)}
+            for seed in seeds
+        ]
+        for a, b in itertools.combinations(id_sets, 2):
+            assert not (a & b)
+
+    def test_label_distribution_matches_persona_bank(self):
+        factory = CorpusFactory()
+        n = 30_000
+        counts = Counter(doc.label for doc in factory.iter_documents(11, n))
+        expected = factory.expected_label_distribution()
+        assert abs(sum(expected.values()) - 1.0) < 1e-9
+        for dim in DIMENSIONS:
+            measured = counts[dim] / n
+            # 5-sigma band for a binomial at n=30k is ~0.012; 0.015
+            # keeps the test deterministic-in-practice without masking
+            # a broken persona/label CDF.
+            assert abs(measured - expected[dim]) < 0.015, (
+                f"{dim}: measured {measured:.4f}, expected {expected[dim]:.4f}"
+            )
+
+    def test_documents_are_well_formed(self):
+        factory = CorpusFactory()
+        for doc in factory.iter_documents(77, 500):
+            assert isinstance(doc.label, WellnessDimension)
+            assert doc.text
+            assert "{a}" not in doc.text and "{b}" not in doc.text
+            assert doc.n_sentences >= 1
+            assert doc.n_words == doc.text.count(" ") + 1
+            assert doc.persona in {p.name for p in factory.personas}
+
+    def test_million_documents_bounded_memory(self):
+        """Stream 1M documents; traced memory must stay flat.
+
+        Tracing every allocation across the full run is ~8x slower than
+        generation itself, so tracemalloc samples two 50k-document
+        windows — the head and the tail of the same 1M stream.  If the
+        generator retained anything per document, the tail window
+        (950k documents in) would show it.
+        """
+        factory = CorpusFactory()
+        n, window = 1_000_000, 50_000
+        stream = factory.iter_documents(23, n)
+
+        def traced_peak(count: int) -> int:
+            tracemalloc.start()
+            base = tracemalloc.get_traced_memory()[0]
+            for _ in range(count):
+                next(stream)
+            peak = tracemalloc.get_traced_memory()[1] - base
+            tracemalloc.stop()
+            return peak
+
+        head_peak = traced_peak(window)
+        # Fast-forward the middle untraced (still generated, not kept).
+        for _ in itertools.islice(stream, n - 2 * window):
+            pass
+        tail_peak = traced_peak(window)
+        assert next(stream, None) is None, "stream must be exhausted"
+        bound = 4 * 1024 * 1024
+        assert head_peak < bound, f"head window peak {head_peak} bytes"
+        assert tail_peak < bound, f"tail window peak {tail_peak} bytes"
+
+    def test_persona_and_factory_validation(self):
+        import pytest
+
+        weights = {WellnessDimension.SOCIAL: 1.0}
+        with pytest.raises(ValueError):
+            PersonaSpec("", label_weights=weights)
+        with pytest.raises(ValueError):
+            PersonaSpec("p", label_weights={})
+        with pytest.raises(ValueError):
+            PersonaSpec("p", label_weights=weights, sentence_range=(3, 2))
+        with pytest.raises(ValueError):
+            PersonaSpec("p", label_weights=weights, vocabulary_scale=0.0)
+        persona = PersonaSpec("p", label_weights=weights)
+        with pytest.raises(ValueError):
+            CorpusFactory([])
+        with pytest.raises(ValueError):
+            CorpusFactory([persona, persona])
+        with pytest.raises(ValueError):
+            CorpusFactory([persona], persona_weights=[1.0, 2.0])
+        with pytest.raises(ValueError):
+            CorpusFactory([persona]).sample(0, 10, every=0)
+        with pytest.raises(ValueError):
+            list(CorpusFactory([persona]).iter_documents(0, -1))

@@ -87,10 +87,13 @@ class TestDocumentation:
         pyproject = (REPO_ROOT / "pyproject.toml").read_text(encoding="utf-8")
         assert 'holistix-experiments = "repro.experiments.runner:main"' in pyproject
         assert 'holistix-serve = "repro.serving.cli:main"' in pyproject
+        assert 'holistix-loadgen = "repro.loadgen.cli:main"' in pyproject
         from repro.experiments.runner import main as experiments_main
+        from repro.loadgen.cli import main as loadgen_main
         from repro.serving.cli import main as serve_main
 
         assert callable(experiments_main) and callable(serve_main)
+        assert callable(loadgen_main)
 
     def test_benchmarking_doc_covers_harness(self):
         text = (REPO_ROOT / "docs" / "BENCHMARKING.md").read_text(encoding="utf-8")

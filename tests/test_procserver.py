@@ -26,6 +26,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import signal
+import threading
 import subprocess
 import sys
 import textwrap
@@ -474,3 +475,70 @@ class TestGatewayProcessAwareness:
 
             health = ServingClient(gateway.url, deadline_s=30).healthz()
             assert "processes" not in health
+
+
+class TestFaultInjectionUnderLoad:
+    """SIGKILL a worker process mid-run under open-loop load.
+
+    The supervision claims, now exercised while the server is actually
+    loaded: only batches in flight on the killed worker may fail (typed
+    as :class:`RemoteWorkerError` — the dispatch path retries once after
+    respawn, so even those usually succeed), the slot respawns and is
+    counted, the open-loop accounting never loses a request, and tail
+    latency returns to its pre-fault neighbourhood once the worker is
+    back.
+    """
+
+    def test_sigkill_mid_load_recovers_and_tail_returns_to_baseline(self):
+        from repro.loadgen import fixed_rate_schedule, run_open_loop
+
+        server = ProcessInferenceServer.from_factory(
+            make_hash_engine,
+            workers=2,
+            max_batch_size=4,
+            max_wait_ms=0.5,
+            max_queue=256,
+            overload="block",
+        )
+        texts = [f"fault doc {i}" for i in range(64)]
+
+        def send(text: str, intended_at: float) -> None:
+            server.submit(text).result(timeout=60)
+
+        def run_leg(seed: int, duration_s: float = 1.0):
+            return run_open_loop(
+                fixed_rate_schedule(120.0, duration_s=duration_s, seed=seed),
+                send,
+                texts,
+                max_in_flight=64,
+                deadline_s=30.0,
+            )
+
+        with server:
+            server.wait_ready(timeout=120)
+            baseline = run_leg(1)
+            assert baseline.failed == 0 and baseline.dropped == 0
+
+            victim = server.worker_processes()[0]["pid"]
+            killer = threading.Timer(0.4, os.kill, (victim, signal.SIGKILL))
+            killer.start()
+            try:
+                faulted = run_leg(2, duration_s=1.5)
+            finally:
+                killer.cancel()
+
+            # Accounting never loses a request, even across the crash.
+            assert faulted.dropped == 0
+            assert faulted.completed + faulted.failed == faulted.scheduled
+            # Failures, if any, are exactly the typed remote-death error.
+            assert set(faulted.error_types) <= {"RemoteWorkerError"}
+
+            report = server.worker_processes()
+            assert sum(p["restarts"] for p in report) >= 1
+            assert all(p["alive"] for p in report)
+
+            recovered = run_leg(3)
+            assert recovered.failed == 0 and recovered.dropped == 0
+            # Post-recovery tail is back near baseline (generous bound:
+            # shared-runner scheduling noise, not respawn debt).
+            assert recovered.p99_ms <= max(10 * baseline.p99_ms, 250.0)
