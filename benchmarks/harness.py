@@ -64,6 +64,18 @@ Scenarios
     which the closed-loop methodology under-reports p99.  Full latency
     histograms land in ``serving_tail_histogram.json`` next to the
     record.
+``serving_chaos``
+    Replays the committed fault plan (``benchmarks/plans/
+    serving_chaos.json`` — a worker SIGKILL, a worker stall, and a
+    burst of socket-level response faults, all regenerated from a
+    recorded seed and verified against the file) against the full
+    ``ProcessInferenceServer`` → ``ServingGateway`` → resilient
+    ``ServingClient`` stack under open-loop Poisson load.  Gates
+    chaos-leg availability >= 0.99 (deadline sheds credited back),
+    post-fault recovery p99 within 2x the clean baseline, at least one
+    supervised worker respawn, every planned fault kind applied, and
+    zero orphaned worker processes after shutdown.  Primary metric:
+    chaos-leg availability (higher is better).
 
 Timings come from ``_timeit_median``: every measured callable gets
 discarded warm-up iterations followed by median-of-k timing, so
@@ -105,7 +117,12 @@ REGRESSION_TOLERANCE = 0.25
 # tolerance tail gates get in practice.  A genuine tail regression (a
 # stall, a lost replica, an admission bug) moves p99 by an order of
 # magnitude, not 2x.
-SCENARIO_TOLERANCE = {"serving_tail": 0.5}
+SCENARIO_TOLERANCE = {
+    "serving_tail": 0.5,
+    # Availability is gated absolutely (>= 0.99) inside the scenario;
+    # the record comparison just needs to flag drift, not absorb noise.
+    "serving_chaos": 0.02,
+}
 
 
 # ----------------------------------------------------------------------
@@ -1156,6 +1173,292 @@ def scenario_serving_tail(quick: bool) -> dict:
     }
 
 
+# The committed fault plan replayed by ``serving_chaos``.  The seed and
+# parameters are the reproducibility contract: the scenario refuses to
+# run if ``benchmarks/plans/serving_chaos.json`` no longer matches what
+# these values regenerate, so the record can never silently describe a
+# different storm than the one in version control.
+CHAOS_PLAN_SEED = 1307
+CHAOS_PLAN_PARAMS = dict(
+    duration_s=4.0,
+    workers=2,
+    crashes=1,
+    stalls=1,
+    stall_s=0.4,
+    socket_bursts=1,
+    burst_window_s=0.3,
+    burst_count=5,
+)
+CHAOS_PLAN_PATH = REPO_ROOT / "benchmarks" / "plans" / "serving_chaos.json"
+
+
+def _chaos_engine_factory():
+    """Module-level engine factory: picklable for spawn-started workers."""
+    from repro.engine.engine import PredictionEngine
+
+    return PredictionEngine(
+        FixedServiceBackend(per_batch_ms=5.0, per_item_ms=0.2),
+        model_id="bench-chaos",
+        cache_size=0,
+    )
+
+
+def scenario_serving_chaos(quick: bool) -> dict:
+    """Replay the committed fault plan and gate on recovery, not speed.
+
+    Boots the full production stack — ``ProcessInferenceServer`` (two
+    spawn-started worker processes under the background supervisor)
+    behind a loopback ``ServingGateway``, driven by a resilient
+    ``ServingClient`` — then runs three open-loop Poisson legs:
+
+    1. **Baseline** — clean traffic; its p99 is the recovery yardstick.
+    2. **Chaos** — arms ``benchmarks/plans/serving_chaos.json`` (a
+       worker SIGKILL, a worker stall, and a burst of socket-level
+       response faults, all seeded and committed) and keeps offering
+       load for the plan's full duration.
+    3. **Recovery** — after the supervisor reports every worker slot
+       alive again, the baseline workload repeats.
+
+    Gated invariants, all checked in-run: chaos-leg availability
+    ``>= 0.99`` (client retries and the supervisor must absorb the
+    storm; deadline sheds are credited back — shedding is policy, not
+    failure), recovery p99 within 2x baseline (with a small absolute
+    floor for scheduler noise), at least one supervised worker respawn,
+    every planned fault kind actually applied, and zero orphaned worker
+    processes after shutdown.  The primary metric is the chaos-leg
+    availability; per-leg histograms and the injector's fired-fault
+    timeline land in ``serving_chaos_histogram.json``.
+    """
+    from repro.chaos import FaultInjector, FaultPlan
+    from repro.corpus.factory import CorpusFactory
+    from repro.engine.procserver import ProcessInferenceServer
+    from repro.loadgen import poisson_schedule, run_open_loop
+    from repro.serving.client import ServingClient
+    from repro.serving.gateway import ServingGateway
+
+    seed = CHAOS_PLAN_SEED
+    corpus_n = 4_000 if quick else 12_000
+    started = time.perf_counter()
+    texts = CorpusFactory().texts(seed, corpus_n)
+    corpus_s = time.perf_counter() - started
+
+    plan = FaultPlan.load(CHAOS_PLAN_PATH)
+    regenerated = FaultPlan.generate(CHAOS_PLAN_SEED, **CHAOS_PLAN_PARAMS)
+    if plan.timeline() != regenerated.timeline():
+        raise AssertionError(
+            "benchmarks/plans/serving_chaos.json does not match the plan "
+            f"regenerated from seed {CHAOS_PLAN_SEED}; regenerate the "
+            "committed plan or fix CHAOS_PLAN_PARAMS"
+        )
+
+    rate = 80.0 if quick else 120.0
+    leg_s = 1.5 if quick else 3.0
+    chaos_s = plan.duration_s + 1.0
+    seen_pids: set[int] = set()
+
+    def note_pids(server) -> tuple[int, int]:
+        """Record live worker pids; returns (alive, restarts_total)."""
+        alive = 0
+        restarts = 0
+        for report in server.worker_processes():
+            if report["pid"] is not None:
+                seen_pids.add(report["pid"])
+            alive += 1 if report["alive"] else 0
+            restarts += report["restarts"]
+        return alive, restarts
+
+    server = ProcessInferenceServer.from_factory(
+        _chaos_engine_factory,
+        model_id="bench-chaos",
+        workers=2,
+        max_batch_size=8,
+        max_wait_ms=0.5,
+        max_queue=512,
+        overload="block",
+        supervisor_interval_s=0.1,
+        respawn_backoff_base_s=0.05,
+    )
+    injector = FaultInjector(plan)
+    with ServingGateway(server) as gateway:
+        client = ServingClient(
+            gateway.url,
+            deadline_s=10.0,
+            retry_seed=seed,
+            breaker_threshold=8,
+        )
+        client.wait_ready(deadline_s=30.0)
+
+        baseline = run_open_loop(
+            poisson_schedule(rate, duration_s=leg_s, seed=seed),
+            lambda text, at: client.predict(text, intended_at=at),
+            texts,
+            max_in_flight=128,
+            deadline_s=10.0,
+        )
+        if baseline.failed or baseline.dropped:
+            raise AssertionError(
+                f"chaos baseline leg lost requests: {baseline.summary()}"
+            )
+        note_pids(server)
+
+        # The storm: arm the committed plan and keep offering load for
+        # its whole duration.  The resilient client may retry through
+        # socket faults; the supervisor must replace the SIGKILLed
+        # worker; nothing here is allowed to need manual intervention.
+        sheds_before = server.stats.snapshot().deadline_shed
+        gateway.arm_chaos(injector)
+        chaos_leg = run_open_loop(
+            poisson_schedule(rate, duration_s=chaos_s, seed=seed + 1),
+            lambda text, at: client.predict(text, intended_at=at),
+            texts,
+            max_in_flight=256,
+            deadline_s=10.0,
+        )
+        gateway.disarm_chaos()
+        deadline_sheds = server.stats.snapshot().deadline_shed - sheds_before
+        note_pids(server)
+
+        # Shedding under pressure is policy, not failure: requests the
+        # gateway turned away because their budget could not cover the
+        # observed service time are credited back before gating.
+        availability = (
+            (chaos_leg.completed + deadline_sheds) / chaos_leg.scheduled
+            if chaos_leg.scheduled
+            else 1.0
+        )
+        if availability < 0.99:
+            raise AssertionError(
+                f"chaos-leg availability {availability:.4f} < 0.99: "
+                f"{chaos_leg.summary()}"
+            )
+
+        # Wait (read-only — no revival probes, the supervisor alone must
+        # do the work) until every worker slot is alive again.
+        recovery_wait_started = time.perf_counter()
+        recovery_deadline = recovery_wait_started + 15.0
+        while True:
+            alive, restarts_total = note_pids(server)
+            if alive == server.workers:
+                break
+            if time.perf_counter() > recovery_deadline:
+                raise AssertionError(
+                    "workers did not recover within 15s of the storm: "
+                    f"{server.worker_processes()}"
+                )
+            time.sleep(0.05)
+        recovery_wait_s = time.perf_counter() - recovery_wait_started
+        if restarts_total < 1:
+            raise AssertionError(
+                "no supervised respawn happened; the plan's worker_crash "
+                "never bit or the supervisor is dead"
+            )
+
+        recovery = run_open_loop(
+            poisson_schedule(rate, duration_s=leg_s, seed=seed + 2),
+            lambda text, at: client.predict(text, intended_at=at),
+            texts,
+            max_in_flight=128,
+            deadline_s=10.0,
+        )
+        if recovery.failed or recovery.dropped:
+            raise AssertionError(
+                f"chaos recovery leg lost requests: {recovery.summary()}"
+            )
+        note_pids(server)
+        client_stats = client.stats()
+
+    # Recovery must return to baseline tail behaviour.  The absolute
+    # floor keeps a 3 ms-vs-1.4 ms scheduler wobble from failing a gate
+    # that exists to catch seconds-long degradation.
+    recovery_ceiling_ms = max(2.0 * baseline.p99_ms, 250.0)
+    if recovery.p99_ms > recovery_ceiling_ms:
+        raise AssertionError(
+            f"post-fault recovery p99 {recovery.p99_ms:.1f}ms exceeds "
+            f"{recovery_ceiling_ms:.1f}ms (2x baseline "
+            f"{baseline.p99_ms:.1f}ms, 250ms floor)"
+        )
+
+    applied = injector.applied_counts()
+    missing = sorted(set(plan.kinds()) - set(applied))
+    if missing:
+        raise AssertionError(
+            f"planned fault kinds never applied: {missing} "
+            f"(applied: {applied}, fired: {injector.fired_log()})"
+        )
+
+    # Every worker pid observed during the run must be gone once the
+    # stack is stopped — SIGKILLed originals, supervised replacements,
+    # and the final generation alike.
+    orphan_deadline = time.monotonic() + 5.0
+    orphans = set(seen_pids)
+    while orphans and time.monotonic() < orphan_deadline:
+        for pid in sorted(orphans):
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                orphans.discard(pid)
+            except PermissionError:
+                pass  # still alive under another uid: counts as orphaned
+        if orphans:
+            time.sleep(0.1)
+    if orphans:
+        raise AssertionError(
+            f"worker processes survived shutdown: {sorted(orphans)}"
+        )
+
+    return {
+        "n_docs": corpus_n,
+        "timings": {
+            "corpus_build_s": corpus_s,
+            "baseline_p50_ms": baseline.p50_ms,
+            "baseline_p99_ms": baseline.p99_ms,
+            "chaos_p50_ms": chaos_leg.p50_ms,
+            "chaos_p99_ms": chaos_leg.p99_ms,
+            "recovery_p50_ms": recovery.p50_ms,
+            "recovery_p99_ms": recovery.p99_ms,
+            "recovery_wait_s": recovery_wait_s,
+        },
+        "metrics": {
+            "chaos_availability": availability,
+            "chaos_scheduled": chaos_leg.scheduled,
+            "chaos_completed": chaos_leg.completed,
+            "chaos_failed": chaos_leg.failed,
+            "chaos_dropped": chaos_leg.dropped,
+            "deadline_sheds": deadline_sheds,
+            "worker_restarts": restarts_total,
+            "recovery_p99_ratio": (
+                recovery.p99_ms / baseline.p99_ms if baseline.p99_ms else 1.0
+            ),
+            "client_retries": client_stats["retries"],
+            "client_transport_failures": client_stats["transport_failures"],
+            "injected_faults": sum(applied.values()),
+            "orphan_processes": 0,
+        },
+        "artifacts": {
+            "serving_chaos_histogram.json": {
+                "scenario": "serving_chaos",
+                "note": (
+                    "per-leg latency histograms plus the injector's "
+                    "fired-fault timeline for the committed plan"
+                ),
+                "plan": {
+                    "seed": CHAOS_PLAN_SEED,
+                    "params": dict(CHAOS_PLAN_PARAMS),
+                    "timeline": [list(entry) for entry in plan.timeline()],
+                },
+                "applied_counts": applied,
+                "fired_log": [list(entry) for entry in injector.fired_log()],
+                "error_types": dict(chaos_leg.error_types),
+                "legs": {
+                    "baseline": baseline.histogram.to_dict(),
+                    "chaos": chaos_leg.histogram.to_dict(),
+                    "recovery": recovery.histogram.to_dict(),
+                },
+            }
+        },
+    }
+
+
 # name -> (runner, primary metric key, higher is better).  Primary
 # metrics are mostly ratios measured within one run, so the regression
 # check stays meaningful when the committed record and CI run on
@@ -1173,6 +1476,7 @@ SCENARIOS: dict[str, tuple] = {
     "serving_http": (scenario_serving_http, "http_vs_inprocess_throughput", True),
     "serving_mp": (scenario_serving_mp, "process_worker_scaling", True),
     "serving_tail": (scenario_serving_tail, "open_loop_p99_ms", False),
+    "serving_chaos": (scenario_serving_chaos, "chaos_availability", True),
 }
 
 

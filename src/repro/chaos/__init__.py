@@ -1,0 +1,21 @@
+"""Deterministic chaos engineering: seeded fault plans + injection seams."""
+
+from repro.chaos.injector import FaultInjector
+from repro.chaos.plan import (
+    GATEWAY_KINDS,
+    KINDS,
+    ONESHOT_KINDS,
+    WORKER_KINDS,
+    FaultEvent,
+    FaultPlan,
+)
+
+__all__ = [
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "GATEWAY_KINDS",
+    "KINDS",
+    "ONESHOT_KINDS",
+    "WORKER_KINDS",
+]

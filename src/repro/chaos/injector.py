@@ -1,0 +1,211 @@
+"""Runtime dispatch of a :class:`~repro.chaos.plan.FaultPlan`.
+
+The :class:`FaultInjector` is the only piece of chaos machinery the
+serving stack ever sees, and it is designed to cost nothing when idle:
+servers hold ``self.chaos = None`` and guard every seam call with a
+single attribute check, so an unarmed system runs the exact code it ran
+before this package existed.
+
+Arming stamps ``t0 = time.monotonic()`` and starts one daemon thread
+that walks the plan's one-shot events in order, sleeping until each
+``at_s`` and invoking whatever handler the server registered for that
+kind (e.g. the process server registers ``worker_crash`` →
+``os.kill(pid, SIGKILL)``).  Window events (stalls, slow batches,
+gateway socket faults) are not dispatched — they are *evaluated* at the
+seams: ``before_batch(worker)`` inside serve loops and
+``http_response_fault()`` inside the gateway handler ask "is a window
+active right now, for me?" against the armed clock.  Either way the
+timing comes from the plan, never from runtime state, so identical
+plans inject identical faults.
+
+Everything the injector actually did is observable: ``fired_log()``
+returns the one-shot dispatch log and ``applied_counts()`` the number
+of times each seam fault was applied, both keyed for assertion in tests
+and benchmark records.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from collections.abc import Callable
+
+from repro.chaos.plan import GATEWAY_KINDS, ONESHOT_KINDS, FaultEvent, FaultPlan
+
+__all__ = ["FaultInjector"]
+
+logger = logging.getLogger(__name__)
+
+
+class FaultInjector:
+    """Replays a fault plan against registered seams.  Thread-safe."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._handlers: dict[str, Callable[[FaultEvent], None]] = {}
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._t0: float | None = None
+        self._applied: dict[str, int] = {}
+        self._fired: list[tuple[float, str, int | None]] = []
+        # Remaining budget for count-capped window events, keyed by the
+        # event's position in the plan (events are immutable).
+        self._budgets: dict[int, int] = {
+            i: event.count
+            for i, event in enumerate(plan.events)
+            if event.count > 0
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def register(self, kind: str, handler: Callable[[FaultEvent], None]) -> None:
+        """Attach a handler for a one-shot fault kind (e.g. worker_crash)."""
+        with self._lock:
+            self._handlers[kind] = handler
+
+    @property
+    def armed(self) -> bool:
+        return self._t0 is not None and not self._stop.is_set()
+
+    def elapsed_s(self) -> float:
+        """Seconds since arm; 0.0 when not armed."""
+        t0 = self._t0
+        return 0.0 if t0 is None else time.monotonic() - t0
+
+    def arm(self) -> None:
+        """Start the clock and the one-shot dispatch thread."""
+        with self._lock:
+            if self._t0 is not None:
+                raise RuntimeError("injector already armed")
+            self._stop.clear()
+            self._t0 = time.monotonic()
+            oneshots = [
+                event
+                for event in self.plan.events
+                if event.kind in ONESHOT_KINDS
+            ]
+            if oneshots:
+                self._thread = threading.Thread(
+                    target=self._dispatch_loop,
+                    args=(oneshots,),
+                    name="chaos-dispatch",
+                    daemon=True,
+                )
+                self._thread.start()
+
+    def disarm(self) -> None:
+        """Stop dispatching; pending one-shot events are abandoned."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=5.0)
+            self._thread = None
+
+    def _dispatch_loop(self, oneshots: list[FaultEvent]) -> None:
+        t0 = self._t0
+        assert t0 is not None
+        for event in oneshots:
+            delay = (t0 + event.at_s) - time.monotonic()
+            if delay > 0 and self._stop.wait(delay):
+                return
+            if self._stop.is_set():
+                return
+            with self._lock:
+                handler = self._handlers.get(event.kind)
+            if handler is None:
+                logger.warning(
+                    "chaos: no handler registered for %s; skipping", event.kind
+                )
+                continue
+            logger.info(
+                "chaos: firing %s target=%s at +%.3fs",
+                event.kind,
+                event.target,
+                self.elapsed_s(),
+            )
+            try:
+                handler(event)
+            except Exception:
+                logger.exception("chaos: %s handler failed", event.kind)
+                continue
+            self._mark(event)
+
+    # ------------------------------------------------------------------
+    # Seams
+    # ------------------------------------------------------------------
+    def before_batch(self, worker: int) -> None:
+        """Worker-side seam: apply stall / slow-batch windows for ``worker``.
+
+        Called by serve loops just before a non-empty batch is
+        processed.  Stalls sleep to the end of their window (the worker
+        holds its batch the whole time, exactly like a wedged process);
+        slow-batch windows add their ``delay_ms`` once per batch.
+        """
+        if not self.armed:
+            return
+        offset = self.elapsed_s()
+        for event in self.plan.events:
+            if event.kind == "worker_stall" and event.matches_worker(worker):
+                if event.active_at(offset):
+                    remaining = event.end_s - offset
+                    self._mark(event)
+                    self._interruptible_sleep(remaining)
+                    offset = self.elapsed_s()
+        for event in self.plan.events:
+            if event.kind == "slow_batch" and event.matches_worker(worker):
+                if event.active_at(offset):
+                    self._mark(event)
+                    self._interruptible_sleep(event.delay_ms / 1000.0)
+
+    def http_response_fault(self) -> str | None:
+        """Gateway seam: the fault kind to apply to this response, if any.
+
+        Consumes one unit of the active window event's ``count`` budget
+        under the lock, so a burst corrupts exactly ``count`` responses
+        no matter how many handler threads race through the window.
+        """
+        if not self.armed:
+            return None
+        offset = self.elapsed_s()
+        with self._lock:
+            for i, event in enumerate(self.plan.events):
+                if event.kind not in GATEWAY_KINDS:
+                    continue
+                if not event.active_at(offset):
+                    continue
+                budget = self._budgets.get(i)
+                if budget is not None:
+                    if budget <= 0:
+                        continue
+                    self._budgets[i] = budget - 1
+                self._mark_locked(event)
+                return event.kind
+        return None
+
+    def _interruptible_sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            self._stop.wait(seconds)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def _mark(self, event: FaultEvent) -> None:
+        with self._lock:
+            self._mark_locked(event)
+
+    def _mark_locked(self, event: FaultEvent) -> None:
+        self._applied[event.kind] = self._applied.get(event.kind, 0) + 1
+        self._fired.append((round(self.elapsed_s(), 3), event.kind, event.target))
+
+    def applied_counts(self) -> dict[str, int]:
+        """How many times each fault kind was actually applied."""
+        with self._lock:
+            return dict(self._applied)
+
+    def fired_log(self) -> list[tuple[float, str, int | None]]:
+        """``(elapsed_s, kind, target)`` for every applied fault."""
+        with self._lock:
+            return list(self._fired)

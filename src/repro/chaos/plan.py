@@ -1,0 +1,292 @@
+"""Deterministic fault plans for chaos experiments.
+
+A :class:`FaultPlan` is the failure-side twin of
+:class:`~repro.loadgen.schedule.ArrivalSchedule`: the full list of
+*intended* fault events, decided up front from a seed, serialised to a
+versioned JSON file, and replayable bit-for-bit.  Nothing about when or
+where a fault fires depends on runtime state — the plan *is* the
+timing, so two runs armed with the same plan inject identical failures
+and any difference in outcome is the system under test, not the chaos
+harness.
+
+Fault taxonomy (``kind``):
+
+``worker_crash``
+    One-shot: SIGKILL the target worker process at ``at_s``.  Only
+    meaningful for the multi-process backend (a thread cannot be
+    killed); dispatched by the :class:`~repro.chaos.injector.
+    FaultInjector` timer thread to whatever handler the server
+    registered.
+``worker_stall``
+    Window: the target worker stops draining batches for
+    ``duration_s`` seconds starting at ``at_s`` (the serve loop sleeps
+    through the window before touching the batch).  Models a wedged
+    worker: queue share backs up, the rest of the fleet keeps serving.
+``slow_batch``
+    Window: every batch the target worker serves inside the window
+    pays ``delay_ms`` extra latency.  Models degraded-but-alive
+    workers (thermal throttling, noisy neighbour, page-cache miss
+    storm).
+``socket_reset``
+    Window (gateway): up to ``count`` predict responses are answered
+    by abruptly closing the TCP connection with nothing written.
+``truncate_response``
+    Window (gateway): up to ``count`` predict responses declare a full
+    ``Content-Length`` but write only half the body before closing.
+``malformed_response``
+    Window (gateway): up to ``count`` predict responses return HTTP
+    200 with a body that is not valid JSON.
+
+``target`` is a worker slot index for worker-scoped kinds (``None``
+means "any worker", i.e. the seam matches every worker) and is ignored
+for gateway kinds.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "FaultEvent",
+    "FaultPlan",
+    "GATEWAY_KINDS",
+    "KINDS",
+    "ONESHOT_KINDS",
+    "WORKER_KINDS",
+]
+
+_PLAN_VERSION = 1
+
+ONESHOT_KINDS = frozenset({"worker_crash"})
+WORKER_KINDS = frozenset({"worker_crash", "worker_stall", "slow_batch"})
+GATEWAY_KINDS = frozenset(
+    {"socket_reset", "truncate_response", "malformed_response"}
+)
+KINDS = WORKER_KINDS | GATEWAY_KINDS
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One planned fault: what, where, when, and for how long."""
+
+    at_s: float
+    kind: str
+    target: int | None = None
+    duration_s: float = 0.0
+    delay_ms: float = 0.0
+    count: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.at_s < 0:
+            raise ValueError("at_s must be non-negative")
+        if self.duration_s < 0:
+            raise ValueError("duration_s must be non-negative")
+        if self.delay_ms < 0:
+            raise ValueError("delay_ms must be non-negative")
+        if self.count < 0:
+            raise ValueError("count must be non-negative")
+        if self.kind in ONESHOT_KINDS and self.duration_s:
+            raise ValueError(f"{self.kind} is one-shot; duration_s must be 0")
+        if self.kind not in ONESHOT_KINDS and self.duration_s <= 0:
+            raise ValueError(f"{self.kind} needs a positive duration_s window")
+
+    @property
+    def end_s(self) -> float:
+        return self.at_s + self.duration_s
+
+    def active_at(self, offset_s: float) -> bool:
+        """Whether ``offset_s`` (seconds since arm) is inside the window."""
+        return self.at_s <= offset_s < self.end_s
+
+    def matches_worker(self, worker: int) -> bool:
+        return self.target is None or self.target == worker
+
+    def to_dict(self) -> dict:
+        payload: dict = {"at_s": self.at_s, "kind": self.kind}
+        if self.target is not None:
+            payload["target"] = self.target
+        if self.duration_s:
+            payload["duration_s"] = self.duration_s
+        if self.delay_ms:
+            payload["delay_ms"] = self.delay_ms
+        if self.count:
+            payload["count"] = self.count
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultEvent":
+        target = payload.get("target")
+        return cls(
+            at_s=float(payload["at_s"]),
+            kind=str(payload["kind"]),
+            target=None if target is None else int(target),
+            duration_s=float(payload.get("duration_s", 0.0)),
+            delay_ms=float(payload.get("delay_ms", 0.0)),
+            count=int(payload.get("count", 0)),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, seed-stamped, JSON round-trippable fault schedule.
+
+    ``seed`` records provenance (for :meth:`generate` plans it fully
+    determines the events; hand-written plans carry it as an
+    identifier).  Events are kept sorted by ``at_s`` so the injector's
+    dispatch order is the file order.
+    """
+
+    seed: int
+    events: tuple[FaultEvent, ...]
+
+    def __post_init__(self) -> None:
+        if not self.events:
+            raise ValueError("a fault plan needs at least one event")
+        if any(
+            b.at_s < a.at_s for a, b in zip(self.events, self.events[1:])
+        ):
+            raise ValueError("events must be sorted by at_s")
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def duration_s(self) -> float:
+        """When the last planned fault (window included) is over."""
+        return max(event.end_s for event in self.events)
+
+    def kinds(self) -> tuple[str, ...]:
+        return tuple(sorted({event.kind for event in self.events}))
+
+    def timeline(self) -> tuple[tuple[float, str, int | None], ...]:
+        """The compiled ``(at_s, kind, target)`` schedule.
+
+        This is the reproducibility contract: the same plan (same file,
+        or the same :meth:`generate` seed) compiles to an identical
+        timeline, so fault timings in two runs can be compared by
+        equality, not by eyeball.
+        """
+        return tuple(
+            (event.at_s, event.kind, event.target) for event in self.events
+        )
+
+    # ------------------------------------------------------------------
+    # JSON round trip (same shape discipline as loadgen trace files)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "plan_version": _PLAN_VERSION,
+            "seed": self.seed,
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultPlan":
+        if payload.get("plan_version") != _PLAN_VERSION:
+            raise ValueError(
+                f"unsupported plan_version: {payload.get('plan_version')!r}"
+            )
+        return cls(
+            seed=int(payload["seed"]),
+            events=tuple(
+                FaultEvent.from_dict(event) for event in payload["events"]
+            ),
+        )
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(
+            json.dumps(self.to_dict(), indent=2) + "\n", encoding="utf-8"
+        )
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "FaultPlan":
+        return cls.from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+
+    # ------------------------------------------------------------------
+    # Seeded generation
+    # ------------------------------------------------------------------
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        *,
+        duration_s: float,
+        workers: int = 2,
+        crashes: int = 1,
+        stalls: int = 1,
+        stall_s: float = 0.4,
+        socket_bursts: int = 1,
+        burst_window_s: float = 0.3,
+        burst_count: int = 5,
+        slow_windows: int = 0,
+        slow_window_s: float = 0.5,
+        delay_ms: float = 50.0,
+    ) -> "FaultPlan":
+        """A seeded random plan over ``duration_s`` seconds.
+
+        Events are scattered over the middle 80% of the run (faults at
+        the very start hit an empty server; faults at the very end have
+        no recovery window to observe) and are fully determined by
+        ``seed`` — ``random.Random``'s Mersenne Twister stream is
+        stable across Python versions, so the same call regenerates the
+        identical plan anywhere.
+        """
+        if duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        rng = random.Random(seed)
+        lo, hi = 0.1 * duration_s, 0.9 * duration_s
+
+        def moment() -> float:
+            return round(rng.uniform(lo, hi), 3)
+
+        events: list[FaultEvent] = []
+        for _ in range(crashes):
+            events.append(
+                FaultEvent(
+                    at_s=moment(),
+                    kind="worker_crash",
+                    target=rng.randrange(workers),
+                )
+            )
+        for _ in range(stalls):
+            events.append(
+                FaultEvent(
+                    at_s=moment(),
+                    kind="worker_stall",
+                    target=rng.randrange(workers),
+                    duration_s=stall_s,
+                )
+            )
+        for _ in range(socket_bursts):
+            kind = rng.choice(
+                ("socket_reset", "truncate_response", "malformed_response")
+            )
+            events.append(
+                FaultEvent(
+                    at_s=moment(),
+                    kind=kind,
+                    duration_s=burst_window_s,
+                    count=burst_count,
+                )
+            )
+        for _ in range(slow_windows):
+            events.append(
+                FaultEvent(
+                    at_s=moment(),
+                    kind="slow_batch",
+                    target=rng.randrange(workers),
+                    duration_s=slow_window_s,
+                    delay_ms=delay_ms,
+                )
+            )
+        events.sort(key=lambda event: event.at_s)
+        return cls(seed=seed, events=tuple(events))

@@ -31,12 +31,14 @@ interpreter's resource tracker as the crash safety net.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import os
 import signal
 import threading
 import time
 import traceback
+from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -50,6 +52,9 @@ __all__ = [
     "RemoteWorkerError",
     "SharedCheckpointEngineSpec",
 ]
+
+
+logger = logging.getLogger(__name__)
 
 
 class RemoteWorkerError(RuntimeError):
@@ -276,6 +281,11 @@ class ProcessInferenceServer(BatchingServerBase):
         batch_size: int = 64,
         inject_latency_ms: float = 0.0,
         spawn_timeout_s: float = 120.0,
+        supervisor_interval_s: float = 0.5,
+        respawn_backoff_base_s: float = 0.25,
+        respawn_backoff_max_s: float = 5.0,
+        crash_loop_threshold: int = 5,
+        crash_loop_window_s: float = 30.0,
     ) -> None:
         checkpoint_mode = arrays is not None or config is not None
         if checkpoint_mode and (arrays is None or config is None):
@@ -321,6 +331,26 @@ class ProcessInferenceServer(BatchingServerBase):
         self._stats_lock = threading.Lock()
         self._stats_base = [EngineStats() for _ in range(workers)]
         self._stats_latest = [EngineStats() for _ in range(workers)]
+        # Supervisor: a background thread that respawns dead workers
+        # within a bounded interval — liveness no longer depends on
+        # /healthz probes or traffic hitting the dead slot.  Respawns
+        # back off exponentially per slot, and a slot that keeps dying
+        # (crash loop) is retired instead of respawned forever; healthz
+        # then reports it dead and the gateway flips to "degraded".
+        if supervisor_interval_s <= 0:
+            raise ValueError("supervisor_interval_s must be positive")
+        if crash_loop_threshold < 2:
+            raise ValueError("crash_loop_threshold must be >= 2")
+        self._supervisor_interval_s = supervisor_interval_s
+        self._respawn_backoff_base_s = respawn_backoff_base_s
+        self._respawn_backoff_max_s = respawn_backoff_max_s
+        self._crash_loop_threshold = crash_loop_threshold
+        self._crash_loop_window_s = crash_loop_window_s
+        self._supervisor_stop = threading.Event()
+        self._supervisor_thread: threading.Thread | None = None
+        self._backoff_until = [0.0] * workers
+        self._death_history: list[deque] = [deque() for _ in range(workers)]
+        self._crash_looped = [False] * workers
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -381,7 +411,7 @@ class ProcessInferenceServer(BatchingServerBase):
         """Per-worker liveness for ``/healthz`` and ``/metrics``.
 
         One dict per worker slot: ``worker``, ``pid`` (None before
-        ready/after stop), ``alive``, ``restarts``.
+        ready/after stop), ``alive``, ``restarts``, ``crash_looping``.
         """
         report = []
         for worker, handle in enumerate(self._handles):
@@ -392,6 +422,7 @@ class ProcessInferenceServer(BatchingServerBase):
                     "pid": handle.pid if handle is not None else None,
                     "alive": bool(alive),
                     "restarts": self._restarts[worker],
+                    "crash_looping": self._crash_looped[worker],
                 }
             )
         return report
@@ -409,6 +440,8 @@ class ProcessInferenceServer(BatchingServerBase):
             return 0
         revived = 0
         for worker in range(self.workers):
+            if self._crash_looped[worker]:
+                continue
             lock = self._slot_locks[worker]
             if not lock.acquire(blocking=False):
                 continue
@@ -472,6 +505,70 @@ class ProcessInferenceServer(BatchingServerBase):
         self._arrays = dict(arrays)
         return shared.update(arrays)
 
+    def current_weights(self) -> dict:
+        """Copy of the weights currently served (rollback snapshots).
+
+        Checkpoint mode only — factory workers own their weights and
+        the parent has nothing to hand back.
+        """
+        if self._arrays is None:
+            raise RuntimeError("no weights held in the parent (factory mode)")
+        return dict(self._arrays)
+
+    # ------------------------------------------------------------------
+    # Chaos
+    # ------------------------------------------------------------------
+    def arm_chaos(self, injector) -> None:
+        """Arm a :class:`~repro.chaos.FaultInjector` against this server.
+
+        Registers the ``worker_crash`` handler (SIGKILL the target
+        slot's process — the real thing, not a simulation), installs the
+        injector on the batching seam, and starts its clock.  The
+        injector is disarmed automatically on ``stop()``.
+        """
+
+        def crash(event) -> None:
+            slots = (
+                range(self.workers) if event.target is None else (event.target,)
+            )
+            for worker in slots:
+                if worker >= self.workers:
+                    continue
+                handle = self._handles[worker]
+                if handle is not None and handle.alive() and handle.pid:
+                    os.kill(handle.pid, signal.SIGKILL)
+
+        injector.register("worker_crash", crash)
+        self.chaos = injector
+        injector.arm()
+
+    # ------------------------------------------------------------------
+    # Supervisor
+    # ------------------------------------------------------------------
+    def _supervisor_loop(self) -> None:
+        """Respawn dead workers without waiting for probes or traffic.
+
+        Every interval, each slot whose lock is free (a held lock means
+        a companion thread is mid-dispatch and will handle any death
+        itself) and whose process has died is respawned through
+        :meth:`_respawn_locked` — which enforces the per-slot backoff
+        and the crash-loop breaker, so a slot that keeps dying is
+        retired rather than hammered.
+        """
+        while not self._supervisor_stop.wait(self._supervisor_interval_s):
+            for worker in range(self.workers):
+                if self._crash_looped[worker]:
+                    continue
+                lock = self._slot_locks[worker]
+                if not lock.acquire(blocking=False):
+                    continue
+                try:
+                    handle = self._handles[worker]
+                    if handle is not None and not handle.alive():
+                        self._respawn_locked(worker)
+                finally:
+                    lock.release()
+
     # ------------------------------------------------------------------
     # BatchingServerBase hooks
     # ------------------------------------------------------------------
@@ -490,6 +587,9 @@ class ProcessInferenceServer(BatchingServerBase):
             )
         self._ready_events = [threading.Event() for _ in range(self.workers)]
         self._restarts = [0] * self.workers
+        self._backoff_until = [0.0] * self.workers
+        self._death_history = [deque() for _ in range(self.workers)]
+        self._crash_looped = [False] * self.workers
         with self._stats_lock:
             self._stats_base = [EngineStats() for _ in range(self.workers)]
             self._stats_latest = [EngineStats() for _ in range(self.workers)]
@@ -500,6 +600,11 @@ class ProcessInferenceServer(BatchingServerBase):
             self._teardown_processes()
             self._teardown_shared()
             raise
+        self._supervisor_stop = threading.Event()
+        self._supervisor_thread = threading.Thread(
+            target=self._supervisor_loop, name="worker-supervisor", daemon=True
+        )
+        self._supervisor_thread.start()
 
     def _on_worker_start(self, worker: int) -> None:
         with self._slot_locks[worker]:
@@ -512,6 +617,30 @@ class ProcessInferenceServer(BatchingServerBase):
         self._ready_events[worker].set()
 
     def _predict_probs(self, worker: int, texts: list[str]):
+        """Serve a batch on ``worker``'s slot, failing over if retired.
+
+        A slot the crash-loop breaker has retired must not keep failing
+        its share of the queue: its companion thread re-routes batches
+        to the first live slot instead (serialising on that slot's lock
+        — degraded throughput, preserved availability).  Only when no
+        live slot remains does the batch fail.
+        """
+        order = [worker] + [w for w in range(self.workers) if w != worker]
+        for slot in order:
+            if self._crash_looped[slot]:
+                continue
+            try:
+                return self._predict_probs_on(slot, texts)
+            except RemoteWorkerError:
+                if not self._crash_looped[slot]:
+                    raise  # a real serving failure, not a retired slot
+                # The slot was retired mid-attempt; try the next one.
+        raise RemoteWorkerError(
+            f"worker slot {worker} is crash-looping and no live worker "
+            "slot remains"
+        )
+
+    def _predict_probs_on(self, worker: int, texts: list[str]):
         with self._slot_locks[worker]:
             for attempt in (0, 1):
                 handle = self._handles[worker]
@@ -554,6 +683,16 @@ class ProcessInferenceServer(BatchingServerBase):
                 self._stats_latest[worker] = EngineStats()
 
     def _after_stop(self) -> None:
+        # Order matters: silence chaos (no SIGKILLs at recycled pids),
+        # stop the supervisor (no respawns mid-teardown), then reap.
+        chaos = self.chaos
+        if chaos is not None:
+            chaos.disarm()
+            self.chaos = None
+        self._supervisor_stop.set()
+        if self._supervisor_thread is not None:
+            self._supervisor_thread.join(timeout=10.0)
+            self._supervisor_thread = None
         self._teardown_processes()
         self._teardown_shared()
         self._spec = None
@@ -594,11 +733,44 @@ class ProcessInferenceServer(BatchingServerBase):
     def _respawn_locked(self, worker: int) -> bool:
         """Replace a dead worker process (slot lock held).
 
-        Folds the dead incarnation's engine stats into the cumulative
-        base so ``engine_stats()`` never regresses, bumps the restart
-        counter, and blocks until the replacement is ready (or records
-        its failure and returns False).
+        All respawn paths (companion-thread retry, supervisor sweep,
+        ``ensure_workers``) funnel through here, so the per-slot
+        exponential backoff and the crash-loop breaker are enforced
+        once: a slot still inside its backoff window is left dead until
+        the supervisor's next sweep, and a slot that accumulates
+        ``crash_loop_threshold`` deaths within ``crash_loop_window_s``
+        is retired — ``worker_processes()`` reports it ``crash_looping``
+        and the gateway's ``/healthz`` flips to ``degraded``.
+
+        On an actual attempt: folds the dead incarnation's engine stats
+        into the cumulative base so ``engine_stats()`` never regresses,
+        bumps the restart counter, and blocks until the replacement is
+        ready (or records its failure and returns False).
         """
+        if self._crash_looped[worker]:
+            return False
+        now = time.monotonic()
+        if now < self._backoff_until[worker]:
+            return False
+        history = self._death_history[worker]
+        history.append(now)
+        while history and now - history[0] > self._crash_loop_window_s:
+            history.popleft()
+        if len(history) >= self._crash_loop_threshold:
+            self._crash_looped[worker] = True
+            logger.error(
+                "worker %d crash-looping (%d deaths in %.1fs); retiring slot",
+                worker,
+                len(history),
+                self._crash_loop_window_s,
+            )
+            return False
+        # Arm the backoff for the *next* attempt: first death respawns
+        # immediately, repeat deaths wait base * 2^(n-1), capped.
+        self._backoff_until[worker] = now + min(
+            self._respawn_backoff_max_s,
+            self._respawn_backoff_base_s * (2 ** (len(history) - 1)),
+        )
         old = self._handles[worker]
         if old is not None:
             self._stop_handle(old)

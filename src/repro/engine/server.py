@@ -22,6 +22,7 @@ the serving threads.
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from collections import deque
@@ -43,6 +44,8 @@ __all__ = [
 ]
 
 _STOP = object()
+
+logger = logging.getLogger(__name__)
 
 
 class ServerClosed(RuntimeError):
@@ -90,6 +93,11 @@ class StatsSnapshot:
     stopped_at: float | None
     per_worker_requests: tuple[int, ...]
     latencies_ms: tuple[float, ...]
+    # Trailing defaulted fields so older positional constructions keep
+    # working: serving-thread deaths (replaced in place) and requests
+    # shed because their propagated deadline could not be met.
+    worker_thread_deaths: int = 0
+    deadline_shed: int = 0
 
     @property
     def mean_batch_size(self) -> float:
@@ -157,6 +165,8 @@ class ServerStats:
         self._stopped_at: float | None = None
         self._per_worker = [0] * self._n_workers
         self._latencies_ms: deque = deque(maxlen=self._window)
+        self._worker_deaths = 0
+        self._deadline_shed = 0
 
     # ------------------------------------------------------------------
     # Writers (called by the server under no other lock)
@@ -189,6 +199,22 @@ class ServerStats:
         with self._lock:
             self._shed += n
 
+    def record_worker_death(self) -> None:
+        """A serving thread died on an unexpected exception."""
+        with self._lock:
+            self._worker_deaths += 1
+
+    def record_deadline_shed(self, n: int = 1) -> None:
+        """Admission refused a request whose deadline budget was spent.
+
+        Counted apart from overload sheds: an overload shed means the
+        server could not keep up, a deadline shed means the *client's*
+        remaining budget could not cover expected service time — serving
+        it would have burned a worker slot on an answer nobody reads.
+        """
+        with self._lock:
+            self._deadline_shed += n
+
     # ------------------------------------------------------------------
     # Readers
     # ------------------------------------------------------------------
@@ -207,6 +233,8 @@ class ServerStats:
                 stopped_at=self._stopped_at,
                 per_worker_requests=tuple(self._per_worker),
                 latencies_ms=tuple(self._latencies_ms),
+                worker_thread_deaths=self._worker_deaths,
+                deadline_shed=self._deadline_shed,
             )
 
     @property
@@ -228,6 +256,16 @@ class ServerStats:
     def shed(self) -> int:
         with self._lock:
             return self._shed
+
+    @property
+    def worker_thread_deaths(self) -> int:
+        with self._lock:
+            return self._worker_deaths
+
+    @property
+    def deadline_shed(self) -> int:
+        with self._lock:
+            return self._deadline_shed
 
     @property
     def largest_batch(self) -> int:
@@ -349,6 +387,9 @@ class BatchingServerBase:
         self._accepting = False
         self._stopping = False
         self._threads: list[threading.Thread] = []
+        # Chaos seam: a repro.chaos.FaultInjector, or None.  The hot
+        # path pays one attribute check when unarmed — nothing else.
+        self.chaos = None
 
     # ------------------------------------------------------------------
     # Subclass hooks
@@ -584,21 +625,67 @@ class BatchingServerBase:
         for future, result in results:
             future.set_result(result)
 
+    def _spawn_replacement(self, worker: int) -> bool:
+        """Hand slot ``worker`` to a fresh serving thread after a death.
+
+        Returns False (no replacement) when the server is stopping or
+        already stopped — a replacement there would block forever on a
+        stop sentinel its predecessor may already have consumed.
+        """
+        with self._mutex:
+            if self._stopping or not self._threads:
+                return False
+            thread = threading.Thread(
+                target=self._serve_loop,
+                args=(worker,),
+                name=f"inference-server-{worker}",
+                daemon=True,
+            )
+            # In-place so a concurrent stop() holding the same list
+            # object joins the replacement instead of the corpse.
+            self._threads[worker] = thread
+            thread.start()
+            return True
+
     def _serve_loop(self, worker: int) -> None:
         # No drain pass needed after a sentinel: submissions and the
         # sentinels share the mutex, so FIFO order puts every admitted
         # request ahead of every _STOP, and each worker consumes at most
         # one sentinel (it stops collecting the moment it sees one).
+        stop = False
+        replaced = False
+        batch: list = []
         try:
             self._on_worker_start(worker)
             while True:
                 batch, stop = self._collect_batch()
                 if batch:
+                    chaos = self.chaos
+                    if chaos is not None:
+                        chaos.before_batch(worker)
                     self._serve_batch(batch, worker)
+                batch = []
                 if stop:
                     return
+        except Exception as error:
+            # _serve_batch routes engine errors to the waiting futures,
+            # so anything escaping to here is unexpected — letting it
+            # kill the thread would silently strand this worker's queue
+            # share.  Log, count, fail the in-flight batch's futures
+            # (callers must see the error now, not hang to their own
+            # deadline), and hand the slot to a replacement.
+            logger.exception("serving thread %d died unexpectedly", worker)
+            self.stats.record_worker_death()
+            for item in batch:
+                try:
+                    item[1].set_exception(error)
+                except Exception:  # noqa: BLE001 - already resolved/cancelled
+                    pass
+            if not stop:
+                replaced = self._spawn_replacement(worker)
         finally:
-            self._on_worker_exit(worker)
+            if not replaced:
+                self._on_worker_exit(worker)
 
 
 class InferenceServer(BatchingServerBase):

@@ -69,6 +69,17 @@ class LoadResult:
     error_types: dict[str, int] = field(default_factory=dict)
 
     @property
+    def availability(self) -> float:
+        """Fraction of scheduled requests that completed successfully.
+
+        The chaos benchmark's gate metric: failures *and* drops count
+        against it, so neither a crashing server nor a backlogged
+        generator can dress up as availability.  1.0 when nothing was
+        scheduled.
+        """
+        return self.completed / self.scheduled if self.scheduled else 1.0
+
+    @property
     def p50_ms(self) -> float:
         return self.histogram.percentile(50)
 
@@ -95,6 +106,7 @@ class LoadResult:
             "completed": self.completed,
             "failed": self.failed,
             "dropped": self.dropped,
+            "availability": self.availability,
             "error_types": dict(self.error_types),
             **self.histogram.percentiles(),
         }

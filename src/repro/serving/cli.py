@@ -112,6 +112,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="testing aid: add fixed latency to every inference batch",
     )
     parser.add_argument(
+        "--admin-token",
+        default=None,
+        help=(
+            "shared secret enabling the /v1/admin/* endpoints (weight "
+            "reload, chaos arming); omitted = admin surface disabled"
+        ),
+    )
+    parser.add_argument(
         "--log-level",
         default="INFO",
         choices=("DEBUG", "INFO", "WARNING", "ERROR"),
@@ -173,6 +181,7 @@ def main(argv: list[str] | None = None) -> int:
         host=args.host,
         port=args.port,
         request_timeout_s=args.request_timeout_s,
+        admin_token=args.admin_token,
     )
 
     stop_event = threading.Event()

@@ -15,17 +15,33 @@ with production retry semantics:
   ``[1 - retry_jitter, 1.0]`` so a herd of clients shed at the same
   instant desynchronises instead of retrying in lockstep and shedding
   again together.
+* **Transport retries, budgeted** — connection resets, truncated or
+  malformed responses, and worker-death 503s (code ``backend_failure``)
+  are retried on the predict paths, but every retry of any kind spends
+  from a token-bucket *retry budget* refilled by successful calls, so a
+  dying server sees bounded amplification instead of a retry storm.
+* **Circuit breaker** — ``breaker_threshold`` consecutive transport
+  failures open the circuit: calls fail fast with :class:`CircuitOpen`
+  (no network traffic) until ``breaker_cooldown_s`` passes, then one
+  half-open probe decides between closing the circuit and re-opening.
+* **Deadline propagation** — predict requests carry ``X-Deadline-Ms``
+  (the remaining budget at send time) so the gateway can stop working
+  on requests the client has already abandoned.
 
 Typed failures: :class:`GatewayOverloaded` (deadline exhausted while the
 server kept shedding), :class:`GatewayUnavailable` (503 — draining or
-stopped), :class:`ServingError` (any other non-2xx, with the decoded
-error payload attached).
+stopped), :class:`CircuitOpen` (failed fast client-side), and
+:class:`ServingError` (any other non-2xx, with the decoded error
+payload attached).
 """
 
 from __future__ import annotations
 
+import http.client
 import json
+import math
 import random
+import threading
 import time
 import urllib.error
 import urllib.request
@@ -34,6 +50,7 @@ from collections.abc import Sequence
 from repro.serving.metrics import parse_metrics
 
 __all__ = [
+    "CircuitOpen",
     "GatewayOverloaded",
     "GatewayUnavailable",
     "ServingClient",
@@ -57,6 +74,14 @@ class GatewayOverloaded(ServingError):
 
 class GatewayUnavailable(ServingError):
     """The gateway answered 503: draining, stopped, or not ready."""
+
+
+class CircuitOpen(ServingError):
+    """The client-side circuit breaker is open: failed fast, no request
+    was sent.  Clears after the cooldown via a half-open probe."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(503, "circuit_open", message)
 
 
 def _error_from_response(status: int, body: bytes) -> ServingError:
@@ -95,6 +120,17 @@ class ServingClient:
         client gets its own :class:`random.Random` either way, so
         concurrent clients never contend on (or correlate through) the
         global RNG.
+    breaker_threshold:
+        Consecutive transport failures that open the circuit breaker.
+    breaker_cooldown_s:
+        How long the breaker stays open before allowing one half-open
+        probe request through.
+    retry_budget / retry_credit:
+        Token bucket bounding total retries: the bucket starts full at
+        ``retry_budget`` tokens, every retry (429 backoff, transport
+        error, backend-failure 503) spends one, and every successful
+        call refunds ``retry_credit`` (capped at the budget).  An empty
+        bucket surfaces the underlying error instead of retrying.
     """
 
     def __init__(
@@ -106,15 +142,116 @@ class ServingClient:
         retry_max_s: float = 2.0,
         retry_jitter: float = 0.5,
         retry_seed: int | None = None,
+        breaker_threshold: int = 5,
+        breaker_cooldown_s: float = 1.0,
+        retry_budget: float = 64.0,
+        retry_credit: float = 0.5,
     ) -> None:
         if not 0.0 <= retry_jitter <= 1.0:
             raise ValueError(f"retry_jitter must be in [0, 1], got {retry_jitter}")
+        if breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1")
+        if retry_budget < 0:
+            raise ValueError("retry_budget must be >= 0")
         self.base_url = base_url.rstrip("/")
         self.deadline_s = deadline_s
         self.retry_base_s = retry_base_s
         self.retry_max_s = retry_max_s
         self.retry_jitter = retry_jitter
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown_s = breaker_cooldown_s
+        self.retry_budget = retry_budget
+        self.retry_credit = retry_credit
         self._rng = random.Random(retry_seed)
+        # Breaker + budget state; one lock since both are touched per call.
+        self._lock = threading.Lock()
+        self._breaker_state = "closed"
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+        self._tokens = retry_budget
+        self._stat_requests = 0
+        self._stat_retries = 0
+        self._stat_transport_failures = 0
+        self._stat_breaker_opens = 0
+        self._stat_breaker_rejections = 0
+        self._stat_budget_exhausted = 0
+
+    # ------------------------------------------------------------------
+    # Circuit breaker + retry budget
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Snapshot of resilience counters (breaker state, retry budget)."""
+        with self._lock:
+            return {
+                "requests": self._stat_requests,
+                "retries": self._stat_retries,
+                "transport_failures": self._stat_transport_failures,
+                "breaker_state": self._breaker_state,
+                "breaker_opens": self._stat_breaker_opens,
+                "breaker_rejections": self._stat_breaker_rejections,
+                "retry_budget_remaining": self._tokens,
+                "retry_budget_exhausted": self._stat_budget_exhausted,
+            }
+
+    def _breaker_admit(self) -> None:
+        """Fail fast with :class:`CircuitOpen` unless a request may go out."""
+        with self._lock:
+            self._stat_requests += 1
+            if self._breaker_state == "closed":
+                return
+            if self._breaker_state == "open":
+                if time.monotonic() - self._opened_at < self.breaker_cooldown_s:
+                    self._stat_breaker_rejections += 1
+                    raise CircuitOpen(
+                        f"circuit open after {self._consecutive_failures} "
+                        "consecutive transport failures"
+                    )
+                self._breaker_state = "half_open"
+                self._probe_in_flight = True
+                return
+            # half_open: exactly one probe at a time decides the outcome.
+            if self._probe_in_flight:
+                self._stat_breaker_rejections += 1
+                raise CircuitOpen("circuit half-open; probe in flight")
+            self._probe_in_flight = True
+
+    def _breaker_success(self) -> None:
+        """Any HTTP response closes the breaker — transport is healthy."""
+        with self._lock:
+            self._breaker_state = "closed"
+            self._consecutive_failures = 0
+            self._probe_in_flight = False
+
+    def _credit_success(self) -> None:
+        """A 2xx refunds retry budget (only real successes earn credit)."""
+        with self._lock:
+            self._tokens = min(self.retry_budget, self._tokens + self.retry_credit)
+
+    def _breaker_failure(self) -> None:
+        with self._lock:
+            self._stat_transport_failures += 1
+            self._consecutive_failures += 1
+            self._probe_in_flight = False
+            opened = self._breaker_state == "half_open" or (
+                self._breaker_state == "closed"
+                and self._consecutive_failures >= self.breaker_threshold
+            )
+            if opened:
+                if self._breaker_state != "open":
+                    self._stat_breaker_opens += 1
+                self._breaker_state = "open"
+                self._opened_at = time.monotonic()
+
+    def _spend_retry_token(self) -> bool:
+        """Take one token from the retry budget; False when exhausted."""
+        with self._lock:
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                self._stat_retries += 1
+                return True
+            self._stat_budget_exhausted += 1
+            return False
 
     # ------------------------------------------------------------------
     # Endpoints
@@ -151,6 +288,7 @@ class ServingClient:
             body,
             deadline_s,
             retry_429=retry_on_overload,
+            resilient=True,
             intended_at=intended_at,
         )
 
@@ -173,6 +311,7 @@ class ServingClient:
             body,
             deadline_s,
             retry_429=retry_on_overload,
+            resilient=True,
             intended_at=intended_at,
         )
 
@@ -221,6 +360,7 @@ class ServingClient:
         deadline_s: float | None,
         *,
         retry_429: bool = True,
+        resilient: bool = False,
         intended_at: float | None = None,
     ) -> dict:
         budget = self._resolve(deadline_s)
@@ -233,28 +373,71 @@ class ServingClient:
                 raise GatewayOverloaded(
                     429, "deadline_exceeded", f"no capacity within {budget}s"
                 )
-            status, raw, headers = self._request_full(method, path, body, remaining)
+            extra = None
+            if resilient:
+                self._breaker_admit()
+                extra = {"X-Deadline-Ms": str(max(1, int(remaining * 1000.0)))}
+            try:
+                status, raw, headers = self._request_full(
+                    method, path, body, remaining, extra_headers=extra
+                )
+                payload = (
+                    json.loads(raw.decode("utf-8")) if 200 <= status < 300 else None
+                )
+            except (OSError, http.client.HTTPException, ValueError) as error:
+                # Connection reset, truncated read, or an unparseable
+                # 2xx body: the response cannot be trusted.  Inference
+                # is side-effect-free, so retry — budget permitting.
+                if not resilient:
+                    raise
+                self._breaker_failure()
+                if not self._spend_retry_token():
+                    raise
+                backoff = self._backoff_s(attempt, None)
+                attempt += 1
+                if deadline - time.monotonic() <= backoff:
+                    raise
+                time.sleep(backoff)
+                continue
+            if resilient:
+                self._breaker_success()
             if 200 <= status < 300:
-                return json.loads(raw.decode("utf-8"))
+                if resilient:
+                    self._credit_success()
+                return payload
             error = _error_from_response(status, raw)
-            if status != 429 or not retry_429:
+            retriable = (status == 429 and retry_429) or (
+                # A worker died mid-batch; the supervisor respawns it,
+                # so a retried request has a real chance.  A draining
+                # 503 ("unavailable") stays terminal.
+                resilient
+                and status == 503
+                and error.code == "backend_failure"
+            )
+            if not retriable:
+                raise error
+            if resilient and not self._spend_retry_token():
                 raise error
             backoff = self._backoff_s(attempt, headers.get("Retry-After"))
             attempt += 1
-            remaining = deadline - time.monotonic()
-            if remaining <= backoff:
+            if deadline - time.monotonic() <= backoff:
                 raise error
             time.sleep(backoff)
 
     def _backoff_s(self, attempt: int, retry_after: str | None) -> float:
         backoff = min(self.retry_max_s, self.retry_base_s * (2**attempt))
         if retry_after is not None:
+            # Honour the server's hint, but never beyond our cap — the
+            # deadline budget, not the server, bounds waiting.  A proxy
+            # can send anything here: non-numeric, negative, "nan",
+            # "inf", or absurdly large values must clamp into
+            # [0, retry_max_s], never raise and never sleep unbounded.
             try:
-                # Honour the server's hint, but never beyond our cap —
-                # the deadline budget, not the server, bounds waiting.
-                backoff = min(float(retry_after), self.retry_max_s)
-            except ValueError:
-                pass
+                hinted = float(retry_after)
+            except (TypeError, ValueError):
+                hinted = None
+            if hinted is not None and math.isfinite(hinted):
+                backoff = min(max(0.0, hinted), self.retry_max_s)
         if self.retry_jitter > 0.0:
             # Jitter applies to the Retry-After path too: the hint is
             # the same constant for every shed client, which is exactly
@@ -271,13 +454,21 @@ class ServingClient:
         return status, raw
 
     def _request_full(
-        self, method: str, path: str, body: dict | None, timeout_s: float
+        self,
+        method: str,
+        path: str,
+        body: dict | None,
+        timeout_s: float,
+        *,
+        extra_headers: dict | None = None,
     ) -> tuple[int, bytes, dict]:
         data = None
         headers = {"Accept": "application/json"}
         if body is not None:
             data = json.dumps(body).encode("utf-8")
             headers["Content-Type"] = "application/json"
+        if extra_headers:
+            headers.update(extra_headers)
         request = urllib.request.Request(
             self.base_url + path, data=data, headers=headers, method=method
         )

@@ -28,18 +28,25 @@ backlog with :meth:`InferenceServer.stop`.
 
 from __future__ import annotations
 
+import io
 import json
 import logging
+import math
+import socket
+import struct
 import threading
+import time
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from repro.engine.procserver import RemoteWorkerError
 from repro.engine.registry import REGISTRY
 from repro.engine.server import BatchingServerBase, ServerClosed, ServerOverloaded
 from repro.serving.metrics import HttpCounters, render_metrics
 from repro.serving.protocol import (
     MAX_BODY_BYTES,
     ProtocolError,
+    _parse_json_object,
     error_body,
     format_prediction,
     parse_predict_batch_request,
@@ -53,6 +60,14 @@ log = logging.getLogger("repro.serving")
 # Advisory backoff (seconds) sent with every 429; clients that honour
 # Retry-After spread their retries instead of hammering a full queue.
 RETRY_AFTER_S = 1
+
+# Deadline-aware admission needs a latency signal before it sheds: below
+# this many served requests the observed p50 is noise, so nothing sheds.
+MIN_REQUESTS_FOR_DEADLINE_SHED = 50
+
+# How long an observed-p50 reading stays cached; computing a percentile
+# walks the whole stats window, which must not happen per request.
+P50_CACHE_TTL_S = 0.5
 
 
 class _GatewayHTTPServer(ThreadingHTTPServer):
@@ -107,6 +122,10 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
             self._handle_predict(batch=False)
         elif route == "/v1/predict_batch":
             self._handle_predict(batch=True)
+        elif route == "/v1/admin/reload":
+            self._handle_admin(self._admin_reload, route)
+        elif route == "/v1/admin/chaos":
+            self._handle_admin(self._admin_chaos, route)
         else:
             self._send_error(404, "not_found", f"unknown path {route!r}", route="*")
 
@@ -144,6 +163,7 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
             ready=gateway.ready,
             model_id=gateway.model_id,
             processes=gateway.worker_processes(),
+            chaos=gateway.chaos_summary(),
         ).encode("utf-8")
         self._send_bytes(
             200,
@@ -175,6 +195,9 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
     def _handle_predict(self, *, batch: bool) -> None:
         route = "/v1/predict_batch" if batch else "/v1/predict"
         gateway = self.gateway
+        fault = gateway.chaos_http_fault()
+        if fault is not None and self._apply_chaos_fault(fault, route):
+            return
         try:
             raw = self._read_body()
             if batch:
@@ -184,11 +207,29 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
         except ProtocolError as error:
             self._send_error(error.status, error.code, error.message, route=route)
             return
+        # Deadline propagation: the client's remaining budget caps the
+        # engine-side timeout, and a request whose budget cannot cover
+        # the observed p50 service time is shed up front — serving it
+        # would burn a worker slot on an answer nobody is waiting for.
+        timeout_s = gateway.request_timeout_s
+        deadline_ms = self._parse_deadline_ms()
+        if deadline_ms is not None:
+            p50_ms = gateway.observed_p50_ms()
+            if p50_ms > 0.0 and deadline_ms < p50_ms:
+                n = len(texts) if batch else 1
+                gateway.server.stats.record_deadline_shed(n)
+                self._send_error(
+                    504,
+                    "deadline_shed",
+                    f"remaining budget {deadline_ms:.0f}ms is below the "
+                    f"observed p50 service time {p50_ms:.0f}ms",
+                    route=route,
+                )
+                return
+            timeout_s = min(timeout_s, deadline_ms / 1000.0)
         try:
             if batch:
-                results = gateway.server.predict(
-                    texts, timeout=gateway.request_timeout_s
-                )
+                results = gateway.server.predict(texts, timeout=timeout_s)
                 body = {
                     "model_id": gateway.model_id,
                     "predictions": [
@@ -196,9 +237,7 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
                     ],
                 }
             else:
-                result = gateway.server.submit(text).result(
-                    timeout=gateway.request_timeout_s
-                )
+                result = gateway.server.submit(text).result(timeout=timeout_s)
                 body = {
                     "model_id": gateway.model_id,
                     **format_prediction(result, top_k=top_k),
@@ -224,7 +263,21 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
             self._send_error(
                 504,
                 "deadline_exceeded",
-                f"request did not complete within {gateway.request_timeout_s}s",
+                f"request did not complete within {timeout_s}s",
+                route=route,
+            )
+            return
+        except RemoteWorkerError:
+            # A worker process died mid-batch (and its in-place retry
+            # also failed).  The supervisor respawns the slot, so this
+            # is retriable — the client's resilient path keys on the
+            # "backend_failure" code to distinguish it from a draining
+            # 503, which is terminal.
+            log.warning("worker failure serving %s", route, exc_info=True)
+            self._send_error(
+                503,
+                "backend_failure",
+                "a worker process failed serving this request; retry",
                 route=route,
             )
             return
@@ -233,6 +286,205 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
             self._send_error(500, "internal", "internal server error", route=route)
             return
         self._send_json(200, body, route=route)
+
+    def _parse_deadline_ms(self) -> float | None:
+        """The ``X-Deadline-Ms`` header as a positive float, else None.
+
+        Malformed or absurd values (non-numeric, nan, inf, <= 0) are
+        ignored rather than rejected — deadline propagation is advisory
+        and a bad proxy header must not break an otherwise fine request.
+        """
+        header = self.headers.get("X-Deadline-Ms")
+        if header is None:
+            return None
+        try:
+            value = float(header)
+        except (TypeError, ValueError):
+            return None
+        if not math.isfinite(value) or value <= 0:
+            return None
+        return value
+
+    # ------------------------------------------------------------------
+    # Chaos faults (armed via /v1/admin/chaos or ServingGateway.arm_chaos)
+    # ------------------------------------------------------------------
+    def _apply_chaos_fault(self, fault: str, route: str) -> bool:
+        """Corrupt this response per the armed fault plan. True = handled."""
+        if fault == "socket_reset":
+            self._abort_connection()
+            return True
+        if fault == "truncate_response":
+            payload = json.dumps(
+                {"model_id": self.gateway.model_id, "label": "truncated"}
+            ).encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(payload)))
+            self.send_header("Connection", "close")
+            self.end_headers()
+            # Half the promised bytes, then a hard close: the client
+            # sees IncompleteRead, not a clean EOF.
+            self.wfile.write(payload[: len(payload) // 2])
+            try:
+                self.wfile.flush()
+            except OSError:
+                pass
+            self._abort_connection()
+            return True
+        if fault == "malformed_response":
+            self._send_bytes(
+                200,
+                b"{this is not json",
+                content_type="application/json",
+                route=route,
+            )
+            self.close_connection = True
+            return True
+        log.warning("unknown chaos http fault %r ignored", fault)
+        return False
+
+    def _abort_connection(self) -> None:
+        """RST the client connection (SO_LINGER 0) without raising."""
+        self.close_connection = True
+        try:
+            self.connection.setsockopt(
+                socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+            )
+        except OSError:
+            pass
+        try:
+            self.connection.close()
+        except OSError:
+            pass
+        # The framework flushes wfile and may read rfile after the
+        # handler returns; dead buffers keep that from raising on the
+        # closed socket.
+        self.wfile = io.BytesIO()
+        self.rfile = io.BytesIO()
+
+    # ------------------------------------------------------------------
+    # Admin endpoints (shared-secret gated)
+    # ------------------------------------------------------------------
+    def _handle_admin(self, handler, route: str) -> None:
+        gateway = self.gateway
+        if gateway.admin_token is None:
+            # Admin surface disabled: indistinguishable from no route.
+            self._send_error(404, "not_found", f"unknown path {route!r}", route="*")
+            return
+        token = self.headers.get("X-Admin-Token")
+        if token != gateway.admin_token:
+            self._send_error(
+                403, "forbidden", "missing or invalid admin token", route=route
+            )
+            return
+        try:
+            payload = _parse_json_object(self._read_body())
+        except ProtocolError as error:
+            self._send_error(error.status, error.code, error.message, route=route)
+            return
+        try:
+            handler(payload, route)
+        except ProtocolError as error:
+            self._send_error(error.status, error.code, error.message, route=route)
+        except Exception:
+            log.exception("admin handler failed for %s", route)
+            self._send_error(500, "internal", "internal server error", route=route)
+
+    def _admin_reload(self, payload: dict, route: str) -> None:
+        """Hot-swap weights from a checkpoint, with self-check + rollback."""
+        gateway = self.gateway
+        checkpoint = payload.get("checkpoint")
+        if not isinstance(checkpoint, str) or not checkpoint:
+            raise ProtocolError(
+                400, "bad_request", 'missing required field "checkpoint"'
+            )
+        server = gateway.server
+        if not callable(getattr(server, "reload_weights", None)):
+            raise ProtocolError(
+                409,
+                "reload_unsupported",
+                "this server has no hot-reloadable shared weights",
+            )
+        from repro.nn.serialization import load_checkpoint
+
+        try:
+            arrays, _config = load_checkpoint(checkpoint)
+        except FileNotFoundError:
+            raise ProtocolError(400, "bad_request", f"no checkpoint at {checkpoint!r}")
+        except Exception as error:
+            raise ProtocolError(
+                400, "bad_checkpoint", f"could not load checkpoint: {error}"
+            )
+        old_arrays = server.current_weights()
+        try:
+            version = server.reload_weights(arrays)
+        except (ValueError, KeyError) as error:
+            raise ProtocolError(
+                400, "bad_checkpoint", f"weights do not match published layout: {error}"
+            )
+        except RuntimeError as error:
+            raise ProtocolError(409, "reload_unsupported", str(error))
+        if self._reload_self_check(server):
+            self._send_json(
+                200,
+                {
+                    "status": "ok",
+                    "weights_version": version,
+                    "model_id": gateway.model_id,
+                },
+                route=route,
+            )
+            return
+        # The new weights serve garbage: put the old ones back before
+        # anyone else is routed a poisoned prediction.
+        log.error("reload self-check failed; rolling back weights")
+        rollback_version = server.reload_weights(old_arrays)
+        self._send_json(
+            500,
+            {
+                **error_body(
+                    "self_check_failed",
+                    "new weights failed the self-check prediction; "
+                    "previous weights restored",
+                ),
+                "rolled_back": True,
+                "weights_version": rollback_version,
+            },
+            route=route,
+        )
+
+    @staticmethod
+    def _reload_self_check(server) -> bool:
+        """One probe prediction through the freshly reloaded weights."""
+        try:
+            results = server.predict(
+                ["reload self-check probe text"], timeout=15.0
+            )
+            probs = results[0].probabilities
+        except Exception:
+            log.warning("reload self-check prediction raised", exc_info=True)
+            return False
+        return bool(probs) and all(math.isfinite(p) for p in probs)
+
+    def _admin_chaos(self, payload: dict, route: str) -> None:
+        """Arm a fault plan (JSON body = ``FaultPlan.to_dict()``)."""
+        from repro.chaos import FaultInjector, FaultPlan
+
+        try:
+            plan = FaultPlan.from_dict(payload)
+        except (KeyError, TypeError, ValueError) as error:
+            raise ProtocolError(400, "bad_plan", f"invalid fault plan: {error}")
+        self.gateway.arm_chaos(FaultInjector(plan))
+        self._send_json(
+            200,
+            {
+                "status": "armed",
+                "events": len(plan),
+                "kinds": list(plan.kinds()),
+                "duration_s": plan.duration_s,
+            },
+            route=route,
+        )
 
     # ------------------------------------------------------------------
     # Plumbing
@@ -330,7 +582,12 @@ class ServingGateway:
         Bind address.  ``port=0`` binds an ephemeral free port; read
         :attr:`port` after :meth:`start` for the real one.
     request_timeout_s:
-        Shared deadline for each predict request's engine futures.
+        Shared deadline for each predict request's engine futures (a
+        client-propagated ``X-Deadline-Ms`` can only shorten it).
+    admin_token:
+        Shared secret enabling the ``/v1/admin/*`` endpoints (weight
+        reload, chaos arming).  ``None`` (default) disables the admin
+        surface entirely — the routes 404.
     """
 
     def __init__(
@@ -342,6 +599,7 @@ class ServingGateway:
         host: str = "127.0.0.1",
         port: int = 0,
         request_timeout_s: float = 30.0,
+        admin_token: str | None = None,
     ) -> None:
         self.server = server
         if model_id is None:
@@ -356,12 +614,78 @@ class ServingGateway:
         self.host = host
         self.requested_port = port
         self.request_timeout_s = request_timeout_s
+        self.admin_token = admin_token
         self.http_counters = HttpCounters()
+        self.chaos = None
         self._httpd: _GatewayHTTPServer | None = None
         self._thread: threading.Thread | None = None
         self._draining = False
         self._owns_server = False
         self._lock = threading.Lock()
+        self._p50_lock = threading.Lock()
+        self._p50_ms = 0.0
+        self._p50_read_at = -math.inf
+
+    # ------------------------------------------------------------------
+    # Chaos + deadline admission
+    # ------------------------------------------------------------------
+    def arm_chaos(self, injector) -> None:
+        """Arm a fault injector on this gateway (and its server).
+
+        The server side registers real fault handlers (SIGKILL for
+        ``worker_crash`` on the process backend) and sees the stall /
+        slow-batch seams; the gateway side serves the socket-level
+        response faults.  Re-arming replaces (and disarms) any
+        previously armed injector.
+        """
+        previous = self.chaos
+        if previous is not None:
+            previous.disarm()
+        arm = getattr(self.server, "arm_chaos", None)
+        if callable(arm):
+            arm(injector)
+        else:
+            self.server.chaos = injector
+            injector.arm()
+        self.chaos = injector
+
+    def disarm_chaos(self) -> None:
+        injector = self.chaos
+        if injector is not None:
+            injector.disarm()
+            self.chaos = None
+            self.server.chaos = None
+
+    def chaos_http_fault(self) -> str | None:
+        """The fault kind to apply to the current response, if armed."""
+        injector = self.chaos
+        return None if injector is None else injector.http_response_fault()
+
+    def chaos_summary(self) -> dict | None:
+        """``/metrics`` view of the armed injector (None when unarmed)."""
+        injector = self.chaos
+        if injector is None:
+            return None
+        return {"armed": injector.armed, "injected": injector.applied_counts()}
+
+    def observed_p50_ms(self) -> float:
+        """Cached p50 service latency for deadline-aware admission.
+
+        0.0 until :data:`MIN_REQUESTS_FOR_DEADLINE_SHED` requests have
+        been served this epoch (no shedding on noise), refreshed at most
+        every :data:`P50_CACHE_TTL_S` (a percentile walks the whole
+        stats window — too expensive per request).
+        """
+        now = time.monotonic()
+        with self._p50_lock:
+            if now - self._p50_read_at >= P50_CACHE_TTL_S:
+                snapshot = self.server.stats.snapshot()
+                if snapshot.requests >= MIN_REQUESTS_FOR_DEADLINE_SHED:
+                    self._p50_ms = snapshot.latency_percentile(50)
+                else:
+                    self._p50_ms = 0.0
+                self._p50_read_at = now
+            return self._p50_ms
 
     # ------------------------------------------------------------------
     # State
@@ -448,6 +772,7 @@ class ServingGateway:
         the gateway detaches; in-flight HTTP requests still finish
         because the listener close joins the handler threads.
         """
+        self.disarm_chaos()
         with self._lock:
             httpd, thread = self._httpd, self._thread
             if httpd is None:

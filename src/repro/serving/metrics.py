@@ -58,6 +58,7 @@ def render_metrics(
     ready: bool,
     model_id: str,
     processes: list[dict] | None = None,
+    chaos: dict | None = None,
 ) -> str:
     """Prometheus exposition text for one scrape.
 
@@ -66,7 +67,10 @@ def render_metrics(
     the multi-process server's :meth:`~repro.engine.procserver.
     ProcessInferenceServer.worker_processes` report (``None`` for the
     threaded server) — it adds per-worker-process liveness and restart
-    families.
+    families.  ``chaos`` (``{"armed": bool, "injected": {kind: n}}``)
+    adds the fault-injection families while an experiment is armed, so
+    recovery can be watched on ``/metrics`` without probing
+    ``/healthz`` (which would itself revive workers).
     """
     lines: list[str] = []
 
@@ -117,6 +121,26 @@ def render_metrics(
         "gauge",
         "Fraction of offered requests shed this epoch.",
         [_sample("holistix_server_shed_rate", snapshot.shed_rate)],
+    )
+    family(
+        "holistix_server_deadline_shed_total",
+        "counter",
+        "Requests shed because their propagated deadline budget could "
+        "not cover the observed p50 service time (distinct from "
+        "overload sheds).",
+        [_sample("holistix_server_deadline_shed_total", snapshot.deadline_shed)],
+    )
+    family(
+        "holistix_worker_thread_deaths_total",
+        "counter",
+        "Serving threads that died on an unexpected exception and were "
+        "replaced this epoch.",
+        [
+            _sample(
+                "holistix_worker_thread_deaths_total",
+                snapshot.worker_thread_deaths,
+            )
+        ],
     )
     latency_samples = [
         _sample(
@@ -193,6 +217,22 @@ def render_metrics(
                     {"worker": str(proc["worker"])},
                 )
                 for proc in processes
+            ],
+        )
+    if chaos is not None:
+        family(
+            "holistix_chaos_armed",
+            "gauge",
+            "1 while a fault-injection plan is armed against this gateway.",
+            [_sample("holistix_chaos_armed", 1 if chaos.get("armed") else 0)],
+        )
+        family(
+            "holistix_chaos_injected_total",
+            "counter",
+            "Faults actually applied by the armed injector, by kind.",
+            [
+                _sample("holistix_chaos_injected_total", count, {"kind": kind})
+                for kind, count in sorted(chaos.get("injected", {}).items())
             ],
         )
     return "\n".join(lines) + "\n"

@@ -78,8 +78,14 @@ def _parse_json_object(raw: bytes) -> dict:
         )
     try:
         payload = json.loads(raw.decode("utf-8"))
-    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+    except (UnicodeDecodeError, ValueError) as error:
         raise ProtocolError(400, "bad_json", f"body is not valid JSON: {error}")
+    except RecursionError:
+        # json.loads blows the interpreter stack on pathologically
+        # nested input (e.g. b"[" * 100_000) long before the size cap
+        # trips.  That is the *request's* fault, not the server's — it
+        # must surface as a typed 400, never a 500.
+        raise ProtocolError(400, "bad_json", "body is too deeply nested")
     if not isinstance(payload, dict):
         raise ProtocolError(400, "bad_request", "body must be a JSON object")
     return payload

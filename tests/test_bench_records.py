@@ -166,6 +166,73 @@ def test_serving_tail_histogram_sidecar_round_trips():
     )
 
 
+def test_serving_chaos_record_proves_the_storm_happened():
+    """The chaos record must show faults fired AND the stack absorbed them.
+
+    An availability of 1.0 against a plan that never injected anything
+    would be a vacuous gate, so the record has to carry the evidence:
+    at least one supervised worker respawn, a non-zero injected-fault
+    count, and a recovery tail within the gate the scenario enforces
+    in-run.  Orphan count is pinned to exactly zero — it only appears
+    in the record at all when the post-shutdown sweep found none.
+    """
+    record = load(RECORDS_DIR / "BENCH_serving_chaos.json")
+    metrics = record["metrics"]
+    assert 0.99 <= metrics["chaos_availability"] <= 1.0
+    assert metrics["chaos_scheduled"] > 0
+    assert (
+        metrics["chaos_completed"] + metrics["chaos_failed"] + metrics["chaos_dropped"]
+        == metrics["chaos_scheduled"]
+    )
+    assert metrics["worker_restarts"] >= 1
+    assert metrics["injected_faults"] >= 3
+    assert metrics["orphan_processes"] == 0
+    assert metrics["deadline_sheds"] >= 0
+    timings = record["timings"]
+    for key in ("baseline_p99_ms", "chaos_p99_ms", "recovery_p99_ms"):
+        assert timings[key] > 0, key
+    ceiling = max(2.0 * timings["baseline_p99_ms"], 250.0)
+    assert timings["recovery_p99_ms"] <= ceiling
+
+
+def test_serving_chaos_sidecar_matches_the_committed_plan():
+    """The sidecar's fired-fault timeline must come from the committed plan.
+
+    The whole point of a seeded plan is that the record describes a
+    reproducible storm: the committed plan file regenerates bit-for-bit
+    from its recorded seed, and every fault kind the sidecar says fired
+    is a kind the plan actually schedules.
+    """
+    from benchmarks.harness import (
+        CHAOS_PLAN_PARAMS,
+        CHAOS_PLAN_PATH,
+        CHAOS_PLAN_SEED,
+    )
+    from repro.chaos import FaultPlan
+    from repro.loadgen import LatencyHistogram
+
+    plan = FaultPlan.load(CHAOS_PLAN_PATH)
+    assert plan.timeline() == FaultPlan.generate(
+        CHAOS_PLAN_SEED, **CHAOS_PLAN_PARAMS
+    ).timeline()
+
+    record = load(RECORDS_DIR / "BENCH_serving_chaos.json")
+    assert record.get("artifacts") == ["serving_chaos_histogram.json"]
+    sidecar = load(RECORDS_DIR / "serving_chaos_histogram.json")
+    assert sidecar["plan"]["seed"] == CHAOS_PLAN_SEED
+    assert tuple(tuple(e) for e in sidecar["plan"]["timeline"]) == tuple(
+        plan.timeline()
+    )
+    planned_kinds = set(plan.kinds())
+    assert planned_kinds <= set(sidecar["applied_counts"])
+    for _, kind, _ in sidecar["fired_log"]:
+        assert kind in planned_kinds
+    assert set(sidecar["legs"]) == {"baseline", "chaos", "recovery"}
+    for leg, payload in sidecar["legs"].items():
+        histogram = LatencyHistogram.from_dict(payload)
+        assert histogram.count > 0, leg
+
+
 def test_serving_mp_record_carries_gil_context():
     """The multi-process record must keep its interpretation context.
 

@@ -1,0 +1,245 @@
+"""Unit tests for the deterministic chaos layer (plan + injector)."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.chaos import FaultEvent, FaultInjector, FaultPlan
+
+
+class TestFaultEvent:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultEvent(at_s=0.1, kind="meteor_strike")
+
+    def test_oneshot_kind_rejects_duration(self):
+        with pytest.raises(ValueError, match="one-shot"):
+            FaultEvent(at_s=0.1, kind="worker_crash", duration_s=1.0)
+
+    def test_window_kind_requires_duration(self):
+        with pytest.raises(ValueError, match="positive duration_s"):
+            FaultEvent(at_s=0.1, kind="worker_stall")
+
+    def test_negative_fields_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(at_s=-0.1, kind="worker_crash")
+        with pytest.raises(ValueError):
+            FaultEvent(at_s=0.1, kind="slow_batch", duration_s=1.0, delay_ms=-1.0)
+
+    def test_window_membership_and_targeting(self):
+        event = FaultEvent(at_s=1.0, kind="worker_stall", target=1, duration_s=0.5)
+        assert not event.active_at(0.99)
+        assert event.active_at(1.0)
+        assert event.active_at(1.49)
+        assert not event.active_at(1.5)
+        assert event.matches_worker(1) and not event.matches_worker(0)
+        untargeted = FaultEvent(at_s=0.0, kind="worker_stall", duration_s=0.1)
+        assert untargeted.matches_worker(0) and untargeted.matches_worker(7)
+
+
+class TestFaultPlan:
+    def test_round_trips_through_json(self, tmp_path):
+        plan = FaultPlan.generate(seed=7, duration_s=5.0, workers=3)
+        path = plan.save(tmp_path / "plan.json")
+        loaded = FaultPlan.load(path)
+        assert loaded == plan
+        assert loaded.timeline() == plan.timeline()
+        # The file is plain versioned JSON, editable by hand.
+        payload = json.loads(path.read_text())
+        assert payload["plan_version"] == 1
+        assert payload["seed"] == 7
+
+    def test_same_seed_reproduces_identical_timeline(self):
+        a = FaultPlan.generate(seed=123, duration_s=4.0, workers=2)
+        b = FaultPlan.generate(seed=123, duration_s=4.0, workers=2)
+        assert a.timeline() == b.timeline()
+        assert a == b
+
+    def test_different_seed_differs(self):
+        a = FaultPlan.generate(seed=1, duration_s=4.0, workers=2)
+        b = FaultPlan.generate(seed=2, duration_s=4.0, workers=2)
+        assert a.timeline() != b.timeline()
+
+    def test_rejects_unsorted_events(self):
+        events = (
+            FaultEvent(at_s=2.0, kind="worker_crash"),
+            FaultEvent(at_s=1.0, kind="worker_crash"),
+        )
+        with pytest.raises(ValueError, match="sorted"):
+            FaultPlan(seed=0, events=events)
+
+    def test_rejects_empty_plan_and_bad_version(self):
+        with pytest.raises(ValueError, match="at least one event"):
+            FaultPlan(seed=0, events=())
+        with pytest.raises(ValueError, match="plan_version"):
+            FaultPlan.from_dict({"plan_version": 99, "seed": 0, "events": []})
+
+    def test_duration_covers_last_window(self):
+        plan = FaultPlan(
+            seed=0,
+            events=(
+                FaultEvent(at_s=0.5, kind="worker_crash"),
+                FaultEvent(at_s=1.0, kind="worker_stall", duration_s=0.75),
+            ),
+        )
+        assert plan.duration_s == pytest.approx(1.75)
+        assert plan.kinds() == ("worker_crash", "worker_stall")
+
+
+class TestFaultInjector:
+    def test_oneshot_dispatches_to_registered_handler(self):
+        plan = FaultPlan(
+            seed=0,
+            events=(
+                FaultEvent(at_s=0.02, kind="worker_crash", target=1),
+                FaultEvent(at_s=0.05, kind="worker_crash", target=0),
+            ),
+        )
+        injector = FaultInjector(plan)
+        fired: list[int | None] = []
+        injector.register("worker_crash", lambda event: fired.append(event.target))
+        injector.arm()
+        deadline = time.monotonic() + 2.0
+        while len(fired) < 2 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        injector.disarm()
+        assert fired == [1, 0]
+        assert injector.applied_counts() == {"worker_crash": 2}
+        log = injector.fired_log()
+        assert [entry[1] for entry in log] == ["worker_crash", "worker_crash"]
+
+    def test_unregistered_oneshot_is_skipped_not_fatal(self):
+        plan = FaultPlan(
+            seed=0, events=(FaultEvent(at_s=0.01, kind="worker_crash"),)
+        )
+        injector = FaultInjector(plan)
+        injector.arm()
+        time.sleep(0.1)
+        injector.disarm()
+        assert injector.applied_counts() == {}
+
+    def test_disarm_abandons_pending_events(self):
+        plan = FaultPlan(
+            seed=0, events=(FaultEvent(at_s=5.0, kind="worker_crash"),)
+        )
+        injector = FaultInjector(plan)
+        fired: list = []
+        injector.register("worker_crash", fired.append)
+        injector.arm()
+        injector.disarm()
+        assert not fired and not injector.armed
+
+    def test_seams_are_noops_when_unarmed(self):
+        plan = FaultPlan(
+            seed=0,
+            events=(
+                FaultEvent(at_s=0.0, kind="worker_stall", duration_s=10.0),
+                FaultEvent(at_s=0.0, kind="socket_reset", duration_s=10.0),
+            ),
+        )
+        injector = FaultInjector(plan)
+        start = time.monotonic()
+        injector.before_batch(0)
+        assert time.monotonic() - start < 0.1  # no stall applied
+        assert injector.http_response_fault() is None
+
+    def test_stall_window_blocks_targeted_worker_only(self):
+        plan = FaultPlan(
+            seed=0,
+            events=(
+                FaultEvent(at_s=0.0, kind="worker_stall", target=0, duration_s=0.2),
+            ),
+        )
+        injector = FaultInjector(plan)
+        injector.arm()
+        try:
+            start = time.monotonic()
+            injector.before_batch(1)  # untargeted worker sails through
+            assert time.monotonic() - start < 0.1
+            start = time.monotonic()
+            injector.before_batch(0)  # targeted worker sleeps out the window
+            assert time.monotonic() - start >= 0.1
+            assert injector.elapsed_s() >= 0.2
+        finally:
+            injector.disarm()
+
+    def test_slow_batch_adds_delay_inside_window(self):
+        plan = FaultPlan(
+            seed=0,
+            events=(
+                FaultEvent(
+                    at_s=0.0, kind="slow_batch", duration_s=0.5, delay_ms=60.0
+                ),
+            ),
+        )
+        injector = FaultInjector(plan)
+        injector.arm()
+        try:
+            start = time.monotonic()
+            injector.before_batch(0)
+            assert time.monotonic() - start >= 0.05
+        finally:
+            injector.disarm()
+
+    def test_http_fault_budget_is_exact_under_concurrency(self):
+        plan = FaultPlan(
+            seed=0,
+            events=(
+                FaultEvent(
+                    at_s=0.0, kind="socket_reset", duration_s=5.0, count=7
+                ),
+            ),
+        )
+        injector = FaultInjector(plan)
+        injector.arm()
+        try:
+            hits: list[str] = []
+            lock = threading.Lock()
+
+            def probe() -> None:
+                for _ in range(10):
+                    fault = injector.http_response_fault()
+                    if fault is not None:
+                        with lock:
+                            hits.append(fault)
+
+            threads = [threading.Thread(target=probe) for _ in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            # Exactly `count` responses are corrupted, however many
+            # handler threads race through the window.
+            assert hits == ["socket_reset"] * 7
+            assert injector.applied_counts() == {"socket_reset": 7}
+        finally:
+            injector.disarm()
+
+    def test_uncapped_window_fault_applies_throughout(self):
+        plan = FaultPlan(
+            seed=0,
+            events=(
+                FaultEvent(at_s=0.0, kind="malformed_response", duration_s=5.0),
+            ),
+        )
+        injector = FaultInjector(plan)
+        injector.arm()
+        try:
+            assert injector.http_response_fault() == "malformed_response"
+            assert injector.http_response_fault() == "malformed_response"
+        finally:
+            injector.disarm()
+
+    def test_rearm_after_disarm_raises(self):
+        plan = FaultPlan(
+            seed=0, events=(FaultEvent(at_s=0.01, kind="worker_crash"),)
+        )
+        injector = FaultInjector(plan)
+        injector.arm()
+        injector.disarm()
+        with pytest.raises(RuntimeError, match="already armed"):
+            injector.arm()

@@ -542,3 +542,254 @@ class TestFaultInjectionUnderLoad:
             # Post-recovery tail is back near baseline (generous bound:
             # shared-runner scheduling noise, not respawn debt).
             assert recovered.p99_ms <= max(10 * baseline.p99_ms, 250.0)
+
+
+# ----------------------------------------------------------------------
+# Background supervisor + crash-loop breaker
+# ----------------------------------------------------------------------
+class TestBackgroundSupervisor:
+    """Dead workers come back without anyone probing or sending traffic.
+
+    The background supervisor thread is what makes recovery *bounded in
+    time* rather than "whenever the next request or health probe
+    arrives" — so these tests only ever read the ``worker_processes()``
+    report while waiting.
+    """
+
+    def test_dead_worker_respawns_with_zero_probes_and_zero_traffic(self):
+        server = ProcessInferenceServer.from_factory(
+            make_hash_engine,
+            workers=1,
+            max_batch_size=2,
+            supervisor_interval_s=0.05,
+            respawn_backoff_base_s=0.01,
+        )
+        with server:
+            server.wait_ready(timeout=120)
+            victim = server.worker_processes()[0]["pid"]
+            os.kill(victim, signal.SIGKILL)
+            deadline = time.monotonic() + 30
+            report = server.worker_processes()[0]
+            while time.monotonic() < deadline:
+                report = server.worker_processes()[0]
+                if report["alive"] and report["pid"] != victim:
+                    break
+                time.sleep(0.02)
+            assert report["alive"] and report["pid"] != victim
+            assert report["restarts"] >= 1
+            assert not report["crash_looping"]
+            result = server.submit("served by the respawn").result(timeout=60)
+            assert len(result.probabilities) == 6
+
+    def test_crash_loop_retires_slot_and_degrades_healthz(self):
+        server = ProcessInferenceServer.from_factory(
+            make_hash_engine,
+            workers=2,
+            max_batch_size=2,
+            supervisor_interval_s=0.05,
+            respawn_backoff_base_s=0.01,
+            crash_loop_threshold=2,
+            crash_loop_window_s=60.0,
+        )
+        with ServingGateway(server) as gateway:
+            server.wait_ready(timeout=120)
+            # Kill slot 0 every time it comes back until the breaker
+            # trips (threshold=2 deaths inside the window).
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                report = server.worker_processes()[0]
+                if report["crash_looping"]:
+                    break
+                if report["alive"]:
+                    os.kill(report["pid"], signal.SIGKILL)
+                time.sleep(0.02)
+            report = server.worker_processes()[0]
+            assert report["crash_looping"] and not report["alive"]
+
+            # The retired slot stays retired: neither the supervisor,
+            # ensure_workers, nor a healthz probe revives it.
+            assert server.ensure_workers() == 0
+            from repro.serving.client import ServingClient
+
+            client = ServingClient(gateway.url, deadline_s=30)
+            health = client.healthz()
+            assert health["status"] == "degraded"
+            assert health["processes"][0]["crash_looping"] is True
+            assert health["processes"][1]["alive"] is True
+
+            # The surviving worker still serves traffic.
+            result = server.submit("one worker is enough").result(timeout=60)
+            assert len(result.probabilities) == 6
+
+    def test_respawn_backoff_spaces_out_attempts(self):
+        server = ProcessInferenceServer.from_factory(
+            make_hash_engine,
+            workers=1,
+            max_batch_size=2,
+            supervisor_interval_s=0.02,
+            respawn_backoff_base_s=0.4,
+            respawn_backoff_max_s=0.4,
+            crash_loop_threshold=10,
+        )
+        with server:
+            server.wait_ready(timeout=120)
+            os.kill(server.worker_processes()[0]["pid"], signal.SIGKILL)
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                report = server.worker_processes()[0]
+                if (
+                    report["restarts"] >= 1
+                    and report["alive"]
+                    and report["pid"] is not None
+                ):
+                    break
+                time.sleep(0.01)
+            assert report["alive"] and report["pid"] is not None
+            # Immediately kill the replacement: the next respawn must
+            # wait out the per-slot backoff, not happen on the very next
+            # supervisor sweep.
+            os.kill(report["pid"], signal.SIGKILL)
+            killed_at = time.monotonic()
+            while time.monotonic() < killed_at + 30:
+                report = server.worker_processes()[0]
+                if report["restarts"] >= 2:
+                    break
+                time.sleep(0.01)
+            assert report["restarts"] >= 2
+            assert time.monotonic() - killed_at >= 0.3
+
+
+# ----------------------------------------------------------------------
+# Chaos arming against real worker processes
+# ----------------------------------------------------------------------
+class TestChaosArming:
+    def test_armed_plan_kills_worker_and_supervisor_recovers(self):
+        from repro.chaos import FaultEvent, FaultInjector, FaultPlan
+
+        server = ProcessInferenceServer.from_factory(
+            make_hash_engine,
+            workers=1,
+            max_batch_size=2,
+            supervisor_interval_s=0.05,
+            respawn_backoff_base_s=0.01,
+        )
+        with server:
+            server.wait_ready(timeout=120)
+            victim = server.worker_processes()[0]["pid"]
+            plan = FaultPlan(
+                seed=0,
+                events=(FaultEvent(at_s=0.05, kind="worker_crash", target=0),),
+            )
+            server.arm_chaos(FaultInjector(plan))
+            assert server.chaos is not None and server.chaos.armed
+            deadline = time.monotonic() + 60
+            report = server.worker_processes()[0]
+            while time.monotonic() < deadline:
+                report = server.worker_processes()[0]
+                if report["restarts"] >= 1 and report["alive"]:
+                    break
+                time.sleep(0.02)
+            assert report["restarts"] >= 1
+            assert report["alive"] and report["pid"] != victim
+            assert server.chaos.applied_counts() == {"worker_crash": 1}
+            result = server.submit("recovered from chaos").result(timeout=60)
+            assert len(result.probabilities) == 6
+        # stop() disarmed the injector and dropped the reference, so no
+        # stray dispatch thread can SIGKILL a recycled pid later.
+        assert server.chaos is None
+
+
+# ----------------------------------------------------------------------
+# Admin reload endpoint (gateway + procserver end to end)
+# ----------------------------------------------------------------------
+class TestAdminReload:
+    def _boot(self, lr_checkpoint, **gateway_kwargs):
+        arrays, config = load_checkpoint(lr_checkpoint)
+        server = ProcessInferenceServer(
+            arrays=arrays,
+            config=config,
+            workers=1,
+            max_batch_size=1,
+            cache_size=64,
+        )
+        return server, ServingGateway(server, admin_token="hunter2", **gateway_kwargs)
+
+    @staticmethod
+    def _admin_post(url, path, body, token):
+        import json as _json
+        import urllib.error
+        import urllib.request
+
+        request = urllib.request.Request(
+            url + path,
+            data=_json.dumps(body).encode(),
+            headers={"Content-Type": "application/json", "X-Admin-Token": token},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=30.0) as response:
+                return response.status, _json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            return error.code, _json.loads(error.read())
+
+    def test_reload_over_http_bumps_version_and_serves(self, lr_checkpoint):
+        server, gateway = self._boot(lr_checkpoint)
+        with gateway:
+            server.wait_ready(timeout=120)
+            status, payload = self._admin_post(
+                gateway.url,
+                "/v1/admin/reload",
+                {"checkpoint": str(lr_checkpoint)},
+                "hunter2",
+            )
+            assert status == 200, payload
+            assert payload["status"] == "ok"
+            assert payload["weights_version"] == 2
+            result = server.submit("still serving after reload").result(timeout=60)
+            assert len(result.probabilities) == 6
+
+    def test_poisoned_weights_roll_back(self, lr_checkpoint, tmp_path):
+        from repro.nn.serialization import save_checkpoint
+
+        arrays, config = load_checkpoint(lr_checkpoint)
+        # NaN the *intercepts*: a NaN coefficient row can be skipped
+        # entirely by the sparse matmul when the probe text is
+        # out-of-vocabulary, but the intercept lands in every logit.
+        poisoned = {
+            k: (np.full_like(v, np.nan) if k == "model.intercept_" else v)
+            for k, v in arrays.items()
+        }
+        bad_path = save_checkpoint(
+            tmp_path / "poisoned", arrays=poisoned, config=config
+        )
+        server, gateway = self._boot(lr_checkpoint)
+        text = "a long walk cleared my head"
+        with gateway:
+            server.wait_ready(timeout=120)
+            before = server.submit(text).result(timeout=60).probabilities
+            status, payload = self._admin_post(
+                gateway.url,
+                "/v1/admin/reload",
+                {"checkpoint": str(bad_path)},
+                "hunter2",
+            )
+            # NaN intercepts fail the self-check prediction: the old
+            # weights must already be back when the response lands.
+            assert status == 500, payload
+            assert payload["error"]["code"] == "self_check_failed"
+            assert payload["rolled_back"] is True
+            after = server.submit(text).result(timeout=60).probabilities
+            np.testing.assert_array_equal(before, after)
+
+    def test_missing_checkpoint_is_400(self, lr_checkpoint):
+        server, gateway = self._boot(lr_checkpoint)
+        with gateway:
+            server.wait_ready(timeout=120)
+            status, payload = self._admin_post(
+                gateway.url,
+                "/v1/admin/reload",
+                {"checkpoint": "/nonexistent/nowhere"},
+                "hunter2",
+            )
+            assert status == 400
+            assert payload["error"]["code"] == "bad_request"

@@ -493,3 +493,101 @@ class TestGracefulDrain:
         server.drain()
         server.stop()
         assert not server.running
+
+
+class CrashOnceBackend(DeterministicBackend):
+    """Raises on the first batch containing a trigger text, then heals."""
+
+    def __init__(self) -> None:
+        self.tripped = False
+
+    def proba_batch(self, texts: list[str]) -> np.ndarray:
+        if not self.tripped and any("CRASH" in t for t in texts):
+            self.tripped = True
+            raise SystemError("backend blew past the per-batch handler")
+        return super().proba_batch(texts)
+
+
+class TestWorkerThreadReplacement:
+    """A serving thread dying on an unexpected exception is replaced.
+
+    ``_serve_batch`` already fans exceptions out to the batch's futures,
+    so the only way a serving thread dies is a bug *outside* that guard
+    (batch collection, stats, chaos seam).  When it happens the thread
+    must be logged, counted, and replaced — not silently strip the
+    server of capacity.
+    """
+
+    def _server_with_collect_bomb(self, workers: int = 1) -> InferenceServer:
+        server = InferenceServer(
+            make_engine(), workers=workers, max_batch_size=4, max_wait_ms=0.5
+        )
+        original = server._serve_batch
+        state = {"armed": True}
+
+        def bomb(batch, worker):
+            if state["armed"] and any("CRASH" in t for t, _, _ in batch):
+                state["armed"] = False
+                raise SystemError("simulated serving-loop bug")
+            return original(batch, worker)
+
+        server._serve_batch = bomb
+        return server
+
+    def test_dead_thread_is_counted_and_replaced(self):
+        server = self._server_with_collect_bomb(workers=1)
+        with server:
+            crashed = server.submit("CRASH this thread")
+            # The killing batch's futures die with the thread...
+            with pytest.raises(SystemError):
+                crashed.result(timeout=30)
+            # ...but the replacement thread keeps the (sole) slot alive.
+            result = server.submit("served by the replacement").result(timeout=30)
+            assert len(result.probabilities) == 6
+            snapshot = server.stats.snapshot()
+            assert snapshot.worker_thread_deaths == 1
+
+    def test_replacement_survives_repeated_deaths(self):
+        server = InferenceServer(
+            make_engine(), workers=2, max_batch_size=1, max_wait_ms=0.0
+        )
+        original = server._serve_batch
+        counter = {"left": 3}
+
+        def bomb(batch, worker):
+            if counter["left"] > 0 and any("CRASH" in t for t, _, _ in batch):
+                counter["left"] -= 1
+                raise SystemError("repeated serving-loop bug")
+            return original(batch, worker)
+
+        server._serve_batch = bomb
+        with server:
+            for i in range(3):
+                with pytest.raises(SystemError):
+                    server.submit(f"CRASH {i}").result(timeout=30)
+            for i in range(8):
+                result = server.submit(f"healthy {i}").result(timeout=30)
+                assert len(result.probabilities) == 6
+            assert server.stats.snapshot().worker_thread_deaths == 3
+
+    def test_clean_stop_after_replacement(self):
+        server = self._server_with_collect_bomb(workers=2)
+        server.start()
+        with pytest.raises(SystemError):
+            server.submit("CRASH now").result(timeout=30)
+        futures = [server.submit(f"drain {i}") for i in range(6)]
+        server.stop()  # must join the replacement thread, not the corpse
+        for f in futures:
+            assert len(f.result(timeout=30).probabilities) == 6
+        assert not server.running
+
+    def test_backend_exception_does_not_kill_thread(self):
+        # Control case: an exception *inside* the batch handler goes to
+        # the futures and the thread survives — no death counted.
+        server = InferenceServer(make_engine(CrashOnceBackend()), workers=1)
+        with server:
+            with pytest.raises(SystemError):
+                server.submit("CRASH in backend").result(timeout=30)
+            result = server.submit("fine afterwards").result(timeout=30)
+            assert len(result.probabilities) == 6
+            assert server.stats.snapshot().worker_thread_deaths == 0

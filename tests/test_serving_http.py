@@ -66,9 +66,17 @@ def make_engine(backend=None, **kwargs) -> PredictionEngine:
 
 
 @contextmanager
-def gateway_over(backend=None, *, request_timeout_s: float = 30.0, **server_kwargs):
+def gateway_over(
+    backend=None,
+    *,
+    request_timeout_s: float = 30.0,
+    admin_token: str | None = None,
+    **server_kwargs,
+):
     server = InferenceServer(make_engine(backend), **server_kwargs)
-    gateway = ServingGateway(server, request_timeout_s=request_timeout_s)
+    gateway = ServingGateway(
+        server, request_timeout_s=request_timeout_s, admin_token=admin_token
+    )
     with gateway:
         yield gateway, server
 
