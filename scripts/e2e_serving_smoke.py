@@ -95,12 +95,12 @@ class ServeProcess:
         self.process.send_signal(signal.SIGTERM)
         try:
             code = self.process.wait(timeout=timeout_s)
-        except subprocess.TimeoutExpired:
+        except subprocess.TimeoutExpired as error:
             self.process.kill()
             self.process.wait(timeout=10)
             raise AssertionError(
                 f"[{self.name}] did not drain within {timeout_s}s of SIGTERM"
-            )
+            ) from error
         finally:
             self._log_file.close()
         return code
@@ -165,7 +165,7 @@ def phase_happy_path(checkpoint: Path, log_dir: Path) -> None:
                 errors.append(error)
 
         threads = [
-            threading.Thread(target=client_loop, args=(i,))
+            threading.Thread(target=client_loop, args=(i,), daemon=False)
             for i in range(n_threads)
         ]
         for t in threads:
@@ -336,7 +336,9 @@ def phase_forced_shed(checkpoint: Path, log_dir: Path) -> None:
             with lock:
                 statuses.append(status)
 
-        threads = [threading.Thread(target=fire, args=(i,)) for i in range(12)]
+        threads = [
+            threading.Thread(target=fire, args=(i,), daemon=False) for i in range(12)
+        ]
         for t in threads:
             t.start()
         for t in threads:

@@ -1,0 +1,42 @@
+"""Static and dynamic concurrency/determinism analysis for this repo.
+
+Two halves:
+
+* :mod:`repro.analysis.rules` + :mod:`repro.analysis.linter` — the
+  ``holistix-lint`` AST rules (HX001–HX006) that check lock discipline,
+  seeded-path determinism, thread ownership, metric naming, and chaos
+  seams at lint time.
+* :mod:`repro.analysis.lockcheck` — the ``REPRO_LOCK_CHECK=1`` runtime
+  lock-order registry (:class:`~repro.analysis.lockcheck.OrderedLock`)
+  that turns potential deadlocks and lock-contract violations into
+  deterministic test failures.
+
+See ``docs/STATIC_ANALYSIS.md`` for the rule catalogue.
+"""
+
+from repro.analysis.lockcheck import (
+    LockOrderError,
+    LockOrderRegistry,
+    OrderedLock,
+    create_lock,
+    lock_check_enabled,
+    require_held,
+)
+from repro.analysis.linter import check_file, check_source, run
+from repro.analysis.rules import ALL_RULES, FileContext, Rule, Violation
+
+__all__ = [
+    "ALL_RULES",
+    "FileContext",
+    "LockOrderError",
+    "LockOrderRegistry",
+    "OrderedLock",
+    "Rule",
+    "Violation",
+    "check_file",
+    "check_source",
+    "create_lock",
+    "lock_check_enabled",
+    "require_held",
+    "run",
+]

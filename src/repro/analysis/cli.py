@@ -1,0 +1,109 @@
+"""``holistix-lint`` — run the HX concurrency/determinism rules.
+
+Usage::
+
+    holistix-lint src/ scripts/            # human-readable, exit 1 on findings
+    holistix-lint --format github src/     # GitHub Actions ::error annotations
+    holistix-lint --select HX001,HX003 f.py
+    holistix-lint --list-rules
+
+Exit codes: 0 clean, 1 violations found, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.analysis.linter import run
+from repro.analysis.rules import ALL_RULES, Rule, Violation
+
+__all__ = ["main"]
+
+
+def _github_annotation(violation: Violation) -> str:
+    # https://docs.github.com/actions/reference/workflow-commands — the
+    # message field must not contain raw newlines.
+    message = f"{violation.rule} {violation.message}".replace("\n", " ")
+    return (
+        f"::error file={violation.path},line={violation.line},"
+        f"col={violation.col + 1}::{message}"
+    )
+
+
+def _select_rules(spec: str | None) -> list[Rule]:
+    if spec is None:
+        return list(ALL_RULES)
+    wanted = {code.strip().upper() for code in spec.split(",") if code.strip()}
+    known = {rule.rule_id for rule in ALL_RULES}
+    unknown = wanted - known
+    if unknown:
+        raise SystemExit(
+            f"holistix-lint: unknown rule id(s): {', '.join(sorted(unknown))} "
+            f"(known: {', '.join(sorted(known))})"
+        )
+    return [rule for rule in ALL_RULES if rule.rule_id in wanted]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="holistix-lint",
+        description="Repo-specific concurrency & determinism lint (HX rules).",
+    )
+    parser.add_argument(
+        "targets",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (directories recurse over *.py)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "github"),
+        default="text",
+        help="output style: human-readable, or GitHub Actions ::error lines",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.rule_id}  {rule.summary}")
+        return 0
+
+    if not args.targets:
+        parser.print_usage(sys.stderr)
+        print("holistix-lint: no targets given", file=sys.stderr)
+        return 2
+
+    missing = [str(t) for t in args.targets if not t.exists()]
+    if missing:
+        print(f"holistix-lint: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    violations = run(args.targets, _select_rules(args.select))
+    for violation in violations:
+        if args.format == "github":
+            print(_github_annotation(violation))
+        else:
+            print(violation.render())
+    if violations:
+        count = len(violations)
+        plural = "s" if count != 1 else ""
+        print(f"holistix-lint: {count} violation{plural}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

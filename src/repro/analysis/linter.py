@@ -1,0 +1,108 @@
+"""File/tree driver for the HX rules, with ``# noqa: HXnnn`` suppression.
+
+Suppression follows the ruff/flake8 convention, scoped to this tool's
+rule namespace:
+
+* ``# noqa: HX002`` on the flagged line silences that rule there;
+* ``# noqa: HX001, HX002`` silences several;
+* a bare ``# noqa`` (no codes) silences every HX rule on the line.
+
+Suppressions should carry a rationale in the surrounding code — the
+linter can't check that, but review can.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+from repro.analysis.rules import ALL_RULES, FileContext, Rule, Violation
+
+__all__ = ["check_file", "check_source", "collect_files", "run"]
+
+_NOQA_RE = re.compile(
+    r"#\s*noqa(?::\s*(?P<codes>[A-Z]+[0-9]+(?:\s*,\s*[A-Z]+[0-9]+)*))?",
+    re.IGNORECASE,
+)
+
+
+def _suppressed_rules(line: str) -> frozenset[str] | None:
+    """Rule ids silenced on ``line``; ``frozenset()`` means *all* rules.
+
+    Returns ``None`` when the line carries no noqa comment at all.
+    """
+    match = _NOQA_RE.search(line)
+    if match is None:
+        return None
+    codes = match.group("codes")
+    if codes is None:
+        return frozenset()
+    return frozenset(code.strip().upper() for code in codes.split(","))
+
+
+def _is_suppressed(violation: Violation, lines: Sequence[str]) -> bool:
+    if not 1 <= violation.line <= len(lines):
+        return False
+    suppressed = _suppressed_rules(lines[violation.line - 1])
+    if suppressed is None:
+        return False
+    return not suppressed or violation.rule in suppressed
+
+
+def check_source(
+    source: str,
+    path: str,
+    rules: Sequence[Rule] | None = None,
+) -> list[Violation]:
+    """Run rules over one source string; ``path`` steers path-scoped rules."""
+    active = ALL_RULES if rules is None else tuple(rules)
+    try:
+        ctx = FileContext.from_source(source, path)
+    except SyntaxError as error:
+        line = error.lineno if error.lineno is not None else 1
+        return [
+            Violation(
+                rule="HX000",
+                path=path,
+                line=line,
+                col=(error.offset - 1) if error.offset else 0,
+                message=f"file does not parse: {error.msg}",
+            )
+        ]
+    violations: list[Violation] = []
+    for rule in active:
+        violations.extend(rule.check(ctx))
+    violations = [v for v in violations if not _is_suppressed(v, ctx.lines)]
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return violations
+
+
+def check_file(path: Path, rules: Sequence[Rule] | None = None) -> list[Violation]:
+    return check_source(path.read_text(encoding="utf-8"), str(path), rules)
+
+
+def collect_files(targets: Iterable[Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py file list."""
+    seen: set[Path] = set()
+    for target in targets:
+        if target.is_dir():
+            seen.update(p for p in target.rglob("*.py") if "__pycache__" not in p.parts)
+        elif target.suffix == ".py":
+            seen.add(target)
+    return sorted(seen)
+
+
+def run(
+    targets: Iterable[Path], rules: Sequence[Rule] | None = None
+) -> list[Violation]:
+    """Lint every python file under ``targets``; sorted violations."""
+    violations: list[Violation] = []
+    for path in collect_files(targets):
+        violations.extend(check_file(path, rules))
+    return violations
+
+
+# Re-exported for callers that only need the parse step.
+parse = ast.parse

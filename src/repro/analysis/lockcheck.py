@@ -1,0 +1,290 @@
+"""TSan-lite dynamic lock-order checking for the serving stack.
+
+The static rules in :mod:`repro.analysis.rules` catch what is visible in
+the source; this module catches what only shows up at runtime — the
+*order* in which threads actually acquire locks, and whether code that
+assumes "my caller holds the lock" is ever reached without it.
+
+Design goals, in priority order:
+
+1. **Zero overhead when disabled.**  :func:`create_lock` returns a plain
+   ``threading.Lock`` unless ``REPRO_LOCK_CHECK`` is set in the
+   environment, so production and default test runs execute exactly the
+   code they executed before this module existed.
+2. **Deterministic failure on *potential* deadlock.**  When enabled,
+   every blocking acquire records a ``held -> acquiring`` edge in one
+   global lock-order graph keyed by *lock name* (a role like
+   ``"server.mutex"``, not an instance id).  The first acquire that
+   would close a cycle raises :class:`LockOrderError` immediately — the
+   inconsistent ordering is reported even if the interleaving that
+   would actually deadlock never happens in this run.
+3. **Guarded-access assertions.**  :func:`require_held` is the runtime
+   twin of the HX001 static rule: methods whose contract is "caller
+   holds the lock" (the ``*_locked`` naming convention) call it on
+   entry, and with checking enabled it raises if the calling thread
+   does not own the lock.  With checking disabled it is a single
+   ``isinstance`` test on a plain lock — effectively free, and never
+   raises.
+
+Usage::
+
+    from repro.analysis.lockcheck import create_lock, require_held
+
+    class Stats:
+        def __init__(self) -> None:
+            self._lock = create_lock("server.stats")
+
+        def _reset_locked(self) -> None:
+            require_held(self._lock)
+            ...
+
+``threading.Condition(ordered_lock)`` works: :class:`OrderedLock`
+implements the ``_release_save`` / ``_acquire_restore`` / ``_is_owned``
+protocol conditions use, and a condition ``wait()`` correctly pops the
+lock from the holder's stack while sleeping.
+
+The registry is global on purpose: running the whole tier-1 suite under
+``REPRO_LOCK_CHECK=1`` accumulates one ordering graph across every
+server, gateway, and client the tests construct, so an inconsistent
+ordering *between* components is caught even when no single test
+exercises both orders.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from types import TracebackType
+from typing import cast
+
+__all__ = [
+    "LockOrderError",
+    "LockOrderRegistry",
+    "OrderedLock",
+    "create_lock",
+    "lock_check_enabled",
+    "registry",
+    "require_held",
+]
+
+_ENV_VAR = "REPRO_LOCK_CHECK"
+
+
+class LockOrderError(RuntimeError):
+    """A lock-ordering cycle, or a guarded path reached without its lock."""
+
+
+class _HeldState(threading.local):
+    """Per-thread stack of lock names currently held (acquisition order)."""
+
+    def __init__(self) -> None:
+        self.stack: list[str] = []
+
+
+class LockOrderRegistry:
+    """Global ``held -> acquiring`` edge graph with cycle detection.
+
+    Edges are keyed by lock *name*, so every instance created with the
+    same role name contributes to one node — two servers in one process
+    must still agree on ordering, which is exactly the property a
+    process-wide deadlock needs violated.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._edges: dict[str, set[str]] = {}
+        self._held = _HeldState()
+
+    # ------------------------------------------------------------------
+    # Bookkeeping called by OrderedLock
+    # ------------------------------------------------------------------
+    def before_blocking_acquire(self, name: str) -> None:
+        """Record edges from every held lock to ``name``; raise on cycle."""
+        held = self._held.stack
+        if not held:
+            return
+        for holder in held:
+            if holder == name:
+                raise LockOrderError(
+                    f"recursive acquire of non-reentrant lock {name!r} "
+                    f"(held: {held})"
+                )
+            self._add_edge(holder, name)
+
+    def note_acquired(self, name: str) -> None:
+        self._held.stack.append(name)
+
+    def note_released(self, name: str) -> None:
+        stack = self._held.stack
+        # Locks are typically released LIFO, but the protocol does not
+        # require it; remove the most recent matching entry.
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] == name:
+                del stack[index]
+                return
+
+    def held_names(self) -> tuple[str, ...]:
+        """Locks held by the calling thread, in acquisition order."""
+        return tuple(self._held.stack)
+
+    # ------------------------------------------------------------------
+    # Graph
+    # ------------------------------------------------------------------
+    def _add_edge(self, source: str, target: str) -> None:
+        with self._lock:
+            targets = self._edges.setdefault(source, set())
+            if target in targets:
+                return
+            cycle = self._find_path(target, source)
+            if cycle is not None:
+                raise LockOrderError(
+                    "lock-order cycle: acquiring "
+                    f"{target!r} while holding {source!r} inverts the "
+                    "established order "
+                    + " -> ".join(repr(n) for n in [target, *cycle])
+                    + f" -> {target!r}"
+                )
+            targets.add(target)
+
+    def _find_path(self, start: str, goal: str) -> list[str] | None:
+        """DFS path ``start -> ... -> goal`` through recorded edges."""
+        if start == goal:
+            return [start]
+        seen = {start}
+        stack: list[tuple[str, list[str]]] = [(start, [])]
+        while stack:
+            node, path = stack.pop()
+            for nxt in self._edges.get(node, ()):
+                if nxt == goal:
+                    return [*path, nxt]
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append((nxt, [*path, nxt]))
+        return None
+
+    def edges(self) -> dict[str, frozenset[str]]:
+        """Immutable copy of the recorded ordering graph."""
+        with self._lock:
+            return {name: frozenset(targets) for name, targets in self._edges.items()}
+
+    def reset(self) -> None:
+        """Forget all recorded edges (test isolation)."""
+        with self._lock:
+            self._edges.clear()
+
+
+#: The process-wide registry every :func:`create_lock` lock reports to.
+registry = LockOrderRegistry()
+
+
+class OrderedLock:
+    """A ``threading.Lock`` that reports acquires to a lock-order registry.
+
+    Drop-in for the subset of the ``Lock`` API this repository uses:
+    context manager, ``acquire(blocking, timeout)``, ``release()``,
+    ``locked()`` — plus the private condition-variable protocol so
+    ``threading.Condition(OrderedLock(...))`` behaves correctly.
+
+    Non-blocking acquires (``blocking=False``) do not record ordering
+    edges: a try-lock cannot participate in a deadlock, and the probe
+    idiom (``ensure_workers``) intentionally skips busy slots.
+    """
+
+    def __init__(
+        self, name: str, order_registry: LockOrderRegistry | None = None
+    ) -> None:
+        self.name = name
+        self._registry = order_registry if order_registry is not None else registry
+        self._inner = threading.Lock()
+        self._owner: int | None = None
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        if blocking:
+            self._registry.before_blocking_acquire(self.name)
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            self._registry.note_acquired(self.name)
+            self._owner = threading.get_ident()
+        return acquired
+
+    def release(self) -> None:
+        self._owner = None
+        self._registry.note_released(self.name)
+        self._inner.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    @property
+    def held(self) -> bool:
+        """Whether the calling thread currently owns this lock."""
+        return self._owner == threading.get_ident()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        state = "locked" if self._inner.locked() else "unlocked"
+        return f"<OrderedLock {self.name!r} {state}>"
+
+    # ------------------------------------------------------------------
+    # threading.Condition protocol
+    # ------------------------------------------------------------------
+    def _release_save(self) -> None:
+        """Condition.wait: fully release (non-reentrant => plain release)."""
+        self.release()
+
+    def _acquire_restore(self, state: object) -> None:
+        """Condition.wait: reacquire after waking."""
+        self.acquire()
+
+    def _is_owned(self) -> bool:
+        return self._owner == threading.get_ident()
+
+
+def lock_check_enabled() -> bool:
+    """Whether ``REPRO_LOCK_CHECK`` asks for ordered locks."""
+    return os.environ.get(_ENV_VAR, "") not in ("", "0")
+
+
+def create_lock(name: str) -> threading.Lock:
+    """The lock factory every shared-state class in this repo uses.
+
+    Returns a plain ``threading.Lock`` (zero overhead) unless
+    ``REPRO_LOCK_CHECK`` is set, in which case an :class:`OrderedLock`
+    reporting to the global :data:`registry` is returned.  The
+    environment is consulted at *creation* time, so a test can arm
+    checking for exactly the objects it constructs.
+
+    Declared as ``threading.Lock`` although the checked variant is an
+    :class:`OrderedLock`: the wrapper implements the full ``Lock``
+    surface this repository uses (including the ``Condition`` protocol),
+    and the single declared type lets strictly typed consumers pass the
+    result to ``threading.Condition`` without per-site casts.
+    """
+    if lock_check_enabled():
+        return cast(threading.Lock, OrderedLock(name))
+    return threading.Lock()
+
+
+def require_held(lock: object, what: str = "") -> None:
+    """Assert the calling thread owns ``lock`` (no-op when unchecked).
+
+    The dynamic side of the ``*_locked`` naming convention: call this
+    first in any method whose contract is "caller holds the lock".  On
+    a plain ``threading.Lock`` (checking disabled) this is a single
+    failed ``isinstance`` and returns immediately.
+    """
+    if isinstance(lock, OrderedLock) and not lock.held:
+        raise LockOrderError(
+            f"{what or 'a guarded path'} requires {lock.name!r} to be held "
+            f"by the calling thread (held: {list(registry.held_names())})"
+        )

@@ -31,6 +31,7 @@ import threading
 import time
 from collections.abc import Callable
 
+from repro.analysis.lockcheck import create_lock, require_held
 from repro.chaos.plan import GATEWAY_KINDS, ONESHOT_KINDS, FaultEvent, FaultPlan
 
 __all__ = ["FaultInjector"]
@@ -44,7 +45,7 @@ class FaultInjector:
     def __init__(self, plan: FaultPlan) -> None:
         self.plan = plan
         self._handlers: dict[str, Callable[[FaultEvent], None]] = {}
-        self._lock = threading.Lock()
+        self._lock = create_lock("chaos.injector")
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
         self._t0: float | None = None
@@ -99,10 +100,14 @@ class FaultInjector:
     def disarm(self) -> None:
         """Stop dispatching; pending one-shot events are abandoned."""
         self._stop.set()
-        thread = self._thread
+        # Pop the thread under the lock (it is published under the lock
+        # in arm()); join it outside — the dispatch loop takes the same
+        # lock in _mark, so joining while holding it could deadlock.
+        with self._lock:
+            thread = self._thread
+            self._thread = None
         if thread is not None:
             thread.join(timeout=5.0)
-            self._thread = None
 
     def _dispatch_loop(self, oneshots: list[FaultEvent]) -> None:
         t0 = self._t0
@@ -148,17 +153,23 @@ class FaultInjector:
             return
         offset = self.elapsed_s()
         for event in self.plan.events:
-            if event.kind == "worker_stall" and event.matches_worker(worker):
-                if event.active_at(offset):
-                    remaining = event.end_s - offset
-                    self._mark(event)
-                    self._interruptible_sleep(remaining)
-                    offset = self.elapsed_s()
+            if (
+                event.kind == "worker_stall"
+                and event.matches_worker(worker)
+                and event.active_at(offset)
+            ):
+                remaining = event.end_s - offset
+                self._mark(event)
+                self._interruptible_sleep(remaining)
+                offset = self.elapsed_s()
         for event in self.plan.events:
-            if event.kind == "slow_batch" and event.matches_worker(worker):
-                if event.active_at(offset):
-                    self._mark(event)
-                    self._interruptible_sleep(event.delay_ms / 1000.0)
+            if (
+                event.kind == "slow_batch"
+                and event.matches_worker(worker)
+                and event.active_at(offset)
+            ):
+                self._mark(event)
+                self._interruptible_sleep(event.delay_ms / 1000.0)
 
     def http_response_fault(self) -> str | None:
         """Gateway seam: the fault kind to apply to this response, if any.
@@ -197,6 +208,7 @@ class FaultInjector:
             self._mark_locked(event)
 
     def _mark_locked(self, event: FaultEvent) -> None:
+        require_held(self._lock, "FaultInjector._mark_locked")
         self._applied[event.kind] = self._applied.get(event.kind, 0) + 1
         self._fired.append((round(self.elapsed_s(), 3), event.kind, event.target))
 

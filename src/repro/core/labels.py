@@ -152,4 +152,6 @@ def dimension_from_code(code: str) -> WellnessDimension:
         return WellnessDimension(code)
     except ValueError:
         valid = ", ".join(d.code for d in DIMENSIONS)
-        raise ValueError(f"unknown dimension code {code!r}; expected one of {valid}")
+        raise ValueError(
+            f"unknown dimension code {code!r}; expected one of {valid}"
+        ) from None

@@ -287,9 +287,10 @@ class CorpusFactory:
         randrange = rng.randrange
         for index in range(n):
             roll = rand()
-            for bound, runtime in self._persona_cdf:
-                if roll < bound:
-                    break
+            runtime = next(
+                (rt for bound, rt in self._persona_cdf if roll < bound),
+                self._persona_cdf[-1][1],
+            )
             spec = runtime.spec
             label = runtime.pick_label(rand())
 

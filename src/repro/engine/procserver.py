@@ -42,6 +42,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.analysis.lockcheck import create_lock, require_held
 from repro.engine.engine import EngineStats, LatencyInjectedBackend
 from repro.engine.server import BatchingServerBase
 from repro.nn.serialization import SharedCheckpoint, SharedManifest
@@ -325,10 +326,10 @@ class ProcessInferenceServer(BatchingServerBase):
         # holds its slot for the whole send/recv round-trip, so there is
         # exactly one outstanding batch per worker and ensure_workers()
         # can probe with a non-blocking acquire.
-        self._slot_locks = [threading.Lock() for _ in range(workers)]
+        self._slot_locks = [create_lock(f"procserver.slot{i}") for i in range(workers)]
         self._ready_events = [threading.Event() for _ in range(workers)]
         self._restarts = [0] * workers
-        self._stats_lock = threading.Lock()
+        self._stats_lock = create_lock("procserver.stats")
         self._stats_base = [EngineStats() for _ in range(workers)]
         self._stats_latest = [EngineStats() for _ in range(workers)]
         # Supervisor: a background thread that respawns dead workers
@@ -447,9 +448,12 @@ class ProcessInferenceServer(BatchingServerBase):
                 continue
             try:
                 handle = self._handles[worker]
-                if handle is not None and not handle.alive():
-                    if self._respawn_locked(worker):
-                        revived += 1
+                if (
+                    handle is not None
+                    and not handle.alive()
+                    and self._respawn_locked(worker)
+                ):
+                    revived += 1
             finally:
                 lock.release()
         return revived
@@ -573,6 +577,11 @@ class ProcessInferenceServer(BatchingServerBase):
     # BatchingServerBase hooks
     # ------------------------------------------------------------------
     def _before_start(self) -> None:
+        # Runs under the lifecycle mutex (see BatchingServerBase.start),
+        # which is what makes the lexically-unguarded _handles rebuild
+        # below safe: no companion thread exists yet, and submit() is
+        # still refusing traffic.
+        require_held(self._mutex, "ProcessInferenceServer._before_start")
         if self._static_spec is not None:
             self._spec = self._static_spec
         else:
@@ -594,7 +603,7 @@ class ProcessInferenceServer(BatchingServerBase):
             self._stats_base = [EngineStats() for _ in range(self.workers)]
             self._stats_latest = [EngineStats() for _ in range(self.workers)]
         try:
-            self._handles = [self._spawn() for _ in range(self.workers)]
+            self._handles = [self._spawn() for _ in range(self.workers)]  # noqa: HX001 - lifecycle mutex held (require_held above)
         except BaseException:
             # A failed spawn must not leak the segment or earlier children.
             self._teardown_processes()
@@ -642,15 +651,19 @@ class ProcessInferenceServer(BatchingServerBase):
 
     def _predict_probs_on(self, worker: int, texts: list[str]):
         with self._slot_locks[worker]:
-            for attempt in (0, 1):
+            for _attempt in (0, 1):
                 handle = self._handles[worker]
                 if handle is None or not handle.alive():
                     if not self._respawn_locked(worker):
                         break
                     handle = self._handles[worker]
                 try:
-                    handle.conn.send(("batch", list(texts)))
-                    reply = handle.conn.recv()
+                    # Holding the slot lock across the pipe round-trip is
+                    # the design: one in-flight batch per worker process,
+                    # and the respawn-retry below needs exclusive slot
+                    # ownership.  Other slots proceed in parallel.
+                    handle.conn.send(("batch", list(texts)))  # noqa: HX002 - single-flight per slot by design
+                    reply = handle.conn.recv()  # noqa: HX002 - single-flight per slot by design
                 except (EOFError, OSError, BrokenPipeError):
                     # Worker died mid-request.  Inference has no side
                     # effects, so respawn and retry the batch once.
@@ -747,6 +760,7 @@ class ProcessInferenceServer(BatchingServerBase):
         bumps the restart counter, and blocks until the replacement is
         ready (or records its failure and returns False).
         """
+        require_held(self._slot_locks[worker], "_respawn_locked")
         if self._crash_looped[worker]:
             return False
         now = time.monotonic()

@@ -29,9 +29,19 @@ from collections import deque
 from concurrent.futures import Future
 from dataclasses import dataclass
 from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
+from repro.analysis.lockcheck import create_lock, require_held
 from repro.core.labels import DIMENSIONS, WellnessDimension
 from repro.engine.engine import EngineStats, PredictionEngine
+
+if TYPE_CHECKING:
+    import numpy as np
+    from numpy.typing import NDArray
+
+    from repro.chaos.injector import FaultInjector
+
+    _ProbMatrix = NDArray[np.float64]
 
 __all__ = [
     "BatchingServerBase",
@@ -43,7 +53,14 @@ __all__ = [
     "StatsSnapshot",
 ]
 
-_STOP = object()
+
+class _StopSentinel:
+    """Queue marker telling one serving thread to exit; see ``stop()``."""
+
+    __slots__ = ()
+
+
+_STOP = _StopSentinel()
 
 logger = logging.getLogger(__name__)
 
@@ -70,6 +87,10 @@ class PredictionResult:
     label: WellnessDimension
     probabilities: tuple[float, ...]
     latency_ms: float
+
+
+#: One admitted request: (text, resolving future, enqueue timestamp).
+_QueueItem = tuple[str, "Future[PredictionResult]", float]
 
 
 @dataclass(frozen=True)
@@ -148,13 +169,15 @@ class ServerStats:
     """
 
     def __init__(self, *, n_workers: int = 1, window: int = 10_000) -> None:
-        self._lock = threading.Lock()
+        self._lock = create_lock("server.stats")
         self._window = window
         self._epoch = 0
         self._n_workers = n_workers
-        self._reset_locked()
+        with self._lock:
+            self._reset_locked()
 
     def _reset_locked(self) -> None:
+        require_held(self._lock, "ServerStats._reset_locked")
         self._requests = 0
         self._batches = 0
         self._shed = 0
@@ -164,7 +187,7 @@ class ServerStats:
         self._started_at: float | None = None
         self._stopped_at: float | None = None
         self._per_worker = [0] * self._n_workers
-        self._latencies_ms: deque = deque(maxlen=self._window)
+        self._latencies_ms: deque[float] = deque(maxlen=self._window)
         self._worker_deaths = 0
         self._deadline_shed = 0
 
@@ -380,21 +403,21 @@ class BatchingServerBase:
         # and the stop sentinels are appended under the same mutex, so
         # FIFO order guarantees every admitted request precedes every
         # sentinel and is served before a worker exits.
-        self._mutex = threading.Lock()
+        self._mutex = create_lock("server.mutex")
         self._not_empty = threading.Condition(self._mutex)
         self._not_full = threading.Condition(self._mutex)
-        self._items: deque = deque()
+        self._items: deque[_QueueItem | _StopSentinel] = deque()
         self._accepting = False
         self._stopping = False
         self._threads: list[threading.Thread] = []
         # Chaos seam: a repro.chaos.FaultInjector, or None.  The hot
         # path pays one attribute check when unarmed — nothing else.
-        self.chaos = None
+        self.chaos: FaultInjector | None = None
 
     # ------------------------------------------------------------------
     # Subclass hooks
     # ------------------------------------------------------------------
-    def _predict_probs(self, worker: int, texts: list[str]):
+    def _predict_probs(self, worker: int, texts: list[str]) -> _ProbMatrix:
         """Probability matrix ``(len(texts), n_classes)`` for one batch."""
         raise NotImplementedError
 
@@ -503,7 +526,7 @@ class BatchingServerBase:
     def __enter__(self) -> "BatchingServerBase":
         return self.start()
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.stop()
 
     # ------------------------------------------------------------------
@@ -566,9 +589,9 @@ class BatchingServerBase:
     # ------------------------------------------------------------------
     # Workers
     # ------------------------------------------------------------------
-    def _collect_batch(self) -> tuple[list, bool]:
+    def _collect_batch(self) -> tuple[list[_QueueItem], bool]:
         """Block for one request, then coalesce briefly. -> (batch, stop)"""
-        batch: list = []
+        batch: list[_QueueItem] = []
         stop = False
         with self._mutex:
             while not self._items:
@@ -577,7 +600,7 @@ class BatchingServerBase:
             while len(batch) < self.max_batch_size and not stop:
                 if self._items:
                     item = self._items.popleft()
-                    if item is _STOP:
+                    if isinstance(item, _StopSentinel):
                         stop = True
                     else:
                         batch.append(item)
@@ -590,7 +613,7 @@ class BatchingServerBase:
                 self._not_full.notify(len(batch))
         return batch, stop
 
-    def _serve_batch(self, batch: list, worker: int) -> None:
+    def _serve_batch(self, batch: list[_QueueItem], worker: int) -> None:
         # Honour client-side cancellation; a cancelled future must not
         # be set_result (InvalidStateError) and needs no inference.
         live = [item for item in batch if item[1].set_running_or_notify_cancel()]
@@ -605,7 +628,7 @@ class BatchingServerBase:
                 future.set_exception(error)
             return
         now = time.perf_counter()
-        results = []
+        results: list[tuple[Future[PredictionResult], PredictionResult]] = []
         for (text, future, enqueued), row, class_id in zip(live, probs, ids):
             latency_ms = (now - enqueued) * 1000.0
             results.append(
@@ -654,7 +677,7 @@ class BatchingServerBase:
         # one sentinel (it stops collecting the moment it sees one).
         stop = False
         replaced = False
-        batch: list = []
+        batch: list[_QueueItem] = []
         try:
             self._on_worker_start(worker)
             while True:
@@ -752,7 +775,7 @@ class InferenceServer(BatchingServerBase):
         """The served model's identifier (from the underlying engine)."""
         return self.engine.model_id
 
-    def _predict_probs(self, worker: int, texts: list[str]):
+    def _predict_probs(self, worker: int, texts: list[str]) -> _ProbMatrix:
         return self._engines[worker].predict_proba(texts)
 
     def engine_stats(self) -> EngineStats:

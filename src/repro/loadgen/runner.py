@@ -38,6 +38,7 @@ import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
+from repro.analysis.lockcheck import create_lock
 from repro.loadgen.histogram import LatencyHistogram
 from repro.loadgen.schedule import ArrivalSchedule
 
@@ -116,7 +117,7 @@ class _Collector:
     """Thread-safe accumulation of latencies and outcome counters."""
 
     def __init__(self) -> None:
-        self.lock = threading.Lock()
+        self.lock = create_lock("loadgen.collector")
         self.histogram = LatencyHistogram()
         self.completed = 0
         self.failed = 0

@@ -161,7 +161,7 @@ def pretrain(
     rows = [model.encode_ids(text) for text in texts]
     lengths = [len(row) for row in rows]
     queue: list[list[int]] = []
-    for step in range(steps):
+    for _step in range(steps):
         if bucket_window > 1:
             if not queue:
                 block = rng.integers(0, n, size=batch_size * bucket_window)

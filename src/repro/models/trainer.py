@@ -36,6 +36,8 @@ from repro.text.vocab import Vocabulary
 
 __all__ = ["TrainResult", "Trainer"]
 
+_N_CLASSES = len(DIMENSIONS)
+
 _PRETRAINED_CACHE: dict[tuple, dict[str, np.ndarray]] = {}
 
 
@@ -179,7 +181,7 @@ class Trainer:
         config: ModelConfig,
         vocab: Vocabulary,
         *,
-        n_classes: int = len(DIMENSIONS),
+        n_classes: int = _N_CLASSES,
         use_pretraining_cache: bool = True,
         bucket_window: int = 8,
     ) -> None:

@@ -47,6 +47,7 @@ import urllib.error
 import urllib.request
 from collections.abc import Sequence
 
+from repro.analysis.lockcheck import create_lock
 from repro.serving.metrics import parse_metrics
 
 __all__ = [
@@ -164,7 +165,7 @@ class ServingClient:
         self.retry_credit = retry_credit
         self._rng = random.Random(retry_seed)
         # Breaker + budget state; one lock since both are touched per call.
-        self._lock = threading.Lock()
+        self._lock = create_lock("client.breaker")
         self._breaker_state = "closed"
         self._consecutive_failures = 0
         self._opened_at = 0.0
@@ -343,7 +344,7 @@ class ServingClient:
                 if time.monotonic() >= deadline:
                     raise GatewayUnavailable(
                         503, "not_ready", f"gateway not ready in time: {error}"
-                    )
+                    ) from error
             time.sleep(0.05)
 
     # ------------------------------------------------------------------

@@ -39,6 +39,7 @@ import time
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from repro.analysis.lockcheck import create_lock
 from repro.engine.procserver import RemoteWorkerError
 from repro.engine.registry import REGISTRY
 from repro.engine.server import BatchingServerBase, ServerClosed, ServerOverloaded
@@ -409,21 +410,23 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
 
         try:
             arrays, _config = load_checkpoint(checkpoint)
-        except FileNotFoundError:
-            raise ProtocolError(400, "bad_request", f"no checkpoint at {checkpoint!r}")
+        except FileNotFoundError as error:
+            raise ProtocolError(
+                400, "bad_request", f"no checkpoint at {checkpoint!r}"
+            ) from error
         except Exception as error:
             raise ProtocolError(
                 400, "bad_checkpoint", f"could not load checkpoint: {error}"
-            )
+            ) from error
         old_arrays = server.current_weights()
         try:
             version = server.reload_weights(arrays)
         except (ValueError, KeyError) as error:
             raise ProtocolError(
                 400, "bad_checkpoint", f"weights do not match published layout: {error}"
-            )
+            ) from error
         except RuntimeError as error:
-            raise ProtocolError(409, "reload_unsupported", str(error))
+            raise ProtocolError(409, "reload_unsupported", str(error)) from error
         if self._reload_self_check(server):
             self._send_json(
                 200,
@@ -473,7 +476,9 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
         try:
             plan = FaultPlan.from_dict(payload)
         except (KeyError, TypeError, ValueError) as error:
-            raise ProtocolError(400, "bad_plan", f"invalid fault plan: {error}")
+            raise ProtocolError(
+                400, "bad_plan", f"invalid fault plan: {error}"
+            ) from error
         self.gateway.arm_chaos(FaultInjector(plan))
         self._send_json(
             200,
@@ -495,8 +500,10 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
             raise ProtocolError(411, "length_required", "Content-Length required")
         try:
             length = int(length_header)
-        except ValueError:
-            raise ProtocolError(400, "bad_request", "malformed Content-Length")
+        except ValueError as error:
+            raise ProtocolError(
+                400, "bad_request", "malformed Content-Length"
+            ) from error
         if length < 0:
             raise ProtocolError(400, "bad_request", "malformed Content-Length")
         if length > MAX_BODY_BYTES:
@@ -621,8 +628,8 @@ class ServingGateway:
         self._thread: threading.Thread | None = None
         self._draining = False
         self._owns_server = False
-        self._lock = threading.Lock()
-        self._p50_lock = threading.Lock()
+        self._lock = create_lock("gateway.lifecycle")
+        self._p50_lock = create_lock("gateway.p50")
         self._p50_ms = 0.0
         self._p50_read_at = -math.inf
 
@@ -789,7 +796,10 @@ class ServingGateway:
             thread.join()
         if owns:
             self.server.stop()
-            self._owns_server = False
+            # _owns_server is lifecycle state shared with start(); clear
+            # it under the same lock it is set under.
+            with self._lock:
+                self._owns_server = False
 
     def __enter__(self) -> "ServingGateway":
         return self.start()

@@ -11,9 +11,9 @@ harness to read counters back without a Prometheus dependency.
 
 from __future__ import annotations
 
-import threading
 from collections.abc import Iterable
 
+from repro.analysis.lockcheck import create_lock
 from repro.engine.engine import EngineStats
 from repro.engine.server import StatsSnapshot
 
@@ -24,7 +24,7 @@ class HttpCounters:
     """Thread-safe per-endpoint/status HTTP request counters."""
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = create_lock("gateway.http_counters")
         self._counts: dict[tuple[str, int], int] = {}
 
     def record(self, endpoint: str, status: int) -> None:

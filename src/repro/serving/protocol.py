@@ -64,12 +64,12 @@ class ProtocolError(Exception):
         self.message = message
 
 
-def error_body(code: str, message: str) -> dict:
+def error_body(code: str, message: str) -> dict[str, dict[str, str]]:
     """The canonical error payload (also used for engine-level errors)."""
     return {"error": {"code": code, "message": message}}
 
 
-def _parse_json_object(raw: bytes) -> dict:
+def _parse_json_object(raw: bytes) -> dict[str, object]:
     if len(raw) > MAX_BODY_BYTES:
         raise ProtocolError(
             413,
@@ -79,19 +79,21 @@ def _parse_json_object(raw: bytes) -> dict:
     try:
         payload = json.loads(raw.decode("utf-8"))
     except (UnicodeDecodeError, ValueError) as error:
-        raise ProtocolError(400, "bad_json", f"body is not valid JSON: {error}")
-    except RecursionError:
+        raise ProtocolError(
+            400, "bad_json", f"body is not valid JSON: {error}"
+        ) from error
+    except RecursionError as error:
         # json.loads blows the interpreter stack on pathologically
         # nested input (e.g. b"[" * 100_000) long before the size cap
         # trips.  That is the *request's* fault, not the server's — it
         # must surface as a typed 400, never a 500.
-        raise ProtocolError(400, "bad_json", "body is too deeply nested")
+        raise ProtocolError(400, "bad_json", "body is too deeply nested") from error
     if not isinstance(payload, dict):
         raise ProtocolError(400, "bad_request", "body must be a JSON object")
     return payload
 
 
-def _parse_top_k(payload: dict) -> int | None:
+def _parse_top_k(payload: dict[str, object]) -> int | None:
     top_k = payload.get("top_k")
     if top_k is None:
         return None
@@ -142,7 +144,9 @@ def parse_predict_batch_request(raw: bytes) -> tuple[list[str], int | None]:
     )
 
 
-def format_prediction(result: PredictionResult, *, top_k: int | None = None) -> dict:
+def format_prediction(
+    result: PredictionResult, *, top_k: int | None = None
+) -> dict[str, object]:
     """One served prediction as its JSON-ready response object.
 
     Without ``top_k`` the full probability vector is returned as a
@@ -152,7 +156,10 @@ def format_prediction(result: PredictionResult, *, top_k: int | None = None) -> 
     canonical label order, so responses are deterministic).
     """
     probs: Sequence[float] = result.probabilities
-    body: dict = {"label": result.label.code, "latency_ms": result.latency_ms}
+    body: dict[str, object] = {
+        "label": result.label.code,
+        "latency_ms": result.latency_ms,
+    }
     if top_k is None:
         body["probabilities"] = dict(zip(LABEL_CODES, probs))
     else:

@@ -1,0 +1,16 @@
+"""HX001 must-flag: guarded field written without the lock."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0
+
+    def increment(self):
+        with self._lock:
+            self._count += 1
+
+    def reset(self):
+        self._count = 0  # HX001: guarded elsewhere, unguarded here

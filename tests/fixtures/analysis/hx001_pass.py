@@ -1,0 +1,27 @@
+"""HX001 must-pass: every write under the lock, or in an exempt method."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0
+        self._slot_locks = [threading.Lock() for _ in range(4)]
+        self._slots = [0] * 4
+
+    def increment(self):
+        with self._lock:
+            self._count += 1
+
+    def bump_slot(self, i):
+        with self._slot_locks[i]:
+            self._slots[i] += 1
+
+    def reset(self):
+        with self._lock:
+            self._reset_locked()
+
+    def _reset_locked(self):
+        # Contract: caller holds self._lock (enforced by require_held).
+        self._count = 0

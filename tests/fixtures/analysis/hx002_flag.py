@@ -1,0 +1,21 @@
+"""HX002 must-flag: blocking calls while holding a lock."""
+
+import threading
+import time
+
+
+class Worker:
+    def __init__(self, conn):
+        self._lock = threading.Lock()
+        self._thread = threading.Thread(target=self.run, daemon=True)
+        self.conn = conn
+
+    def slow_stop(self):
+        with self._lock:
+            time.sleep(0.1)  # HX002: sleeping under the lock
+            self._thread.join()  # HX002: joining under the lock
+
+    def round_trip(self, payload):
+        with self._lock:
+            self.conn.send(payload)  # HX002
+            return self.conn.recv()  # HX002

@@ -1,0 +1,33 @@
+"""HX002 must-pass: copy under the lock, block outside it."""
+
+import threading
+import time
+
+
+class Worker:
+    def __init__(self, conn):
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._thread = threading.Thread(target=self.run, daemon=True)
+        self.conn = conn
+        self.parts = ["a", "b"]
+
+    def slow_stop(self):
+        with self._lock:
+            thread = self._thread
+            self._thread = None
+            label = ", ".join(self.parts)  # str.join is not thread join
+        time.sleep(0.1)
+        thread.join()
+        return label
+
+    def wait_for_work(self):
+        with self._cond:
+            # Condition.wait releases the lock while sleeping — allowed.
+            self._cond.wait(timeout=1.0)
+
+    def round_trip(self, payload):
+        with self._lock:
+            conn = self.conn
+        conn.send(payload)
+        return conn.recv()

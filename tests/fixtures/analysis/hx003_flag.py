@@ -1,0 +1,13 @@
+# holistix-lint: seeded-module
+"""HX003 must-flag: wall-clock and global randomness in seeded code."""
+
+import os
+import random
+import time
+
+
+def make_trace(n):
+    started = time.time()  # HX003: wall clock
+    jitter = [random.random() for _ in range(n)]  # HX003: global RNG
+    token = os.urandom(8)  # HX003: OS entropy
+    return started, jitter, token

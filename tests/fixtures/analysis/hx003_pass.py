@@ -1,0 +1,13 @@
+# holistix-lint: seeded-module
+"""HX003 must-pass: injected seed and monotonic durations only."""
+
+import random
+import time
+
+
+def make_trace(n, seed):
+    rng = random.Random(seed)
+    started = time.monotonic()
+    jitter = [rng.random() for _ in range(n)]
+    elapsed = time.perf_counter() - started
+    return elapsed, jitter

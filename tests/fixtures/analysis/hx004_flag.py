@@ -1,0 +1,12 @@
+"""HX004 must-flag: Thread constructed without a daemon decision."""
+
+import threading
+from threading import Thread
+
+
+def start_workers(target):
+    worker = threading.Thread(target=target)  # HX004
+    helper = Thread(target=target, name="helper")  # HX004
+    worker.start()
+    helper.start()
+    return worker, helper

@@ -1,0 +1,12 @@
+"""HX004 must-pass: every Thread states who owns its shutdown."""
+
+import threading
+
+
+def start_workers(target):
+    supervised = threading.Thread(target=target, daemon=True)
+    joined = threading.Thread(target=target, daemon=False)
+    supervised.start()
+    joined.start()
+    joined.join()
+    return supervised

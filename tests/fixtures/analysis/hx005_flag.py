@@ -1,0 +1,36 @@
+"""HX005 must-flag: metric families off the naming conventions."""
+
+
+def render(lines, requests, latency):
+    def family(name, kind, help_text, samples):
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        lines.extend(samples)
+
+    def _sample(name, value, labels=None):
+        return f"{name} {value}"
+
+    family(
+        "requests_total",  # HX005: missing holistix_ prefix
+        "counter",
+        "Requests served.",
+        [_sample("requests_total", requests)],
+    )
+    family(
+        "holistix_http_requests",  # HX005: counter without _total
+        "counter",
+        "HTTP requests.",
+        [_sample("holistix_http_requests", requests)],
+    )
+    family(
+        "holistix_latency_ms_total",  # HX005: gauge ending in _total
+        "gauge",
+        "Latency gauge.",
+        [_sample("holistix_latency_ms_total", latency)],
+    )
+    family(
+        "holistix_queue_depth",
+        "gauge",
+        "Queue depth by worker.",
+        [_sample("holistix_queue_depth", 0, {"Worker-ID": "0"})],  # HX005: label case
+    )

@@ -1,0 +1,28 @@
+"""HX005 must-pass: conventional family/sample/label names."""
+
+
+def render(lines, requests, latency):
+    def family(name, kind, help_text, samples):
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        lines.extend(samples)
+
+    def _sample(name, value, labels=None):
+        return f"{name} {value}"
+
+    family(
+        "holistix_requests_total",
+        "counter",
+        "Requests served.",
+        [_sample("holistix_requests_total", requests, {"endpoint": "/v1/predict"})],
+    )
+    family(
+        "holistix_latency_ms",
+        "summary",
+        "Latency quantiles.",
+        [
+            _sample("holistix_latency_ms", latency, {"quantile": "0.5"}),
+            _sample("holistix_latency_ms_sum", latency),
+            _sample("holistix_latency_ms_count", requests),
+        ],
+    )

@@ -1,0 +1,14 @@
+"""HX006 must-flag: chaos seams called without a None guard."""
+
+
+class Server:
+    def __init__(self):
+        self.chaos = None
+
+    def serve_batch(self, worker, texts):
+        self.chaos.before_batch(worker)  # HX006: no guard
+        return list(texts)
+
+    def aliased(self, worker):
+        chaos = self.chaos
+        chaos.before_batch(worker)  # HX006: alias used unguarded

@@ -1,0 +1,29 @@
+"""HX006 must-pass: every recognised guard shape."""
+
+
+class Server:
+    def __init__(self):
+        self.chaos = None
+
+    def enclosing_if(self, worker):
+        chaos = self.chaos
+        if chaos is not None:
+            chaos.before_batch(worker)
+
+    def early_exit(self, worker):
+        chaos = self.chaos
+        if chaos is None:
+            return
+        chaos.before_batch(worker)
+
+    def conditional_expr(self):
+        injector = self.chaos
+        return None if injector is None else injector.http_response_fault()
+
+    def short_circuit(self, worker):
+        chaos = self.chaos
+        return chaos is not None and chaos.should_fail(worker)
+
+    def direct_guard(self, worker):
+        if self.chaos is not None:
+            self.chaos.before_batch(worker)

@@ -40,7 +40,7 @@ TEXTS = ["alpha text", "beta text", "gamma text"]
 
 
 def instant_send(text: str, intended_at: float) -> None:
-    return None
+    return
 
 
 # ----------------------------------------------------------------------

@@ -335,11 +335,10 @@ class TestWorkerSupervision:
         server = ProcessInferenceServer.from_factory(
             make_broken_engine, workers=1, spawn_timeout_s=30
         )
-        with server:
-            with pytest.raises(
-                RemoteWorkerError, match="this factory always fails"
-            ):
-                server.wait_ready(timeout=120)
+        with server, pytest.raises(
+            RemoteWorkerError, match="this factory always fails"
+        ):
+            server.wait_ready(timeout=120)
 
 
 # ----------------------------------------------------------------------

@@ -391,9 +391,8 @@ class TestStatsSnapshot:
 class TestServerLifecycle:
     def test_double_start_rejected(self):
         server = InferenceServer(make_engine())
-        with server:
-            with pytest.raises(RuntimeError, match="already running"):
-                server.start()
+        with server, pytest.raises(RuntimeError, match="already running"):
+            server.start()
 
     def test_stop_idempotent_and_reentrant(self):
         server = InferenceServer(make_engine())

@@ -114,9 +114,11 @@ class TestHotReloadProtocol:
                 attached.close()
 
     def test_update_rejects_name_mismatch(self):
-        with SharedCheckpoint.publish(sample_arrays()) as owner:
-            with pytest.raises(ValueError, match="array-name mismatch"):
-                owner.update({"coef_": np.zeros((3, 4))})
+        with (
+            SharedCheckpoint.publish(sample_arrays()) as owner,
+            pytest.raises(ValueError, match="array-name mismatch"),
+        ):
+            owner.update({"coef_": np.zeros((3, 4))})
 
     def test_update_rejects_layout_mismatch(self):
         arrays = sample_arrays()
