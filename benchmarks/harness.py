@@ -122,6 +122,10 @@ SCENARIO_TOLERANCE = {
     # Availability is gated absolutely (>= 0.99) inside the scenario;
     # the record comparison just needs to flag drift, not absorb noise.
     "serving_chaos": 0.02,
+    # The fleet control plane may cost at most 5% of single-model
+    # throughput; the ratio is measured within one run so the gate
+    # holds across hardware.
+    "serving_fleet": 0.05,
 }
 
 
@@ -1459,6 +1463,158 @@ def scenario_serving_chaos(quick: bool) -> dict:
     }
 
 
+class _SummedServerStats:
+    """Duck-types the slice of a server ``_closed_loop_measure`` reads.
+
+    The fleet leg spreads traffic across two primary servers; throughput
+    must come from the sum of their stats deltas, so this shim presents
+    them as one ``server.stats.snapshot()`` surface.
+    """
+
+    class _Stats:
+        def __init__(self, servers) -> None:
+            self._servers = servers
+
+        def snapshot(self):
+            import types
+
+            snaps = [server.stats.snapshot() for server in self._servers]
+            requests = sum(s.requests for s in snaps)
+            batches = sum(s.batches for s in snaps)
+            return types.SimpleNamespace(
+                requests=requests,
+                batches=batches,
+                mean_batch_size=requests / batches if batches else 0.0,
+            )
+
+    def __init__(self, servers) -> None:
+        self.stats = self._Stats(servers)
+
+
+def scenario_serving_fleet(quick: bool) -> dict:
+    """Fleet control-plane overhead versus single-model serving.
+
+    The same closed-loop HTTP workload is driven against two gateways:
+    one bare ``InferenceServer`` (the pre-fleet shape, compat-wrapped as
+    a one-entry fleet), and a three-entry fleet — champion/challenger at
+    a 90/10 A/B split plus a shadow entry that re-scores every answered
+    request.  All entries sit on identically configured 2-worker servers
+    over :class:`FixedServiceBackend`.
+
+    The primary metric is ``fleet_vs_single_throughput``: fleet HTTP
+    requests/sec over single-model requests/sec, within one run.  The
+    committed record plus the tight ``SCENARIO_TOLERANCE`` entry gate
+    the fleet tax (routing hash, per-entry bookkeeping, shadow fan-out)
+    at ≤5%; a hard in-run floor catches catastrophic regressions even
+    on a first record.  The A/B split observed by the per-model
+    Prometheus counters and the shadow coverage ratio are recorded
+    alongside as correctness evidence.
+    """
+    from repro.engine.engine import PredictionEngine
+    from repro.engine.server import InferenceServer
+    from repro.serving.client import ServingClient
+    from repro.serving.fleet import ModelEntry, ModelFleet
+    from repro.serving.gateway import ServingGateway
+
+    n_clients = 12 if quick else 24
+    warmup_s = 0.15 if quick else 0.5
+    measure_s = 0.6 if quick else 3.0
+
+    def make_server(name: str, overload: str = "block") -> InferenceServer:
+        return InferenceServer(
+            PredictionEngine(
+                FixedServiceBackend(), model_id=f"bench-{name}", cache_size=0
+            ),
+            workers=2,
+            max_batch_size=8,
+            max_wait_ms=0.5,
+            max_queue=256,
+            overload=overload,
+        )
+
+    single_server = make_server("single")
+    with ServingGateway(single_server) as gateway:
+        serving_client = ServingClient(gateway.url, deadline_s=30)
+        single = _closed_loop_measure(
+            single_server,
+            serving_client.predict,
+            n_clients=n_clients,
+            warmup_s=warmup_s,
+            measure_s=measure_s,
+        )
+
+    champion = make_server("champion")
+    challenger = make_server("challenger")
+    # The shadow sheds rather than blocks: mirrored traffic must never
+    # apply backpressure to the primary path.
+    mirror = make_server("mirror", overload="shed")
+    fleet_obj = ModelFleet(
+        [
+            ModelEntry("champion", champion, weight=0.9),
+            ModelEntry("challenger", challenger, weight=0.1),
+            ModelEntry("mirror", mirror, shadow=True),
+        ]
+    )
+    with ServingGateway(fleet_obj) as gateway:
+        serving_client = ServingClient(gateway.url, deadline_s=30)
+        fleet = _closed_loop_measure(
+            _SummedServerStats([champion, challenger]),
+            serving_client.predict,
+            n_clients=n_clients,
+            warmup_s=warmup_s,
+            measure_s=measure_s,
+        )
+        scraped = serving_client.metrics()
+
+        def model_requests(name: str) -> float:
+            return scraped.get(
+                ("holistix_requests_total", frozenset({("model", name)})), 0.0
+            )
+
+        champ_total = model_requests("champion")
+        chall_total = model_requests("challenger")
+        mirror_total = model_requests("mirror")
+        shadow_counts = fleet_obj.shadow_counts()
+
+    primary_total = champ_total + chall_total
+    ratio = fleet["throughput"] / single["throughput"]
+    # Catastrophic-regression floor; the committed record enforces the
+    # fine-grained ≤5% gate via SCENARIO_TOLERANCE.
+    assert ratio >= 0.80, (
+        f"fleet serving collapsed vs single-model: {ratio:.3f}x "
+        f"({fleet['throughput']:.0f} vs {single['throughput']:.0f} req/s)"
+    )
+    assert primary_total > 0, "fleet leg served no primary traffic"
+    challenger_share = chall_total / primary_total
+    assert 0.02 <= challenger_share <= 0.25, (
+        f"A/B split drifted from 90/10: challenger share "
+        f"{challenger_share:.1%} over {primary_total:.0f} requests"
+    )
+
+    return {
+        "n_clients": n_clients,
+        "timings": {
+            "measure_window_s": measure_s,
+            "single_p50_ms": single["p50_ms"],
+            "single_p95_ms": single["p95_ms"],
+            "fleet_p50_ms": fleet["p50_ms"],
+            "fleet_p95_ms": fleet["p95_ms"],
+            "fleet_p99_ms": fleet["p99_ms"],
+        },
+        "metrics": {
+            "fleet_vs_single_throughput": ratio,
+            "single_req_per_sec": single["throughput"],
+            "fleet_req_per_sec": fleet["throughput"],
+            "challenger_traffic_share": challenger_share,
+            "shadow_coverage": (
+                mirror_total / primary_total if primary_total else 0.0
+            ),
+            "shadow_submitted": float(shadow_counts["submitted"]),
+            "shadow_failed": float(shadow_counts["failed"]),
+        },
+    }
+
+
 # name -> (runner, primary metric key, higher is better).  Primary
 # metrics are mostly ratios measured within one run, so the regression
 # check stays meaningful when the committed record and CI run on
@@ -1477,6 +1633,7 @@ SCENARIOS: dict[str, tuple] = {
     "serving_mp": (scenario_serving_mp, "process_worker_scaling", True),
     "serving_tail": (scenario_serving_tail, "open_loop_p99_ms", False),
     "serving_chaos": (scenario_serving_chaos, "chaos_availability", True),
+    "serving_fleet": (scenario_serving_fleet, "fleet_vs_single_throughput", True),
 }
 
 

@@ -120,10 +120,11 @@ def main(baseline: str = "LR") -> None:
         health = client.healthz()
         print(f"  {gateway.url}/healthz -> {health}")
         response = client.predict(texts[0], top_k=2)
-        print(f"  POST /v1/predict top_k=2 -> {response['top_k']}")
+        print(f"  POST /v1/predict top_k=2 -> {response.top_k}")
+        print(f"  served_by -> {response.served_by}")
         batch = client.predict_batch(texts[:12])
-        print(f"  POST /v1/predict_batch -> {len(batch['predictions'])} results")
-        loaded = [m["name"] for m in client.models()["models"] if m["loaded"]]
+        print(f"  POST /v1/predict_batch -> {len(batch.predictions)} results")
+        loaded = [m["name"] for m in client.models()["registry"] if m["loaded"]]
         print(f"  GET /v1/models -> loaded={loaded}")
         scraped = client.metrics()
         served = scraped[("holistix_server_requests_total", frozenset())]

@@ -158,8 +158,8 @@ def phase_happy_path(checkpoint: Path, log_dir: Path) -> None:
                 for n in range(per_thread):
                     response = client.predict(f"client {i} message {n}")
                     check(
-                        response["label"] in LABEL_CODES,
-                        f"bad label: {response}",
+                        response.label in LABEL_CODES,
+                        f"bad label: {response.raw}",
                     )
             except Exception as error:  # noqa: BLE001 - surfaced below
                 errors.append(error)
@@ -178,8 +178,8 @@ def phase_happy_path(checkpoint: Path, log_dir: Path) -> None:
             [f"batch item {j}" for j in range(batch_size)], top_k=2
         )
         check(
-            len(batch["predictions"]) == batch_size,
-            f"batch size mismatch: {batch}",
+            len(batch.predictions) == batch_size,
+            f"batch size mismatch: {batch.raw}",
         )
 
         n_single = n_threads * per_thread
@@ -396,7 +396,7 @@ def phase_multiprocess(checkpoint: Path, log_dir: Path) -> None:
     try:
         client = ServingClient(threaded.wait_ready_url(), deadline_s=30)
         client.wait_ready(deadline_s=30)
-        thread_probs = [client.predict(t)["probabilities"] for t in texts]
+        thread_probs = [client.predict(t).probabilities for t in texts]
         code = threaded.terminate_gracefully()
         check(code == 0, f"threaded reference exited {code}, expected 0")
     except BaseException:
@@ -437,7 +437,7 @@ def phase_multiprocess(checkpoint: Path, log_dir: Path) -> None:
         pids = [p["pid"] for p in processes]
         print(f"[e2e] multi-process server ready at {url}, worker pids {pids}")
 
-        mp_probs = [client.predict(t)["probabilities"] for t in texts]
+        mp_probs = [client.predict(t).probabilities for t in texts]
         check(
             mp_probs == thread_probs,
             "process-served probabilities differ from the threaded server",
@@ -445,7 +445,7 @@ def phase_multiprocess(checkpoint: Path, log_dir: Path) -> None:
         print(f"[e2e] {len(texts)} predictions byte-identical to threaded serving")
 
         batch = client.predict_batch(texts[:4])
-        check(len(batch["predictions"]) == 4, f"batch mismatch: {batch}")
+        check(len(batch.predictions) == 4, f"batch mismatch: {batch.raw}")
         metrics_text = client.metrics_text()
         check(
             "holistix_worker_process_alive" in metrics_text
@@ -554,7 +554,7 @@ def phase_chaos_admin(checkpoint: Path, log_dir: Path) -> None:
         check(status == 403, f"missing admin token got {status}: {body}")
 
         probe_text = "admin reload probe about sleep and worry"
-        before = client.predict(probe_text)["probabilities"]
+        before = client.predict(probe_text).probabilities
         status, body = admin_post(
             url, "/v1/admin/reload", token, {"checkpoint": str(checkpoint)}
         )
@@ -566,7 +566,7 @@ def phase_chaos_admin(checkpoint: Path, log_dir: Path) -> None:
             body.get("weights_version", 0) >= 2,
             f"reload did not bump weights_version: {body}",
         )
-        after = client.predict(probe_text)["probabilities"]
+        after = client.predict(probe_text).probabilities
         check(
             after == before,
             "reloading the identical checkpoint changed predictions",
@@ -605,7 +605,7 @@ def phase_chaos_admin(checkpoint: Path, log_dir: Path) -> None:
         # The replacement must actually serve.
         response = client.predict("post-crash probe")
         check(
-            response["label"] in LABEL_CODES, f"bad post-crash label: {response}"
+            response.label in LABEL_CODES, f"bad post-crash label: {response.raw}"
         )
         # A freshly respawned worker reports ``pid: None`` until its
         # ready handshake is consumed; wait for concrete pids so the
@@ -652,6 +652,172 @@ def phase_chaos_admin(checkpoint: Path, log_dir: Path) -> None:
         raise
 
 
+def phase_fleet(checkpoint: Path, log_dir: Path) -> None:
+    """Two resident models behind one gateway, 90/10 A/B plus a shadow.
+
+    Boots the repeatable ``--model`` form over worker processes, then
+    verifies the control-plane contract end to end: the A/B split shows
+    up in the per-model Prometheus counters, the shadow entry scores
+    every answered request without ever answering one, a per-model
+    reload hot-swaps only the selected entry's weights, and a reload
+    pointed at a missing checkpoint leaves the fleet serving untouched.
+    """
+    token = "e2e-fleet-secret"
+    segments_before = shm_segments()
+    server = ServeProcess(
+        "fleet",
+        [
+            "--model",
+            f"champion={checkpoint}:weight=0.9",
+            "--model",
+            f"challenger={checkpoint}:weight=0.1",
+            "--model",
+            f"mirror={checkpoint}:shadow",
+            "--port",
+            "0",
+            "--worker-processes",
+            "1",
+            "--max-queue",
+            "256",
+            "--overload",
+            "block",
+            "--admin-token",
+            token,
+        ],
+        log_dir,
+    )
+    try:
+        url = server.wait_ready_url(timeout_s=180)
+        client = ServingClient(url, deadline_s=30)
+        health = client.wait_ready(deadline_s=120)
+        names = {m["name"] for m in health["models"]}
+        check(
+            names == {"champion", "challenger", "mirror"},
+            f"healthz fleet roster wrong: {health}",
+        )
+        print(f"[e2e] fleet ready at {url}: {sorted(names)}")
+
+        n = 200
+        served_by_counts: dict[str, int] = {}
+        for i in range(n):
+            result = client.predict(f"fleet traffic {i}", request_id=f"e2e-{i}")
+            name = result.served_by.model
+            served_by_counts[name] = served_by_counts.get(name, 0) + 1
+        check(
+            "mirror" not in served_by_counts,
+            f"shadow answered live traffic: {served_by_counts}",
+        )
+        explicit = client.predict("explicit route", model="challenger")
+        check(
+            explicit.served_by.model == "challenger",
+            f"explicit routing failed: {explicit.raw}",
+        )
+
+        def model_requests(name: str) -> float:
+            return client.metrics().get(
+                ("holistix_requests_total", frozenset({("model", name)})), 0.0
+            )
+
+        champ, chall = model_requests("champion"), model_requests("challenger")
+        check(
+            champ + chall == n + 1,
+            f"per-model counters do not cover the traffic: {champ} + {chall}",
+        )
+        share = (chall - 1) / n  # discount the explicit request
+        check(
+            0.02 <= share <= 0.25,
+            f"challenger share {share:.2%} outside the 10% band",
+        )
+        check(
+            served_by_counts.get("challenger", 0) == chall - 1,
+            "served_by envelopes disagree with the Prometheus counters",
+        )
+        print(
+            f"[e2e] A/B split over {n} requests: champion {champ:.0f}, "
+            f"challenger {chall:.0f} ({share:.1%} measured share)"
+        )
+
+        # Shadow mirroring is fire-and-forget; wait for it to catch up.
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline and model_requests("mirror") < n + 1:
+            time.sleep(0.2)
+        mirrored = model_requests("mirror")
+        check(
+            mirrored >= n + 1,
+            f"shadow scored {mirrored:.0f} of {n + 1} answered requests",
+        )
+        print(f"[e2e] shadow scored {mirrored:.0f} mirrored requests, answered 0")
+
+        models_doc = client.models()
+        versions = {
+            m["name"]: m["weights_version"] for m in models_doc["models"]
+        }
+        status, body = admin_post(
+            url,
+            "/v1/admin/reload",
+            token,
+            {"model": "challenger", "checkpoint": str(checkpoint)},
+        )
+        check(
+            status == 200 and body.get("model") == "challenger",
+            f"per-model reload failed: {status} {body}",
+        )
+        check(
+            body["weights_version"] > versions["challenger"],
+            f"reload did not bump challenger weights: {body} vs {versions}",
+        )
+        after = {
+            m["name"]: m["weights_version"]
+            for m in client.models()["models"]
+        }
+        check(
+            after["champion"] == versions["champion"]
+            and after["mirror"] == versions["mirror"],
+            f"reload touched unselected entries: {versions} -> {after}",
+        )
+        print(
+            f"[e2e] per-model reload: challenger weights_version "
+            f"{versions['challenger']} -> {after['challenger']}, others pinned"
+        )
+
+        status, body = admin_post(
+            url,
+            "/v1/admin/reload",
+            token,
+            {"model": "champion", "checkpoint": str(checkpoint / "missing")},
+        )
+        check(
+            status == 400 and body["error"]["model"] == "champion",
+            f"bad-checkpoint reload not rejected cleanly: {status} {body}",
+        )
+        unchanged = {
+            m["name"]: m["weights_version"]
+            for m in client.models()["models"]
+        }
+        check(
+            unchanged == after,
+            f"failed reload moved weights: {after} -> {unchanged}",
+        )
+        probe = client.predict("post-failed-reload probe")
+        check(
+            probe.label in LABEL_CODES,
+            f"fleet stopped serving after rejected reload: {probe.raw}",
+        )
+        print("[e2e] rejected reload left every entry serving on old weights")
+
+        code = server.terminate_gracefully()
+        check(code == 0, f"graceful drain exited {code}, expected 0")
+        segments_after = shm_segments()
+        if segments_after is not None and segments_before is not None:
+            leaked = set(segments_after) - set(segments_before)
+            check(not leaked, f"leaked shm segments: {sorted(leaked)}")
+        print("[e2e] fleet drained: exit 0, shm clean")
+    except BaseException:
+        server.dump_log()
+        server.kill()
+        raise
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -679,6 +845,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.mode in ("processes", "both"):
         phase_multiprocess(checkpoint, args.log_dir)
         phase_chaos_admin(checkpoint, args.log_dir)
+        phase_fleet(checkpoint, args.log_dir)
     print(f"[e2e] OK in {time.perf_counter() - started:.1f}s")
     return 0
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
-from collections.abc import Callable
+from collections.abc import Callable, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.models.classifier import TransformerClassifier
@@ -33,6 +33,7 @@ __all__ = [
     "traditional_baselines",
     "transformer_baselines",
     "build_engine",
+    "registry_listing",
     "create_traditional_model",
     "create_transformer",
     "transformer_class",
@@ -121,6 +122,26 @@ def get_spec(name: str) -> BaselineSpec:
 def available_baselines() -> tuple[str, ...]:
     """Every registered baseline name, registration order."""
     return tuple(REGISTRY)
+
+
+def registry_listing(loaded: "Sequence[str] | None" = None) -> list[dict]:
+    """The registry as ``/v1/models`` JSON: one dict per baseline.
+
+    ``loaded`` names the baselines currently resident in the serving
+    fleet, so the listing can mark which Table IV rows are live.  The
+    serving layer owns no registry knowledge of its own — this is the
+    single shaping point for the wire form.
+    """
+    resident = set(loaded or ())
+    return [
+        {
+            "name": spec.name,
+            "kind": spec.kind,
+            "description": spec.description,
+            "loaded": spec.name in resident,
+        }
+        for spec in REGISTRY.values()
+    ]
 
 
 def traditional_baselines() -> tuple[str, ...]:

@@ -425,6 +425,17 @@ class BatchingServerBase:
         """Aggregate :class:`EngineStats` across every worker."""
         raise NotImplementedError
 
+    @property
+    def weights_version(self) -> int:
+        """Version token of the served weights (0 = never reloaded).
+
+        The uniform accessor the serving fleet reads for its
+        ``served_by`` envelope: the shared-memory process server bumps
+        it on every hot reload, subclasses over a live engine report
+        the engine's token, and static pools stay at 0.
+        """
+        return 0
+
     def _before_start(self) -> None:
         pass
 
@@ -774,6 +785,11 @@ class InferenceServer(BatchingServerBase):
     def model_id(self) -> str:
         """The served model's identifier (from the underlying engine)."""
         return self.engine.model_id
+
+    @property
+    def weights_version(self) -> int:
+        """The engine's weights token (in-place model mutation counter)."""
+        return int(getattr(self.engine, "weights_version", 0))
 
     def _predict_probs(self, worker: int, texts: list[str]) -> _ProbMatrix:
         return self._engines[worker].predict_proba(texts)

@@ -4,14 +4,20 @@ The stack, bottom-up:
 
 * :mod:`repro.engine.server` — in-process replicated
   :class:`InferenceServer` (workers, admission queue, backpressure).
+* :mod:`repro.serving.fleet` — :class:`ModelFleet`, N named model
+  entries with A/B routing, shadow mirroring, and per-entry stats.
 * :mod:`repro.serving.protocol` — the JSON wire contract (request
-  validation, response shaping, typed error payloads).
+  validation, response shaping, typed error payloads, the ``served_by``
+  envelope).
 * :mod:`repro.serving.gateway` — :class:`ServingGateway`, a stdlib
-  ``ThreadingHTTPServer`` speaking that contract, with Prometheus
-  ``/metrics`` (:mod:`repro.serving.metrics`) and graceful drain.
+  ``ThreadingHTTPServer`` speaking that contract over a fleet, with
+  Prometheus ``/metrics`` (:mod:`repro.serving.metrics`) and graceful
+  drain.
 * :mod:`repro.serving.client` — :class:`ServingClient`, a stdlib
-  ``urllib`` client with retry-on-429 + deadline semantics.
-* :mod:`repro.serving.cli` — the ``holistix-serve`` console script.
+  ``urllib`` client with retry-on-429 + deadline semantics, returning
+  typed :class:`PredictResult` objects.
+* :mod:`repro.serving.cli` — the ``holistix-serve`` console script
+  (single ``--checkpoint`` or repeatable ``--model`` fleet flags).
 
 See ``docs/SERVING.md`` for the wire protocol reference and deployment
 notes.
@@ -20,9 +26,13 @@ notes.
 from repro.serving.client import (
     GatewayOverloaded,
     GatewayUnavailable,
+    PredictBatchResult,
+    PredictResult,
+    ServedBy,
     ServingClient,
     ServingError,
 )
+from repro.serving.fleet import ModelEntry, ModelFleet, UnknownModelError
 from repro.serving.gateway import ServingGateway
 from repro.serving.metrics import parse_metrics, render_metrics
 from repro.serving.protocol import (
@@ -36,10 +46,16 @@ __all__ = [
     "GatewayUnavailable",
     "MAX_BATCH_TEXTS",
     "MAX_BODY_BYTES",
+    "ModelEntry",
+    "ModelFleet",
+    "PredictBatchResult",
+    "PredictResult",
     "ProtocolError",
+    "ServedBy",
     "ServingClient",
     "ServingError",
     "ServingGateway",
+    "UnknownModelError",
     "parse_metrics",
     "render_metrics",
 ]

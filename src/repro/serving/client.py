@@ -28,11 +28,14 @@ with production retry semantics:
   (the remaining budget at send time) so the gateway can stop working
   on requests the client has already abandoned.
 
-Typed failures: :class:`GatewayOverloaded` (deadline exhausted while the
-server kept shedding), :class:`GatewayUnavailable` (503 — draining or
-stopped), :class:`CircuitOpen` (failed fast client-side), and
-:class:`ServingError` (any other non-2xx, with the decoded error
-payload attached).
+Predict calls return a typed :class:`PredictResult` (label, probs,
+``served_by`` fleet envelope) instead of a raw dict; dict-style access
+still works as a deprecated shim during migration.  Typed failures:
+:class:`GatewayOverloaded` (deadline exhausted while the server kept
+shedding), :class:`GatewayUnavailable` (503 — draining or stopped),
+:class:`CircuitOpen` (failed fast client-side), and
+:class:`ServingError` (any other non-2xx) — all carrying the structured
+error body (``code``, ``message``, ``retriable``, optional ``model``).
 """
 
 from __future__ import annotations
@@ -45,28 +48,58 @@ import threading
 import time
 import urllib.error
 import urllib.request
+import warnings
 from collections.abc import Sequence
+from dataclasses import dataclass
 
 from repro.analysis.lockcheck import create_lock
 from repro.serving.metrics import parse_metrics
+from repro.serving.protocol import RETRIABLE_CODES, error_body
 
 __all__ = [
     "CircuitOpen",
     "GatewayOverloaded",
     "GatewayUnavailable",
+    "PredictBatchResult",
+    "PredictResult",
+    "ServedBy",
     "ServingClient",
     "ServingError",
 ]
 
 
 class ServingError(RuntimeError):
-    """A non-2xx gateway response (the decoded error payload attached)."""
+    """A non-2xx gateway response, carrying the structured error body.
 
-    def __init__(self, status: int, code: str, message: str) -> None:
+    ``retriable`` mirrors the wire payload's field (defaulting from
+    :data:`~repro.serving.protocol.RETRIABLE_CODES` when the response
+    predates it), ``model`` names the fleet entry the error concerns
+    when the gateway resolved one, and :attr:`body` is the canonical
+    ``{"error": {...}}`` payload shape.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        *,
+        model: str | None = None,
+        retriable: bool | None = None,
+    ) -> None:
         super().__init__(f"HTTP {status} [{code}]: {message}")
         self.status = status
         self.code = code
         self.message = message
+        self.model = model
+        self.retriable = (code in RETRIABLE_CODES) if retriable is None else retriable
+
+    @property
+    def body(self) -> dict:
+        """The structured error payload this exception carries."""
+        return error_body(
+            self.code, self.message, model=self.model, retriable=self.retriable
+        )
 
 
 class GatewayOverloaded(ServingError):
@@ -82,22 +115,202 @@ class CircuitOpen(ServingError):
     was sent.  Clears after the cooldown via a half-open probe."""
 
     def __init__(self, message: str) -> None:
-        super().__init__(503, "circuit_open", message)
+        super().__init__(503, "circuit_open", message, retriable=True)
 
 
 def _error_from_response(status: int, body: bytes) -> ServingError:
     code, message = "unknown", body.decode("utf-8", "replace")[:200]
+    model: str | None = None
+    retriable: bool | None = None
     try:
         payload = json.loads(body.decode("utf-8"))
-        code = payload["error"]["code"]
-        message = payload["error"]["message"]
+        error = payload["error"]
+        code = error["code"]
+        message = error["message"]
+        maybe_model = error.get("model")
+        if isinstance(maybe_model, str):
+            model = maybe_model
+        maybe_retriable = error.get("retriable")
+        if isinstance(maybe_retriable, bool):
+            retriable = maybe_retriable
     except (ValueError, KeyError, TypeError, UnicodeDecodeError):
         pass
     if status == 429:
-        return GatewayOverloaded(status, code, message)
+        return GatewayOverloaded(status, code, message, model=model, retriable=retriable)
     if status == 503:
-        return GatewayUnavailable(status, code, message)
-    return ServingError(status, code, message)
+        return GatewayUnavailable(
+            status, code, message, model=model, retriable=retriable
+        )
+    return ServingError(status, code, message, model=model, retriable=retriable)
+
+
+def _warn_dict_access(kind: str) -> None:
+    warnings.warn(
+        f"dict-style access to {kind} is deprecated; "
+        "use the typed attributes (.label, .probabilities, .served_by, ...)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+@dataclass(frozen=True)
+class ServedBy:
+    """The response envelope naming which fleet entry answered."""
+
+    model: str
+    weights_version: int
+
+    @classmethod
+    def from_raw(cls, raw: object) -> "ServedBy | None":
+        if not isinstance(raw, dict):
+            return None
+        model = raw.get("model")
+        if not isinstance(model, str):
+            return None
+        try:
+            version = int(raw.get("weights_version", 0))
+        except (TypeError, ValueError):
+            version = 0
+        return cls(model=model, weights_version=version)
+
+
+class PredictResult:
+    """One typed prediction from ``POST /v1/predict``.
+
+    Attributes mirror the wire response: ``label`` (the predicted
+    dimension code), ``probabilities`` (full ``{label: p}`` map, or
+    ``None`` when ``top_k`` was requested), ``top_k`` (ranked
+    ``{"label", "probability"}`` list, or ``None``), ``latency_ms``,
+    ``model_id``, and ``served_by`` (the fleet envelope, ``None`` from
+    pre-fleet gateways).  ``raw`` keeps the decoded JSON object.
+
+    Dict-style access (``result["label"]``) still works but emits a
+    :class:`DeprecationWarning` — it is the migration shim for callers
+    written against the raw-dict client.
+    """
+
+    __slots__ = (
+        "label",
+        "probabilities",
+        "top_k",
+        "latency_ms",
+        "model_id",
+        "served_by",
+        "raw",
+    )
+
+    def __init__(
+        self,
+        *,
+        label: str | None,
+        probabilities: dict[str, float] | None,
+        top_k: list[dict] | None,
+        latency_ms: float | None,
+        model_id: str | None,
+        served_by: ServedBy | None,
+        raw: dict,
+    ) -> None:
+        self.label = label
+        self.probabilities = probabilities
+        self.top_k = top_k
+        self.latency_ms = latency_ms
+        self.model_id = model_id
+        self.served_by = served_by
+        self.raw = raw
+
+    @classmethod
+    def from_raw(cls, raw: dict) -> "PredictResult":
+        """Build from a decoded response object, tolerating old shapes."""
+        latency = raw.get("latency_ms")
+        return cls(
+            label=raw.get("label"),
+            probabilities=raw.get("probabilities"),
+            top_k=raw.get("top_k"),
+            latency_ms=float(latency) if latency is not None else None,
+            model_id=raw.get("model_id"),
+            served_by=ServedBy.from_raw(raw.get("served_by")),
+            raw=raw,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"PredictResult(label={self.label!r}, "
+            f"served_by={self.served_by!r}, model_id={self.model_id!r})"
+        )
+
+    # Deprecated dict shim ---------------------------------------------
+    def __getitem__(self, key: str) -> object:
+        _warn_dict_access("PredictResult")
+        return self.raw[key]
+
+    def __contains__(self, key: object) -> bool:
+        _warn_dict_access("PredictResult")
+        return key in self.raw
+
+    def get(self, key: str, default: object = None) -> object:
+        _warn_dict_access("PredictResult")
+        return self.raw.get(key, default)
+
+
+class PredictBatchResult:
+    """Typed response from ``POST /v1/predict_batch``.
+
+    ``predictions`` is one :class:`PredictResult` per input text (each
+    sharing the batch's ``model_id``/``served_by``); the deprecated
+    dict shim mirrors :class:`PredictResult`'s.
+    """
+
+    __slots__ = ("predictions", "model_id", "served_by", "raw")
+
+    def __init__(
+        self,
+        *,
+        predictions: list[PredictResult],
+        model_id: str | None,
+        served_by: ServedBy | None,
+        raw: dict,
+    ) -> None:
+        self.predictions = predictions
+        self.model_id = model_id
+        self.served_by = served_by
+        self.raw = raw
+
+    @classmethod
+    def from_raw(cls, raw: dict) -> "PredictBatchResult":
+        model_id = raw.get("model_id")
+        served = ServedBy.from_raw(raw.get("served_by"))
+        predictions = []
+        for item in raw.get("predictions", []):
+            if isinstance(item, dict):
+                result = PredictResult.from_raw(item)
+                result.model_id = model_id
+                result.served_by = served
+                predictions.append(result)
+        return cls(
+            predictions=predictions, model_id=model_id, served_by=served, raw=raw
+        )
+
+    def __len__(self) -> int:
+        return len(self.predictions)
+
+    def __repr__(self) -> str:
+        return (
+            f"PredictBatchResult(n={len(self.predictions)}, "
+            f"served_by={self.served_by!r})"
+        )
+
+    # Deprecated dict shim ---------------------------------------------
+    def __getitem__(self, key: str) -> object:
+        _warn_dict_access("PredictBatchResult")
+        return self.raw[key]
+
+    def __contains__(self, key: object) -> bool:
+        _warn_dict_access("PredictBatchResult")
+        return key in self.raw
+
+    def get(self, key: str, default: object = None) -> object:
+        _warn_dict_access("PredictBatchResult")
+        return self.raw.get(key, default)
 
 
 class ServingClient:
@@ -261,12 +474,19 @@ class ServingClient:
         self,
         text: str,
         *,
+        model: str | None = None,
         top_k: int | None = None,
+        request_id: str | None = None,
         deadline_s: float | None = None,
         retry_on_overload: bool = True,
         intended_at: float | None = None,
-    ) -> dict:
-        """``POST /v1/predict`` -> decoded response object.
+    ) -> PredictResult:
+        """``POST /v1/predict`` -> typed :class:`PredictResult`.
+
+        ``model`` routes to a named fleet entry explicitly (404
+        ``model_not_found`` if the fleet does not serve it); without it
+        the gateway's A/B split decides.  ``request_id`` pins the split
+        assignment — the same id always routes to the same entry.
 
         ``retry_on_overload=False`` surfaces the first 429 as
         :class:`GatewayOverloaded` immediately — for callers that
@@ -283,37 +503,51 @@ class ServingClient:
         body: dict = {"text": text}
         if top_k is not None:
             body["top_k"] = top_k
-        return self._call(
-            "POST",
-            "/v1/predict",
-            body,
-            deadline_s,
-            retry_429=retry_on_overload,
-            resilient=True,
-            intended_at=intended_at,
+        if model is not None:
+            body["model"] = model
+        if request_id is not None:
+            body["request_id"] = request_id
+        return PredictResult.from_raw(
+            self._call(
+                "POST",
+                "/v1/predict",
+                body,
+                deadline_s,
+                retry_429=retry_on_overload,
+                resilient=True,
+                intended_at=intended_at,
+            )
         )
 
     def predict_batch(
         self,
         texts: Sequence[str],
         *,
+        model: str | None = None,
         top_k: int | None = None,
+        request_id: str | None = None,
         deadline_s: float | None = None,
         retry_on_overload: bool = True,
         intended_at: float | None = None,
-    ) -> dict:
-        """``POST /v1/predict_batch`` -> decoded response object."""
+    ) -> PredictBatchResult:
+        """``POST /v1/predict_batch`` -> typed :class:`PredictBatchResult`."""
         body: dict = {"texts": list(texts)}
         if top_k is not None:
             body["top_k"] = top_k
-        return self._call(
-            "POST",
-            "/v1/predict_batch",
-            body,
-            deadline_s,
-            retry_429=retry_on_overload,
-            resilient=True,
-            intended_at=intended_at,
+        if model is not None:
+            body["model"] = model
+        if request_id is not None:
+            body["request_id"] = request_id
+        return PredictBatchResult.from_raw(
+            self._call(
+                "POST",
+                "/v1/predict_batch",
+                body,
+                deadline_s,
+                retry_429=retry_on_overload,
+                resilient=True,
+                intended_at=intended_at,
+            )
         )
 
     def healthz(self, *, deadline_s: float | None = None) -> dict:
@@ -321,7 +555,7 @@ class ServingClient:
         return self._call("GET", "/healthz", None, deadline_s, retry_429=False)
 
     def models(self, *, deadline_s: float | None = None) -> dict:
-        """``GET /v1/models`` -> the registry listing."""
+        """``GET /v1/models`` -> the fleet status document."""
         return self._call("GET", "/v1/models", None, deadline_s)
 
     def metrics_text(self, *, deadline_s: float | None = None) -> str:

@@ -1,21 +1,30 @@
-"""Threaded HTTP gateway over a replicated inference server.
+"""Threaded HTTP gateway over a fleet of replicated inference servers.
 
 ``ServingGateway`` binds a stdlib :class:`http.server.ThreadingHTTPServer`
-(no third-party dependencies) in front of a running
-:class:`~repro.engine.server.InferenceServer` (threaded workers) or
-:class:`~repro.engine.procserver.ProcessInferenceServer` (worker
-processes over shared-memory weights) — any
-:class:`~repro.engine.server.BatchingServerBase` — and speaks the JSON
-wire protocol defined in :mod:`repro.serving.protocol`:
+(no third-party dependencies) in front of a
+:class:`~repro.serving.fleet.ModelFleet` — N named
+:class:`~repro.engine.server.BatchingServerBase`-backed worker pools —
+and speaks the JSON wire protocol defined in
+:mod:`repro.serving.protocol`:
 
-* ``POST /v1/predict`` — one text in, label + probabilities out.
-* ``POST /v1/predict_batch`` — up to ``MAX_BATCH_TEXTS`` texts at once.
+* ``POST /v1/predict`` — one text in, label + probabilities out, with a
+  ``served_by`` envelope naming the fleet entry (and weights version)
+  that answered.  An optional ``model`` field routes explicitly; an
+  optional ``request_id`` pins the A/B split assignment.
+* ``POST /v1/predict_batch`` — up to ``MAX_BATCH_TEXTS`` texts at once,
+  all routed to the same entry.
 * ``GET /healthz`` — readiness (workers started, model loaded, not
   draining); load balancers should route on this.
-* ``GET /metrics`` — Prometheus text format from one consistent
-  ``ServerStats.snapshot()`` + aggregated replica ``engine_stats()``.
-* ``GET /v1/models`` — the model registry listing and which entry is
-  currently being served.
+* ``GET /metrics`` — Prometheus text format: per-model counters and
+  latency quantiles from each entry's ``ServerStats.snapshot()`` plus
+  the aggregate families fed by the default entry.
+* ``GET /v1/models`` — the fleet status document: per-model state,
+  pool size, traffic share, weights version, shed/latency counters,
+  plus the baseline registry listing.
+
+A bare :class:`BatchingServerBase` is still accepted and wrapped as a
+one-entry fleet (:meth:`ModelFleet.single`) — the compatibility mapping
+for every pre-fleet caller.
 
 Engine-level backpressure maps onto HTTP retry semantics: a shed-mode
 admission rejection (:class:`ServerOverloaded`) answers ``429`` with a
@@ -36,13 +45,15 @@ import socket
 import struct
 import threading
 import time
+import uuid
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.analysis.lockcheck import create_lock
 from repro.engine.procserver import RemoteWorkerError
-from repro.engine.registry import REGISTRY
+from repro.engine.registry import registry_listing
 from repro.engine.server import BatchingServerBase, ServerClosed, ServerOverloaded
+from repro.serving.fleet import ModelEntry, ModelFleet, UnknownModelError
 from repro.serving.metrics import HttpCounters, render_metrics
 from repro.serving.protocol import (
     MAX_BODY_BYTES,
@@ -52,6 +63,7 @@ from repro.serving.protocol import (
     format_prediction,
     parse_predict_batch_request,
     parse_predict_request,
+    served_by,
 )
 
 __all__ = ["ServingGateway"]
@@ -140,16 +152,26 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
                 "status": "ok",
                 "model_id": gateway.model_id,
                 "workers": gateway.server.workers,
+                "models": [
+                    {"name": e.name, "state": e.status(), "shadow": e.shadow}
+                    for e in gateway.fleet.entries
+                ],
             }
-            processes = gateway.worker_processes(revive=True)
-            if processes is not None:
+            degraded = False
+            for entry in gateway.fleet.entries:
+                processes = gateway.worker_processes(revive=True, entry=entry)
+                if processes is None:
+                    continue
                 # Multi-process backend: report per-worker-process
                 # liveness (dead workers were just respawned above; a
                 # worker that STAYS dead keeps alive=false so load
                 # balancers and operators can see it).
-                body["processes"] = processes
+                if entry is gateway.fleet.default_entry:
+                    body["processes"] = processes
                 if not all(proc["alive"] for proc in processes):
-                    body["status"] = "degraded"
+                    degraded = True
+            if degraded:
+                body["status"] = "degraded"
             self._send_json(200, body, route="/healthz")
         else:
             status = "draining" if gateway.draining else "starting"
@@ -157,6 +179,7 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
 
     def _handle_metrics(self) -> None:
         gateway = self.gateway
+        fleet = gateway.fleet
         body = render_metrics(
             gateway.server.stats.snapshot(),
             gateway.server.engine_stats(),
@@ -165,6 +188,17 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
             model_id=gateway.model_id,
             processes=gateway.worker_processes(),
             chaos=gateway.chaos_summary(),
+            models=[
+                {
+                    "name": entry.name,
+                    "snapshot": entry.server.stats.snapshot(),
+                    "traffic_share": fleet.traffic_share(entry),
+                    "weights_version": entry.weights_version,
+                    "shadow": entry.shadow,
+                }
+                for entry in fleet.entries
+            ],
+            shadow=fleet.shadow_counts(),
         ).encode("utf-8")
         self._send_bytes(
             200,
@@ -175,20 +209,47 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
 
     def _handle_models(self) -> None:
         gateway = self.gateway
+        fleet = gateway.fleet
+        models = []
+        for entry in fleet.entries:
+            snapshot = entry.server.stats.snapshot()
+            processes = gateway.worker_processes(entry=entry)
+            models.append(
+                {
+                    "name": entry.name,
+                    "model_id": entry.model_id,
+                    "baseline": entry.baseline,
+                    "state": entry.status(),
+                    "shadow": entry.shadow,
+                    "weight": entry.weight,
+                    "traffic_share": fleet.traffic_share(entry),
+                    "weights_version": entry.weights_version,
+                    "pool": {
+                        "kind": "threads" if processes is None else "processes",
+                        "workers": entry.server.workers,
+                    },
+                    "requests": snapshot.requests,
+                    "shed": snapshot.shed,
+                    "deadline_shed": snapshot.deadline_shed,
+                    "shed_rate": snapshot.shed_rate,
+                    "latency_ms": {
+                        "p50": snapshot.latency_percentile(50),
+                        "p95": snapshot.latency_percentile(95),
+                        "p99": snapshot.latency_percentile(99),
+                    },
+                }
+            )
         self._send_json(
             200,
             {
+                "default_model": fleet.default,
                 "model_id": gateway.model_id,
                 "baseline": gateway.baseline,
-                "models": [
-                    {
-                        "name": spec.name,
-                        "kind": spec.kind,
-                        "description": spec.description,
-                        "loaded": spec.name == gateway.baseline,
-                    }
-                    for spec in REGISTRY.values()
-                ],
+                "models": models,
+                "shadow_traffic": fleet.shadow_counts(),
+                "registry": registry_listing(
+                    loaded=[e.baseline for e in fleet.entries if e.baseline]
+                ),
             },
             route="/v1/models",
         )
@@ -201,47 +262,69 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
             return
         try:
             raw = self._read_body()
-            if batch:
-                texts, top_k = parse_predict_batch_request(raw)
-            else:
-                text, top_k = parse_predict_request(raw)
+            request = (
+                parse_predict_batch_request(raw)
+                if batch
+                else parse_predict_request(raw)
+            )
         except ProtocolError as error:
-            self._send_error(error.status, error.code, error.message, route=route)
+            self._send_error(
+                error.status, error.code, error.message, route=route,
+                model=error.model,
+            )
             return
+        # Routing: explicit model > seeded A/B split on the request id >
+        # default entry.  Without a client-supplied request id the split
+        # is sampled fresh per request (uuid), which converges on the
+        # configured traffic shares.
+        request_id = request.request_id or uuid.uuid4().hex
+        try:
+            entry = gateway.fleet.route(request.model, request_id)
+        except UnknownModelError as error:
+            self._send_error(
+                404, "model_not_found", str(error), route=route,
+                model=request.model,
+            )
+            return
+        texts = request.texts if batch else [request.text]
         # Deadline propagation: the client's remaining budget caps the
         # engine-side timeout, and a request whose budget cannot cover
-        # the observed p50 service time is shed up front — serving it
-        # would burn a worker slot on an answer nobody is waiting for.
+        # the routed entry's observed p50 service time is shed up front —
+        # serving it would burn a worker slot on an answer nobody is
+        # waiting for.
         timeout_s = gateway.request_timeout_s
         deadline_ms = self._parse_deadline_ms()
         if deadline_ms is not None:
-            p50_ms = gateway.observed_p50_ms()
+            p50_ms = gateway.observed_p50_ms(entry)
             if p50_ms > 0.0 and deadline_ms < p50_ms:
-                n = len(texts) if batch else 1
-                gateway.server.stats.record_deadline_shed(n)
+                entry.server.stats.record_deadline_shed(len(texts))
                 self._send_error(
                     504,
                     "deadline_shed",
                     f"remaining budget {deadline_ms:.0f}ms is below the "
                     f"observed p50 service time {p50_ms:.0f}ms",
                     route=route,
+                    model=entry.name,
                 )
                 return
             timeout_s = min(timeout_s, deadline_ms / 1000.0)
+        envelope = served_by(entry.name, entry.weights_version)
         try:
             if batch:
-                results = gateway.server.predict(texts, timeout=timeout_s)
+                results = entry.server.predict(texts, timeout=timeout_s)
                 body = {
-                    "model_id": gateway.model_id,
+                    "model_id": entry.model_id,
+                    "served_by": envelope,
                     "predictions": [
-                        format_prediction(r, top_k=top_k) for r in results
+                        format_prediction(r, top_k=request.top_k) for r in results
                     ],
                 }
             else:
-                result = gateway.server.submit(text).result(timeout=timeout_s)
+                result = entry.server.submit(texts[0]).result(timeout=timeout_s)
                 body = {
-                    "model_id": gateway.model_id,
-                    **format_prediction(result, top_k=top_k),
+                    "model_id": entry.model_id,
+                    "served_by": envelope,
+                    **format_prediction(result, top_k=request.top_k),
                 }
         except ServerOverloaded:
             self._send_error(
@@ -249,6 +332,7 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
                 "overloaded",
                 "admission queue full; retry after backoff",
                 route=route,
+                model=entry.name,
                 headers={"Retry-After": str(RETRY_AFTER_S)},
             )
             return
@@ -258,6 +342,7 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
                 "unavailable",
                 "server is draining or stopped",
                 route=route,
+                model=entry.name,
             )
             return
         except FutureTimeoutError:
@@ -266,6 +351,7 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
                 "deadline_exceeded",
                 f"request did not complete within {timeout_s}s",
                 route=route,
+                model=entry.name,
             )
             return
         except RemoteWorkerError:
@@ -280,13 +366,22 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
                 "backend_failure",
                 "a worker process failed serving this request; retry",
                 route=route,
+                model=entry.name,
             )
             return
         except Exception:
             log.exception("unhandled error serving %s", route)
-            self._send_error(500, "internal", "internal server error", route=route)
+            self._send_error(
+                500, "internal", "internal server error", route=route,
+                model=entry.name,
+            )
             return
         self._send_json(200, body, route=route)
+        # Shadow mirroring happens after the answer is on the wire: the
+        # mirrored submissions are fire-and-forget and must never add a
+        # microsecond to the primary path.
+        if not entry.shadow:
+            gateway.fleet.shadow_submit(texts)
 
     def _parse_deadline_ms(self) -> float | None:
         """The ``X-Deadline-Ms`` header as a positive float, else None.
@@ -386,25 +481,58 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
         try:
             handler(payload, route)
         except ProtocolError as error:
-            self._send_error(error.status, error.code, error.message, route=route)
+            self._send_error(
+                error.status, error.code, error.message, route=route,
+                model=error.model,
+            )
         except Exception:
             log.exception("admin handler failed for %s", route)
             self._send_error(500, "internal", "internal server error", route=route)
 
-    def _admin_reload(self, payload: dict, route: str) -> None:
-        """Hot-swap weights from a checkpoint, with self-check + rollback."""
+    def _admin_entry(self, payload: dict, *, verb: str) -> ModelEntry:
+        """Resolve the ``model`` selector an admin request targets.
+
+        A one-entry fleet keeps the old selector-less bodies working;
+        with several entries the selector is mandatory — an ambiguous
+        reload must never guess which weights to swap.
+        """
         gateway = self.gateway
+        model = payload.get("model")
+        if model is None:
+            entries = gateway.fleet.entries
+            if len(entries) > 1:
+                raise ProtocolError(
+                    400,
+                    "bad_request",
+                    f'fleet serves {len(entries)} models; field "model" '
+                    f"is required to {verb}",
+                )
+            return gateway.fleet.default_entry
+        if not isinstance(model, str) or not model:
+            raise ProtocolError(400, "bad_request", "model must be a non-empty string")
+        try:
+            return gateway.fleet.entry(model)
+        except UnknownModelError as error:
+            raise ProtocolError(
+                404, "model_not_found", str(error), model=model
+            ) from None
+
+    def _admin_reload(self, payload: dict, route: str) -> None:
+        """Hot-swap one entry's weights from a checkpoint, with rollback."""
+        entry = self._admin_entry(payload, verb="reload")
         checkpoint = payload.get("checkpoint")
         if not isinstance(checkpoint, str) or not checkpoint:
             raise ProtocolError(
-                400, "bad_request", 'missing required field "checkpoint"'
+                400, "bad_request", 'missing required field "checkpoint"',
+                model=entry.name,
             )
-        server = gateway.server
-        if not callable(getattr(server, "reload_weights", None)):
+        server = entry.server
+        if not entry.reloadable:
             raise ProtocolError(
                 409,
                 "reload_unsupported",
                 "this server has no hot-reloadable shared weights",
+                model=entry.name,
             )
         from repro.nn.serialization import load_checkpoint
 
@@ -412,35 +540,45 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
             arrays, _config = load_checkpoint(checkpoint)
         except FileNotFoundError as error:
             raise ProtocolError(
-                400, "bad_request", f"no checkpoint at {checkpoint!r}"
+                400, "bad_request", f"no checkpoint at {checkpoint!r}",
+                model=entry.name,
             ) from error
         except Exception as error:
             raise ProtocolError(
-                400, "bad_checkpoint", f"could not load checkpoint: {error}"
+                400, "bad_checkpoint", f"could not load checkpoint: {error}",
+                model=entry.name,
             ) from error
         old_arrays = server.current_weights()
         try:
             version = server.reload_weights(arrays)
         except (ValueError, KeyError) as error:
             raise ProtocolError(
-                400, "bad_checkpoint", f"weights do not match published layout: {error}"
+                400,
+                "bad_checkpoint",
+                f"weights do not match published layout: {error}",
+                model=entry.name,
             ) from error
         except RuntimeError as error:
-            raise ProtocolError(409, "reload_unsupported", str(error)) from error
+            raise ProtocolError(
+                409, "reload_unsupported", str(error), model=entry.name
+            ) from error
         if self._reload_self_check(server):
             self._send_json(
                 200,
                 {
                     "status": "ok",
+                    "model": entry.name,
                     "weights_version": version,
-                    "model_id": gateway.model_id,
+                    "model_id": entry.model_id,
                 },
                 route=route,
             )
             return
         # The new weights serve garbage: put the old ones back before
         # anyone else is routed a poisoned prediction.
-        log.error("reload self-check failed; rolling back weights")
+        log.error(
+            "reload self-check failed for %s; rolling back weights", entry.name
+        )
         rollback_version = server.reload_weights(old_arrays)
         self._send_json(
             500,
@@ -449,8 +587,10 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
                     "self_check_failed",
                     "new weights failed the self-check prediction; "
                     "previous weights restored",
+                    model=entry.name,
                 ),
                 "rolled_back": True,
+                "model": entry.name,
                 "weights_version": rollback_version,
             },
             route=route,
@@ -470,20 +610,34 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
         return bool(probs) and all(math.isfinite(p) for p in probs)
 
     def _admin_chaos(self, payload: dict, route: str) -> None:
-        """Arm a fault plan (JSON body = ``FaultPlan.to_dict()``)."""
+        """Arm a fault plan on one entry's server.
+
+        The new body shape is ``{"model": ..., "plan": {...}}``; a body
+        without a ``plan`` key is the old form — the whole payload is
+        the :meth:`FaultPlan.to_dict` and the default entry is armed.
+        """
         from repro.chaos import FaultInjector, FaultPlan
 
+        if "plan" in payload:
+            plan_dict = payload["plan"]
+            if not isinstance(plan_dict, dict):
+                raise ProtocolError(400, "bad_plan", "plan must be a JSON object")
+            entry = self._admin_entry(payload, verb="arm chaos on")
+        else:
+            plan_dict = payload
+            entry = self.gateway.fleet.default_entry
         try:
-            plan = FaultPlan.from_dict(payload)
+            plan = FaultPlan.from_dict(plan_dict)
         except (KeyError, TypeError, ValueError) as error:
             raise ProtocolError(
-                400, "bad_plan", f"invalid fault plan: {error}"
+                400, "bad_plan", f"invalid fault plan: {error}", model=entry.name
             ) from error
-        self.gateway.arm_chaos(FaultInjector(plan))
+        self.gateway.arm_chaos(FaultInjector(plan), entry=entry)
         self._send_json(
             200,
             {
                 "status": "armed",
+                "model": entry.name,
                 "events": len(plan),
                 "kinds": list(plan.kinds()),
                 "duration_s": plan.duration_s,
@@ -538,9 +692,13 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
         message: str,
         *,
         route: str,
+        model: str | None = None,
         headers: dict[str, str] | None = None,
     ) -> None:
-        self._send_json(status, error_body(code, message), route=route, headers=headers)
+        self._send_json(
+            status, error_body(code, message, model=model), route=route,
+            headers=headers,
+        )
 
     def _send_bytes(
         self,
@@ -570,21 +728,23 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
 
 
 class ServingGateway:
-    """HTTP front door for one inference server (threaded or process).
+    """HTTP front door for a model fleet (or one bare inference server).
 
     Parameters
     ----------
     server:
-        The inference server to front.  If it is not running when
-        :meth:`start` is called the gateway starts it and owns its
-        lifecycle (stops it on :meth:`stop`).
+        A :class:`ModelFleet`, or a bare inference server that is
+        wrapped as a one-entry fleet.  Entries that are not running when
+        :meth:`start` is called are started by the gateway, which then
+        owns their lifecycle (drains + stops them on :meth:`stop`);
+        already-running entries are caller-managed and left untouched.
     model_id:
-        Identifier reported in responses and metrics; defaults to the
-        first engine replica's ``model_id``.
+        Identifier reported for the default entry; defaults to the
+        server's own ``model_id`` (one-entry form only).
     baseline:
         Registry name of the served model, used by ``/v1/models`` to
-        mark the loaded entry.  Optional — a gateway over a stub engine
-        (tests, benchmarks) has no registry entry.
+        mark the loaded entry (one-entry form only; fleet entries carry
+        their own).
     host / port:
         Bind address.  ``port=0`` binds an ephemeral free port; read
         :attr:`port` after :meth:`start` for the real one.
@@ -599,7 +759,7 @@ class ServingGateway:
 
     def __init__(
         self,
-        server: BatchingServerBase,
+        server: BatchingServerBase | ModelFleet,
         *,
         model_id: str | None = None,
         baseline: str | None = None,
@@ -608,60 +768,77 @@ class ServingGateway:
         request_timeout_s: float = 30.0,
         admin_token: str | None = None,
     ) -> None:
-        self.server = server
-        if model_id is None:
-            # InferenceServer and ProcessInferenceServer both expose
-            # model_id directly; stub servers in tests may only carry
-            # engine replicas.
-            model_id = getattr(server, "model_id", None)
-        if model_id is None:
-            model_id = server.engines[0].model_id
-        self.model_id = model_id
-        self.baseline = baseline
+        if isinstance(server, ModelFleet):
+            self.fleet = server
+        else:
+            self.fleet = ModelFleet.single(
+                server, baseline=baseline, model_id=model_id
+            )
         self.host = host
         self.requested_port = port
         self.request_timeout_s = request_timeout_s
         self.admin_token = admin_token
         self.http_counters = HttpCounters()
         self.chaos = None
+        self._chaos_server: BatchingServerBase | None = None
         self._httpd: _GatewayHTTPServer | None = None
         self._thread: threading.Thread | None = None
         self._draining = False
-        self._owns_server = False
+        self._owned_entries: tuple[ModelEntry, ...] = ()
         self._lock = create_lock("gateway.lifecycle")
         self._p50_lock = create_lock("gateway.p50")
-        self._p50_ms = 0.0
-        self._p50_read_at = -math.inf
+        self._p50_ms: dict[str, float] = {}
+        self._p50_read_at: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Default-entry views (the pre-fleet surface, still load-bearing)
+    # ------------------------------------------------------------------
+    @property
+    def server(self) -> BatchingServerBase:
+        """The default entry's server (the whole fleet, pre-fleet API)."""
+        return self.fleet.default_entry.server
+
+    @property
+    def model_id(self) -> str:
+        return self.fleet.default_entry.model_id
+
+    @property
+    def baseline(self) -> str | None:
+        return self.fleet.default_entry.baseline
 
     # ------------------------------------------------------------------
     # Chaos + deadline admission
     # ------------------------------------------------------------------
-    def arm_chaos(self, injector) -> None:
-        """Arm a fault injector on this gateway (and its server).
+    def arm_chaos(self, injector, *, entry: ModelEntry | None = None) -> None:
+        """Arm a fault injector on this gateway (and one entry's server).
 
         The server side registers real fault handlers (SIGKILL for
         ``worker_crash`` on the process backend) and sees the stall /
         slow-batch seams; the gateway side serves the socket-level
-        response faults.  Re-arming replaces (and disarms) any
-        previously armed injector.
+        response faults for every route.  Re-arming replaces (and
+        disarms) any previously armed injector, wherever it was armed.
         """
+        target = (entry or self.fleet.default_entry).server
         previous = self.chaos
         if previous is not None:
-            previous.disarm()
-        arm = getattr(self.server, "arm_chaos", None)
+            self.disarm_chaos()
+        arm = getattr(target, "arm_chaos", None)
         if callable(arm):
             arm(injector)
         else:
-            self.server.chaos = injector
+            target.chaos = injector
             injector.arm()
         self.chaos = injector
+        self._chaos_server = target
 
     def disarm_chaos(self) -> None:
         injector = self.chaos
         if injector is not None:
             injector.disarm()
             self.chaos = None
-            self.server.chaos = None
+            if self._chaos_server is not None:
+                self._chaos_server.chaos = None
+                self._chaos_server = None
 
     def chaos_http_fault(self) -> str | None:
         """The fault kind to apply to the current response, if armed."""
@@ -675,24 +852,29 @@ class ServingGateway:
             return None
         return {"armed": injector.armed, "injected": injector.applied_counts()}
 
-    def observed_p50_ms(self) -> float:
+    def observed_p50_ms(self, entry: ModelEntry | None = None) -> float:
         """Cached p50 service latency for deadline-aware admission.
 
-        0.0 until :data:`MIN_REQUESTS_FOR_DEADLINE_SHED` requests have
-        been served this epoch (no shedding on noise), refreshed at most
+        Per fleet entry (each pool has its own latency profile): 0.0
+        until :data:`MIN_REQUESTS_FOR_DEADLINE_SHED` requests have been
+        served this epoch (no shedding on noise), refreshed at most
         every :data:`P50_CACHE_TTL_S` (a percentile walks the whole
-        stats window — too expensive per request).
+        stats window — too expensive per request).  Defaults to the
+        default entry.
         """
+        if entry is None:
+            entry = self.fleet.default_entry
         now = time.monotonic()
         with self._p50_lock:
-            if now - self._p50_read_at >= P50_CACHE_TTL_S:
-                snapshot = self.server.stats.snapshot()
+            read_at = self._p50_read_at.get(entry.name, -math.inf)
+            if now - read_at >= P50_CACHE_TTL_S:
+                snapshot = entry.server.stats.snapshot()
                 if snapshot.requests >= MIN_REQUESTS_FOR_DEADLINE_SHED:
-                    self._p50_ms = snapshot.latency_percentile(50)
+                    self._p50_ms[entry.name] = snapshot.latency_percentile(50)
                 else:
-                    self._p50_ms = 0.0
-                self._p50_read_at = now
-            return self._p50_ms
+                    self._p50_ms[entry.name] = 0.0
+                self._p50_read_at[entry.name] = now
+            return self._p50_ms[entry.name]
 
     # ------------------------------------------------------------------
     # State
@@ -703,26 +885,30 @@ class ServingGateway:
 
     @property
     def ready(self) -> bool:
-        """Readiness: HTTP bound, workers started, admission open."""
+        """Readiness: HTTP bound, every primary pool started + admitting."""
         return (
             self._httpd is not None
             and not self._draining
-            and self.server.running
-            and self.server.accepting
+            and self.fleet.running
+            and self.fleet.accepting
         )
 
-    def worker_processes(self, *, revive: bool = False) -> list[dict] | None:
-        """Per-worker-process liveness, or ``None`` for threaded servers.
+    def worker_processes(
+        self, *, revive: bool = False, entry: ModelEntry | None = None
+    ) -> list[dict] | None:
+        """Per-worker-process liveness, or ``None`` for threaded pools.
 
         With ``revive=True`` (the ``/healthz`` path) dead worker
         processes are respawned first, so a transient worker crash heals
         on the next health probe instead of waiting for traffic.
+        Defaults to the default entry's pool.
         """
-        report = getattr(self.server, "worker_processes", None)
+        server = (entry or self.fleet.default_entry).server
+        report = getattr(server, "worker_processes", None)
         if not callable(report):
             return None
         if revive:
-            ensure = getattr(self.server, "ensure_workers", None)
+            ensure = getattr(server, "ensure_workers", None)
             if callable(ensure):
                 revived = ensure()
                 if revived:
@@ -747,9 +933,7 @@ class ServingGateway:
         with self._lock:
             if self._httpd is not None:
                 raise RuntimeError("gateway is already running")
-            if not self.server.running:
-                self.server.start()
-                self._owns_server = True
+            self._owned_entries = self.fleet.start_stopped()
             self._draining = False
             self._httpd = _GatewayHTTPServer(
                 (self.host, self.requested_port), _GatewayRequestHandler, self
@@ -760,7 +944,12 @@ class ServingGateway:
                 daemon=True,
             )
             self._thread.start()
-        log.info("serving %s on %s", self.model_id, self.url)
+        log.info(
+            "serving fleet %s on %s (default %s)",
+            list(self.fleet.names),
+            self.url,
+            self.fleet.default,
+        )
         return self
 
     def stop(self) -> None:
@@ -771,11 +960,11 @@ class ServingGateway:
         (:meth:`InferenceServer.drain` — requests that already submitted
         still resolve; new ones get a typed 503), then the HTTP listener
         shuts down and waits for in-flight handler threads, and finally
-        the inference server's admitted backlog drains to completion.
+        the inference servers' admitted backlogs drain to completion.
 
-        Draining and stopping only apply to a server this gateway
-        started.  A caller-managed server (already running when
-        :meth:`start` was called) is left untouched and fully usable —
+        Draining and stopping only apply to entries this gateway
+        started.  Caller-managed servers (already running when
+        :meth:`start` was called) are left untouched and fully usable —
         the gateway detaches; in-flight HTTP requests still finish
         because the listener close joins the handler threads.
         """
@@ -787,19 +976,19 @@ class ServingGateway:
             self._draining = True
             self._httpd = None
             self._thread = None
-            owns = self._owns_server
-        if owns:
-            self.server.drain()
+            owned = self._owned_entries
+        if owned:
+            self.fleet.drain(owned)
         httpd.shutdown()
         httpd.server_close()
         if thread is not None:
             thread.join()
-        if owns:
-            self.server.stop()
-            # _owns_server is lifecycle state shared with start(); clear
-            # it under the same lock it is set under.
+        if owned:
+            self.fleet.stop(owned)
+            # _owned_entries is lifecycle state shared with start();
+            # clear it under the same lock it is set under.
             with self._lock:
-                self._owns_server = False
+                self._owned_entries = ()
 
     def __enter__(self) -> "ServingGateway":
         return self.start()

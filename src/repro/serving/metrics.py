@@ -59,6 +59,8 @@ def render_metrics(
     model_id: str,
     processes: list[dict] | None = None,
     chaos: dict | None = None,
+    models: list[dict] | None = None,
+    shadow: dict | None = None,
 ) -> str:
     """Prometheus exposition text for one scrape.
 
@@ -71,6 +73,15 @@ def render_metrics(
     adds the fault-injection families while an experiment is armed, so
     recovery can be watched on ``/metrics`` without probing
     ``/healthz`` (which would itself revive workers).
+
+    ``models`` adds the per-fleet-entry families: one dict per entry
+    with ``name``, its own ``snapshot`` (:class:`StatsSnapshot`),
+    ``traffic_share``, ``weights_version``, and ``shadow``.  The A/B
+    split is audited from ``holistix_requests_total{model=...}``;
+    ``shadow`` (``{"submitted": n, "failed": n}``) counts mirrored
+    shadow traffic fleet-wide.  The unlabelled ``holistix_server_*``
+    families remain the default entry's view, so single-model
+    dashboards keep working unchanged.
     """
     lines: list[str] = []
 
@@ -218,6 +229,141 @@ def render_metrics(
                 )
                 for proc in processes
             ],
+        )
+    if models is not None:
+        family(
+            "holistix_requests_total",
+            "counter",
+            "Texts served per fleet entry this epoch (the A/B split audit).",
+            [
+                _sample(
+                    "holistix_requests_total",
+                    m["snapshot"].requests,
+                    {"model": m["name"]},
+                )
+                for m in models
+            ],
+        )
+        family(
+            "holistix_model_shed_total",
+            "counter",
+            "Requests rejected by shed-mode admission, per fleet entry.",
+            [
+                _sample(
+                    "holistix_model_shed_total",
+                    m["snapshot"].shed,
+                    {"model": m["name"]},
+                )
+                for m in models
+            ],
+        )
+        family(
+            "holistix_model_deadline_shed_total",
+            "counter",
+            "Requests shed for an uncoverable deadline, per fleet entry.",
+            [
+                _sample(
+                    "holistix_model_deadline_shed_total",
+                    m["snapshot"].deadline_shed,
+                    {"model": m["name"]},
+                )
+                for m in models
+            ],
+        )
+        family(
+            "holistix_model_shed_rate",
+            "gauge",
+            "Fraction of offered requests shed this epoch, per fleet entry.",
+            [
+                _sample(
+                    "holistix_model_shed_rate",
+                    m["snapshot"].shed_rate,
+                    {"model": m["name"]},
+                )
+                for m in models
+            ],
+        )
+        model_latency: list[str] = []
+        for m in models:
+            model_latency.extend(
+                _sample(
+                    "holistix_model_latency_ms",
+                    m["snapshot"].latency_percentile(q),
+                    {"model": m["name"], "quantile": str(q / 100.0)},
+                )
+                for q in (50, 95, 99)
+            )
+            model_latency.append(
+                _sample(
+                    "holistix_model_latency_ms_sum",
+                    m["snapshot"].total_latency_ms,
+                    {"model": m["name"]},
+                )
+            )
+            model_latency.append(
+                _sample(
+                    "holistix_model_latency_ms_count",
+                    m["snapshot"].requests,
+                    {"model": m["name"]},
+                )
+            )
+        family(
+            "holistix_model_latency_ms",
+            "summary",
+            "Queue-to-response latency quantiles per fleet entry.",
+            model_latency,
+        )
+        family(
+            "holistix_model_traffic_share",
+            "gauge",
+            "Configured fraction of A/B-split traffic, per fleet entry.",
+            [
+                _sample(
+                    "holistix_model_traffic_share",
+                    m["traffic_share"],
+                    {"model": m["name"]},
+                )
+                for m in models
+            ],
+        )
+        family(
+            "holistix_model_weights_version",
+            "gauge",
+            "Version token of the entry's served weights (0 = never reloaded).",
+            [
+                _sample(
+                    "holistix_model_weights_version",
+                    m["weights_version"],
+                    {"model": m["name"]},
+                )
+                for m in models
+            ],
+        )
+        family(
+            "holistix_model_shadow",
+            "gauge",
+            "1 for shadow entries (mirrored traffic, never answering).",
+            [
+                _sample(
+                    "holistix_model_shadow",
+                    1 if m["shadow"] else 0,
+                    {"model": m["name"]},
+                )
+                for m in models
+            ],
+        )
+    if shadow is not None:
+        family(
+            "holistix_shadow_submitted_total",
+            "counter",
+            "Texts mirrored to shadow entries (fire-and-forget).",
+            [_sample("holistix_shadow_submitted_total", shadow["submitted"])],
+        )
+        family(
+            "holistix_shadow_failed_total",
+            "counter",
+            "Shadow mirror submissions that shed, errored, or were refused.",
+            [_sample("holistix_shadow_failed_total", shadow["failed"])],
         )
     if chaos is not None:
         family(

@@ -1,23 +1,32 @@
-"""Wire protocol for the HTTP serving gateway.
+"""Wire protocol for the HTTP serving gateway (the ``/v1`` fleet API).
 
 One module owns everything about the JSON-over-HTTP contract — request
 validation, response shaping, and the typed error payloads — so the
 gateway handler, the :class:`~repro.serving.client.ServingClient`, and
 the tests all agree on byte-level details.  The schemas are documented
-in ``docs/SERVING.md``; keep the two in sync.
+in ``docs/SERVING.md`` and pinned by the golden fixtures under
+``tests/fixtures/protocol/``; keep all three in sync.
 
-Every error response has the shape::
+Predict requests may carry an optional ``model`` (routing to a named
+fleet entry) and ``request_id`` (making the A/B split assignment
+reproducible); responses carry a ``served_by`` envelope naming the
+entry and weights version that answered.  Every error response has the
+shape::
 
-    {"error": {"code": "<machine-readable>", "message": "<human>"}}
+    {"error": {"code": "<machine-readable>", "message": "<human>",
+               "retriable": bool, ["model": "<entry>"]}}
 
 with the HTTP status carrying the retry semantics (429 = overloaded,
-retry after backoff; 503 = not ready / draining, retry elsewhere).
+retry after backoff; 503 = not ready / draining, retry elsewhere) and
+``retriable`` making them explicit for clients that do not keep a
+status-code table.
 """
 
 from __future__ import annotations
 
 import json
 from collections.abc import Sequence
+from dataclasses import dataclass
 
 from repro.core.labels import DIMENSIONS
 from repro.engine.server import PredictionResult
@@ -25,11 +34,15 @@ from repro.engine.server import PredictionResult
 __all__ = [
     "MAX_BODY_BYTES",
     "MAX_BATCH_TEXTS",
+    "PredictRequest",
+    "PredictBatchRequest",
     "ProtocolError",
+    "RETRIABLE_CODES",
     "error_body",
     "format_prediction",
     "parse_predict_request",
     "parse_predict_batch_request",
+    "served_by",
 ]
 
 # Hard cap on request body size; a gateway fronting the public internet
@@ -42,6 +55,13 @@ MAX_BATCH_TEXTS = 256
 
 LABEL_CODES: tuple[str, ...] = tuple(d.code for d in DIMENSIONS)
 
+# Error codes that are retriable by contract: the request was fine, the
+# condition is transient.  Everything else defaults to non-retriable
+# (fix the request, the checkpoint, or the deployment first).
+RETRIABLE_CODES: frozenset[str] = frozenset(
+    {"overloaded", "backend_failure", "internal"}
+)
+
 
 class ProtocolError(Exception):
     """A request the gateway rejects before it reaches the engine.
@@ -52,21 +72,74 @@ class ProtocolError(Exception):
         HTTP status code to answer with.
     code:
         Stable machine-readable error identifier (``"bad_request"``,
-        ``"payload_too_large"``, ...) for client dispatch.
+        ``"model_not_found"``, ...) for client dispatch.
     message:
         Human-readable explanation, safe to surface to callers.
+    model:
+        The fleet entry the error concerns, when one was resolved (or
+        requested) — carried into the error payload.
     """
 
-    def __init__(self, status: int, code: str, message: str) -> None:
+    def __init__(
+        self, status: int, code: str, message: str, *, model: str | None = None
+    ) -> None:
         super().__init__(message)
         self.status = status
         self.code = code
         self.message = message
+        self.model = model
 
 
-def error_body(code: str, message: str) -> dict[str, dict[str, str]]:
-    """The canonical error payload (also used for engine-level errors)."""
-    return {"error": {"code": code, "message": message}}
+def error_body(
+    code: str,
+    message: str,
+    *,
+    model: str | None = None,
+    retriable: bool | None = None,
+) -> dict[str, dict[str, object]]:
+    """The canonical error payload (also used for engine-level errors).
+
+    ``retriable`` defaults from :data:`RETRIABLE_CODES` so callers that
+    only know the code still emit the contract-complete shape; pass it
+    explicitly to override (e.g. a 429 during drain that will not
+    clear).  ``model`` appears only when the error is about a specific
+    fleet entry.
+    """
+    if retriable is None:
+        retriable = code in RETRIABLE_CODES
+    error: dict[str, object] = {
+        "code": code,
+        "message": message,
+        "retriable": retriable,
+    }
+    if model is not None:
+        error["model"] = model
+    return {"error": error}
+
+
+def served_by(model: str, weights_version: int) -> dict[str, object]:
+    """The response envelope naming which entry answered."""
+    return {"model": model, "weights_version": weights_version}
+
+
+@dataclass(frozen=True)
+class PredictRequest:
+    """A validated ``POST /v1/predict`` body."""
+
+    text: str
+    top_k: int | None
+    model: str | None
+    request_id: str | None
+
+
+@dataclass(frozen=True)
+class PredictBatchRequest:
+    """A validated ``POST /v1/predict_batch`` body."""
+
+    texts: list[str]
+    top_k: int | None
+    model: str | None
+    request_id: str | None
 
 
 def _parse_json_object(raw: bytes) -> dict[str, object]:
@@ -108,6 +181,17 @@ def _parse_top_k(payload: dict[str, object]) -> int | None:
     return top_k
 
 
+def _parse_optional_str(payload: dict[str, object], field: str) -> str | None:
+    value = payload.get(field)
+    if value is None:
+        return None
+    if not isinstance(value, str) or not value:
+        raise ProtocolError(
+            400, "bad_request", f"{field} must be a non-empty string"
+        )
+    return value
+
+
 def _require_text(value: object, *, what: str) -> str:
     if not isinstance(value, str):
         raise ProtocolError(400, "bad_request", f"{what} must be a string")
@@ -116,16 +200,21 @@ def _require_text(value: object, *, what: str) -> str:
     return value
 
 
-def parse_predict_request(raw: bytes) -> tuple[str, int | None]:
-    """Validate a ``POST /v1/predict`` body -> ``(text, top_k)``."""
+def parse_predict_request(raw: bytes) -> PredictRequest:
+    """Validate a ``POST /v1/predict`` body."""
     payload = _parse_json_object(raw)
     if "text" not in payload:
         raise ProtocolError(400, "bad_request", 'missing required field "text"')
-    return _require_text(payload["text"], what="text"), _parse_top_k(payload)
+    return PredictRequest(
+        text=_require_text(payload["text"], what="text"),
+        top_k=_parse_top_k(payload),
+        model=_parse_optional_str(payload, "model"),
+        request_id=_parse_optional_str(payload, "request_id"),
+    )
 
 
-def parse_predict_batch_request(raw: bytes) -> tuple[list[str], int | None]:
-    """Validate a ``POST /v1/predict_batch`` body -> ``(texts, top_k)``."""
+def parse_predict_batch_request(raw: bytes) -> PredictBatchRequest:
+    """Validate a ``POST /v1/predict_batch`` body."""
     payload = _parse_json_object(raw)
     if "texts" not in payload:
         raise ProtocolError(400, "bad_request", 'missing required field "texts"')
@@ -138,9 +227,11 @@ def parse_predict_batch_request(raw: bytes) -> tuple[list[str], int | None]:
             "payload_too_large",
             f"texts has {len(texts)} entries; the limit is {MAX_BATCH_TEXTS}",
         )
-    return (
-        [_require_text(t, what=f"texts[{i}]") for i, t in enumerate(texts)],
-        _parse_top_k(payload),
+    return PredictBatchRequest(
+        texts=[_require_text(t, what=f"texts[{i}]") for i, t in enumerate(texts)],
+        top_k=_parse_top_k(payload),
+        model=_parse_optional_str(payload, "model"),
+        request_id=_parse_optional_str(payload, "request_id"),
     )
 
 

@@ -1,0 +1,213 @@
+"""Golden wire-contract tests for the ``/v1`` HTTP protocol.
+
+Each JSON fixture under ``tests/fixtures/protocol/`` pins one exchange:
+the request a client sends and the exact status + body the gateway must
+answer, with volatile measurement fields (latency, counters) replaced by
+a ``"<volatile>"`` sentinel.  The fixtures are committed, so any change
+to the wire surface — renamed field, reshaped envelope, new error code —
+fails here and forces a deliberate fixture update in the same diff.
+
+Two gateway topologies are pinned:
+
+* ``single`` — the pre-fleet compatibility mapping: one bare
+  ``InferenceServer`` wrapped as a one-entry fleet named ``default``.
+  These fixtures are the old single-checkpoint protocol; they must keep
+  passing unchanged.
+* ``fleet`` — champion/challenger/shadow at 90/10 with ``split_seed=0``.
+  The pinned ``request_id`` fixture also freezes the A/B hash: changing
+  the split function breaks that fixture.
+
+Regenerate (after an intentional protocol change) with::
+
+    PYTHONPATH=src python tests/test_protocol_contract.py
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.engine.engine import PredictionEngine
+from repro.engine.server import InferenceServer
+from repro.serving.fleet import ModelEntry, ModelFleet
+from repro.serving.gateway import ServingGateway
+
+FIXTURES_DIR = Path(__file__).parent / "fixtures" / "protocol"
+
+# Fields whose values are measurements, not contract: both sides are
+# replaced with a sentinel before comparison.  Everything else must
+# match the committed fixture exactly.
+VOLATILE_KEYS = frozenset(
+    {
+        "latency_ms",
+        "requests",
+        "shed",
+        "deadline_shed",
+        "shed_rate",
+        "shadow_traffic",
+    }
+)
+
+
+class GoldenBackend:
+    """Probabilities as a pure function of the text: bitwise-stable
+    responses, so fixtures can pin full probability vectors."""
+
+    n_classes = 6
+
+    def proba_batch(self, texts: list[str]) -> np.ndarray:
+        rows = np.empty((len(texts), 6), dtype=np.float64)
+        for i, text in enumerate(texts):
+            digest = hashlib.sha256(text.encode("utf-8")).digest()
+            vals = np.frombuffer(digest[:6], dtype=np.uint8).astype(np.float64) + 1.0
+            rows[i] = vals / vals.sum()
+        return rows
+
+
+def _make_server(model_id: str) -> InferenceServer:
+    return InferenceServer(PredictionEngine(GoldenBackend(), model_id=model_id))
+
+
+def build_single_gateway() -> ServingGateway:
+    """The pre-fleet invocation: one bare server, compat-wrapped."""
+    return ServingGateway(_make_server("golden@1"), baseline="LR")
+
+
+def build_fleet_gateway() -> ServingGateway:
+    fleet = ModelFleet(
+        [
+            ModelEntry(
+                "champion", _make_server("champion@1"), weight=0.9, baseline="LR"
+            ),
+            ModelEntry(
+                "challenger",
+                _make_server("challenger@1"),
+                weight=0.1,
+                baseline="Linear SVM",
+            ),
+            ModelEntry("mirror", _make_server("mirror@1"), shadow=True),
+        ],
+        split_seed=0,
+    )
+    return ServingGateway(fleet)
+
+
+# (fixture name, gateway topology, method, path, request body or None)
+CASES = [
+    ("single_predict_minimal", "single", "POST", "/v1/predict",
+     {"text": "the quick brown fox"}),
+    ("single_predict_top_k", "single", "POST", "/v1/predict",
+     {"text": "the quick brown fox", "top_k": 2}),
+    ("single_predict_batch", "single", "POST", "/v1/predict_batch",
+     {"texts": ["hello serving", "wellness check"]}),
+    ("single_models", "single", "GET", "/v1/models", None),
+    ("single_healthz", "single", "GET", "/healthz", None),
+    ("single_error_missing_text", "single", "POST", "/v1/predict", {}),
+    ("single_error_bad_top_k", "single", "POST", "/v1/predict",
+     {"text": "x", "top_k": "two"}),
+    ("single_error_unknown_route", "single", "POST", "/v1/nope",
+     {"text": "x"}),
+    ("fleet_predict_explicit_model", "fleet", "POST", "/v1/predict",
+     {"text": "route me", "model": "challenger"}),
+    ("fleet_predict_pinned_request_id", "fleet", "POST", "/v1/predict",
+     {"text": "route me", "request_id": "golden-request-1"}),
+    ("fleet_predict_batch_envelope", "fleet", "POST", "/v1/predict_batch",
+     {"texts": ["a", "b"], "model": "champion", "top_k": 1}),
+    ("fleet_error_model_not_found", "fleet", "POST", "/v1/predict",
+     {"text": "x", "model": "ghost"}),
+    ("fleet_models", "fleet", "GET", "/v1/models", None),
+]
+
+
+def normalize(obj):
+    """Replace values under volatile keys with a stable sentinel."""
+    if isinstance(obj, dict):
+        return {
+            key: "<volatile>" if key in VOLATILE_KEYS else normalize(value)
+            for key, value in obj.items()
+        }
+    if isinstance(obj, list):
+        return [normalize(item) for item in obj]
+    return obj
+
+
+def exchange(url: str, method: str, path: str, body) -> tuple[int, dict]:
+    data = None if body is None else json.dumps(body).encode("utf-8")
+    request = urllib.request.Request(
+        url + path,
+        data=data,
+        headers={"Content-Type": "application/json"} if data else {},
+        method=method,
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        with error:
+            return error.code, json.loads(error.read())
+
+
+@pytest.fixture(scope="module")
+def gateways():
+    with build_single_gateway() as single, build_fleet_gateway() as fleet:
+        yield {"single": single, "fleet": fleet}
+
+
+@pytest.mark.parametrize(
+    "name,topology,method,path,body", CASES, ids=[case[0] for case in CASES]
+)
+def test_wire_contract(gateways, name, topology, method, path, body):
+    fixture_path = FIXTURES_DIR / f"{name}.json"
+    assert fixture_path.exists(), (
+        f"missing golden fixture {fixture_path}; regenerate with "
+        f"`PYTHONPATH=src python tests/test_protocol_contract.py`"
+    )
+    fixture = json.loads(fixture_path.read_text(encoding="utf-8"))
+    assert fixture["method"] == method and fixture["path"] == path
+    assert fixture["request"] == body
+
+    status, payload = exchange(gateways[topology].url, method, path, body)
+    assert status == fixture["status"], payload
+    assert normalize(payload) == fixture["response"], (
+        f"wire contract drift on {name}; if the protocol change is "
+        f"intentional, regenerate the fixtures and review the diff"
+    )
+
+
+def test_fixture_dir_matches_case_list():
+    """Every committed fixture is exercised — no orphaned pins."""
+    committed = {path.stem for path in FIXTURES_DIR.glob("*.json")}
+    assert committed == {case[0] for case in CASES}
+
+
+def regenerate() -> None:
+    FIXTURES_DIR.mkdir(parents=True, exist_ok=True)
+    with build_single_gateway() as single, build_fleet_gateway() as fleet:
+        urls = {"single": single.url, "fleet": fleet.url}
+        for name, topology, method, path, body in CASES:
+            status, payload = exchange(urls[topology], method, path, body)
+            fixture = {
+                "name": name,
+                "gateway": topology,
+                "method": method,
+                "path": path,
+                "request": body,
+                "status": status,
+                "response": normalize(payload),
+            }
+            out = FIXTURES_DIR / f"{name}.json"
+            out.write_text(
+                json.dumps(fixture, indent=2, sort_keys=False) + "\n",
+                encoding="utf-8",
+            )
+            print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    regenerate()

@@ -89,15 +89,17 @@ class TestPredictParity:
             client = ServingClient(gateway.url, deadline_s=10)
             for text, expected in zip(texts, oracle):
                 response = client.predict(text)
-                assert response["model_id"] == "stub"
-                got = list(response["probabilities"].values())
+                assert response.model_id == "stub"
+                assert response.served_by is not None
+                assert response.served_by.model == "default"
+                got = list(response.probabilities.values())
                 # Byte-level parity: JSON round-trips repr(float), which
                 # is exact, and the gateway replica runs the same code.
                 assert got == [float(p) for p in expected]
-                assert list(response["probabilities"]) == [
+                assert list(response.probabilities) == [
                     "IA", "VA", "SpiA", "PA", "SA", "EA",
                 ]
-                assert response["label"] == [
+                assert response.label == [
                     "IA", "VA", "SpiA", "PA", "SA", "EA",
                 ][int(np.argmax(expected))]
 
@@ -107,9 +109,9 @@ class TestPredictParity:
         with gateway_over() as (gateway, _):
             client = ServingClient(gateway.url, deadline_s=10)
             response = client.predict_batch(texts)
-            assert len(response["predictions"]) == len(texts)
-            for row, expected in zip(response["predictions"], oracle):
-                assert list(row["probabilities"].values()) == [
+            assert len(response.predictions) == len(texts)
+            for row, expected in zip(response.predictions, oracle):
+                assert list(row.probabilities.values()) == [
                     float(p) for p in expected
                 ]
 
@@ -117,12 +119,12 @@ class TestPredictParity:
         with gateway_over() as (gateway, _):
             client = ServingClient(gateway.url, deadline_s=10)
             response = client.predict("rank these dimensions", top_k=3)
-            assert "probabilities" not in response
-            ranked = response["top_k"]
+            assert response.probabilities is None
+            ranked = response.top_k
             assert len(ranked) == 3
             probs = [entry["probability"] for entry in ranked]
             assert probs == sorted(probs, reverse=True)
-            assert ranked[0]["label"] == response["label"]
+            assert ranked[0]["label"] == response.label
 
     def test_real_lr_baseline_served_end_to_end(self, small_dataset):
         from repro.core.pipeline import WellnessClassifier
@@ -135,14 +137,19 @@ class TestPredictParity:
         with ServingGateway(server, baseline="LR") as gateway:
             client = ServingClient(gateway.url, deadline_s=30)
             response = client.predict_batch(texts)
-            for row, probs in zip(response["predictions"], expected):
-                assert list(row["probabilities"].values()) == [
+            for row, probs in zip(response.predictions, expected):
+                assert list(row.probabilities.values()) == [
                     float(p) for p in probs
                 ]
             models = client.models()
-            loaded = [m["name"] for m in models["models"] if m["loaded"]]
+            loaded = [m["name"] for m in models["registry"] if m["loaded"]]
             assert loaded == ["LR"]
-            assert len(models["models"]) == 9
+            assert len(models["registry"]) == 9
+            assert models["default_model"] == "default"
+            (entry,) = models["models"]
+            assert entry["baseline"] == "LR"
+            assert entry["state"] == "serving"
+            assert entry["traffic_share"] == 1.0
 
 
 class TestValidation:
@@ -286,7 +293,7 @@ class TestBackpressureAndErrors:
                 t.join()
             # Every client eventually got served despite shed rejections.
             assert len(results) == 12
-            assert all("label" in r for r in results)
+            assert all(r.label for r in results)
 
     def test_client_deadline_raises_overloaded(self):
         with gateway_over(
@@ -416,7 +423,7 @@ class TestRetryJitter:
                 t.join()
             assert not errors, errors
             assert len(results) == 16
-            assert all("label" in r for r in results)
+            assert all(r.label for r in results)
             # The server really shed under this herd — the retries were
             # load-bearing, not decorative.
             assert gateway.server.stats.snapshot().shed > 0
@@ -439,7 +446,7 @@ class TestLifecycle:
     def test_predict_after_server_stop_is_503(self):
         with gateway_over() as (gateway, server):
             client = ServingClient(gateway.url, deadline_s=5)
-            assert client.predict("warm")["label"]
+            assert client.predict("warm").label
             server.stop()
             with pytest.raises(GatewayUnavailable) as excinfo:
                 client.predict("cold")
@@ -459,7 +466,7 @@ class TestLifecycle:
         time.sleep(0.03)  # request is admitted and being served
         gateway.stop()
         thread.join(timeout=10)
-        assert results and results[0]["label"]
+        assert results and results[0].label
         assert not server.running
 
     def test_stop_is_idempotent_and_port_closes(self):

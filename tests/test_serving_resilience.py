@@ -96,7 +96,7 @@ class TestRetryAfterHardening:
         client = make_client()
         client._request_full = transport
         start = time.monotonic()
-        assert client.predict("hello")["label"] == "IA"
+        assert client.predict("hello").label == "IA"
         assert time.monotonic() - start < 1.0
         assert transport.calls == 2
 
@@ -133,7 +133,7 @@ class TestCircuitBreaker:
         assert client.stats()["breaker_state"] == "open"
         time.sleep(0.06)
         transport.steps = [ok_response()]
-        assert client.predict("x")["label"] == "IA"
+        assert client.predict("x").label == "IA"
         assert client.stats()["breaker_state"] == "closed"
 
     def test_half_open_probe_failure_reopens(self):
@@ -212,7 +212,7 @@ class TestRetryBudget:
         transport = ScriptedTransport([OSError("flake"), ok_response()])
         client = make_client(retry_budget=4.0, breaker_threshold=100)
         client._request_full = transport
-        assert client.predict("x")["label"] == "IA"
+        assert client.predict("x").label == "IA"
         stats = client.stats()
         assert stats["retries"] == 1
         # One token spent, half a credit refunded by the success.
@@ -224,7 +224,7 @@ class TestRetryBudget:
         )
         client = make_client(breaker_threshold=100)
         client._request_full = transport
-        assert client.predict("x")["label"] == "IA"
+        assert client.predict("x").label == "IA"
         assert transport.calls == 2
 
 
@@ -239,7 +239,7 @@ class TestBackendFailureRetry:
         )
         client = make_client()
         client._request_full = transport
-        assert client.predict("x")["label"] == "IA"
+        assert client.predict("x").label == "IA"
         assert transport.calls == 3
         assert client.stats()["retries"] == 2
 
@@ -425,7 +425,7 @@ class TestChaosHttpFaults:
                 gateway.url, deadline_s=10.0, retry_base_s=0.01, retry_jitter=0.0
             )
             # The single reset is absorbed by a transport retry.
-            assert "label" in client.predict("ride out the reset")
+            assert client.predict("ride out the reset").label
             assert client.stats()["transport_failures"] == 1
             assert gateway.chaos_summary()["injected"] == {"socket_reset": 1}
 
@@ -435,7 +435,7 @@ class TestChaosHttpFaults:
             client = ServingClient(
                 gateway.url, deadline_s=10.0, retry_base_s=0.01, retry_jitter=0.0
             )
-            assert "label" in client.predict("survive truncation")
+            assert client.predict("survive truncation").label
             assert client.stats()["transport_failures"] == 1
 
     def test_malformed_response_fault_is_retried(self):
@@ -444,7 +444,7 @@ class TestChaosHttpFaults:
             client = ServingClient(
                 gateway.url, deadline_s=10.0, retry_base_s=0.01, retry_jitter=0.0
             )
-            assert "label" in client.predict("survive garbage json")
+            assert client.predict("survive garbage json").label
             assert client.stats()["transport_failures"] == 2
 
     def test_metrics_expose_armed_state_and_injections(self):
